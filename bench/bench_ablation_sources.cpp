@@ -1,0 +1,47 @@
+// Ablation (paper §4.3): how much of the Rate-Based scheduler's response-
+// time loss is explained by its lack of special source treatment? The paper
+// attributes RB's poor showing to tokens "waiting for a longer period of
+// time to enter the workflow"; here RB runs with the regular-interval
+// source dispatch switched on and off.
+
+#include <cstdio>
+
+#include "lrb/harness.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+int main() {
+  std::printf("Ablation: source-actor special treatment (paper §4.3)\n\n");
+  std::printf("%-28s %14s %14s %12s\n", "configuration", "avg_resp_s",
+              "p95_resp_s", "thrash@2s");
+  struct Row {
+    const char* label;
+    SchedulerKind kind;
+    int rb_interval;
+  };
+  const Row rows[] = {
+      {"RB (paper: no special src)", SchedulerKind::kRB, 0},
+      {"RB + source interval 5", SchedulerKind::kRB, 5},
+      {"QBS-q500 (interval 5)", SchedulerKind::kQBS, 0},
+  };
+  for (const Row& row : rows) {
+    ExperimentOptions opt;
+    opt.scheduler = row.kind;
+    opt.rb.source_interval = row.rb_interval;
+    auto res = RunLRBExperiment(opt);
+    if (!res.ok()) {
+      std::printf("%-28s FAILED: %s\n", row.label,
+                  res.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-28s %14.3f %14.3f %12.0f\n", row.label,
+                res->toll_avg_response_s, res->toll_p95_response_s,
+                res->ThrashTimeSeconds(2.0));
+  }
+  std::printf(
+      "\nExpected shape: enabling the interval moves RB toward QBS/RR —\n"
+      "most of RB's early response-time penalty comes from tokens queueing\n"
+      "outside the workflow, exactly as the paper argues.\n");
+  return 0;
+}

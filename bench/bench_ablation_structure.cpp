@@ -1,0 +1,42 @@
+// Ablation: the paper's two-level hierarchy (accident detection as a
+// DDF sub-workflow) vs a flattened top-level graph — the scheduling
+// granularity changes, the results must not.
+
+#include <cstdio>
+
+#include "lrb/harness.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+int main() {
+  std::printf("Ablation: hierarchical (composite+DDF) vs flat structure\n\n");
+  std::printf("%-16s %12s %12s %12s %12s\n", "structure", "tolls",
+              "accidents", "avg_resp_s", "firings");
+  for (bool hierarchical : {true, false}) {
+    ExperimentOptions opt;
+    opt.scheduler = SchedulerKind::kQBS;
+    opt.hierarchical = hierarchical;
+    // Stay below saturation so both variants process the full stream and
+    // the result invariant (identical tolls/accidents) is observable; the
+    // remaining delta is pure structural overhead.
+    opt.workload.duration = Seconds(300);
+    auto res = RunLRBExperiment(opt);
+    if (!res.ok()) {
+      std::printf("%-16s FAILED: %s\n", hierarchical ? "hierarchical" : "flat",
+                  res.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-16s %12llu %12llu %12.3f %12llu\n",
+                hierarchical ? "hierarchical" : "flat",
+                static_cast<unsigned long long>(res->tolls_calculated),
+                static_cast<unsigned long long>(res->accidents_recorded),
+                res->toll_avg_response_s,
+                static_cast<unsigned long long>(res->total_firings));
+  }
+  std::printf(
+      "\nInvariant (sub-saturation): identical tolls/accidents; the flat\n"
+      "variant exposes the detection actors to the top-level scheduler\n"
+      "individually and pays per-actor instead of composite dispatch costs.\n");
+  return 0;
+}

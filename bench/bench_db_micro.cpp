@@ -1,0 +1,71 @@
+// Embedded-store micro-benchmarks: the operations the Linear Road workflow
+// issues per tuple (keyed upsert, indexed point lookup, the toll query's
+// accident-proximity aggregate).
+
+#include <benchmark/benchmark.h>
+
+#include "lrb/actors.h"
+
+namespace cwf::db {
+namespace {
+
+void BM_IndexedPointLookup(benchmark::State& state) {
+  auto db = lrb::CreateLRBDatabase().value();
+  Table* stats = db->GetTable(lrb::kTableSegmentStats).value();
+  for (int64_t s = 0; s < 100; ++s) {
+    CWF_CHECK(stats
+                  ->Insert({Value(int64_t{0}), Value(int64_t{0}), Value(s),
+                            Value(45.0), Value(int64_t{40}), Value(int64_t{1})})
+                  .ok());
+  }
+  int64_t seg = 0;
+  for (auto _ : state) {
+    auto row = stats->SelectOne(
+        And({Eq("xway", Value(int64_t{0})), Eq("dir", Value(int64_t{0})),
+             Eq("seg", Value(seg))}));
+    benchmark::DoNotOptimize(row);
+    seg = (seg + 1) % 100;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedPointLookup);
+
+void BM_KeyedUpsert(benchmark::State& state) {
+  auto db = lrb::CreateLRBDatabase().value();
+  Table* stats = db->GetTable(lrb::kTableSegmentStats).value();
+  int64_t seg = 0;
+  for (auto _ : state) {
+    CWF_CHECK(stats
+                  ->Upsert({"xway", "dir", "seg"},
+                           {Value(int64_t{0}), Value(int64_t{0}), Value(seg),
+                            Value(45.0), Value(int64_t{40}), Value(int64_t{1})})
+                  .ok());
+    seg = (seg + 1) % 100;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyedUpsert);
+
+void BM_AccidentProximityQuery(benchmark::State& state) {
+  auto db = lrb::CreateLRBDatabase().value();
+  Table* accidents = db->GetTable(lrb::kTableAccidents).value();
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    CWF_CHECK(accidents
+                  ->Insert({Value(int64_t{0}), Value(int64_t{0}),
+                            Value(i % 100), Value(i * 10), Value(i),
+                            Value(i + 100000), Value(i)})
+                  .ok());
+  }
+  int64_t seg = 0;
+  for (auto _ : state) {
+    auto hit = lrb::AccidentInScope(accidents, 0, 0, seg, 0);
+    benchmark::DoNotOptimize(hit);
+    seg = (seg + 1) % 100;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + " accident rows");
+}
+BENCHMARK(BM_AccidentProximityQuery)->Arg(8)->Arg(256);
+
+}  // namespace
+}  // namespace cwf::db

@@ -1,0 +1,31 @@
+// Figure 5: workload of 0.5 highways — input rate (reports/sec) vs time.
+
+#include <cstdio>
+
+#include "lrb/generator.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+int main() {
+  GeneratorOptions opt;  // the paper's defaults
+  Generator gen(opt);
+  Trace trace = gen.Generate();
+  std::printf("Figure 5: Workload of %.1f highways\n", opt.l_rating);
+  std::printf("# %zu position reports, %zu cars, %zu accidents injected\n\n",
+              gen.report().position_reports, gen.report().cars_spawned,
+              gen.report().accidents_injected);
+  std::printf("# time_s  reports_per_sec  target_rate\n");
+  const int64_t bucket = 20;
+  const int64_t end = opt.duration / Seconds(1);
+  for (int64_t t = 0; t < end; t += bucket) {
+    const double rate =
+        static_cast<double>(trace.CountInRange(
+            Timestamp::Seconds(static_cast<double>(t)),
+            Timestamp::Seconds(static_cast<double>(t + bucket)))) /
+        static_cast<double>(bucket);
+    std::printf("%8lld  %15.1f  %11.1f\n", static_cast<long long>(t), rate,
+                gen.TargetRate(static_cast<double>(t) + bucket / 2.0));
+  }
+  return 0;
+}

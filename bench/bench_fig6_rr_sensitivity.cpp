@@ -1,0 +1,33 @@
+// Figure 6: response times at TollNotification for the RR scheduler using
+// varying basic quantum (slice) values.
+
+#include <cstdio>
+
+#include "lrb/harness.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+int main() {
+  std::printf(
+      "Figure 6: Response Time at TollNotification for the RR scheduler\n\n");
+  for (Duration q : {Duration(5000), Duration(10000), Duration(20000),
+                     Duration(40000)}) {
+    ExperimentOptions opt;
+    opt.scheduler = SchedulerKind::kRR;
+    opt.rr.slice = q;
+    auto res = RunLRBExperiment(opt);
+    if (!res.ok()) {
+      std::printf("RR-q%lld FAILED: %s\n", static_cast<long long>(q),
+                  res.status().ToString().c_str());
+      continue;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "RR-q%lld", static_cast<long long>(q));
+    std::printf("%s\n", RenderCurve(*res, label).c_str());
+    std::printf("# %s: avg=%.3fs p95=%.3fs thrash@2s=%.0fs tolls=%zu\n\n",
+                label, res->toll_avg_response_s, res->toll_p95_response_s,
+                res->ThrashTimeSeconds(2.0), res->toll_notifications);
+  }
+  return 0;
+}

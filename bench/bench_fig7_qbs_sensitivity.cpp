@@ -1,0 +1,34 @@
+// Figure 7: response times at TollNotification for the QBS scheduler using
+// varying basic quantum values.
+
+#include <cstdio>
+
+#include "lrb/harness.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+int main() {
+  std::printf(
+      "Figure 7: Response Time at TollNotification for the QBS scheduler\n\n");
+  for (Duration b : {Duration(500), Duration(1000), Duration(5000),
+                     Duration(10000), Duration(20000)}) {
+    ExperimentOptions opt;
+    opt.scheduler = SchedulerKind::kQBS;
+    opt.qbs.basic_quantum = b;
+    auto res = RunLRBExperiment(opt);
+    if (!res.ok()) {
+      std::printf("QBS-q%lld FAILED: %s\n", static_cast<long long>(b),
+                  res.status().ToString().c_str());
+      continue;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "QBS-q%lld",
+                  static_cast<long long>(b));
+    std::printf("%s\n", RenderCurve(*res, label).c_str());
+    std::printf("# %s: avg=%.3fs p95=%.3fs thrash@2s=%.0fs tolls=%zu\n\n",
+                label, res->toll_avg_response_s, res->toll_p95_response_s,
+                res->ThrashTimeSeconds(2.0), res->toll_notifications);
+  }
+  return 0;
+}

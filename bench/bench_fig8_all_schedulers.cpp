@@ -1,0 +1,46 @@
+// Figure 8: response times of all the main schedulers — QBS-q500,
+// RR-q40000, RB and the thread-based PNCWF — plus the library's extension
+// policies (FIFO, EDF) for reference.
+
+#include <cstdio>
+
+#include "lrb/harness.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+int main() {
+  std::printf(
+      "Figure 8: Response Times at TollNotification, all schedulers\n\n");
+  struct Config {
+    SchedulerKind kind;
+    const char* label;
+  };
+  const Config configs[] = {
+      {SchedulerKind::kQBS, "QBS-q500"}, {SchedulerKind::kRR, "RR-q40000"},
+      {SchedulerKind::kRB, "RB"},        {SchedulerKind::kPNCWF, "PNCWF"},
+      {SchedulerKind::kFIFO, "FIFO*"},   {SchedulerKind::kEDF, "EDF*"},
+  };
+  for (const Config& cfg : configs) {
+    ExperimentOptions opt;
+    opt.scheduler = cfg.kind;
+    opt.qbs.basic_quantum = 500;
+    opt.rr.slice = 40000;
+    auto res = RunLRBExperiment(opt);
+    if (!res.ok()) {
+      std::printf("%s FAILED: %s\n", cfg.label,
+                  res.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", RenderCurve(*res, cfg.label).c_str());
+    std::printf(
+        "# %-9s avg=%7.3fs p95=%8.3fs max=%8.3fs thrash@2s=%5.0fs "
+        "tolls=%zu accident_notifs=%zu firings=%llu\n\n",
+        cfg.label, res->toll_avg_response_s, res->toll_p95_response_s,
+        res->toll_max_response_s, res->ThrashTimeSeconds(2.0),
+        res->toll_notifications, res->accident_notifications,
+        static_cast<unsigned long long>(res->total_firings));
+  }
+  std::printf("(* library extensions, not part of the paper's Figure 8)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Future-work §5 experiment: multiple continuous workflows under the
+// two-level scheduling design. Two Linear Road instances (different seeds)
+// share one node through the global scheduler; capacity weights shift QoS
+// between them, demonstrating "workflows with different priorities and
+// different optimization metrics".
+
+#include <cstdio>
+
+#include "directors/scwf_director.h"
+#include "lrb/harness.h"
+#include "multi/global_scheduler.h"
+#include "stafilos/qbs_scheduler.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+namespace {
+
+struct Instance {
+  std::unique_ptr<Manager> manager;
+  std::shared_ptr<db::Database> db;
+  std::unique_ptr<ResponseTimeSeries> toll;
+  std::unique_ptr<ResponseTimeSeries> acc;
+};
+
+Instance BuildInstance(const std::string& name, uint64_t seed,
+                       Duration duration) {
+  GeneratorOptions gopt;
+  gopt.seed = seed;
+  gopt.duration = duration;
+  // Halve the per-instance rate so two instances together load one node.
+  gopt.initial_rate = 10;
+  gopt.rate_slope_per_sec = 0.16;
+  gopt.max_rate = 100;
+  Generator gen(gopt);
+  auto feed = std::make_shared<PushChannel>();
+  feed->PushTrace(gen.Generate());
+  feed->Close();
+  auto app = BuildLRBApplication(feed).value();
+  ExperimentOptions opt;
+  auto sched = std::make_unique<QBSScheduler>(opt.qbs);
+  ApplyLRBPriorities(sched.get());
+  auto manager = std::make_unique<Manager>(
+      name, std::move(app.workflow),
+      std::make_unique<SCWFDirector>(std::move(sched)));
+  return {std::move(manager), app.database, std::move(app.toll_series),
+          std::move(app.accident_series)};
+}
+
+void RunPair(const char* label, double weight_a, double weight_b) {
+  const Duration duration = Seconds(600);
+  Instance a = BuildInstance("wf_a", 11, duration);
+  Instance b = BuildInstance("wf_b", 22, duration);
+  VirtualClock clock;
+  CostModel cm = DefaultLRBCostModel();
+  CWF_CHECK(a.manager->Initialize(&clock, &cm).ok());
+  CWF_CHECK(b.manager->Initialize(&clock, &cm).ok());
+  GlobalSchedulerOptions opt;
+  opt.policy = CapacityPolicy::kWeightedShare;
+  opt.base_quantum = 20000;
+  GlobalScheduler global(opt);
+  global.AddManager(a.manager.get(), weight_a);
+  global.AddManager(b.manager.get(), weight_b);
+  CWF_CHECK(global.Run(&clock, Timestamp::Seconds(660)).ok());
+  std::printf("%-22s wf_a: avg=%7.3fs p95=%8.3fs cpu=%6.1fs | "
+              "wf_b: avg=%7.3fs p95=%8.3fs cpu=%6.1fs\n",
+              label, a.toll->OverallAvgSeconds(),
+              a.toll->PercentileSeconds(95),
+              static_cast<double>(a.manager->cpu_time_used()) / 1e6,
+              b.toll->OverallAvgSeconds(), b.toll->PercentileSeconds(95),
+              static_cast<double>(b.manager->cpu_time_used()) / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Multi-workflow two-level scheduling (paper §5): two half-rate Linear\n"
+      "Road instances sharing one node under the global scheduler.\n\n");
+  RunPair("equal share (1:1)", 1.0, 1.0);
+  RunPair("weighted (3:1)", 3.0, 1.0);
+  std::printf(
+      "\nExpected shape: equal weights give both instances similar QoS;\n"
+      "a 3:1 capacity split protects wf_a's response time at wf_b's cost.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Micro-benchmarks for the paper's first evaluation goal: "determine if
+// there are any performance penalties in implementing scheduling policies
+// using our STAFiLOS framework" — host-time costs of the framework's
+// moving parts.
+
+#include <benchmark/benchmark.h>
+
+#include "actors/library.h"
+#include "directors/scwf_director.h"
+#include "stafilos/edf_scheduler.h"
+#include "stafilos/fifo_scheduler.h"
+#include "stafilos/qbs_scheduler.h"
+#include "stafilos/rb_scheduler.h"
+#include "stafilos/rr_scheduler.h"
+#include "stream/stream_source.h"
+
+namespace cwf {
+namespace {
+
+// Baseline: invoking actor logic directly, no framework.
+void BM_DirectActorInvocation(benchmark::State& state) {
+  MapActor map("m", [](const Token& t) { return Token(t.AsInt() + 1); });
+  map.in()->SetReceiver(0, std::make_unique<QueueReceiver>(map.in()));
+  ExecutionContext ctx;
+  VirtualClock clock;
+  ctx.clock = &clock;
+  CWF_CHECK(map.Initialize(&ctx).ok());
+  CWEvent e(Token(1), Timestamp(0), WaveTag::Root(1));
+  for (auto _ : state) {
+    CWF_CHECK(map.in()->receiver(0)->Put(e).ok());
+    map.BeginFiring();
+    CWF_CHECK(map.Fire().ok());
+    benchmark::DoNotOptimize(map.TakePendingOutputs());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectActorInvocation);
+
+std::unique_ptr<AbstractScheduler> MakeSched(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<FIFOScheduler>();
+    case 1:
+      return std::make_unique<QBSScheduler>();
+    case 2:
+      return std::make_unique<RRScheduler>();
+    case 3:
+      return std::make_unique<RBScheduler>();
+    default:
+      return std::make_unique<EDFScheduler>();
+  }
+}
+
+const char* SchedName(int kind) {
+  switch (kind) {
+    case 0:
+      return "FIFO";
+    case 1:
+      return "QBS";
+    case 2:
+      return "RR";
+    case 3:
+      return "RB";
+    default:
+      return "EDF";
+  }
+}
+
+// Full STAFiLOS path: source -> map -> sink under the SCWF director; cost
+// per tuple includes enqueue, scheduling decision, delivery and firing.
+void BM_ScwfDispatchPerTuple(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const size_t batch = 1024;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Workflow wf("w");
+    auto feed = std::make_shared<PushChannel>();
+    auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+    auto* map = wf.AddActor<MapActor>(
+        "map", [](const Token& t) { return Token(t.AsInt() + 1); });
+    auto* sink = wf.AddActor<NullSink>("sink");
+    CWF_CHECK(wf.Connect(src->out(), map->in()).ok());
+    CWF_CHECK(wf.Connect(map->out(), sink->in()).ok());
+    for (size_t i = 0; i < batch; ++i) {
+      feed->Push(Token(static_cast<int64_t>(i)), Timestamp(0));
+    }
+    feed->Close();
+    VirtualClock clock;
+    CostModel cm;
+    SCWFDirector d(MakeSched(kind));
+    CWF_CHECK(d.Initialize(&wf, &clock, &cm).ok());
+    state.ResumeTiming();
+    CWF_CHECK(d.Run(Timestamp::Max()).ok());
+    benchmark::DoNotOptimize(sink->consumed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel(SchedName(kind));
+}
+BENCHMARK(BM_ScwfDispatchPerTuple)->DenseRange(0, 4);
+
+// The scheduling decision in isolation.
+void BM_GetNextActorDecision(benchmark::State& state) {
+  Workflow wf("w");
+  auto feed = std::make_shared<PushChannel>();
+  wf.AddActor<StreamSourceActor>("src", feed);
+  std::vector<MapActor*> actors;
+  for (int i = 0; i < 10; ++i) {
+    actors.push_back(wf.AddActor<MapActor>(
+        "a" + std::to_string(i), [](const Token& t) { return t; }));
+  }
+  VirtualClock clock;
+  CostModel cm;
+  SCWFDirector d(std::make_unique<QBSScheduler>());
+  CWF_CHECK(d.Initialize(&wf, &clock, &cm).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.scheduler()->GetNextActor());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetNextActorDecision);
+
+}  // namespace
+}  // namespace cwf

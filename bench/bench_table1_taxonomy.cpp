@@ -1,0 +1,13 @@
+// Table 1: taxonomy of directors found in Kepler and PtolemyII plus the
+// CONFLuEnCE directors, regenerated from the library's registry.
+
+#include <cstdio>
+
+#include "directors/taxonomy.h"
+
+int main() {
+  std::printf(
+      "Table 1: Taxonomy of Directors (Kepler / PtolemyII / CONFLuEnCE)\n\n");
+  std::printf("%s\n", cwf::RenderDirectorTaxonomy().c_str());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 3: the experimental setup every LRB bench runs with.
+
+#include <cstdio>
+
+#include "lrb/harness.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+int main() {
+  ExperimentOptions def;
+  std::printf("Table 3: experimental setup\n\n");
+  std::printf("  %-34s %s\n", "Workload", "Linear Road, variable tolling");
+  std::printf("  %-34s %.1f highways (1 xway, 1 direction)\n",
+              "Workload L-rating", def.workload.l_rating);
+  std::printf("  %-34s %.0f -> %.0f reports/sec (slope %.2f/s)\n",
+              "Input rate ramp", def.workload.initial_rate,
+              def.workload.max_rate, def.workload.rate_slope_per_sec);
+  std::printf("  %-34s %lld sec\n", "Experiment duration",
+              static_cast<long long>(def.workload.duration / Seconds(1)));
+  std::printf("  %-34s %d internal actor iterations\n",
+              "QBS source scheduling interval", def.qbs.source_interval);
+  std::printf("  %-34s 500, 1000, 5000, 10000, 20000\n",
+              "Basic quantum (QBS) (us)");
+  std::printf("  %-34s 5000, 10000, 20000, 40000\n",
+              "Basic quantum (RR) (us)");
+  std::printf("  %-34s 5 (output actors), 10 (statistics/detection)\n",
+              "Priorities used (QBS)");
+  std::printf("  %-34s virtual clock + calibrated cost model\n",
+              "Timing substrate");
+  std::printf("  %-34s %lld us ctx switch, %lld us/event sync\n",
+              "PNCWF modeled thread overheads",
+              static_cast<long long>(def.cost_model.context_switch_overhead),
+              static_cast<long long>(def.cost_model.sync_per_event_overhead));
+  return 0;
+}

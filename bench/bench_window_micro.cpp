@@ -1,0 +1,109 @@
+// Window-operator micro-benchmarks: put() throughput across window kinds
+// and group-by fan-out (the paper's discussion flags window-based actors as
+// the performance-critical component).
+
+#include <benchmark/benchmark.h>
+
+#include "window/window_operator.h"
+
+namespace cwf {
+namespace {
+
+CWEvent IntEvent(int64_t v, int64_t ts_us, uint64_t seq) {
+  CWEvent e;
+  e.token = Token(v);
+  e.timestamp = Timestamp(ts_us);
+  e.wave = WaveTag::Root(seq);
+  e.last_in_wave = true;
+  e.seq = seq;
+  return e;
+}
+
+CWEvent KeyedEvent(int64_t key, int64_t ts_us, uint64_t seq) {
+  auto rec = std::make_shared<Record>();
+  rec->Set("k", Value(key));
+  rec->Set("v", Value(static_cast<int64_t>(seq)));
+  CWEvent e;
+  e.token = Token(RecordPtr(std::move(rec)));
+  e.timestamp = Timestamp(ts_us);
+  e.wave = WaveTag::Root(seq);
+  e.last_in_wave = true;
+  e.seq = seq;
+  return e;
+}
+
+void BM_TupleWindowPut(benchmark::State& state) {
+  WindowOperator op(
+      WindowSpec::Tuples(state.range(0), 1));
+  std::vector<Window> out;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    out.clear();
+    ++seq;
+    CWF_CHECK(op.Put(IntEvent(1, static_cast<int64_t>(seq), seq), &out).ok());
+    benchmark::DoNotOptimize(out);
+    if (seq % 4096 == 0) {
+      op.DrainExpired();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleWindowPut)->Arg(2)->Arg(4)->Arg(32);
+
+void BM_TimeWindowPut(benchmark::State& state) {
+  WindowOperator op(WindowSpec::Time(Seconds(60), Seconds(60))
+                        .DeleteUsedEvents(true));
+  std::vector<Window> out;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    out.clear();
+    ++seq;
+    CWF_CHECK(op.Put(IntEvent(1, static_cast<int64_t>(seq) * 1000, seq), &out)
+                  .ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeWindowPut);
+
+void BM_GroupByWindowPut(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  WindowOperator op(
+      WindowSpec::Tuples(4, 1).GroupBy({"k"}).DeleteUsedEvents(true));
+  std::vector<Window> out;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    out.clear();
+    ++seq;
+    CWF_CHECK(op.Put(KeyedEvent(static_cast<int64_t>(seq) % keys,
+                                static_cast<int64_t>(seq), seq),
+                     &out)
+                  .ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(keys) + " groups");
+}
+BENCHMARK(BM_GroupByWindowPut)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_TimeWindowDeadlineIndex(benchmark::State& state) {
+  // NextDeadline() must stay O(1) regardless of group count.
+  const int64_t keys = state.range(0);
+  WindowOperator op(WindowSpec::Time(Seconds(60), Seconds(60))
+                        .GroupBy({"k"})
+                        .DeleteUsedEvents(true));
+  std::vector<Window> out;
+  uint64_t seq = 0;
+  for (int64_t k = 0; k < keys; ++k) {
+    CWF_CHECK(op.Put(KeyedEvent(k, 1000, ++seq), &out).ok());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.NextDeadline());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(keys) + " groups");
+}
+BENCHMARK(BM_TimeWindowDeadlineIndex)->Arg(10)->Arg(10000);
+
+}  // namespace
+}  // namespace cwf

@@ -1,0 +1,92 @@
+// Simulating the distributed-SCWF direction (paper §5): "distribute the
+// processing of a workflow among multiple computing nodes in a cluster or
+// the Cloud by placing specific actors to specific nodes."
+//
+// In a single process, node boundaries become provenance-preserving
+// DelayActor links: events crossing between the "edge" node (ingest +
+// filtering) and the "core" node (aggregation + alerting) pay the network
+// latency, while response times keep being measured against original
+// arrival. The run compares end-to-end latency for several link qualities.
+
+#include <cstdio>
+
+#include "actors/library.h"
+#include "actors/stream_ops.h"
+#include "directors/scwf_director.h"
+#include "stafilos/qbs_scheduler.h"
+#include "stream/stream_source.h"
+
+using namespace cwf;
+
+namespace {
+
+double RunWithLink(Duration link_latency) {
+  Workflow wf("edge_to_core");
+  auto feed = std::make_shared<PushChannel>();
+
+  // ---- edge node: ingest + pre-filter ----
+  auto* sensor = wf.AddActor<StreamSourceActor>("edge.sensor", feed);
+  auto* prefilter = wf.AddActor<FilterActor>(
+      "edge.prefilter",
+      [](const Token& t) { return t.Field("v").AsDouble() > 10.0; });
+
+  // ---- the WAN link between the nodes ----
+  auto* wan = wf.AddActor<DelayActor>("wan", link_latency);
+
+  // ---- core node: window aggregate + alert sink ----
+  auto* agg = wf.AddActor<WindowFnActor>(
+      "core.agg", WindowSpec::Tuples(5, 5).DeleteUsedEvents(true),
+      [](const Window& w, std::vector<Token>* out) {
+        double sum = 0;
+        for (const CWEvent& e : w.events) {
+          sum += e.token.Field("v").AsDouble();
+        }
+        out->push_back(Token(sum / static_cast<double>(w.size())));
+        return Status::OK();
+      });
+  auto* alerts = wf.AddActor<CollectorSink>("core.alerts");
+
+  CWF_CHECK(wf.Connect(sensor->out(), prefilter->in()).ok());
+  CWF_CHECK(wf.Connect(prefilter->out(), wan->in()).ok());
+  CWF_CHECK(wf.Connect(wan->out(), agg->in()).ok());
+  CWF_CHECK(wf.Connect(agg->out(), alerts->in()).ok());
+
+  for (int i = 0; i < 200; ++i) {
+    auto rec = std::make_shared<Record>();
+    rec->Set("v", Value(5.0 + (i % 20)));  // half pass the prefilter
+    feed->Push(Token(RecordPtr(std::move(rec))),
+               Timestamp::Seconds(0.05 * i));
+  }
+  feed->Close();
+
+  VirtualClock clock;
+  CostModel costs;
+  SCWFDirector director(std::make_unique<QBSScheduler>());
+  CWF_CHECK(director.Initialize(&wf, &clock, &costs).ok());
+  CWF_CHECK(director.Run(Timestamp::Seconds(60)).ok());
+
+  double sum = 0;
+  auto got = alerts->TakeSnapshot();
+  for (const auto& r : got) {
+    sum += static_cast<double>(r.completed_at - r.event_timestamp) / 1e6;
+  }
+  return got.empty() ? 0.0 : sum / static_cast<double>(got.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("edge -> WAN -> core, average alert latency vs link quality\n\n");
+  std::printf("  %-18s %s\n", "link latency", "avg end-to-end latency");
+  for (Duration latency : {Duration(0), Millis(50), Millis(200), Seconds(1)}) {
+    std::printf("  %-18s %.3f s\n",
+                (Timestamp(0) + latency).ToString().c_str(),
+                RunWithLink(latency));
+  }
+  std::printf(
+      "\nResponse time is measured against the tuple's original arrival at\n"
+      "the edge (the link preserves provenance via SendPreserved), so the\n"
+      "placement cost of the paper's distributed direction is visible\n"
+      "directly in the QoS metric.\n");
+  return 0;
+}

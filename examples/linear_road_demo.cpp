@@ -1,0 +1,57 @@
+// Linear Road end-to-end demo: generate the benchmark workload, run the
+// two-level continuous workflow under a chosen scheduler, and print the
+// QoS summary. (The bench/ binaries run the full paper experiments; this
+// example is the human-sized tour.)
+//
+// Usage: linear_road_demo [qbs|rr|rb|fifo|edf|pncwf] [duration_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "lrb/harness.h"
+
+using namespace cwf;
+using namespace cwf::lrb;
+
+int main(int argc, char** argv) {
+  ExperimentOptions opt;
+  opt.scheduler = SchedulerKind::kQBS;
+  if (argc > 1) {
+    const char* name = argv[1];
+    if (!std::strcmp(name, "rr")) opt.scheduler = SchedulerKind::kRR;
+    else if (!std::strcmp(name, "rb")) opt.scheduler = SchedulerKind::kRB;
+    else if (!std::strcmp(name, "fifo")) opt.scheduler = SchedulerKind::kFIFO;
+    else if (!std::strcmp(name, "edf")) opt.scheduler = SchedulerKind::kEDF;
+    else if (!std::strcmp(name, "pncwf")) opt.scheduler = SchedulerKind::kPNCWF;
+  }
+  opt.workload.duration =
+      Seconds(argc > 2 ? std::atof(argv[2]) : 240.0);
+
+  std::printf("Linear Road, %s scheduler, %.0f s of traffic...\n",
+              SchedulerKindName(opt.scheduler),
+              static_cast<double>(opt.workload.duration) / 1e6);
+  auto res = RunLRBExperiment(opt);
+  if (!res.ok()) {
+    std::printf("experiment failed: %s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%zu position reports from %zu injected accidents\n",
+              res->reports_generated, res->accidents_injected);
+  std::printf("tolls calculated:        %llu\n",
+              static_cast<unsigned long long>(res->tolls_calculated));
+  std::printf("toll response time:      avg %.3fs  p95 %.3fs  max %.3fs\n",
+              res->toll_avg_response_s, res->toll_p95_response_s,
+              res->toll_max_response_s);
+  std::printf("accident notifications:  %zu (%.1f%% within the 5s target)\n",
+              res->accident_notifications,
+              res->accident_fraction_under_5s * 100.0);
+  std::printf("accidents recorded:      %llu\n",
+              static_cast<unsigned long long>(res->accidents_recorded));
+  std::printf("engine: %llu firings, %llu director iterations\n",
+              static_cast<unsigned long long>(res->total_firings),
+              static_cast<unsigned long long>(res->director_iterations));
+  std::printf("\nresponse-time curve (10 s buckets):\n%s",
+              RenderCurve(*res, SchedulerKindName(opt.scheduler)).c_str());
+  return 0;
+}

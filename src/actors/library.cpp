@@ -1,0 +1,119 @@
+#include "actors/library.h"
+
+namespace cwf {
+
+MapActor::MapActor(std::string name, MapFn fn, WindowSpec spec)
+    : Actor(std::move(name)), fn_(std::move(fn)) {
+  in_ = AddInputPort("in", std::move(spec));
+  out_ = AddOutputPort("out");
+}
+
+Status MapActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  for (const CWEvent& e : w->events) {
+    Send(out_, fn_(e.token));
+  }
+  return Status::OK();
+}
+
+FilterActor::FilterActor(std::string name, PredFn pred, WindowSpec spec)
+    : Actor(std::move(name)), pred_(std::move(pred)) {
+  in_ = AddInputPort("in", std::move(spec));
+  out_ = AddOutputPort("out");
+}
+
+Status FilterActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  for (const CWEvent& e : w->events) {
+    if (pred_(e.token)) {
+      Send(out_, e.token);
+    }
+  }
+  return Status::OK();
+}
+
+FlatMapActor::FlatMapActor(std::string name, FlatMapFn fn, WindowSpec spec)
+    : Actor(std::move(name)), fn_(std::move(fn)) {
+  in_ = AddInputPort("in", std::move(spec));
+  out_ = AddOutputPort("out");
+}
+
+Status FlatMapActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  for (const CWEvent& e : w->events) {
+    for (Token& t : fn_(e.token)) {
+      Send(out_, std::move(t));
+    }
+  }
+  return Status::OK();
+}
+
+WindowFnActor::WindowFnActor(std::string name, WindowSpec spec, WindowFn fn)
+    : Actor(std::move(name)), fn_(std::move(fn)) {
+  in_ = AddInputPort("in", std::move(spec));
+  out_ = AddOutputPort("out");
+}
+
+Status WindowFnActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  std::vector<Token> outputs;
+  CWF_RETURN_NOT_OK(fn_(*w, &outputs));
+  for (Token& t : outputs) {
+    Send(out_, std::move(t));
+  }
+  return Status::OK();
+}
+
+CollectorSink::CollectorSink(std::string name, WindowSpec spec)
+    : Actor(std::move(name)) {
+  in_ = AddInputPort("in", std::move(spec));
+}
+
+Status CollectorSink::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  const Timestamp now = ctx_->clock->Now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const CWEvent& e : w->events) {
+    received_.push_back({e.token, e.timestamp, e.wave, now});
+  }
+  return Status::OK();
+}
+
+std::vector<CollectorSink::Received> CollectorSink::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return received_;
+}
+
+size_t CollectorSink::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return received_.size();
+}
+
+NullSink::NullSink(std::string name, WindowSpec spec) : Actor(std::move(name)) {
+  in_ = AddInputPort("in", std::move(spec));
+}
+
+Status NullSink::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (w.has_value()) {
+    consumed_ += w->events.size();
+  }
+  return Status::OK();
+}
+
+}  // namespace cwf

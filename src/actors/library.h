@@ -1,0 +1,148 @@
+// A small library of reusable actors for building workflows.
+//
+// These play the role of Kepler's off-the-shelf actors: stateless
+// transforms, filters, window aggregates and sinks that application
+// workflows (and tests/examples) compose. Each actor consumes exactly one
+// window per connected input port per firing.
+
+#ifndef CONFLUENCE_ACTORS_LIBRARY_H_
+#define CONFLUENCE_ACTORS_LIBRARY_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/actor.h"
+
+namespace cwf {
+
+/// \brief Emits fn(token) for every event in the consumed window.
+class MapActor : public Actor {
+ public:
+  using MapFn = std::function<Token(const Token&)>;
+
+  MapActor(std::string name, MapFn fn,
+           WindowSpec spec = WindowSpec::SingleEvent());
+
+  InputPort* in() const { return in_; }
+  OutputPort* out() const { return out_; }
+
+  Status Fire() override;
+
+ private:
+  MapFn fn_;
+  InputPort* in_;
+  OutputPort* out_;
+};
+
+/// \brief Forwards events whose token satisfies the predicate.
+class FilterActor : public Actor {
+ public:
+  using PredFn = std::function<bool(const Token&)>;
+
+  FilterActor(std::string name, PredFn pred,
+              WindowSpec spec = WindowSpec::SingleEvent());
+
+  InputPort* in() const { return in_; }
+  OutputPort* out() const { return out_; }
+
+  Status Fire() override;
+
+ private:
+  PredFn pred_;
+  InputPort* in_;
+  OutputPort* out_;
+};
+
+/// \brief Emits fn(token) — zero or more tokens — for every event.
+class FlatMapActor : public Actor {
+ public:
+  using FlatMapFn = std::function<std::vector<Token>(const Token&)>;
+
+  FlatMapActor(std::string name, FlatMapFn fn,
+               WindowSpec spec = WindowSpec::SingleEvent());
+
+  InputPort* in() const { return in_; }
+  OutputPort* out() const { return out_; }
+
+  Status Fire() override;
+
+ private:
+  FlatMapFn fn_;
+  InputPort* in_;
+  OutputPort* out_;
+};
+
+/// \brief Applies an arbitrary function to each consumed *window* (the
+/// general windowed-computation actor; aggregations, joins-on-window,
+/// detection logic all fit here).
+class WindowFnActor : public Actor {
+ public:
+  /// Receives the window; appends output tokens to `out`.
+  using WindowFn =
+      std::function<Status(const Window& window, std::vector<Token>* out)>;
+
+  WindowFnActor(std::string name, WindowSpec spec, WindowFn fn);
+
+  InputPort* in() const { return in_; }
+  OutputPort* out() const { return out_; }
+
+  Status Fire() override;
+
+ private:
+  WindowFn fn_;
+  InputPort* in_;
+  OutputPort* out_;
+};
+
+/// \brief Terminal actor that records everything it receives, with arrival
+/// metadata and the engine time at consumption — the instrumentation point
+/// for response-time measurements. Thread-safe.
+class CollectorSink : public Actor {
+ public:
+  struct Received {
+    Token token;
+    Timestamp event_timestamp;  ///< root external event arrival
+    WaveTag wave;
+    Timestamp completed_at;  ///< engine time when the sink consumed it
+  };
+
+  explicit CollectorSink(std::string name,
+                         WindowSpec spec = WindowSpec::SingleEvent());
+
+  InputPort* in() const { return in_; }
+
+  Status Fire() override;
+
+  /// \brief Snapshot of everything received so far.
+  std::vector<Received> TakeSnapshot() const;
+
+  size_t count() const;
+
+ private:
+  InputPort* in_;
+  mutable std::mutex mutex_;
+  std::vector<Received> received_;
+};
+
+/// \brief Terminal actor that discards its input (load sink).
+class NullSink : public Actor {
+ public:
+  explicit NullSink(std::string name,
+                    WindowSpec spec = WindowSpec::SingleEvent());
+
+  InputPort* in() const { return in_; }
+
+  Status Fire() override;
+
+  uint64_t consumed_events() const { return consumed_; }
+
+ private:
+  InputPort* in_;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_ACTORS_LIBRARY_H_

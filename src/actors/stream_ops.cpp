@@ -1,0 +1,306 @@
+#include "actors/stream_ops.h"
+
+namespace cwf {
+
+// ---------------------------------------------------------------------------
+// KeyedJoinActor
+// ---------------------------------------------------------------------------
+
+KeyedJoinActor::KeyedJoinActor(std::string name,
+                               std::vector<std::string> key_fields,
+                               size_t max_buffer_per_key)
+    : Actor(std::move(name)),
+      key_fields_(std::move(key_fields)),
+      max_buffer_per_key_(max_buffer_per_key) {
+  CWF_CHECK_MSG(!key_fields_.empty(), "join needs at least one key field");
+  CWF_CHECK_MSG(max_buffer_per_key_ > 0, "join buffer must hold >= 1 event");
+  left_ = AddInputPort("left");
+  right_ = AddInputPort("right");
+  out_ = AddOutputPort("out");
+}
+
+Result<bool> KeyedJoinActor::Prefire() {
+  return left_->HasWindow() || right_->HasWindow();
+}
+
+Result<KeyedJoinActor::Key> KeyedJoinActor::ExtractKey(
+    const Token& token) const {
+  if (!token.is_record()) {
+    return Status::InvalidArgument("join requires record tokens, got " +
+                                   token.ToString());
+  }
+  Key key;
+  key.reserve(key_fields_.size());
+  for (const std::string& field : key_fields_) {
+    auto value = token.AsRecord()->Get(field);
+    if (!value.ok()) {
+      return Status::InvalidArgument("join key field '" + field +
+                                     "' missing from " + token.ToString());
+    }
+    key.push_back(std::move(value).value());
+  }
+  return key;
+}
+
+Status KeyedJoinActor::Consume(
+    InputPort* in, std::map<Key, std::deque<Token>>* own,
+    const std::map<Key, std::deque<Token>>& other, bool own_is_left) {
+  while (in->HasWindow()) {
+    std::optional<Window> w = in->Get();
+    if (!w.has_value()) {
+      break;
+    }
+    for (const CWEvent& e : w->events) {
+      CWF_ASSIGN_OR_RETURN(Key key, ExtractKey(e.token));
+      // Probe the opposite buffer.
+      auto it = other.find(key);
+      if (it != other.end()) {
+        for (const Token& partner : it->second) {
+          auto merged = std::make_shared<Record>();
+          const Token& left_tok = own_is_left ? e.token : partner;
+          const Token& right_tok = own_is_left ? partner : e.token;
+          // Right side first so that left fields win name clashes.
+          for (const auto& [n, v] : right_tok.AsRecord()->fields()) {
+            merged->Set(n, v);
+          }
+          for (const auto& [n, v] : left_tok.AsRecord()->fields()) {
+            merged->Set(n, v);
+          }
+          Send(out_, Token(RecordPtr(std::move(merged))));
+          ++matches_;
+        }
+      }
+      // Remember for future partners, bounded per key.
+      auto& bucket = (*own)[key];
+      bucket.push_back(e.token);
+      if (bucket.size() > max_buffer_per_key_) {
+        bucket.pop_front();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status KeyedJoinActor::Fire() {
+  CWF_RETURN_NOT_OK(Consume(left_, &left_buffer_, right_buffer_, true));
+  CWF_RETURN_NOT_OK(Consume(right_, &right_buffer_, left_buffer_, false));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// UnionActor
+// ---------------------------------------------------------------------------
+
+UnionActor::UnionActor(std::string name) : Actor(std::move(name)) {
+  in_ = AddInputPort("in");
+  out_ = AddOutputPort("out");
+}
+
+Status UnionActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  for (const CWEvent& e : w->events) {
+    Send(out_, e.token);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ThrottleActor
+// ---------------------------------------------------------------------------
+
+ThrottleActor::ThrottleActor(std::string name, int64_t max_per_second)
+    : Actor(std::move(name)), max_per_second_(max_per_second) {
+  CWF_CHECK_MSG(max_per_second_ > 0, "throttle rate must be positive");
+  in_ = AddInputPort("in");
+  out_ = AddOutputPort("out");
+}
+
+Status ThrottleActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  const int64_t now_s = ctx_->clock->Now().micros() / 1000000;
+  for (const CWEvent& e : w->events) {
+    if (now_s != bucket_start_s_) {
+      bucket_start_s_ = now_s;
+      in_bucket_ = 0;
+    }
+    if (in_bucket_ < max_per_second_) {
+      ++in_bucket_;
+      Send(out_, e.token);
+    } else {
+      ++dropped_;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DelayActor
+// ---------------------------------------------------------------------------
+
+DelayActor::DelayActor(std::string name, Duration delay)
+    : Actor(std::move(name)), delay_(delay) {
+  CWF_CHECK_MSG(delay_ >= 0, "delay must be non-negative");
+  in_ = AddInputPort("in");
+  out_ = AddOutputPort("out");
+}
+
+Result<bool> DelayActor::Prefire() {
+  if (in_->HasWindow()) {
+    return true;
+  }
+  return !held_.empty() && held_.front().release <= ctx_->clock->Now();
+}
+
+Status DelayActor::Fire() {
+  const Timestamp now = ctx_->clock->Now();
+  while (in_->HasWindow()) {
+    std::optional<Window> w = in_->Get();
+    if (!w.has_value()) {
+      break;
+    }
+    for (const CWEvent& e : w->events) {
+      held_.push_back({now + delay_, e});
+    }
+  }
+  while (!held_.empty() && held_.front().release <= now) {
+    SendPreserved(out_, held_.front().event);
+    held_.pop_front();
+  }
+  return Status::OK();
+}
+
+Timestamp DelayActor::NextDeadline() const {
+  return held_.empty() ? Timestamp::Max() : held_.front().release;
+}
+
+// ---------------------------------------------------------------------------
+// CounterSource
+// ---------------------------------------------------------------------------
+
+CounterSource::CounterSource(std::string name, int64_t count,
+                             int64_t per_firing)
+    : Actor(std::move(name)), count_(count), per_firing_(per_firing) {
+  CWF_CHECK_MSG(per_firing_ > 0, "per_firing must be positive");
+  out_ = AddOutputPort("out");
+}
+
+Result<bool> CounterSource::Prefire() { return next_ < count_; }
+
+Status CounterSource::Fire() {
+  for (int64_t i = 0; i < per_firing_ && next_ < count_; ++i) {
+    Send(out_, Token(next_++));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DbUpsertActor / DbLookupActor
+// ---------------------------------------------------------------------------
+
+DbUpsertActor::DbUpsertActor(std::string name, db::Database* database,
+                             std::string table_name,
+                             std::vector<std::string> key_columns)
+    : Actor(std::move(name)),
+      database_(database),
+      table_name_(std::move(table_name)),
+      key_columns_(std::move(key_columns)) {
+  CWF_CHECK(database_ != nullptr);
+  in_ = AddInputPort("in");
+}
+
+Status DbUpsertActor::Initialize(ExecutionContext* ctx) {
+  CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+  CWF_ASSIGN_OR_RETURN(table_, database_->GetTable(table_name_));
+  return Status::OK();
+}
+
+Status DbUpsertActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  const db::Schema& schema = table_->schema();
+  for (const CWEvent& e : w->events) {
+    if (!e.token.is_record()) {
+      return Status::InvalidArgument("DbUpsertActor needs record tokens");
+    }
+    db::Row row;
+    row.reserve(schema.num_columns());
+    for (const auto& column : schema.columns()) {
+      row.push_back(e.token.AsRecord()->GetOr(column.name, Value()));
+    }
+    auto upserted = table_->Upsert(key_columns_, std::move(row));
+    if (!upserted.ok()) {
+      return upserted.status();
+    }
+    ++rows_written_;
+  }
+  return Status::OK();
+}
+
+DbLookupActor::DbLookupActor(std::string name, db::Database* database,
+                             std::string table_name,
+                             std::vector<std::string> key_columns)
+    : Actor(std::move(name)),
+      database_(database),
+      table_name_(std::move(table_name)),
+      key_columns_(std::move(key_columns)) {
+  CWF_CHECK(database_ != nullptr);
+  in_ = AddInputPort("in");
+  out_ = AddOutputPort("out");
+}
+
+Status DbLookupActor::Initialize(ExecutionContext* ctx) {
+  CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+  CWF_ASSIGN_OR_RETURN(table_, database_->GetTable(table_name_));
+  return Status::OK();
+}
+
+Status DbLookupActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  for (const CWEvent& e : w->events) {
+    if (!e.token.is_record()) {
+      return Status::InvalidArgument("DbLookupActor needs record tokens");
+    }
+    std::vector<db::PredicatePtr> eqs;
+    eqs.reserve(key_columns_.size());
+    for (const std::string& column : key_columns_) {
+      auto value = e.token.AsRecord()->Get(column);
+      if (!value.ok()) {
+        return Status::InvalidArgument("lookup key field '" + column +
+                                       "' missing from record");
+      }
+      eqs.push_back(db::Eq(column, std::move(value).value()));
+    }
+    auto row = table_->SelectOne(db::And(std::move(eqs)));
+    if (!row.ok()) {
+      return row.status();
+    }
+    if (!row.value().has_value()) {
+      Send(out_, e.token);  // pass through unmatched
+      continue;
+    }
+    auto merged = std::make_shared<Record>();
+    for (const auto& [n, v] : e.token.AsRecord()->fields()) {
+      merged->Set(n, v);
+    }
+    const db::Schema& schema = table_->schema();
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      merged->Set(schema.column(c).name, (*row.value())[c]);
+    }
+    Send(out_, Token(RecordPtr(std::move(merged))));
+    ++hits_;
+  }
+  return Status::OK();
+}
+
+}  // namespace cwf

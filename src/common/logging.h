@@ -1,0 +1,53 @@
+// Minimal leveled logging.
+//
+// The engine logs through a global sink so tests can silence or capture
+// output. Levels follow the usual severity ladder; the default threshold is
+// kWarn so benchmark output stays clean.
+
+#ifndef CONFLUENCE_COMMON_LOGGING_H_
+#define CONFLUENCE_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace cwf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// \brief Replace the sink (default writes to stderr). Pass nullptr to restore.
+void SetLogSink(std::function<void(LogLevel, const std::string&)> sink);
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}  // NOLINT
+  ~LogMessage() { Emit(level_, oss_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace internal
+
+}  // namespace cwf
+
+#define CWF_LOG(level)                                      \
+  if (static_cast<int>(::cwf::LogLevel::level) <            \
+      static_cast<int>(::cwf::GetLogLevel())) {             \
+  } else                                                    \
+    ::cwf::internal::LogMessage(::cwf::LogLevel::level)
+
+#endif  // CONFLUENCE_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random numbers for workload generation.
+//
+// All stochastic components (the Linear Road car simulator, failure
+// injection in tests) draw from an explicitly seeded `Rng` so every
+// experiment is reproducible bit-for-bit.
+
+#ifndef CONFLUENCE_COMMON_RNG_H_
+#define CONFLUENCE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace cwf {
+
+/// \brief A small, fast, seedable PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// \brief Uniform 64-bit value.
+  uint64_t Next();
+
+  /// \brief Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Bernoulli trial with probability `p`.
+  bool NextBool(double p);
+
+  /// \brief Sample from an exponential distribution with the given mean.
+  double NextExponential(double mean);
+
+  /// \brief Sample from a normal distribution (Box–Muller).
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_COMMON_RNG_H_

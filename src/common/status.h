@@ -1,0 +1,180 @@
+// Status-based error handling in the RocksDB / Arrow idiom.
+//
+// Anticipated failures (bad configuration, malformed workflows, missing rows)
+// are reported through `Status` / `Result<T>` return values; exceptions are not
+// used on any engine path. Programming errors abort via CWF_CHECK.
+
+#ifndef CONFLUENCE_COMMON_STATUS_H_
+#define CONFLUENCE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace cwf {
+
+/// \brief Result category of an engine operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kAborted,
+};
+
+/// \brief Human-readable name for a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A cheap, copyable success-or-error value.
+///
+/// `Status::OK()` carries no allocation; error statuses carry a code and a
+/// message. Follow the RocksDB convention: functions that can fail for
+/// data-dependent reasons return Status (or Result<T>), and callers must
+/// check it.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief A value-or-Status, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+  /// \brief Return the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace cwf
+
+/// \brief Abort with a diagnostic if `expr` is false. For invariants only.
+#define CWF_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::cwf::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                  \
+  } while (0)
+
+#define CWF_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream cwf_check_oss_;                               \
+      cwf_check_oss_ << msg;                                           \
+      ::cwf::internal::CheckFailed(__FILE__, __LINE__, #expr,          \
+                                   cwf_check_oss_.str());              \
+    }                                                                  \
+  } while (0)
+
+/// \brief Propagate a non-OK Status to the caller.
+#define CWF_RETURN_NOT_OK(expr)          \
+  do {                                   \
+    ::cwf::Status cwf_status_ = (expr);  \
+    if (!cwf_status_.ok()) {             \
+      return cwf_status_;                \
+    }                                    \
+  } while (0)
+
+#define CWF_MACRO_CONCAT_INNER(x, y) x##y
+#define CWF_MACRO_CONCAT(x, y) CWF_MACRO_CONCAT_INNER(x, y)
+
+/// \brief Assign from a Result<T>, propagating its error.
+#define CWF_ASSIGN_OR_RETURN(lhs, expr) \
+  CWF_ASSIGN_OR_RETURN_IMPL(CWF_MACRO_CONCAT(cwf_result_, __LINE__), lhs, expr)
+
+#define CWF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value();
+
+#endif  // CONFLUENCE_COMMON_STATUS_H_

@@ -1,0 +1,16 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace cwf {
+
+std::string Timestamp::ToString() const {
+  if (*this == Max()) {
+    return "+inf";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", seconds());
+  return buf;
+}
+
+}  // namespace cwf

@@ -1,0 +1,73 @@
+// Virtual time for the continuous-workflow engine.
+//
+// CONFLuEnCE timestamps every external event on entry and propagates that
+// timestamp through the event's wave. The engine measures actor costs,
+// window timeouts and response times on a single time axis. To make the
+// published 600-second Linear Road runs reproducible and fast, the axis is a
+// `Timestamp` in integer microseconds driven by either a real or a virtual
+// clock (see core/clock.h).
+
+#ifndef CONFLUENCE_COMMON_TIME_H_
+#define CONFLUENCE_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace cwf {
+
+/// \brief A signed duration in microseconds.
+using Duration = int64_t;
+
+/// \brief A point on the engine time axis, in microseconds since run start.
+///
+/// Timestamps are totally ordered and cheap to copy. `Timestamp::Max()` is
+/// used as the "never" sentinel for timers.
+class Timestamp {
+ public:
+  constexpr Timestamp() : micros_(0) {}
+  constexpr explicit Timestamp(int64_t micros) : micros_(micros) {}
+
+  static constexpr Timestamp Micros(int64_t us) { return Timestamp(us); }
+  static constexpr Timestamp Millis(int64_t ms) { return Timestamp(ms * 1000); }
+  static constexpr Timestamp Seconds(double s) {
+    return Timestamp(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Timestamp Max() {
+    return Timestamp(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr bool operator==(const Timestamp& o) const { return micros_ == o.micros_; }
+  constexpr bool operator!=(const Timestamp& o) const { return micros_ != o.micros_; }
+  constexpr bool operator<(const Timestamp& o) const { return micros_ < o.micros_; }
+  constexpr bool operator<=(const Timestamp& o) const { return micros_ <= o.micros_; }
+  constexpr bool operator>(const Timestamp& o) const { return micros_ > o.micros_; }
+  constexpr bool operator>=(const Timestamp& o) const { return micros_ >= o.micros_; }
+
+  constexpr Timestamp operator+(Duration d) const { return Timestamp(micros_ + d); }
+  constexpr Timestamp operator-(Duration d) const { return Timestamp(micros_ - d); }
+  constexpr Duration operator-(const Timestamp& o) const { return micros_ - o.micros_; }
+
+  Timestamp& operator+=(Duration d) {
+    micros_ += d;
+    return *this;
+  }
+
+  /// \brief Render as "12.345s" (or "+inf" for the Max sentinel).
+  std::string ToString() const;
+
+ private:
+  int64_t micros_;
+};
+
+/// \brief Convenience duration constructors.
+constexpr Duration Micros(int64_t us) { return us; }
+constexpr Duration Millis(int64_t ms) { return ms * 1000; }
+constexpr Duration Seconds(double s) { return static_cast<Duration>(s * 1e6); }
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_COMMON_TIME_H_

@@ -1,0 +1,128 @@
+#include "core/actor.h"
+
+namespace cwf {
+
+void FiringContext::Absorb(const Window& window) {
+  events_consumed += window.events.size();
+  for (const CWEvent& e : window.events) {
+    if (!valid || e.seq >= max_seq) {
+      valid = true;
+      max_seq = e.seq;
+      wave = e.wave;
+      timestamp = e.timestamp;
+    }
+  }
+}
+
+Actor::Actor(std::string name) : name_(std::move(name)) {}
+
+Status Actor::Initialize(ExecutionContext* ctx) {
+  ctx_ = ctx;
+  total_firings_ = 0;
+  firing_context_.Reset();
+  pending_outputs_.clear();
+  return Status::OK();
+}
+
+Result<bool> Actor::Prefire() {
+  for (const auto& port : input_ports_) {
+    if (port->ChannelCount() == 0) {
+      continue;  // unconnected ports do not gate firing
+    }
+    if (!port->HasWindow()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> Actor::Postfire() { return true; }
+
+Status Actor::Wrapup() { return Status::OK(); }
+
+InputPort* Actor::AddInputPort(const std::string& name, WindowSpec spec) {
+  CWF_CHECK_MSG(GetInputPort(name) == nullptr,
+                "duplicate input port '" << name << "' on actor " << name_);
+  input_ports_.push_back(std::make_unique<InputPort>(this, name, std::move(spec)));
+  return input_ports_.back().get();
+}
+
+OutputPort* Actor::AddOutputPort(const std::string& name) {
+  CWF_CHECK_MSG(GetOutputPort(name) == nullptr,
+                "duplicate output port '" << name << "' on actor " << name_);
+  output_ports_.push_back(std::make_unique<OutputPort>(this, name));
+  return output_ports_.back().get();
+}
+
+InputPort* Actor::GetInputPort(const std::string& name) const {
+  for (const auto& port : input_ports_) {
+    if (port->name() == name) {
+      return port.get();
+    }
+  }
+  return nullptr;
+}
+
+OutputPort* Actor::GetOutputPort(const std::string& name) const {
+  for (const auto& port : output_ports_) {
+    if (port->name() == name) {
+      return port.get();
+    }
+  }
+  return nullptr;
+}
+
+bool Actor::IsSource() const {
+  for (const auto& port : input_ports_) {
+    if (port->ChannelCount() > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t Actor::ConsumptionRate(const InputPort*) const { return 1; }
+
+int64_t Actor::ProductionRate(const OutputPort*) const { return 1; }
+
+void Actor::Send(OutputPort* port, Token token) {
+  CWF_CHECK_MSG(port != nullptr && port->actor() == this,
+                "Send() on a port not owned by actor " << name_);
+  pending_outputs_.push_back({port, std::move(token), std::nullopt});
+}
+
+void Actor::SendStamped(OutputPort* port, Token token,
+                        Timestamp external_ts) {
+  CWF_CHECK_MSG(port != nullptr && port->actor() == this,
+                "SendStamped() on a port not owned by actor " << name_);
+  pending_outputs_.push_back({port, std::move(token), external_ts});
+}
+
+void Actor::SendPreserved(OutputPort* port, const CWEvent& original) {
+  CWF_CHECK_MSG(port != nullptr && port->actor() == this,
+                "SendPreserved() on a port not owned by actor " << name_);
+  PendingOutput po;
+  po.port = port;
+  po.token = original.token;
+  po.external_timestamp = original.timestamp;
+  po.wave_override = original.wave;
+  po.last_in_wave_override = original.last_in_wave;
+  pending_outputs_.push_back(std::move(po));
+}
+
+void Actor::BeginFiring() {
+  firing_context_.Reset();
+  pending_outputs_.clear();
+}
+
+std::vector<PendingOutput> Actor::TakePendingOutputs() {
+  std::vector<PendingOutput> out;
+  out.swap(pending_outputs_);
+  return out;
+}
+
+void Actor::NoteConsumedWindow(const Window& window) {
+  firing_context_.Absorb(window);
+}
+
+}  // namespace cwf

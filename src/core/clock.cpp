@@ -1,0 +1,5 @@
+#include "core/clock.h"
+
+// Clock implementations are header-only; this TU anchors the vtable.
+
+namespace cwf {}  // namespace cwf

@@ -1,0 +1,81 @@
+// The engine time source.
+//
+// CONFLuEnCE measures everything — event timestamps, window timeouts, actor
+// costs, quanta, response times — on one time axis. `RealClock` maps it to
+// wall-clock time for live deployments; `VirtualClock` lets the benchmark
+// harness replay the paper's 600-second Linear Road runs deterministically
+// and in milliseconds of host time (see DESIGN.md, "Virtual-time
+// methodology").
+
+#ifndef CONFLUENCE_CORE_CLOCK_H_
+#define CONFLUENCE_CORE_CLOCK_H_
+
+#include <chrono>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace cwf {
+
+/// \brief Abstract monotone time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// \brief Current instant on the engine time axis.
+  virtual Timestamp Now() const = 0;
+
+  /// \brief Whether time is simulation-driven (advanced by the director)
+  /// rather than wall-clock-driven.
+  virtual bool is_virtual() const = 0;
+
+  /// \brief Move time forward to `t` (virtual clocks only; never backward).
+  virtual void AdvanceTo(Timestamp t) = 0;
+
+  /// \brief Move time forward by `d` (virtual clocks only).
+  void AdvanceBy(Duration d) { AdvanceTo(Now() + d); }
+};
+
+/// \brief Simulation clock advanced explicitly by directors/harnesses.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(Timestamp start = Timestamp(0)) : now_(start) {}
+
+  Timestamp Now() const override { return now_; }
+  bool is_virtual() const override { return true; }
+
+  void AdvanceTo(Timestamp t) override {
+    CWF_CHECK_MSG(t >= now_, "virtual clock moved backward: "
+                                 << now_.ToString() << " -> " << t.ToString());
+    now_ = t;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+/// \brief Wall-clock time since construction (steady, monotone).
+class RealClock : public Clock {
+ public:
+  RealClock() : start_(std::chrono::steady_clock::now()) {}
+
+  Timestamp Now() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return Timestamp(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+
+  bool is_virtual() const override { return false; }
+
+  void AdvanceTo(Timestamp) override {
+    CWF_CHECK_MSG(false, "cannot advance a real clock");
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_CORE_CLOCK_H_

@@ -1,0 +1,19 @@
+#include "core/cost_model.h"
+
+namespace cwf {
+
+const CostParams& CostModel::ParamsFor(const std::string& actor_name) const {
+  auto it = per_actor_.find(actor_name);
+  return it == per_actor_.end() ? default_params_ : it->second;
+}
+
+Duration CostModel::FiringCost(const std::string& actor_name,
+                               size_t input_events,
+                               size_t output_events) const {
+  const CostParams& p = ParamsFor(actor_name);
+  return p.base +
+         p.per_input_event * static_cast<Duration>(input_events) +
+         p.per_output_event * static_cast<Duration>(output_events);
+}
+
+}  // namespace cwf

@@ -1,0 +1,143 @@
+#include "core/director.h"
+
+#include "stream/stream_source.h"
+
+namespace cwf {
+
+Status Director::Initialize(Workflow* workflow, Clock* clock,
+                            const CostModel* cost_model) {
+  if (workflow == nullptr || clock == nullptr) {
+    return Status::InvalidArgument("Initialize() needs a workflow and a clock");
+  }
+  workflow_ = workflow;
+  clock_ = clock;
+  cost_model_ = cost_model;
+  halted_.clear();
+  if (ctx_ == &own_ctx_) {
+    own_ctx_.seq = 1;
+    own_ctx_.external_id = 1;
+    own_ctx_.clock = clock_;
+    own_ctx_.director = this;
+  }
+  CWF_RETURN_NOT_OK(workflow_->Validate());
+  CWF_RETURN_NOT_OK(BuildReceivers());
+  for (const auto& actor : workflow_->actors()) {
+    CWF_RETURN_NOT_OK(actor->Initialize(ctx_));
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status Director::Wrapup() {
+  if (workflow_ == nullptr) {
+    return Status::OK();
+  }
+  for (const auto& actor : workflow_->actors()) {
+    CWF_RETURN_NOT_OK(actor->Wrapup());
+  }
+  return Status::OK();
+}
+
+Status Director::BuildReceivers() {
+  // Reset any previous wiring (re-initialization support).
+  for (const auto& actor : workflow_->actors()) {
+    for (const auto& out : actor->output_ports()) {
+      out->ClearRemoteReceivers();
+    }
+  }
+  for (const ChannelSpec& ch : workflow_->channels()) {
+    std::unique_ptr<Receiver> receiver = CreateReceiver(ch.to);
+    Receiver* raw = ch.to->SetReceiver(ch.to_channel, std::move(receiver));
+    ch.from->AddRemoteReceiver(raw);
+  }
+  return Status::OK();
+}
+
+Status Director::FlushActorOutputs(Actor* actor, size_t* emitted) {
+  std::vector<PendingOutput> outputs = actor->TakePendingOutputs();
+  if (emitted != nullptr) {
+    *emitted = outputs.size();
+  }
+  if (outputs.empty()) {
+    return Status::OK();
+  }
+  const FiringContext& fc = actor->firing_context();
+  // Wave serial numbers cover only the outputs that join the firing's wave;
+  // stamp-preserved re-emissions keep their original tags.
+  uint32_t n_regular = 0;
+  for (const PendingOutput& po : outputs) {
+    if (!po.wave_override.has_value()) {
+      ++n_regular;
+    }
+  }
+  uint32_t serial = 0;
+  for (PendingOutput& po : outputs) {
+    CWEvent event;
+    event.token = std::move(po.token);
+    event.seq = ctx_->NextSeq();
+    if (po.wave_override.has_value()) {
+      // Re-emission of a previously stamped event (SendPreserved).
+      event.wave = *po.wave_override;
+      event.timestamp = po.external_timestamp.value_or(clock_->Now());
+      event.last_in_wave = po.last_in_wave_override;
+    } else if (fc.valid) {
+      // Internal event: joins the wave of the event being processed.
+      ++serial;
+      event.wave = fc.wave.Child(serial);
+      event.timestamp = fc.timestamp;
+      event.last_in_wave = (serial == n_regular);
+    } else {
+      // External event: starts a new wave. Its timestamp is the tuple's
+      // arrival time (sources stamp it explicitly) or "now".
+      event.wave = WaveTag::Root(ctx_->NextExternalId());
+      event.timestamp = po.external_timestamp.value_or(clock_->Now());
+      event.last_in_wave = true;
+    }
+    CWF_RETURN_NOT_OK(po.port->Broadcast(event));
+    OnEventEmitted(actor, po.port, event);
+  }
+  return Status::OK();
+}
+
+Timestamp Director::NextWakeup() const {
+  Timestamp next = Timestamp::Max();
+  if (workflow_ == nullptr) {
+    return next;
+  }
+  for (const auto& actor : workflow_->actors()) {
+    if (const auto* src = dynamic_cast<const TimedSource*>(actor.get())) {
+      const Timestamp arrival = src->NextPendingArrival();
+      if (arrival < next) {
+        next = arrival;
+      }
+    }
+    const Timestamp own = actor->NextDeadline();
+    if (own < next) {
+      next = own;
+    }
+    for (const auto& port : actor->input_ports()) {
+      for (size_t c = 0; c < port->ChannelCount(); ++c) {
+        const Receiver* r = port->receiver(c);
+        if (r != nullptr && r->NextDeadline() < next) {
+          next = r->NextDeadline();
+        }
+      }
+    }
+  }
+  return next;
+}
+
+bool Director::HasPendingWork() const {
+  if (workflow_ == nullptr) {
+    return false;
+  }
+  for (const ChannelSpec& ch : workflow_->channels()) {
+    const Receiver* r = ch.to->receiver(ch.to_channel);
+    if (r != nullptr && r->ReadyWindowCount() > 0) {
+      return true;
+    }
+  }
+  return NextWakeup() <= clock_->Now();
+}
+
+}  // namespace cwf

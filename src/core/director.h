@@ -1,0 +1,111 @@
+// The director: a workflow's controlling entity.
+//
+// The director defines the execution and communication models of the
+// workflow: it creates the receivers, transitions actors through their
+// lifecycle stages, and — acting as the CONFLuEnCE timekeeper — stamps
+// every produced token with a timestamp and a wave-tag before broadcasting
+// it downstream.
+
+#ifndef CONFLUENCE_CORE_DIRECTOR_H_
+#define CONFLUENCE_CORE_DIRECTOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "core/clock.h"
+#include "core/cost_model.h"
+#include "core/workflow.h"
+
+namespace cwf {
+
+/// \brief Base class of every model of computation.
+class Director {
+ public:
+  Director() = default;
+  virtual ~Director() = default;
+
+  Director(const Director&) = delete;
+  Director& operator=(const Director&) = delete;
+
+  /// \brief Short identifier of the model of computation ("PNCWF", "SCWF",
+  /// "SDF", "DDF").
+  virtual const char* kind() const = 0;
+
+  /// \brief Bind the workflow, build all receivers, initialize all actors.
+  ///
+  /// `cost_model` may be nullptr when running on a real clock (real elapsed
+  /// time is measured instead of modeled).
+  virtual Status Initialize(Workflow* workflow, Clock* clock,
+                            const CostModel* cost_model);
+
+  /// \brief Execute until the clock passes `until`, until all work drains,
+  /// or until every actor halted via postfire() — whichever comes first.
+  virtual Status Run(Timestamp until) = 0;
+
+  /// \brief Invoke wrapup() on every actor.
+  virtual Status Wrapup();
+
+  /// \brief Factory for the receiver this model of computation places at the
+  /// consuming end of a channel into `port`.
+  virtual std::unique_ptr<Receiver> CreateReceiver(InputPort* port) = 0;
+
+  /// \brief Stamp and broadcast the outputs an actor buffered during its
+  /// firing (timekeeper role; see class comment). `emitted` reports how many
+  /// events were sent.
+  Status FlushActorOutputs(Actor* actor, size_t* emitted = nullptr);
+
+  Workflow* workflow() const { return workflow_; }
+  Clock* clock() const { return clock_; }
+  const CostModel* cost_model() const { return cost_model_; }
+  ExecutionContext* context() { return ctx_; }
+
+  /// \brief Share an enclosing director's execution context (sequence and
+  /// wave-id counters). Used by composite actors so inner sub-workflows
+  /// stamp events consistently with the outer workflow. Must be called
+  /// before Initialize().
+  void AdoptContext(ExecutionContext* ctx) { ctx_ = ctx; }
+
+  /// \brief Whether actor halted itself (postfire returned false).
+  bool IsHalted(const Actor* actor) const {
+    return halted_.count(actor) > 0;
+  }
+
+  /// \brief Earliest future instant at which new work appears with no new
+  /// firing: a pending source arrival, a window-formation deadline on any
+  /// receiver, or an actor-internal deadline. Max() when none.
+  virtual Timestamp NextWakeup() const;
+
+  /// \brief Whether a Run() call right now would fire at least one actor
+  /// (events queued, windows ready or a wakeup due). Used by the top-level
+  /// scheduler of the multi-workflow framework.
+  virtual bool HasPendingWork() const;
+
+ protected:
+  /// \brief Create a receiver for every channel and register it with both
+  /// ends; called from Initialize().
+  Status BuildReceivers();
+
+  /// \brief Observation hook: one event was stamped and broadcast.
+  virtual void OnEventEmitted(Actor* producer, OutputPort* port,
+                              const CWEvent& event) {
+    (void)producer;
+    (void)port;
+    (void)event;
+  }
+
+  void MarkHalted(const Actor* actor) { halted_.insert(actor); }
+
+  Workflow* workflow_ = nullptr;
+  Clock* clock_ = nullptr;
+  const CostModel* cost_model_ = nullptr;
+  ExecutionContext own_ctx_;
+  ExecutionContext* ctx_ = &own_ctx_;
+  bool initialized_ = false;
+  std::set<const Actor*> halted_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_CORE_DIRECTOR_H_

@@ -1,0 +1,41 @@
+#include "core/event.h"
+
+#include <sstream>
+
+namespace cwf {
+
+std::string CWEvent::ToString() const {
+  std::ostringstream oss;
+  oss << "CWEvent(" << token.ToString() << " @" << timestamp.ToString() << " "
+      << wave.ToString();
+  if (last_in_wave) {
+    oss << " [last]";
+  }
+  oss << ")";
+  return oss.str();
+}
+
+Timestamp Window::OldestTimestamp() const {
+  Timestamp oldest = Timestamp::Max();
+  for (const CWEvent& e : events) {
+    if (e.timestamp < oldest) {
+      oldest = e.timestamp;
+    }
+  }
+  return oldest;
+}
+
+std::string Window::ToString() const {
+  std::ostringstream oss;
+  oss << "Window(n=" << events.size();
+  if (!group_key.is_nil()) {
+    oss << ", key=" << group_key.ToString();
+  }
+  if (closed_by_timeout) {
+    oss << ", timeout";
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace cwf

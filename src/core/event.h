@@ -1,0 +1,70 @@
+// CWEvent: the timestamped, wave-stamped envelope around a token.
+//
+// Every token entering a continuous workflow is encapsulated into a CWEvent
+// by the timekeeping components: the receiving time of its external root
+// event (used for window semantics and response-time QoS) plus its wave-tag
+// (used for synchronization). Receivers, windows and schedulers all operate
+// on CWEvents.
+
+#ifndef CONFLUENCE_CORE_EVENT_H_
+#define CONFLUENCE_CORE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/token.h"
+#include "core/wave.h"
+
+namespace cwf {
+
+/// \brief A timestamped, wave-stamped token.
+struct CWEvent {
+  /// Payload.
+  Token token;
+  /// Timestamp of the wave's root external event (arrival time into the
+  /// engine). Response time of a result is completion time minus this.
+  Timestamp timestamp;
+  /// Position in the wave hierarchy.
+  WaveTag wave;
+  /// True for the last event its producer emitted into this (sub-)wave.
+  bool last_in_wave = false;
+  /// Global monotone sequence number; breaks FIFO ties deterministically.
+  uint64_t seq = 0;
+
+  CWEvent() = default;
+  CWEvent(Token t, Timestamp ts, WaveTag w)
+      : token(std::move(t)), timestamp(ts), wave(std::move(w)) {}
+
+  std::string ToString() const;
+};
+
+/// \brief A bundle of events delivered to one actor firing.
+///
+/// Single-event (non-windowed) channels deliver windows of size 1; windowed
+/// receivers deliver the finite, ever-changing bundle computed by their
+/// window operator. `group_key` carries the group-by key the window was
+/// formed for (nil token when no group-by is configured).
+struct Window {
+  std::vector<CWEvent> events;
+  Token group_key;
+  /// True when a window-formation timeout (not an arriving event) closed
+  /// this window.
+  bool closed_by_timeout = false;
+
+  bool empty() const { return events.empty(); }
+  size_t size() const { return events.size(); }
+  const CWEvent& front() const { return events.front(); }
+  const CWEvent& back() const { return events.back(); }
+  const CWEvent& operator[](size_t i) const { return events[i]; }
+
+  /// \brief Timestamp of the oldest event in the window; Max() if empty.
+  Timestamp OldestTimestamp() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_CORE_EVENT_H_

@@ -1,0 +1,105 @@
+#include "core/port.h"
+
+#include "core/actor.h"
+
+namespace cwf {
+
+std::string Port::FullName() const {
+  return (actor_ ? actor_->name() : std::string("<detached>")) + "." + name_;
+}
+
+Receiver* InputPort::SetReceiver(size_t channel,
+                                 std::unique_ptr<Receiver> receiver) {
+  if (receivers_.size() <= channel) {
+    receivers_.resize(channel + 1);
+  }
+  receivers_[channel] = std::move(receiver);
+  return receivers_[channel].get();
+}
+
+Receiver* InputPort::receiver(size_t channel) const {
+  if (channel >= receivers_.size()) {
+    return nullptr;
+  }
+  return receivers_[channel].get();
+}
+
+bool InputPort::HasWindow() const {
+  for (const auto& r : receivers_) {
+    if (r && r->HasWindow()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool InputPort::HasWindowOn(size_t channel) const {
+  const Receiver* r = receiver(channel);
+  return r != nullptr && r->HasWindow();
+}
+
+std::optional<Window> InputPort::Get() {
+  for (auto& r : receivers_) {
+    if (r && r->HasWindow()) {
+      std::optional<Window> w = r->Get();
+      if (w.has_value() && actor_ != nullptr) {
+        actor_->NoteConsumedWindow(*w);
+      }
+      return w;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Window> InputPort::GetFrom(size_t channel) {
+  Receiver* r = receiver(channel);
+  if (r == nullptr) {
+    return std::nullopt;
+  }
+  std::optional<Window> w = r->Get();
+  if (w.has_value() && actor_ != nullptr) {
+    actor_->NoteConsumedWindow(*w);
+  }
+  return w;
+}
+
+size_t InputPort::ReadyWindowCount() const {
+  size_t count = 0;
+  for (const auto& r : receivers_) {
+    if (r) {
+      count += r->ReadyWindowCount();
+    }
+  }
+  return count;
+}
+
+size_t InputPort::PendingEventCount() const {
+  size_t count = 0;
+  for (const auto& r : receivers_) {
+    if (r) {
+      count += r->PendingEventCount();
+    }
+  }
+  return count;
+}
+
+std::vector<CWEvent> InputPort::DrainExpired() {
+  std::vector<CWEvent> out;
+  for (const auto& r : receivers_) {
+    if (r) {
+      std::vector<CWEvent> expired = r->DrainExpired();
+      out.insert(out.end(), std::make_move_iterator(expired.begin()),
+                 std::make_move_iterator(expired.end()));
+    }
+  }
+  return out;
+}
+
+Status OutputPort::Broadcast(const CWEvent& event) {
+  for (Receiver* r : remote_receivers_) {
+    CWF_RETURN_NOT_OK(r->Put(event));
+  }
+  return Status::OK();
+}
+
+}  // namespace cwf

@@ -1,0 +1,5 @@
+#include "core/receiver.h"
+
+// Receiver and QueueReceiver are header-only; this TU anchors the vtable.
+
+namespace cwf {}  // namespace cwf

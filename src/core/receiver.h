@@ -1,0 +1,99 @@
+// Receivers: the channel endpoints owned by the director.
+//
+// In Kepler/Ptolemy the receiving end of a channel is a receiver object
+// supplied by the *director*, not by the actor — the director thereby
+// decides whether communication is synchronous, buffered, windowed, etc.
+// CONFLuEnCE introduces windowed receivers; STAFiLOS adds a scheduled
+// variant that hands produced windows to the scheduler instead of the actor.
+
+#ifndef CONFLUENCE_CORE_RECEIVER_H_
+#define CONFLUENCE_CORE_RECEIVER_H_
+
+#include <deque>
+#include <optional>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/event.h"
+
+namespace cwf {
+
+class InputPort;
+
+/// \brief Abstract channel endpoint. Producers call Put(); the consuming
+/// actor's fire() obtains windows via Get().
+class Receiver {
+ public:
+  explicit Receiver(InputPort* port) : port_(port) {}
+  virtual ~Receiver() = default;
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  /// \brief Deposit one event arriving over the channel.
+  virtual Status Put(const CWEvent& event) = 0;
+
+  /// \brief Whether Get() would currently return a window.
+  virtual bool HasWindow() const = 0;
+
+  /// \brief Retrieve the next window, or nullopt when none is ready.
+  virtual std::optional<Window> Get() = 0;
+
+  /// \brief Windows ready for retrieval.
+  virtual size_t ReadyWindowCount() const = 0;
+
+  /// \brief Events buffered but not yet part of a produced window.
+  virtual size_t PendingEventCount() const { return 0; }
+
+  /// \brief Remove and return events that expired out of the window scope.
+  virtual std::vector<CWEvent> DrainExpired() { return {}; }
+
+  /// \brief Earliest timer this receiver needs (time-window formation
+  /// timeouts); Timestamp::Max() when none.
+  virtual Timestamp NextDeadline() const { return Timestamp::Max(); }
+
+  /// \brief Fire any window whose formation timeout has passed.
+  virtual void OnTimeout(Timestamp now) { (void)now; }
+
+  /// \brief Force-close pending windows (end-of-stream).
+  virtual void Flush() {}
+
+  /// \brief The input port this receiver feeds.
+  InputPort* port() const { return port_; }
+
+ protected:
+  InputPort* port_;
+};
+
+/// \brief The plain FIFO receiver: every event is delivered alone, in arrival
+/// order, as a window of size one. Used for trivial (non-windowed) inputs.
+class QueueReceiver : public Receiver {
+ public:
+  explicit QueueReceiver(InputPort* port) : Receiver(port) {}
+
+  Status Put(const CWEvent& event) override {
+    queue_.push_back(event);
+    return Status::OK();
+  }
+
+  bool HasWindow() const override { return !queue_.empty(); }
+
+  std::optional<Window> Get() override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    Window w;
+    w.events.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    return w;
+  }
+
+  size_t ReadyWindowCount() const override { return queue_.size(); }
+
+ private:
+  std::deque<CWEvent> queue_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_CORE_RECEIVER_H_

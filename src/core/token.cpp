@@ -1,0 +1,80 @@
+#include "core/token.h"
+
+namespace cwf {
+
+int64_t Token::AsInt() const {
+  CWF_CHECK_MSG(is_int(), "Token is not an int: " << ToString());
+  return std::get<int64_t>(v_);
+}
+
+double Token::AsDouble() const {
+  if (is_int()) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  CWF_CHECK_MSG(is_double(), "Token is not numeric: " << ToString());
+  return std::get<double>(v_);
+}
+
+bool Token::AsBool() const {
+  CWF_CHECK_MSG(is_bool(), "Token is not a bool: " << ToString());
+  return std::get<bool>(v_);
+}
+
+const std::string& Token::AsString() const {
+  CWF_CHECK_MSG(is_string(), "Token is not a string: " << ToString());
+  return std::get<std::string>(v_);
+}
+
+const RecordPtr& Token::AsRecord() const {
+  CWF_CHECK_MSG(is_record(), "Token is not a record: " << ToString());
+  return std::get<RecordPtr>(v_);
+}
+
+Value Token::Field(const std::string& field) const {
+  const RecordPtr& rec = AsRecord();
+  CWF_CHECK(rec != nullptr);
+  auto res = rec->Get(field);
+  CWF_CHECK_MSG(res.ok(), "record " << rec->ToString() << " lacks field "
+                                    << field);
+  return std::move(res).value();
+}
+
+bool Token::operator==(const Token& o) const {
+  if (v_.index() != o.v_.index()) {
+    return false;
+  }
+  if (is_record()) {
+    const RecordPtr& a = std::get<RecordPtr>(v_);
+    const RecordPtr& b = std::get<RecordPtr>(o.v_);
+    if (a == b) {
+      return true;
+    }
+    if (a == nullptr || b == nullptr) {
+      return false;
+    }
+    return *a == *b;
+  }
+  return v_ == o.v_;
+}
+
+std::string Token::ToString() const {
+  switch (v_.index()) {
+    case 0:
+      return "nil";
+    case 1:
+      return std::to_string(std::get<int64_t>(v_));
+    case 2:
+      return std::to_string(std::get<double>(v_));
+    case 3:
+      return std::get<bool>(v_) ? "true" : "false";
+    case 4:
+      return '"' + std::get<std::string>(v_) + '"';
+    case 5: {
+      const RecordPtr& rec = std::get<RecordPtr>(v_);
+      return rec ? rec->ToString() : "{null}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace cwf

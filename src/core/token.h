@@ -1,0 +1,58 @@
+// The data item propagated along a channel (Kepler's "token").
+
+#ifndef CONFLUENCE_CORE_TOKEN_H_
+#define CONFLUENCE_CORE_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "core/record.h"
+
+namespace cwf {
+
+/// \brief A unit of data exchanged between actors.
+///
+/// Tokens are cheap to copy: scalars by value, records by shared pointer.
+/// A default-constructed token is the "nil" token, used by pure-control
+/// channels (triggers).
+class Token {
+ public:
+  Token() : v_(std::monostate{}) {}
+  Token(int64_t v) : v_(v) {}                 // NOLINT
+  Token(int v) : v_(int64_t{v}) {}            // NOLINT
+  Token(double v) : v_(v) {}                  // NOLINT
+  Token(bool v) : v_(v) {}                    // NOLINT
+  Token(std::string v) : v_(std::move(v)) {}  // NOLINT
+  Token(const char* v) : v_(std::string(v)) {}  // NOLINT
+  Token(RecordPtr v) : v_(std::move(v)) {}    // NOLINT
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_record() const { return std::holds_alternative<RecordPtr>(v_); }
+
+  int64_t AsInt() const;
+  /// \brief Numeric content (ints widen to double).
+  double AsDouble() const;
+  bool AsBool() const;
+  const std::string& AsString() const;
+  /// \brief Record content; CHECK-fails unless is_record().
+  const RecordPtr& AsRecord() const;
+
+  /// \brief Record field shortcut: token must be a record holding `field`.
+  Value Field(const std::string& field) const;
+
+  bool operator==(const Token& o) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string, RecordPtr> v_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_CORE_TOKEN_H_

@@ -1,0 +1,44 @@
+#include "core/wave.h"
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace cwf {
+
+WaveTag WaveTag::Child(uint32_t serial) const {
+  CWF_CHECK_MSG(serial >= 1, "wave serial numbers are 1-based");
+  WaveTag child = *this;
+  child.path_.push_back(serial);
+  return child;
+}
+
+bool WaveTag::Contains(const WaveTag& other) const {
+  if (root_ != other.root_ || other.path_.size() < path_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < path_.size(); ++i) {
+    if (path_[i] != other.path_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+WaveTag WaveTag::Parent() const {
+  CWF_CHECK_MSG(!path_.empty(), "root wave tag has no parent");
+  WaveTag parent = *this;
+  parent.path_.pop_back();
+  return parent;
+}
+
+std::string WaveTag::ToString() const {
+  std::ostringstream oss;
+  oss << "t" << root_;
+  for (uint32_t serial : path_) {
+    oss << "." << serial;
+  }
+  return oss.str();
+}
+
+}  // namespace cwf

@@ -1,0 +1,80 @@
+// Waves: CONFLuEnCE's provenance/synchronization mechanism.
+//
+// A wave is the set of internal events descended from one external event.
+// When external event e_i enters the system it starts a wave tagged with
+// e_i's identity. When any event of the wave is processed by a task that
+// produces n outputs, the outputs get wave-tags t_i.1 … t_i.n and the n-th
+// is marked "last in wave", so a downstream task can synchronize everything
+// belonging to one wave. Processing t_i.3 into m events yields the sub-wave
+// t_i.3.1 … t_i.3.m (a wave hierarchy).
+
+#ifndef CONFLUENCE_CORE_WAVE_H_
+#define CONFLUENCE_CORE_WAVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace cwf {
+
+/// \brief Hierarchical wave identifier: a root external-event id plus the
+/// serial-number path assigned as the wave forks through tasks.
+///
+/// Ordering is lexicographic on (root, path), which matches the order the
+/// original external events entered the system and, within a wave, the order
+/// events were produced.
+class WaveTag {
+ public:
+  WaveTag() : root_(0) {}
+
+  /// \brief Tag for a new external event (wave of depth 0).
+  static WaveTag Root(uint64_t root_id) {
+    WaveTag t;
+    t.root_ = root_id;
+    return t;
+  }
+
+  /// \brief Tag of the `serial`-th (1-based) event produced while processing
+  /// an event carrying this tag — i.e. one level deeper in the hierarchy.
+  WaveTag Child(uint32_t serial) const;
+
+  /// \brief Identity of the originating external event.
+  uint64_t root() const { return root_; }
+
+  /// \brief Serial-number path below the root ("3.1" for t.3.1).
+  const std::vector<uint32_t>& path() const { return path_; }
+
+  /// \brief Depth in the wave hierarchy (0 = the external event itself).
+  size_t depth() const { return path_.size(); }
+
+  /// \brief True if `other` is this tag or a descendant of it — i.e. both
+  /// belong to the same (sub-)wave rooted at this tag.
+  bool Contains(const WaveTag& other) const;
+
+  /// \brief Tag of the enclosing wave one level up; CHECK-fails at depth 0.
+  WaveTag Parent() const;
+
+  bool operator==(const WaveTag& o) const {
+    return root_ == o.root_ && path_ == o.path_;
+  }
+  bool operator!=(const WaveTag& o) const { return !(*this == o); }
+  bool operator<(const WaveTag& o) const {
+    if (root_ != o.root_) {
+      return root_ < o.root_;
+    }
+    return path_ < o.path_;
+  }
+
+  /// \brief "t42" or "t42.3.1".
+  std::string ToString() const;
+
+ private:
+  uint64_t root_;
+  std::vector<uint32_t> path_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_CORE_WAVE_H_

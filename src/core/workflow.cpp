@@ -1,0 +1,254 @@
+#include "core/workflow.h"
+
+#include "core/composite_actor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace cwf {
+
+Actor* Workflow::AdoptActor(std::unique_ptr<Actor> actor) {
+  CWF_CHECK(actor != nullptr);
+  CWF_CHECK_MSG(FindActor(actor->name()) == nullptr,
+                "duplicate actor name '" << actor->name() << "' in workflow "
+                                         << name_);
+  actors_.push_back(std::move(actor));
+  return actors_.back().get();
+}
+
+Status Workflow::Connect(OutputPort* from, InputPort* to) {
+  if (from == nullptr || to == nullptr) {
+    return Status::InvalidArgument("Connect() requires non-null ports");
+  }
+  if (FindActor(from->actor()->name()) != from->actor() ||
+      FindActor(to->actor()->name()) != to->actor()) {
+    return Status::InvalidArgument(
+        "Connect() ports must belong to actors of this workflow");
+  }
+  // Count existing channels into `to` to pick the next slot.
+  size_t slot = 0;
+  for (const ChannelSpec& ch : channels_) {
+    if (ch.to == to) {
+      slot = std::max(slot, ch.to_channel + 1);
+    }
+  }
+  channels_.push_back({from, to, slot});
+  return Status::OK();
+}
+
+Status Workflow::Connect(const std::string& from_actor,
+                         const std::string& from_port,
+                         const std::string& to_actor,
+                         const std::string& to_port) {
+  Actor* src = FindActor(from_actor);
+  if (src == nullptr) {
+    return Status::NotFound("no actor '" + from_actor + "'");
+  }
+  Actor* dst = FindActor(to_actor);
+  if (dst == nullptr) {
+    return Status::NotFound("no actor '" + to_actor + "'");
+  }
+  OutputPort* out = src->GetOutputPort(from_port);
+  if (out == nullptr) {
+    return Status::NotFound("actor '" + from_actor + "' has no output port '" +
+                            from_port + "'");
+  }
+  InputPort* in = dst->GetInputPort(to_port);
+  if (in == nullptr) {
+    return Status::NotFound("actor '" + to_actor + "' has no input port '" +
+                            to_port + "'");
+  }
+  return Connect(out, in);
+}
+
+Actor* Workflow::FindActor(const std::string& name) const {
+  for (const auto& actor : actors_) {
+    if (actor->name() == name) {
+      return actor.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Actor*> Workflow::Sources() const {
+  std::vector<Actor*> out;
+  for (const auto& actor : actors_) {
+    bool has_input = false;
+    for (const ChannelSpec& ch : channels_) {
+      if (ch.to->actor() == actor.get()) {
+        has_input = true;
+        break;
+      }
+    }
+    if (!has_input) {
+      out.push_back(actor.get());
+    }
+  }
+  return out;
+}
+
+std::vector<Actor*> Workflow::Sinks() const {
+  std::vector<Actor*> out;
+  for (const auto& actor : actors_) {
+    bool has_output = false;
+    for (const ChannelSpec& ch : channels_) {
+      if (ch.from->actor() == actor.get()) {
+        has_output = true;
+        break;
+      }
+    }
+    if (!has_output) {
+      out.push_back(actor.get());
+    }
+  }
+  return out;
+}
+
+std::vector<Actor*> Workflow::DownstreamOf(const Actor* actor) const {
+  std::vector<Actor*> out;
+  for (const ChannelSpec& ch : channels_) {
+    if (ch.from->actor() == actor) {
+      Actor* next = ch.to->actor();
+      if (std::find(out.begin(), out.end(), next) == out.end()) {
+        out.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Actor*> Workflow::UpstreamOf(const Actor* actor) const {
+  std::vector<Actor*> out;
+  for (const ChannelSpec& ch : channels_) {
+    if (ch.to->actor() == actor) {
+      Actor* prev = ch.from->actor();
+      if (std::find(out.begin(), out.end(), prev) == out.end()) {
+        out.push_back(prev);
+      }
+    }
+  }
+  return out;
+}
+
+bool Workflow::HasCycle() const {
+  enum class Mark { kUnseen, kInProgress, kDone };
+  std::map<const Actor*, Mark> marks;
+  std::function<bool(const Actor*)> visit = [&](const Actor* a) -> bool {
+    Mark& m = marks[a];
+    if (m == Mark::kInProgress) {
+      return true;
+    }
+    if (m == Mark::kDone) {
+      return false;
+    }
+    m = Mark::kInProgress;
+    for (Actor* next : DownstreamOf(a)) {
+      if (visit(next)) {
+        return true;
+      }
+    }
+    m = Mark::kDone;
+    return false;
+  };
+  for (const auto& actor : actors_) {
+    if (visit(actor.get())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Workflow::Validate() const {
+  std::set<std::string> names;
+  for (const auto& actor : actors_) {
+    if (!names.insert(actor->name()).second) {
+      return Status::InvalidArgument("duplicate actor name '" + actor->name() +
+                                     "'");
+    }
+    for (const auto& port : actor->input_ports()) {
+      CWF_RETURN_NOT_OK(port->spec().Validate());
+    }
+  }
+  for (const ChannelSpec& ch : channels_) {
+    if (ch.from == nullptr || ch.to == nullptr) {
+      return Status::Internal("null port in channel list");
+    }
+    if (ch.from->actor() == ch.to->actor()) {
+      return Status::InvalidArgument("self-loop channel on actor '" +
+                                     ch.from->actor()->name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string DotId(const void* p) {
+  std::ostringstream oss;
+  oss << "n" << p;
+  return oss.str();
+}
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void EmitActors(std::ostringstream& oss, const Workflow& wf, int depth);
+
+void EmitActorNode(std::ostringstream& oss, const Actor* actor, int depth) {
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  // Composites render as clusters containing their inner workflow.
+  if (const auto* composite = dynamic_cast<const CompositeActor*>(actor)) {
+    oss << indent << "subgraph cluster_" << DotId(actor) << " {\n"
+        << indent << "  label=\"" << EscapeDot(actor->name()) << "\";\n";
+    EmitActors(oss, *const_cast<CompositeActor*>(composite)->inner(),
+               depth + 1);
+    oss << indent << "}\n";
+    return;
+  }
+  oss << indent << DotId(actor) << " [label=\"" << EscapeDot(actor->name())
+      << "\"";
+  if (actor->IsSource()) {
+    oss << ", shape=invhouse";
+  }
+  oss << "];\n";
+}
+
+void EmitActors(std::ostringstream& oss, const Workflow& wf, int depth) {
+  for (const auto& actor : wf.actors()) {
+    EmitActorNode(oss, actor.get(), depth);
+  }
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  for (const ChannelSpec& ch : wf.channels()) {
+    oss << indent << DotId(ch.from->actor()) << " -> "
+        << DotId(ch.to->actor());
+    if (!ch.to->spec().IsTrivial()) {
+      oss << " [label=\"" << EscapeDot(ch.to->spec().ToString()) << "\"]";
+    }
+    oss << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string Workflow::ToDot() const {
+  std::ostringstream oss;
+  oss << "digraph \"" << EscapeDot(name_) << "\" {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=box];\n";
+  EmitActors(oss, *this, 1);
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace cwf

@@ -1,0 +1,46 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+namespace cwf::db {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  for (const auto& table : tables_) {
+    if (table->name() == name) {
+      return Status::AlreadyExists("table '" + name + "' exists");
+    }
+  }
+  tables_.push_back(std::make_unique<Table>(name, std::move(schema)));
+  return tables_.back().get();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) const {
+  for (const auto& table : tables_) {
+    if (table->name() == name) {
+      return table.get();
+    }
+  }
+  return Status::NotFound("no table '" + name + "'");
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = std::find_if(
+      tables_.begin(), tables_.end(),
+      [&](const std::unique_ptr<Table>& t) { return t->name() == name; });
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    out.push_back(table->name());
+  }
+  return out;
+}
+
+}  // namespace cwf::db

@@ -1,0 +1,42 @@
+// A named collection of tables.
+
+#ifndef CONFLUENCE_DB_DATABASE_H_
+#define CONFLUENCE_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+
+namespace cwf::db {
+
+/// \brief The embedded store: a registry of tables shared by the workflow's
+/// database-touching actors (the paper's segmentStatistics and
+/// accidentInSegment relations live here).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// \brief Create a table; fails if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// \brief Look up a table; error if absent.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// \brief Drop a table; error if absent.
+  Status DropTable(const std::string& name);
+
+  /// \brief Names of all tables.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace cwf::db
+
+#endif  // CONFLUENCE_DB_DATABASE_H_

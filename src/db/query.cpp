@@ -1,0 +1,253 @@
+#include "db/query.h"
+
+#include <sstream>
+
+namespace cwf::db {
+namespace {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+/// Numeric-aware comparison: ints and doubles compare by value; other types
+/// compare with Value's total order only when the type matches.
+int CompareValues(const Value& a, const Value& b) {
+  const bool numeric =
+      (a.is_int() || a.is_double()) && (b.is_int() || b.is_double());
+  if (numeric) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+class CmpPredicate : public Predicate {
+ public:
+  CmpPredicate(std::string column, CmpOp op, Value value)
+      : column_(std::move(column)), op_(op), value_(std::move(value)) {}
+
+  Status Bind(const Schema& schema) override {
+    CWF_ASSIGN_OR_RETURN(index_, schema.ColumnIndex(column_));
+    bound_ = true;
+    return Status::OK();
+  }
+
+  bool Matches(const Row& row) const override {
+    CWF_CHECK_MSG(bound_, "predicate used before Bind()");
+    const Value& cell = row[index_];
+    if (cell.is_null()) {
+      return false;  // SQL-style: comparisons with NULL never match
+    }
+    const int c = CompareValues(cell, value_);
+    switch (op_) {
+      case CmpOp::kEq:
+        return c == 0;
+      case CmpOp::kNe:
+        return c != 0;
+      case CmpOp::kLt:
+        return c < 0;
+      case CmpOp::kLe:
+        return c <= 0;
+      case CmpOp::kGt:
+        return c > 0;
+      case CmpOp::kGe:
+        return c >= 0;
+    }
+    return false;
+  }
+
+  void CollectEqualities(
+      std::vector<std::pair<std::string, Value>>* out) const override {
+    if (op_ == CmpOp::kEq) {
+      out->emplace_back(column_, value_);
+    }
+  }
+
+  std::string ToString() const override {
+    return column_ + " " + CmpOpName(op_) + " " + value_.ToString();
+  }
+
+ private:
+  std::string column_;
+  CmpOp op_;
+  Value value_;
+  size_t index_ = 0;
+  bool bound_ = false;
+};
+
+class AndPredicate : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  Status Bind(const Schema& schema) override {
+    for (auto& c : children_) {
+      CWF_RETURN_NOT_OK(c->Bind(schema));
+    }
+    return Status::OK();
+  }
+
+  bool Matches(const Row& row) const override {
+    for (const auto& c : children_) {
+      if (!c->Matches(row)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void CollectEqualities(
+      std::vector<std::pair<std::string, Value>>* out) const override {
+    for (const auto& c : children_) {
+      c->CollectEqualities(out);
+    }
+  }
+
+  std::string ToString() const override {
+    std::ostringstream oss;
+    oss << "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) {
+        oss << " AND ";
+      }
+      oss << children_[i]->ToString();
+    }
+    oss << ")";
+    return oss.str();
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+class OrPredicate : public Predicate {
+ public:
+  explicit OrPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  Status Bind(const Schema& schema) override {
+    for (auto& c : children_) {
+      CWF_RETURN_NOT_OK(c->Bind(schema));
+    }
+    return Status::OK();
+  }
+
+  bool Matches(const Row& row) const override {
+    for (const auto& c : children_) {
+      if (c->Matches(row)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string ToString() const override {
+    std::ostringstream oss;
+    oss << "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) {
+        oss << " OR ";
+      }
+      oss << children_[i]->ToString();
+    }
+    oss << ")";
+    return oss.str();
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+class NotPredicate : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr child) : child_(std::move(child)) {}
+
+  Status Bind(const Schema& schema) override { return child_->Bind(schema); }
+  bool Matches(const Row& row) const override { return !child_->Matches(row); }
+  std::string ToString() const override {
+    return "NOT " + child_->ToString();
+  }
+
+ private:
+  PredicatePtr child_;
+};
+
+class TruePredicate : public Predicate {
+ public:
+  Status Bind(const Schema&) override { return Status::OK(); }
+  bool Matches(const Row&) const override { return true; }
+  std::string ToString() const override { return "TRUE"; }
+};
+
+}  // namespace
+
+PredicatePtr Cmp(std::string column, CmpOp op, Value value) {
+  return std::make_shared<CmpPredicate>(std::move(column), op,
+                                        std::move(value));
+}
+
+PredicatePtr Eq(std::string column, Value value) {
+  return Cmp(std::move(column), CmpOp::kEq, std::move(value));
+}
+PredicatePtr Ne(std::string column, Value value) {
+  return Cmp(std::move(column), CmpOp::kNe, std::move(value));
+}
+PredicatePtr Lt(std::string column, Value value) {
+  return Cmp(std::move(column), CmpOp::kLt, std::move(value));
+}
+PredicatePtr Le(std::string column, Value value) {
+  return Cmp(std::move(column), CmpOp::kLe, std::move(value));
+}
+PredicatePtr Gt(std::string column, Value value) {
+  return Cmp(std::move(column), CmpOp::kGt, std::move(value));
+}
+PredicatePtr Ge(std::string column, Value value) {
+  return Cmp(std::move(column), CmpOp::kGe, std::move(value));
+}
+
+PredicatePtr Between(std::string column, Value lo, Value hi) {
+  // Take an explicit copy: evaluation order of the two arguments below is
+  // unspecified, so moving `column` into one of them directly could leave
+  // the other with an empty name.
+  std::string column_copy = column;
+  return And(Ge(std::move(column_copy), std::move(lo)),
+             Le(std::move(column), std::move(hi)));
+}
+
+PredicatePtr And(std::vector<PredicatePtr> children) {
+  return std::make_shared<AndPredicate>(std::move(children));
+}
+PredicatePtr And(PredicatePtr a, PredicatePtr b) {
+  return And(std::vector<PredicatePtr>{std::move(a), std::move(b)});
+}
+PredicatePtr Or(std::vector<PredicatePtr> children) {
+  return std::make_shared<OrPredicate>(std::move(children));
+}
+PredicatePtr Or(PredicatePtr a, PredicatePtr b) {
+  return Or(std::vector<PredicatePtr>{std::move(a), std::move(b)});
+}
+PredicatePtr Not(PredicatePtr child) {
+  return std::make_shared<NotPredicate>(std::move(child));
+}
+
+PredicatePtr True() { return std::make_shared<TruePredicate>(); }
+
+}  // namespace cwf::db

@@ -1,0 +1,78 @@
+// Predicate combinators and aggregates for the embedded store.
+//
+// The paper's Linear Road workflow issues SQL against an external RDBMS for
+// segment statistics and accident proximity. This module provides the
+// equivalent expressiveness as a typed combinator API (no SQL string
+// parsing): comparison predicates over named columns composed with AND/OR/
+// NOT, plus the aggregate kinds the benchmark needs.
+
+#ifndef CONFLUENCE_DB_QUERY_H_
+#define CONFLUENCE_DB_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+
+namespace cwf::db {
+
+/// \brief Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief A boolean expression over a row. Build with the factory functions
+/// below; bind against a schema once, then evaluate per row.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// \brief Resolve column names to indexes; must run before Matches().
+  virtual Status Bind(const Schema& schema) = 0;
+
+  /// \brief Evaluate against a row (after Bind).
+  virtual bool Matches(const Row& row) const = 0;
+
+  /// \brief Collect (column, value) pairs that this predicate constrains to
+  /// equality in every match — used by the table to pick a hash index.
+  virtual void CollectEqualities(
+      std::vector<std::pair<std::string, Value>>* out) const {
+    (void)out;
+  }
+
+  virtual std::string ToString() const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<Predicate>;
+
+/// \brief column <op> constant.
+PredicatePtr Cmp(std::string column, CmpOp op, Value value);
+
+/// \brief Shorthands.
+PredicatePtr Eq(std::string column, Value value);
+PredicatePtr Ne(std::string column, Value value);
+PredicatePtr Lt(std::string column, Value value);
+PredicatePtr Le(std::string column, Value value);
+PredicatePtr Gt(std::string column, Value value);
+PredicatePtr Ge(std::string column, Value value);
+
+/// \brief column BETWEEN lo AND hi (inclusive).
+PredicatePtr Between(std::string column, Value lo, Value hi);
+
+/// \brief Conjunction / disjunction / negation.
+PredicatePtr And(std::vector<PredicatePtr> children);
+PredicatePtr And(PredicatePtr a, PredicatePtr b);
+PredicatePtr Or(std::vector<PredicatePtr> children);
+PredicatePtr Or(PredicatePtr a, PredicatePtr b);
+PredicatePtr Not(PredicatePtr child);
+
+/// \brief Always-true predicate (full scan).
+PredicatePtr True();
+
+/// \brief Aggregate kinds supported by Table::Aggregate.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+}  // namespace cwf::db
+
+#endif  // CONFLUENCE_DB_QUERY_H_

@@ -1,0 +1,90 @@
+#include "db/schema.h"
+
+#include <sstream>
+
+namespace cwf::db {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kBool:
+      return "BOOL";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      return i;
+    }
+  }
+  return Status::NotFound("no column '" + name + "' in schema " + ToString());
+}
+
+Result<std::vector<size_t>> Schema::ColumnIndexes(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    CWF_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(name));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+bool Schema::TypeMatches(size_t i, const Value& value) const {
+  if (value.is_null()) {
+    return true;
+  }
+  switch (columns_[i].type) {
+    case ColumnType::kInt64:
+      return value.is_int();
+    case ColumnType::kDouble:
+      return value.is_double() || value.is_int();
+    case ColumnType::kBool:
+      return value.is_bool();
+    case ColumnType::kString:
+      return value.is_string();
+  }
+  return false;
+}
+
+Status Schema::CheckRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!TypeMatches(i, row[i])) {
+      return Status::InvalidArgument("value " + row[i].ToString() +
+                                     " does not fit column '" +
+                                     columns_[i].name + "' of type " +
+                                     ColumnTypeName(columns_[i].type));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << columns_[i].name << " " << ColumnTypeName(columns_[i].type);
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace cwf::db

@@ -1,0 +1,319 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+namespace cwf::db {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::vector<std::string>& columns,
+                          bool unique) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  for (const Index& index : indexes_) {
+    if (index.name == index_name) {
+      return Status::AlreadyExists("index '" + index_name + "' exists on " +
+                                   name_);
+    }
+  }
+  Index index;
+  index.name = index_name;
+  index.column_names = columns;
+  index.unique = unique;
+  auto idx = schema_.ColumnIndexes(columns);
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  index.column_idx = std::move(idx).value();
+  // Backfill from live rows.
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!rows_[id].has_value()) {
+      continue;
+    }
+    std::vector<Value> key;
+    key.reserve(index.column_idx.size());
+    for (size_t c : index.column_idx) {
+      key.push_back((*rows_[id])[c]);
+    }
+    auto& bucket = index.map[key];
+    if (unique && !bucket.empty()) {
+      return Status::FailedPrecondition(
+          "cannot create unique index '" + index_name +
+          "': duplicate keys already present");
+    }
+    bucket.push_back(id);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+std::vector<Value> Table::KeyFor(const Index& index, const Row& row) const {
+  std::vector<Value> key;
+  key.reserve(index.column_idx.size());
+  for (size_t c : index.column_idx) {
+    key.push_back(row[c]);
+  }
+  return key;
+}
+
+void Table::IndexRow(RowId id, const Row& row) {
+  for (Index& index : indexes_) {
+    index.map[KeyFor(index, row)].push_back(id);
+  }
+}
+
+void Table::UnindexRow(RowId id, const Row& row) {
+  for (Index& index : indexes_) {
+    auto it = index.map.find(KeyFor(index, row));
+    if (it == index.map.end()) {
+      continue;
+    }
+    auto& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+    if (bucket.empty()) {
+      index.map.erase(it);
+    }
+  }
+}
+
+Status Table::CheckUnique(const Row& row, std::optional<RowId> ignore) const {
+  for (const Index& index : indexes_) {
+    if (!index.unique) {
+      continue;
+    }
+    std::vector<Value> key;
+    key.reserve(index.column_idx.size());
+    for (size_t c : index.column_idx) {
+      key.push_back(row[c]);
+    }
+    auto it = index.map.find(key);
+    if (it == index.map.end()) {
+      continue;
+    }
+    for (RowId id : it->second) {
+      if (!ignore.has_value() || id != *ignore) {
+        return Status::AlreadyExists("unique index '" + index.name +
+                                     "' violated on table " + name_);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Row row) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  CWF_RETURN_NOT_OK(schema_.CheckRow(row));
+  CWF_RETURN_NOT_OK(CheckUnique(row, std::nullopt));
+  RowId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    rows_[id] = std::move(row);
+  } else {
+    id = rows_.size();
+    rows_.push_back(std::move(row));
+  }
+  IndexRow(id, *rows_[id]);
+  ++live_rows_;
+  return id;
+}
+
+Result<bool> Table::Upsert(const std::vector<std::string>& key_columns,
+                           Row row) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  CWF_RETURN_NOT_OK(schema_.CheckRow(row));
+  auto key_idx = schema_.ColumnIndexes(key_columns);
+  if (!key_idx.ok()) {
+    return key_idx.status();
+  }
+  // Find the existing row via an equality predicate on the key columns.
+  std::vector<PredicatePtr> eqs;
+  eqs.reserve(key_columns.size());
+  for (size_t i = 0; i < key_columns.size(); ++i) {
+    eqs.push_back(Eq(key_columns[i], row[key_idx.value()[i]]));
+  }
+  PredicatePtr pred = And(std::move(eqs));
+  CWF_RETURN_NOT_OK(pred->Bind(schema_));
+  for (RowId id : Candidates(pred)) {
+    if (rows_[id].has_value() && pred->Matches(*rows_[id])) {
+      UnindexRow(id, *rows_[id]);
+      rows_[id] = std::move(row);
+      IndexRow(id, *rows_[id]);
+      return true;
+    }
+  }
+  auto inserted = Insert(std::move(row));
+  if (!inserted.ok()) {
+    return inserted.status();
+  }
+  return false;
+}
+
+std::vector<RowId> Table::Candidates(const PredicatePtr& predicate) const {
+  std::vector<std::pair<std::string, Value>> equalities;
+  predicate->CollectEqualities(&equalities);
+  for (const Index& index : indexes_) {
+    std::vector<Value> key(index.column_idx.size());
+    size_t found = 0;
+    for (size_t i = 0; i < index.column_names.size(); ++i) {
+      for (const auto& [col, value] : equalities) {
+        if (col == index.column_names[i]) {
+          key[i] = value;
+          ++found;
+          break;
+        }
+      }
+    }
+    if (found == index.column_names.size()) {
+      ++index_lookups_;
+      auto it = index.map.find(key);
+      if (it == index.map.end()) {
+        return {};
+      }
+      return it->second;
+    }
+  }
+  ++full_scans_;
+  std::vector<RowId> all;
+  all.reserve(live_rows_);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id].has_value()) {
+      all.push_back(id);
+    }
+  }
+  return all;
+}
+
+template <typename Fn>
+Status Table::ForEachMatch(const PredicatePtr& predicate, Fn&& fn) const {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("null predicate");
+  }
+  CWF_RETURN_NOT_OK(predicate->Bind(schema_));
+  for (RowId id : Candidates(predicate)) {
+    if (id < rows_.size() && rows_[id].has_value() &&
+        predicate->Matches(*rows_[id])) {
+      fn(id, *rows_[id]);
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> Table::Update(const PredicatePtr& predicate,
+                             const std::function<void(Row*)>& mutator) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::vector<RowId> targets;
+  CWF_RETURN_NOT_OK(ForEachMatch(
+      predicate, [&](RowId id, const Row&) { targets.push_back(id); }));
+  for (RowId id : targets) {
+    Row updated = *rows_[id];
+    mutator(&updated);
+    CWF_RETURN_NOT_OK(schema_.CheckRow(updated));
+    UnindexRow(id, *rows_[id]);
+    CWF_RETURN_NOT_OK(CheckUnique(updated, id));
+    rows_[id] = std::move(updated);
+    IndexRow(id, *rows_[id]);
+  }
+  return targets.size();
+}
+
+Result<size_t> Table::Delete(const PredicatePtr& predicate) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::vector<RowId> targets;
+  CWF_RETURN_NOT_OK(ForEachMatch(
+      predicate, [&](RowId id, const Row&) { targets.push_back(id); }));
+  for (RowId id : targets) {
+    UnindexRow(id, *rows_[id]);
+    rows_[id].reset();
+    free_list_.push_back(id);
+    --live_rows_;
+  }
+  return targets.size();
+}
+
+Result<std::vector<Row>> Table::Select(const PredicatePtr& predicate) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::vector<Row> out;
+  CWF_RETURN_NOT_OK(ForEachMatch(
+      predicate, [&](RowId, const Row& row) { out.push_back(row); }));
+  return out;
+}
+
+Result<std::optional<Row>> Table::SelectOne(
+    const PredicatePtr& predicate) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::optional<Row> out;
+  CWF_RETURN_NOT_OK(ForEachMatch(predicate, [&](RowId, const Row& row) {
+    if (!out.has_value()) {
+      out = row;
+    }
+  }));
+  return out;
+}
+
+Result<Value> Table::Aggregate(AggKind kind, const std::string& column,
+                               const PredicatePtr& predicate) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  size_t col_idx = 0;
+  if (kind != AggKind::kCount || !column.empty()) {
+    auto idx = schema_.ColumnIndex(column);
+    if (!idx.ok()) {
+      return idx.status();
+    }
+    col_idx = idx.value();
+  }
+  size_t count = 0;
+  double sum = 0;
+  bool any = false;
+  Value min_v, max_v;
+  CWF_RETURN_NOT_OK(ForEachMatch(predicate, [&](RowId, const Row& row) {
+    ++count;
+    if (kind == AggKind::kCount) {
+      return;
+    }
+    const Value& cell = row[col_idx];
+    if (cell.is_null()) {
+      return;
+    }
+    const double x = cell.AsDouble();
+    sum += x;
+    if (!any || x < min_v.AsDouble()) {
+      min_v = cell;
+    }
+    if (!any || x > max_v.AsDouble()) {
+      max_v = cell;
+    }
+    any = true;
+  }));
+  switch (kind) {
+    case AggKind::kCount:
+      return Value(static_cast<int64_t>(count));
+    case AggKind::kSum:
+      return any ? Value(sum) : Value();
+    case AggKind::kAvg:
+      return any ? Value(sum / static_cast<double>(count)) : Value();
+    case AggKind::kMin:
+      return any ? min_v : Value();
+    case AggKind::kMax:
+      return any ? max_v : Value();
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+size_t Table::RowCount() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return live_rows_;
+}
+
+void Table::Truncate() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  rows_.clear();
+  free_list_.clear();
+  live_rows_ = 0;
+  for (Index& index : indexes_) {
+    index.map.clear();
+  }
+}
+
+}  // namespace cwf::db

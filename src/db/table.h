@@ -1,0 +1,118 @@
+// An in-memory table with hash indexes.
+//
+// Feature set is scoped to what stream workflows need from their relational
+// side-store: typed rows, point/predicate selects, upserts keyed on a column
+// subset, deletes, aggregates, and secondary hash indexes picked
+// automatically from equality predicates. All operations are guarded by a
+// per-table mutex so thread-based (PNCWF) workflows can share the store.
+
+#ifndef CONFLUENCE_DB_TABLE_H_
+#define CONFLUENCE_DB_TABLE_H_
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/query.h"
+#include "db/schema.h"
+
+namespace cwf::db {
+
+/// \brief Stable row identifier within a table.
+using RowId = size_t;
+
+/// \brief A mutable, indexed, in-memory relation.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// \brief Build a hash index over `columns`. `unique` enforces key
+  /// uniqueness on insert/update. Must be created before rows exist or is
+  /// backfilled from current rows.
+  Status CreateIndex(const std::string& index_name,
+                     const std::vector<std::string>& columns,
+                     bool unique = false);
+
+  /// \brief Append a row. Fails on type mismatch or unique-index violation.
+  Result<RowId> Insert(Row row);
+
+  /// \brief Insert, or replace the existing row whose `key_columns` cells
+  /// equal the new row's. Returns true if an existing row was replaced.
+  Result<bool> Upsert(const std::vector<std::string>& key_columns, Row row);
+
+  /// \brief Apply `mutator` to every matching row; reindexes mutated rows.
+  /// Returns the number of rows updated.
+  Result<size_t> Update(const PredicatePtr& predicate,
+                        const std::function<void(Row*)>& mutator);
+
+  /// \brief Remove matching rows; returns how many.
+  Result<size_t> Delete(const PredicatePtr& predicate);
+
+  /// \brief All matching rows (copied out).
+  Result<std::vector<Row>> Select(const PredicatePtr& predicate) const;
+
+  /// \brief First matching row, if any.
+  Result<std::optional<Row>> SelectOne(const PredicatePtr& predicate) const;
+
+  /// \brief COUNT/SUM/AVG/MIN/MAX of `column` over matching rows. For
+  /// kCount, `column` may be empty (COUNT(*)). Aggregates over zero rows
+  /// yield 0 for COUNT and null otherwise.
+  Result<Value> Aggregate(AggKind kind, const std::string& column,
+                          const PredicatePtr& predicate) const;
+
+  /// \brief Live row count.
+  size_t RowCount() const;
+
+  /// \brief Remove all rows (indexes retained).
+  void Truncate();
+
+  /// \brief Access-path statistics for benchmarking.
+  uint64_t index_lookups() const { return index_lookups_; }
+  uint64_t full_scans() const { return full_scans_; }
+
+ private:
+  struct Index {
+    std::string name;
+    std::vector<std::string> column_names;
+    std::vector<size_t> column_idx;
+    bool unique = false;
+    std::unordered_map<std::vector<Value>, std::vector<RowId>,
+                       ValueVectorHash, ValueVectorEq>
+        map;
+  };
+
+  std::vector<Value> KeyFor(const Index& index, const Row& row) const;
+  void IndexRow(RowId id, const Row& row);
+  void UnindexRow(RowId id, const Row& row);
+  Status CheckUnique(const Row& row, std::optional<RowId> ignore) const;
+
+  /// Candidate row ids for a predicate: an index subset when the predicate
+  /// pins all columns of some index by equality, otherwise every live row.
+  std::vector<RowId> Candidates(const PredicatePtr& predicate) const;
+
+  template <typename Fn>
+  Status ForEachMatch(const PredicatePtr& predicate, Fn&& fn) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<std::optional<Row>> rows_;
+  std::vector<RowId> free_list_;
+  std::vector<Index> indexes_;
+  size_t live_rows_ = 0;
+  mutable uint64_t index_lookups_ = 0;
+  mutable uint64_t full_scans_ = 0;
+  mutable std::recursive_mutex mutex_;
+};
+
+}  // namespace cwf::db
+
+#endif  // CONFLUENCE_DB_TABLE_H_

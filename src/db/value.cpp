@@ -1,0 +1,14 @@
+#include "db/value.h"
+
+namespace cwf::db {
+
+size_t ValueVectorHash::operator()(const std::vector<Value>& values) const {
+  size_t h = 0x811C9DC5u;
+  for (const Value& v : values) {
+    h ^= v.Hash();
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+}  // namespace cwf::db

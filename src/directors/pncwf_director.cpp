@@ -1,0 +1,446 @@
+#include "directors/pncwf_director.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "stream/stream_source.h"
+
+namespace cwf {
+namespace {
+
+/// Receiver for OS-thread mode: every operation locks the *consuming*
+/// actor's synchronization domain and put() wakes its thread — the
+/// "blocking read" of the PNCWF execution model.
+class BlockingWindowedReceiver : public WindowedReceiver {
+ public:
+  BlockingWindowedReceiver(InputPort* port, WindowSpec spec,
+                           std::recursive_mutex* mutex,
+                           std::condition_variable_any* cv)
+      : WindowedReceiver(port, std::move(spec)), mutex_(mutex), cv_(cv) {}
+
+  Status Put(const CWEvent& event) override {
+    Status st;
+    {
+      std::lock_guard<std::recursive_mutex> lock(*mutex_);
+      st = WindowedReceiver::Put(event);
+    }
+    cv_->notify_all();
+    return st;
+  }
+
+  bool HasWindow() const override {
+    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    return WindowedReceiver::HasWindow();
+  }
+
+  std::optional<Window> Get() override {
+    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    return WindowedReceiver::Get();
+  }
+
+  size_t ReadyWindowCount() const override {
+    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    return WindowedReceiver::ReadyWindowCount();
+  }
+
+  size_t PendingEventCount() const override {
+    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    return WindowedReceiver::PendingEventCount();
+  }
+
+  std::vector<CWEvent> DrainExpired() override {
+    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    return WindowedReceiver::DrainExpired();
+  }
+
+  Timestamp NextDeadline() const override {
+    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    return WindowedReceiver::NextDeadline();
+  }
+
+  void OnTimeout(Timestamp now) override {
+    {
+      std::lock_guard<std::recursive_mutex> lock(*mutex_);
+      WindowedReceiver::OnTimeout(now);
+    }
+    cv_->notify_all();
+  }
+
+  void Flush() override {
+    {
+      std::lock_guard<std::recursive_mutex> lock(*mutex_);
+      WindowedReceiver::Flush();
+    }
+    cv_->notify_all();
+  }
+
+ private:
+  std::recursive_mutex* mutex_;
+  std::condition_variable_any* cv_;
+};
+
+}  // namespace
+
+PNCWFDirector::PNCWFDirector(PNCWFOptions options) : options_(options) {}
+
+PNCWFDirector::~PNCWFDirector() {
+  stop_ = true;
+  for (auto& [actor, sync] : syncs_) {
+    sync->cv.notify_all();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+Status PNCWFDirector::Initialize(Workflow* workflow, Clock* clock,
+                                 const CostModel* cost_model) {
+  if (clock != nullptr) {
+    if (options_.mode == PNCWFMode::kSimulatedThreads) {
+      if (!clock->is_virtual()) {
+        return Status::InvalidArgument(
+            "simulated-thread PNCWF requires a virtual clock");
+      }
+      if (cost_model == nullptr) {
+        return Status::InvalidArgument(
+            "simulated-thread PNCWF requires a cost model");
+      }
+    } else if (clock->is_virtual()) {
+      return Status::InvalidArgument(
+          "OS-thread PNCWF requires a real clock");
+    }
+  }
+  // Build the per-actor synchronization domains before receivers are
+  // created (CreateReceiver consults them in OS-thread mode).
+  syncs_.clear();
+  if (workflow != nullptr) {
+    for (const auto& actor : workflow->actors()) {
+      syncs_[actor.get()] = std::make_unique<ActorSync>();
+    }
+  }
+  stop_ = false;
+  busy_ = 0;
+  total_firings_ = 0;
+  context_switches_ = 0;
+  return Director::Initialize(workflow, clock, cost_model);
+}
+
+std::unique_ptr<Receiver> PNCWFDirector::CreateReceiver(InputPort* port) {
+  if (options_.mode == PNCWFMode::kSimulatedThreads) {
+    return std::make_unique<WindowedReceiver>(port, port->spec());
+  }
+  ActorSync* sync = syncs_.at(port->actor()).get();
+  return std::make_unique<BlockingWindowedReceiver>(
+      port, port->spec(), &sync->mutex, &sync->cv);
+}
+
+Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
+                                         size_t* emitted) {
+  actor->BeginFiring();
+  const auto host_start = std::chrono::steady_clock::now();
+  CWF_RETURN_NOT_OK(actor->Fire());
+  CWF_RETURN_NOT_OK(FlushActorOutputs(actor, emitted));
+  *consumed = actor->firing_context().events_consumed;
+  actor->IncrementFirings();
+  total_firings_.fetch_add(1, std::memory_order_relaxed);
+  Duration cost;
+  if (clock_->is_virtual()) {
+    cost = cost_model_->FiringCost(actor->name(), *consumed, *emitted) +
+           cost_model_->sync_per_event_overhead *
+               static_cast<Duration>(*consumed + *emitted);
+  } else {
+    cost = std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - host_start)
+               .count();
+  }
+  auto cont = actor->Postfire();
+  if (!cont.ok()) {
+    return cont.status();
+  }
+  if (!cont.value()) {
+    std::lock_guard<std::mutex> lock(halted_mutex_);
+    MarkHalted(actor);
+  }
+  return cost;
+}
+
+void PNCWFDirector::FireReceiverTimeouts(Timestamp now) {
+  for (const auto& actor : workflow_->actors()) {
+    for (const auto& port : actor->input_ports()) {
+      for (size_t c = 0; c < port->ChannelCount(); ++c) {
+        Receiver* r = port->receiver(c);
+        if (r != nullptr && r->NextDeadline() <= now) {
+          r->OnTimeout(now);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-thread mode: deterministic round-robin preemption on the
+// virtual clock.
+// ---------------------------------------------------------------------------
+
+Status PNCWFDirector::RunSimulated(Timestamp until) {
+  const auto& actors = workflow_->actors();
+  const size_t n = actors.size();
+  size_t cursor = 0;
+  for (;;) {
+    if (clock_->Now() > until) {
+      break;
+    }
+    FireReceiverTimeouts(clock_->Now());
+
+    // The simulated OS picks the next runnable "thread" round-robin.
+    Actor* chosen = nullptr;
+    for (size_t k = 0; k < n; ++k) {
+      Actor* a = actors[(cursor + k) % n].get();
+      if (IsHalted(a)) {
+        continue;
+      }
+      auto pf = a->Prefire();
+      if (!pf.ok()) {
+        return pf.status();
+      }
+      if (pf.value()) {
+        chosen = a;
+        cursor = (cursor + k + 1) % n;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      const Timestamp next = NextWakeup();
+      if (next == Timestamp::Max() || next > until ||
+          next <= clock_->Now()) {
+        break;
+      }
+      clock_->AdvanceTo(next);
+      continue;
+    }
+
+    // Context switch to the chosen thread, then let it run until it blocks
+    // (no input) or its OS time slice expires.
+    clock_->AdvanceBy(cost_model_->context_switch_overhead);
+    ++context_switches_;
+    Duration slice = cost_model_->os_time_slice;
+    while (slice > 0 && clock_->Now() <= until) {
+      auto pf = chosen->Prefire();
+      if (!pf.ok()) {
+        return pf.status();
+      }
+      if (!pf.value()) {
+        break;  // blocks on empty input
+      }
+      size_t consumed = 0;
+      size_t emitted = 0;
+      auto cost = FireOnce(chosen, &consumed, &emitted);
+      if (!cost.ok()) {
+        return cost.status();
+      }
+      clock_->AdvanceBy(cost.value());
+      slice -= cost.value();
+      if (IsHalted(chosen)) {
+        break;
+      }
+      FireReceiverTimeouts(clock_->Now());
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// OS-thread mode: one thread per actor, blocking windowed receivers.
+// ---------------------------------------------------------------------------
+
+void PNCWFDirector::ActorThreadBody(Actor* actor) {
+  ActorSync* sync = syncs_.at(actor).get();
+  for (;;) {
+    {
+      std::unique_lock<std::recursive_mutex> lock(sync->mutex);
+      for (;;) {
+        if (stop_.load()) {
+          // Drain what is ready, then exit.
+          auto pf = actor->Prefire();
+          if (!pf.ok() || !pf.value()) {
+            return;
+          }
+          break;
+        }
+        auto pf = actor->Prefire();
+        if (!pf.ok()) {
+          return;
+        }
+        if (pf.value()) {
+          break;
+        }
+        // Blocked on empty inputs: honour pending window-formation
+        // timeouts, then sleep until data, a deadline, or a poll tick.
+        Timestamp deadline = Timestamp::Max();
+        for (const auto& port : actor->input_ports()) {
+          for (size_t c = 0; c < port->ChannelCount(); ++c) {
+            Receiver* r = port->receiver(c);
+            if (r == nullptr) {
+              continue;
+            }
+            if (r->NextDeadline() <= clock_->Now()) {
+              r->OnTimeout(clock_->Now());
+            } else if (r->NextDeadline() < deadline) {
+              deadline = r->NextDeadline();
+            }
+          }
+        }
+        auto again = actor->Prefire();
+        if (!again.ok()) {
+          return;
+        }
+        if (again.value()) {
+          break;
+        }
+        Duration wait = options_.poll_interval;
+        if (deadline != Timestamp::Max()) {
+          wait = std::min<Duration>(
+              wait * 10, std::max<Duration>(deadline - clock_->Now(), 100));
+        }
+        sync->cv.wait_for(lock, std::chrono::microseconds(wait));
+      }
+    }
+    busy_.fetch_add(1);
+    size_t consumed = 0;
+    size_t emitted = 0;
+    auto cost = FireOnce(actor, &consumed, &emitted);
+    busy_.fetch_sub(1);
+    if (!cost.ok()) {
+      CWF_LOG(kError) << "actor '" << actor->name()
+                      << "' failed: " << cost.status().ToString();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(halted_mutex_);
+      if (IsHalted(actor)) {
+        return;
+      }
+    }
+  }
+}
+
+void PNCWFDirector::SourceThreadBody(Actor* actor) {
+  auto* src = dynamic_cast<TimedSource*>(actor);
+  for (;;) {
+    if (stop_.load()) {
+      return;
+    }
+    const Timestamp next =
+        src != nullptr ? src->NextPendingArrival() : Timestamp(0);
+    const Timestamp now = clock_->Now();
+    if (next == Timestamp::Max()) {
+      if (src != nullptr && src->Exhausted()) {
+        return;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.poll_interval));
+      continue;
+    }
+    if (next > now) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min<Duration>(next - now, options_.poll_interval * 10)));
+      continue;
+    }
+    busy_.fetch_add(1);
+    size_t consumed = 0;
+    size_t emitted = 0;
+    auto cost = FireOnce(actor, &consumed, &emitted);
+    busy_.fetch_sub(1);
+    if (!cost.ok()) {
+      CWF_LOG(kError) << "source '" << actor->name()
+                      << "' failed: " << cost.status().ToString();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(halted_mutex_);
+      if (IsHalted(actor)) {
+        return;
+      }
+    }
+  }
+}
+
+bool PNCWFDirector::AllQuiescent() const {
+  if (busy_.load() != 0) {
+    return false;
+  }
+  for (const auto& actor : workflow_->actors()) {
+    if (const auto* src = dynamic_cast<const TimedSource*>(actor.get())) {
+      if (!src->Exhausted()) {
+        return false;
+      }
+    }
+    for (const auto& port : actor->input_ports()) {
+      if (port->ReadyWindowCount() > 0) {
+        return false;
+      }
+      // A pending window-formation deadline is future work: the blocked
+      // reader will still close and consume that window.
+      for (size_t c = 0; c < port->ChannelCount(); ++c) {
+        const Receiver* r = port->receiver(c);
+        if (r != nullptr && r->NextDeadline() != Timestamp::Max()) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Status PNCWFDirector::RunThreaded(Timestamp until) {
+  threads_.clear();
+  stop_ = false;
+  for (const auto& actor : workflow_->actors()) {
+    Actor* a = actor.get();
+    if (a->IsSource()) {
+      threads_.emplace_back([this, a] { SourceThreadBody(a); });
+    } else {
+      threads_.emplace_back([this, a] { ActorThreadBody(a); });
+    }
+  }
+  int quiet = 0;
+  for (;;) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.poll_interval));
+    if (until != Timestamp::Max() && clock_->Now() >= until) {
+      break;
+    }
+    if (AllQuiescent()) {
+      if (++quiet >= options_.quiet_polls_to_drain) {
+        break;
+      }
+    } else {
+      quiet = 0;
+    }
+  }
+  stop_ = true;
+  for (auto& [actor, sync] : syncs_) {
+    sync->cv.notify_all();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  threads_.clear();
+  return Status::OK();
+}
+
+Status PNCWFDirector::Run(Timestamp until) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("PNCWFDirector::Run before Initialize");
+  }
+  if (options_.mode == PNCWFMode::kSimulatedThreads) {
+    return RunSimulated(until);
+  }
+  return RunThreaded(until);
+}
+
+}  // namespace cwf

@@ -1,0 +1,103 @@
+// The PNCWF director: CONFLuEnCE's original thread-based model of
+// computation (based on Kepler's PN, CN and DE directors).
+//
+// "It enables concurrent execution by wrapping every actor in its own
+// thread, allowing them to run in parallel and blocking them whenever there
+// are no more data to consume." Resource allocation is handled by the
+// Operating System; there is no QoS-aware scheduling — this is the baseline
+// STAFiLOS is compared against.
+//
+// Two execution modes:
+//  * kOsThreads — one std::thread per actor with blocking windowed
+//    receivers; requires a RealClock. This is the faithful deployment mode.
+//  * kSimulatedThreads — a deterministic virtual-time simulation of
+//    OS round-robin preemptive scheduling (time slice + context-switch and
+//    per-event synchronization overheads from the CostModel); requires a
+//    VirtualClock. This is the mode the benchmark harness uses to reproduce
+//    the paper's Figure 8 deterministically.
+
+#ifndef CONFLUENCE_DIRECTORS_PNCWF_DIRECTOR_H_
+#define CONFLUENCE_DIRECTORS_PNCWF_DIRECTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/director.h"
+#include "window/windowed_receiver.h"
+
+namespace cwf {
+
+/// \brief Execution mode of the PNCWF director.
+enum class PNCWFMode {
+  kOsThreads,
+  kSimulatedThreads,
+};
+
+/// \brief PNCWF options.
+struct PNCWFOptions {
+  PNCWFMode mode = PNCWFMode::kSimulatedThreads;
+  /// OS-thread mode: granularity of quiescence/stop polling.
+  Duration poll_interval = Millis(1);
+  /// OS-thread mode: consecutive quiet polls before declaring the workflow
+  /// drained (sources exhausted and no in-flight work).
+  int quiet_polls_to_drain = 3;
+};
+
+class PNCWFDirector : public Director {
+ public:
+  explicit PNCWFDirector(PNCWFOptions options = {});
+  ~PNCWFDirector() override;
+
+  const char* kind() const override { return "PNCWF"; }
+
+  Status Initialize(Workflow* workflow, Clock* clock,
+                    const CostModel* cost_model) override;
+
+  std::unique_ptr<Receiver> CreateReceiver(InputPort* port) override;
+
+  Status Run(Timestamp until) override;
+
+  uint64_t total_firings() const { return total_firings_.load(); }
+
+  /// \brief Simulated context switches performed (simulation mode).
+  uint64_t context_switches() const { return context_switches_; }
+
+ private:
+  /// Per-actor synchronization domain for OS-thread mode (recursive: the
+  /// prefire predicate re-enters receiver methods under the lock).
+  struct ActorSync {
+    std::recursive_mutex mutex;
+    std::condition_variable_any cv;
+  };
+
+  Status RunSimulated(Timestamp until);
+  Status RunThreaded(Timestamp until);
+
+  void ActorThreadBody(Actor* actor);
+  void SourceThreadBody(Actor* actor);
+
+  /// One actor firing (either mode); returns modeled/measured cost.
+  Result<Duration> FireOnce(Actor* actor, size_t* consumed, size_t* emitted);
+
+  void FireReceiverTimeouts(Timestamp now);
+
+  bool AllQuiescent() const;
+
+  PNCWFOptions options_;
+  std::map<const Actor*, std::unique_ptr<ActorSync>> syncs_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> busy_{0};
+  std::atomic<uint64_t> total_firings_{0};
+  uint64_t context_switches_ = 0;
+  std::mutex halted_mutex_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_DIRECTORS_PNCWF_DIRECTOR_H_

@@ -1,0 +1,196 @@
+#include "directors/scwf_director.h"
+
+#include <chrono>
+#include <thread>
+
+namespace cwf {
+
+SCWFDirector::SCWFDirector(std::unique_ptr<AbstractScheduler> scheduler)
+    : scheduler_(std::move(scheduler)) {
+  CWF_CHECK_MSG(scheduler_ != nullptr, "SCWFDirector needs a scheduler");
+}
+
+Status SCWFDirector::Initialize(Workflow* workflow, Clock* clock,
+                                const CostModel* cost_model) {
+  if (clock != nullptr && clock->is_virtual() && cost_model == nullptr) {
+    return Status::InvalidArgument(
+        "virtual-clock execution requires a cost model");
+  }
+  all_receivers_.clear();
+  total_firings_ = 0;
+  director_iterations_ = 0;
+  CWF_RETURN_NOT_OK(Director::Initialize(workflow, clock, cost_model));
+  stats_.Initialize(*workflow);
+  std::vector<Actor*> actors;
+  actors.reserve(workflow->actors().size());
+  for (const auto& actor : workflow->actors()) {
+    actors.push_back(actor.get());
+  }
+  CWF_RETURN_NOT_OK(scheduler_->Initialize(this, actors));
+  return Status::OK();
+}
+
+std::unique_ptr<Receiver> SCWFDirector::CreateReceiver(InputPort* port) {
+  auto receiver = std::make_unique<TMWindowedReceiver>(
+      port, port->spec(),
+      [this](TMWindowedReceiver* r, Window w) {
+        OnWindowReady(r, std::move(w));
+      });
+  all_receivers_.push_back(receiver.get());
+  return receiver;
+}
+
+void SCWFDirector::OnWindowReady(TMWindowedReceiver* receiver, Window window) {
+  ReadyWindow rw;
+  rw.receiver = receiver;
+  rw.window = std::move(window);
+  scheduler_->Enqueue(receiver->port()->actor(), std::move(rw));
+}
+
+bool SCWFDirector::SourceHasData(const Actor* actor) const {
+  if (const auto* src = dynamic_cast<const TimedSource*>(actor)) {
+    return src->NextPendingArrival() <= clock_->Now();
+  }
+  // Non-stream sources (generators with no timing) are always ready unless
+  // halted.
+  return !IsHalted(actor);
+}
+
+Status SCWFDirector::FireTimeouts(Timestamp now) {
+  for (Receiver* r : all_receivers_) {
+    if (r->NextDeadline() <= now) {
+      r->OnTimeout(now);  // produced windows flow through OnWindowReady
+    }
+  }
+  // Composites holding expired inner deadlines must run even with no queued
+  // window; dispatch them directly.
+  for (const auto& actor : workflow_->actors()) {
+    if (!IsHalted(actor.get()) && actor->NextDeadline() <= now) {
+      CWF_RETURN_NOT_OK(DispatchActor(actor.get()));
+    }
+  }
+  return Status::OK();
+}
+
+Status SCWFDirector::DispatchActor(Actor* actor) {
+  // Deliver queued windows onto the actor's receiver buffers until its
+  // firing precondition holds (one window in the common single-input case).
+  auto ready = actor->Prefire();
+  if (!ready.ok()) {
+    return ready.status();
+  }
+  bool can_fire = ready.value();
+  while (!can_fire) {
+    std::optional<ReadyWindow> rw = scheduler_->PopWindow(actor);
+    if (!rw.has_value()) {
+      break;
+    }
+    rw->receiver->DeliverBuffered(std::move(rw->window));
+    auto again = actor->Prefire();
+    if (!again.ok()) {
+      return again.status();
+    }
+    can_fire = again.value();
+  }
+
+  Duration cost = 0;
+  bool fired = false;
+  if (can_fire) {
+    actor->BeginFiring();
+    const auto host_start = std::chrono::steady_clock::now();
+    CWF_RETURN_NOT_OK(actor->Fire());
+    size_t emitted = 0;
+    CWF_RETURN_NOT_OK(FlushActorOutputs(actor, &emitted));
+    const size_t consumed = actor->firing_context().events_consumed;
+    if (clock_->is_virtual()) {
+      cost = cost_model_->FiringCost(actor->name(), consumed, emitted);
+      clock_->AdvanceBy(cost + cost_model_->scheduled_dispatch_overhead);
+    } else {
+      cost = std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - host_start)
+                 .count();
+    }
+    actor->IncrementFirings();
+    ++total_firings_;
+    fired = true;
+    stats_.OnFiring(actor, cost, consumed, emitted, clock_->Now());
+    auto cont = actor->Postfire();
+    if (!cont.ok()) {
+      return cont.status();
+    }
+    if (!cont.value()) {
+      MarkHalted(actor);
+    }
+  }
+  scheduler_->OnActorFired(actor, cost, fired);
+  return Status::OK();
+}
+
+Status SCWFDirector::Run(Timestamp until) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("SCWFDirector::Run before Initialize");
+  }
+  constexpr uint64_t kMaxIdleIterations = 1000000;
+  uint64_t idle_iterations = 0;
+  for (;;) {
+    // ---- one director iteration ----
+    scheduler_->OnIterationStart();
+    ++director_iterations_;
+    while (clock_->Now() <= until) {
+      CWF_RETURN_NOT_OK(FireTimeouts(clock_->Now()));
+      Actor* next = scheduler_->GetNextActor();
+      if (next == nullptr) {
+        break;
+      }
+      if (IsHalted(next)) {
+        // Drop its pending work so the scheduler does not spin on it.
+        while (scheduler_->PopWindow(next).has_value()) {
+        }
+        scheduler_->OnActorFired(next, 0, false);
+        continue;
+      }
+      CWF_RETURN_NOT_OK(DispatchActor(next));
+    }
+    scheduler_->OnIterationEnd();
+
+    if (clock_->Now() > until) {
+      break;
+    }
+    if (scheduler_->HasImmediateWork()) {
+      idle_iterations = 0;
+      continue;
+    }
+    if (scheduler_->TotalQueuedEvents() > 0) {
+      // Nothing ACTIVE yet but events remain queued (e.g. every quantum
+      // actor is WAITING): keep iterating — the policy's end-of-iteration
+      // maintenance (re-quantification, period release) will activate them.
+      if (++idle_iterations > kMaxIdleIterations) {
+        return Status::ResourceExhausted(
+            "scheduler '" + std::string(scheduler_->name()) +
+            "' made no progress over " + std::to_string(kMaxIdleIterations) +
+            " iterations with events queued");
+      }
+      continue;
+    }
+    idle_iterations = 0;
+    // Quiescent: advance (or wait) to the next timer if any.
+    const Timestamp next = NextWakeup();
+    if (next == Timestamp::Max() || next > until) {
+      break;
+    }
+    if (clock_->is_virtual()) {
+      if (next > clock_->Now()) {
+        clock_->AdvanceTo(next);
+      }
+    } else {
+      const Duration gap = next - clock_->Now();
+      if (gap > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min<Duration>(gap, Millis(10))));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cwf

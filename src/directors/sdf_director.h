@@ -1,0 +1,63 @@
+// Synchronous Dataflow (SDF) director.
+//
+// Solves the balance equations of the dataflow graph at initialization time
+// to obtain a repetition vector and a pre-compiled firing schedule — the
+// model of computation the paper assigns to sub-workflows whose consumption
+// and production rates are constant.
+//
+// Rates: a producer emits ProductionRate(port) events per firing on each
+// channel of that port; a consumer with a tuple-based window of step S on an
+// input port absorbs S events per window in steady state, so its per-firing
+// demand on that channel is ConsumptionRate(port) * S. Time- and wave-based
+// windows have data-dependent rates and are rejected (use DDF for those).
+
+#ifndef CONFLUENCE_DIRECTORS_SDF_DIRECTOR_H_
+#define CONFLUENCE_DIRECTORS_SDF_DIRECTOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/director.h"
+#include "window/windowed_receiver.h"
+
+namespace cwf {
+
+class SDFDirector : public Director {
+ public:
+  SDFDirector() = default;
+
+  const char* kind() const override { return "SDF"; }
+
+  Status Initialize(Workflow* workflow, Clock* clock,
+                    const CostModel* cost_model) override;
+
+  std::unique_ptr<Receiver> CreateReceiver(InputPort* port) override;
+
+  /// \brief Execute complete schedule iterations while data allows.
+  Status Run(Timestamp until) override;
+
+  /// \brief Repetitions of `actor` per schedule iteration.
+  Result<int64_t> Repetitions(const Actor* actor) const;
+
+  /// \brief The pre-compiled firing order (length = sum of repetitions).
+  const std::vector<Actor*>& schedule() const { return schedule_; }
+
+ private:
+  /// Solve the balance equations; fails on rate-inconsistent graphs.
+  Status SolveBalanceEquations();
+
+  /// Order the repetition vector into a sequential schedule via symbolic
+  /// token simulation; fails on deadlocked graphs.
+  Status CompileSchedule();
+
+  /// Per-firing event demand of the consumer side of a channel.
+  static int64_t ChannelDemand(const ChannelSpec& ch);
+
+  std::map<const Actor*, int64_t> repetitions_;
+  std::vector<Actor*> schedule_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_DIRECTORS_SDF_DIRECTOR_H_

@@ -1,0 +1,82 @@
+#include "directors/taxonomy.h"
+
+#include <sstream>
+
+namespace cwf {
+
+const std::vector<DirectorInfo>& DirectorTaxonomy() {
+  static const std::vector<DirectorInfo> kRows = {
+      // Kepler group
+      {"SDF", "Kepler", "Director: Topology-driven", "Pre-compiled",
+       "Pre-compiled", "N/A", "N/A", true},
+      {"DDF", "Kepler", "Push", "Data-driven",
+       "Iterative/Consumption Based", "N/A", "N/A", true},
+      {"PN", "Kepler", "Push", "Data-driven", "Thread/OS", "N/A", "N/A",
+       false},
+      {"DE", "Kepler", "Director: Event Queue", "Event-driven", "Event Order",
+       "Yes (global)", "N/A", false},
+      // PtolemyII group
+      {"CN", "PtolemyII", "Director: Topology-driven Push/Pull",
+       "Pre-compiled", "Pre-compiled", "Yes (global)", "N/A", false},
+      {"CI", "PtolemyII", "Push", "Data-driven", "Thread/OS", "N/A", "N/A",
+       false},
+      {"CSP", "PtolemyII", "Push Synchronous", "Data-driven", "Thread/OS",
+       "Yes (global)", "N/A", false},
+      {"DT", "PtolemyII", "Director: Topology-driven", "Pre-compiled",
+       "Pre-compiled", "Yes (global or local)", "N/A", false},
+      {"HDF", "PtolemyII", "Director: Topology-driven", "Pre-compiled",
+       "Multiple Pre-compiled", "N/A", "N/A", false},
+      {"SR", "PtolemyII", "Synchronous Reactive", "Pre-compiled",
+       "Pre-compiled", "Yes (global tick)", "N/A", false},
+      {"TM", "PtolemyII", "Director: Priority Queue", "Priority-based",
+       "Pre-emptive Priority-based", "N/A", "Priority", false},
+      {"TPN", "PtolemyII", "Push", "Data-Time-driven", "Thread/OS",
+       "Yes (global)", "N/A", false},
+      // CONFLuEnCE group
+      {"PNCWF", "CONFLuEnCE", "Push-Windowed", "Data-Windowed-driven",
+       "Thread/OS", "Yes (local)", "N/A", true},
+      {"SCWF", "CONFLuEnCE", "Push-Windowed", "Data-Windowed-driven",
+       "Pluggable (STAFiLOS)", "Yes (local)", "QoS via scheduler", true},
+  };
+  return kRows;
+}
+
+std::string RenderDirectorTaxonomy() {
+  const auto& rows = DirectorTaxonomy();
+  const std::vector<std::string> headers = {
+      "Director", "Group",      "Actor Interaction", "Computation Driver",
+      "Scheduling", "Time based", "QoS",              "In src/"};
+  std::vector<std::vector<std::string>> cells;
+  cells.push_back(headers);
+  for (const DirectorInfo& d : rows) {
+    cells.push_back({d.name, d.group, d.actor_interaction,
+                     d.computation_driver, d.scheduling, d.time_based, d.qos,
+                     d.implemented_here ? "yes" : "-"});
+  }
+  std::vector<size_t> widths(headers.size(), 0);
+  for (const auto& row : cells) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream oss;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t i = 0; i < cells[r].size(); ++i) {
+      oss << cells[r][i];
+      if (i + 1 < cells[r].size()) {
+        oss << std::string(widths[i] - cells[r][i].size() + 2, ' ');
+      }
+    }
+    oss << "\n";
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : widths) {
+        total += w + 2;
+      }
+      oss << std::string(total, '-') << "\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace cwf

@@ -1,0 +1,35 @@
+// The director taxonomy of the paper's Table 1: models of computation found
+// in Kepler (first group) and PtolemyII (second group), plus CONFLuEnCE's
+// PNCWF and STAFiLOS's SCWF. Exposed as a static registry so the table can
+// be regenerated programmatically (bench_table1_taxonomy) and so tooling can
+// reason about director capabilities.
+
+#ifndef CONFLUENCE_DIRECTORS_TAXONOMY_H_
+#define CONFLUENCE_DIRECTORS_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+namespace cwf {
+
+/// \brief One row of the taxonomy.
+struct DirectorInfo {
+  std::string name;
+  std::string group;                ///< "Kepler", "PtolemyII", "CONFLuEnCE"
+  std::string actor_interaction;    ///< push/pull style
+  std::string computation_driver;   ///< what drives computation
+  std::string scheduling;           ///< scheduling discipline
+  std::string time_based;           ///< notion of time
+  std::string qos;                  ///< QoS support
+  bool implemented_here = false;    ///< has a C++ implementation in src/
+};
+
+/// \brief All taxonomy rows, in the paper's order.
+const std::vector<DirectorInfo>& DirectorTaxonomy();
+
+/// \brief Render the taxonomy as an aligned text table.
+std::string RenderDirectorTaxonomy();
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_DIRECTORS_TAXONOMY_H_

@@ -1,0 +1,458 @@
+#include "lrb/actors.h"
+
+#include <map>
+#include <set>
+
+namespace cwf::lrb {
+namespace {
+
+using db::AggKind;
+using db::ColumnType;
+using db::Row;
+
+Token MakeAccidentToken(const PositionReport& a, const PositionReport& b) {
+  auto rec = std::make_shared<Record>();
+  rec->Set("time", Value(std::max(a.time, b.time)));
+  rec->Set("xway", Value(a.xway));
+  rec->Set("dir", Value(a.dir));
+  rec->Set("seg", Value(a.seg));
+  rec->Set("pos", Value(a.pos));
+  rec->Set("car1", Value(std::min(a.car, b.car)));
+  rec->Set("car2", Value(std::max(a.car, b.car)));
+  return Token(RecordPtr(std::move(rec)));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<db::Database>> CreateLRBDatabase() {
+  auto database = std::make_shared<db::Database>();
+
+  CWF_ASSIGN_OR_RETURN(
+      db::Table * stats,
+      database->CreateTable(
+          kTableSegmentStats,
+          db::Schema({{"xway", ColumnType::kInt64},
+                      {"dir", ColumnType::kInt64},
+                      {"seg", ColumnType::kInt64},
+                      {"lav", ColumnType::kDouble},
+                      {"cars", ColumnType::kInt64},
+                      {"minute", ColumnType::kInt64}})));
+  CWF_RETURN_NOT_OK(
+      stats->CreateIndex("pk_segment", {"xway", "dir", "seg"}, true));
+
+  CWF_ASSIGN_OR_RETURN(
+      db::Table * avg_speed,
+      database->CreateTable(
+          kTableSegmentAvgSpeed,
+          db::Schema({{"xway", ColumnType::kInt64},
+                      {"dir", ColumnType::kInt64},
+                      {"seg", ColumnType::kInt64},
+                      {"minute", ColumnType::kInt64},
+                      {"avg_speed", ColumnType::kDouble}})));
+  CWF_RETURN_NOT_OK(avg_speed->CreateIndex("idx_segment_minute",
+                                           {"xway", "dir", "seg"}, false));
+
+  CWF_ASSIGN_OR_RETURN(
+      db::Table * accidents,
+      database->CreateTable(
+          kTableAccidents,
+          db::Schema({{"xway", ColumnType::kInt64},
+                      {"dir", ColumnType::kInt64},
+                      {"seg", ColumnType::kInt64},
+                      {"pos", ColumnType::kInt64},
+                      {"car1", ColumnType::kInt64},
+                      {"car2", ColumnType::kInt64},
+                      {"timestamp", ColumnType::kInt64}})));
+  CWF_RETURN_NOT_OK(
+      accidents->CreateIndex("idx_xway_dir", {"xway", "dir"}, false));
+
+  return database;
+}
+
+Result<bool> AccidentInScope(db::Table* accidents, int64_t xway, int64_t dir,
+                             int64_t seg, int64_t since_seconds) {
+  // The paper's proximity predicate (its toll SQL): for dir==1 the car's
+  // segment lies in [accident, accident+4], i.e. the accident is in
+  // [seg-4, seg]; for dir==0 the accident is in [seg, seg+4] — four
+  // segments down the road — and registered within the last minute.
+  const int64_t lo = dir == 1 ? seg - kAccidentNotifySegments : seg;
+  const int64_t hi = dir == 1 ? seg : seg + kAccidentNotifySegments;
+  auto pred = db::And({db::Eq("xway", Value(xway)), db::Eq("dir", Value(dir)),
+                       db::Ge("seg", Value(lo)), db::Le("seg", Value(hi)),
+                       db::Ge("timestamp", Value(since_seconds))});
+  auto count = accidents->Aggregate(AggKind::kCount, "", pred);
+  if (!count.ok()) {
+    return count.status();
+  }
+  return count.value().AsInt() > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Accident detection and notification
+// ---------------------------------------------------------------------------
+
+StoppedCarDetector::StoppedCarDetector(std::string name)
+    : Actor(std::move(name)) {
+  in_ = AddInputPort(
+      "in", WindowSpec::Tuples(kStoppedReportCount, 1).GroupBy({kFieldCar}));
+  out_ = AddOutputPort("out");
+}
+
+Status StoppedCarDetector::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value() ||
+      w->size() < static_cast<size_t>(kStoppedReportCount)) {
+    return Status::OK();
+  }
+  const PositionReport first = PositionReport::FromToken(w->events[0].token);
+  if (first.lane == kExitLane) {
+    return Status::OK();
+  }
+  for (size_t i = 1; i < w->size(); ++i) {
+    const PositionReport r = PositionReport::FromToken(w->events[i].token);
+    if (r.pos != first.pos || r.lane != first.lane || r.xway != first.xway ||
+        r.dir != first.dir) {
+      return Status::OK();
+    }
+  }
+  // Stopped: forward the first of the four reports.
+  Send(out_, w->events[0].token);
+  return Status::OK();
+}
+
+AccidentDetector::AccidentDetector(std::string name) : Actor(std::move(name)) {
+  in_ = AddInputPort("in",
+                     WindowSpec::Tuples(2, 1).GroupBy(
+                         {kFieldXway, kFieldDir, kFieldSeg, kFieldPos}));
+  out_ = AddOutputPort("out");
+}
+
+Status AccidentDetector::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value() || w->size() < 2) {
+    return Status::OK();
+  }
+  const PositionReport a = PositionReport::FromToken(w->events[0].token);
+  const PositionReport b = PositionReport::FromToken(w->events[1].token);
+  if (a.car == b.car || a.lane == kExitLane || b.lane == kExitLane) {
+    return Status::OK();
+  }
+  Send(out_, MakeAccidentToken(a, b));
+  return Status::OK();
+}
+
+InsertAccident::InsertAccident(std::string name, db::Database* database)
+    : Actor(std::move(name)), database_(database) {
+  CWF_CHECK(database_ != nullptr);
+  in_ = AddInputPort("in");
+}
+
+Status InsertAccident::Initialize(ExecutionContext* ctx) {
+  CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+  CWF_ASSIGN_OR_RETURN(table_, database_->GetTable(kTableAccidents));
+  return Status::OK();
+}
+
+Status InsertAccident::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  for (const CWEvent& e : w->events) {
+    const RecordPtr& rec = e.token.AsRecord();
+    // Bookkeeping timestamp = detection time: the arrival of the report
+    // that closed the stopped-car window (the CWEvent envelope), not the
+    // 90-second-old first report inside it — otherwise the notifier's
+    // 60-second recency filter can never match.
+    const int64_t detected_at = std::max(
+        rec->GetOr("time", Value(int64_t{0})).AsInt(),
+        static_cast<int64_t>(e.timestamp.seconds()));
+    Row row = {rec->GetOr("xway", Value(0)), rec->GetOr("dir", Value(0)),
+               rec->GetOr("seg", Value(0)), rec->GetOr("pos", Value(0)),
+               rec->GetOr("car1", Value(0)), rec->GetOr("car2", Value(0)),
+               Value(detected_at)};
+    auto upserted =
+        table_->Upsert({"xway", "dir", "seg", "car1", "car2"}, std::move(row));
+    if (!upserted.ok()) {
+      return upserted.status();
+    }
+    if (!upserted.value()) {
+      ++recorded_;  // a genuinely new incident
+    }
+  }
+  return Status::OK();
+}
+
+AccidentNotifier::AccidentNotifier(std::string name, db::Database* database)
+    : Actor(std::move(name)), database_(database) {
+  CWF_CHECK(database_ != nullptr);
+  in_ = AddInputPort("in");
+  out_ = AddOutputPort("out");
+}
+
+Status AccidentNotifier::Initialize(ExecutionContext* ctx) {
+  CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+  CWF_ASSIGN_OR_RETURN(table_, database_->GetTable(kTableAccidents));
+  return Status::OK();
+}
+
+Status AccidentNotifier::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  for (const CWEvent& e : w->events) {
+    const PositionReport r = PositionReport::FromToken(e.token);
+    if (r.lane == kExitLane) {
+      continue;
+    }
+    auto hit = AccidentInScope(table_, r.xway, r.dir, r.seg, r.time - 60);
+    if (!hit.ok()) {
+      return hit.status();
+    }
+    if (hit.value()) {
+      auto rec = std::make_shared<Record>();
+      rec->Set("car", Value(r.car));
+      rec->Set("time", Value(r.time));
+      rec->Set("xway", Value(r.xway));
+      rec->Set("dir", Value(r.dir));
+      rec->Set("seg", Value(r.seg));
+      Send(out_, Token(RecordPtr(std::move(rec))));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Segment statistics
+// ---------------------------------------------------------------------------
+
+AvgsvActor::AvgsvActor(std::string name) : Actor(std::move(name)) {
+  in_ = AddInputPort(
+      "in", WindowSpec::Time(Seconds(60), Seconds(60))
+                .GroupBy({kFieldCar, kFieldXway, kFieldDir, kFieldSeg})
+                .DeleteUsedEvents(true));
+  out_ = AddOutputPort("out");
+}
+
+Status AvgsvActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value() || w->empty()) {
+    return Status::OK();
+  }
+  double sum = 0;
+  for (const CWEvent& e : w->events) {
+    sum += e.token.Field(kFieldSpeed).AsDouble();
+  }
+  const PositionReport r = PositionReport::FromToken(w->events[0].token);
+  auto rec = std::make_shared<Record>();
+  rec->Set("car", Value(r.car));
+  rec->Set("xway", Value(r.xway));
+  rec->Set("dir", Value(r.dir));
+  rec->Set("seg", Value(r.seg));
+  rec->Set("minute", Value(r.time / 60));
+  rec->Set("avg_speed", Value(sum / static_cast<double>(w->size())));
+  Send(out_, Token(RecordPtr(std::move(rec))));
+  return Status::OK();
+}
+
+AvgsActor::AvgsActor(std::string name, db::Database* database)
+    : Actor(std::move(name)), database_(database) {
+  CWF_CHECK(database_ != nullptr);
+  in_ = AddInputPort("in", WindowSpec::Time(Seconds(60), Seconds(60))
+                               .GroupBy({"xway", "dir", "seg"})
+                               .DeleteUsedEvents(true));
+  out_ = AddOutputPort("out");
+}
+
+Status AvgsActor::Initialize(ExecutionContext* ctx) {
+  CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+  CWF_ASSIGN_OR_RETURN(avg_table_, database_->GetTable(kTableSegmentAvgSpeed));
+  CWF_ASSIGN_OR_RETURN(stats_table_, database_->GetTable(kTableSegmentStats));
+  return Status::OK();
+}
+
+Status AvgsActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value() || w->empty()) {
+    return Status::OK();
+  }
+  double sum = 0;
+  int64_t minute = 0;
+  for (const CWEvent& e : w->events) {
+    sum += e.token.Field("avg_speed").AsDouble();
+    minute = std::max(minute, e.token.Field("minute").AsInt());
+  }
+  const double avg = sum / static_cast<double>(w->size());
+  const RecordPtr& first = w->events[0].token.AsRecord();
+  const int64_t xway = first->GetOr("xway", Value(0)).AsInt();
+  const int64_t dir = first->GetOr("dir", Value(0)).AsInt();
+  const int64_t seg = first->GetOr("seg", Value(0)).AsInt();
+
+  // Record this minute's segment average.
+  auto ins = avg_table_->Insert(
+      {Value(xway), Value(dir), Value(seg), Value(minute), Value(avg)});
+  if (!ins.ok()) {
+    return ins.status();
+  }
+
+  // LAV = average of the per-minute averages over the last five minutes.
+  auto lav = avg_table_->Aggregate(
+      AggKind::kAvg, "avg_speed",
+      db::And({db::Eq("xway", Value(xway)), db::Eq("dir", Value(dir)),
+               db::Eq("seg", Value(seg)),
+               db::Ge("minute", Value(minute - 4))}));
+  if (!lav.ok()) {
+    return lav.status();
+  }
+  const double lav_value = lav.value().is_null() ? avg : lav.value().AsDouble();
+
+  // Refresh segmentStatistics, keeping the existing car count.
+  auto existing = stats_table_->SelectOne(
+      db::And({db::Eq("xway", Value(xway)), db::Eq("dir", Value(dir)),
+               db::Eq("seg", Value(seg))}));
+  if (!existing.ok()) {
+    return existing.status();
+  }
+  const Value cars = existing.value().has_value() ? (*existing.value())[4]
+                                                  : Value(int64_t{0});
+  auto upsert = stats_table_->Upsert(
+      {"xway", "dir", "seg"},
+      {Value(xway), Value(dir), Value(seg), Value(lav_value), cars,
+       Value(minute)});
+  if (!upsert.ok()) {
+    return upsert.status();
+  }
+
+  auto rec = std::make_shared<Record>();
+  rec->Set("xway", Value(xway));
+  rec->Set("dir", Value(dir));
+  rec->Set("seg", Value(seg));
+  rec->Set("minute", Value(minute));
+  rec->Set("lav", Value(lav_value));
+  Send(out_, Token(RecordPtr(std::move(rec))));
+  return Status::OK();
+}
+
+CarCountActor::CarCountActor(std::string name, db::Database* database)
+    : Actor(std::move(name)), database_(database) {
+  CWF_CHECK(database_ != nullptr);
+  in_ = AddInputPort("in", WindowSpec::Time(Seconds(60), Seconds(60))
+                               .GroupBy({kFieldXway, kFieldDir, kFieldSeg})
+                               .DeleteUsedEvents(true));
+  out_ = AddOutputPort("out");
+}
+
+Status CarCountActor::Initialize(ExecutionContext* ctx) {
+  CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+  CWF_ASSIGN_OR_RETURN(stats_table_, database_->GetTable(kTableSegmentStats));
+  return Status::OK();
+}
+
+Status CarCountActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value() || w->empty()) {
+    return Status::OK();
+  }
+  std::set<int64_t> cars;
+  int64_t minute = 0;
+  for (const CWEvent& e : w->events) {
+    cars.insert(e.token.Field(kFieldCar).AsInt());
+    minute = std::max(minute, e.token.Field(kFieldTime).AsInt() / 60);
+  }
+  const PositionReport r = PositionReport::FromToken(w->events[0].token);
+  const int64_t count = static_cast<int64_t>(cars.size());
+
+  // Keep the existing LAV; refresh the car count of the (previous) minute.
+  auto existing = stats_table_->SelectOne(
+      db::And({db::Eq("xway", Value(r.xway)), db::Eq("dir", Value(r.dir)),
+               db::Eq("seg", Value(r.seg))}));
+  if (!existing.ok()) {
+    return existing.status();
+  }
+  const Value lav = existing.value().has_value() ? (*existing.value())[3]
+                                                 : Value(100.0);
+  auto upsert = stats_table_->Upsert(
+      {"xway", "dir", "seg"},
+      {Value(r.xway), Value(r.dir), Value(r.seg), lav, Value(count),
+       Value(minute)});
+  if (!upsert.ok()) {
+    return upsert.status();
+  }
+
+  auto rec = std::make_shared<Record>();
+  rec->Set("xway", Value(r.xway));
+  rec->Set("dir", Value(r.dir));
+  rec->Set("seg", Value(r.seg));
+  rec->Set("minute", Value(minute));
+  rec->Set("cars", Value(count));
+  Send(out_, Token(RecordPtr(std::move(rec))));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Toll calculation
+// ---------------------------------------------------------------------------
+
+TollCalculator::TollCalculator(std::string name, db::Database* database)
+    : Actor(std::move(name)), database_(database) {
+  CWF_CHECK(database_ != nullptr);
+  in_ = AddInputPort("in", WindowSpec::Tuples(2, 1).GroupBy({kFieldCar}));
+  out_ = AddOutputPort("out");
+}
+
+Status TollCalculator::Initialize(ExecutionContext* ctx) {
+  CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+  CWF_ASSIGN_OR_RETURN(stats_table_, database_->GetTable(kTableSegmentStats));
+  CWF_ASSIGN_OR_RETURN(accidents_table_,
+                       database_->GetTable(kTableAccidents));
+  return Status::OK();
+}
+
+Status TollCalculator::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value() || w->size() < 2) {
+    return Status::OK();
+  }
+  const PositionReport prev = PositionReport::FromToken(w->events[0].token);
+  const PositionReport curr = PositionReport::FromToken(w->events[1].token);
+  if (prev.seg == curr.seg && prev.xway == curr.xway &&
+      prev.dir == curr.dir) {
+    return Status::OK();  // toll is initiated only on a segment switch
+  }
+
+  // The paper's toll SQL against segmentStatistics + accidentInSegment.
+  auto row = stats_table_->SelectOne(
+      db::And({db::Eq("xway", Value(curr.xway)), db::Eq("dir", Value(curr.dir)),
+               db::Eq("seg", Value(curr.seg))}));
+  if (!row.ok()) {
+    return row.status();
+  }
+  double lav = 100.0;
+  int64_t cars = 0;
+  if (row.value().has_value()) {
+    const Row& r = *row.value();
+    lav = r[3].is_null() ? 100.0 : r[3].AsDouble();
+    cars = r[4].is_null() ? 0 : r[4].AsInt();
+  }
+  auto accident =
+      AccidentInScope(accidents_table_, curr.xway, curr.dir, curr.seg,
+                      curr.time - 60);
+  if (!accident.ok()) {
+    return accident.status();
+  }
+  const double toll = ComputeToll(lav, cars, accident.value());
+  ++tolls_;
+
+  auto rec = std::make_shared<Record>();
+  rec->Set("car", Value(curr.car));
+  rec->Set("time", Value(curr.time));
+  rec->Set("xway", Value(curr.xway));
+  rec->Set("dir", Value(curr.dir));
+  rec->Set("seg", Value(curr.seg));
+  rec->Set("toll", Value(toll));
+  Send(out_, Token(RecordPtr(std::move(rec))));
+  return Status::OK();
+}
+
+}  // namespace cwf::lrb

@@ -1,0 +1,140 @@
+#include "lrb/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cwf::lrb {
+namespace {
+
+constexpr double kFeetPerSecPerMph = 5280.0 / 3600.0;
+
+struct Car {
+  int64_t id;
+  int64_t xway;
+  int64_t dir;
+  int64_t lane;
+  double pos;    // feet
+  double speed;  // mph
+  int64_t next_report;
+  int64_t stopped_until = -1;  // -1: moving
+  double resume_speed = 0;
+};
+
+}  // namespace
+
+Generator::Generator(GeneratorOptions options) : options_(options) {}
+
+double Generator::TargetRate(double t_seconds) const {
+  return std::min(options_.max_rate,
+                  options_.initial_rate +
+                      options_.rate_slope_per_sec * t_seconds);
+}
+
+Trace Generator::Generate() {
+  Rng rng(options_.seed);
+  report_ = GeneratorReport();
+  Trace trace;
+
+  const int64_t duration_s = options_.duration / Seconds(1);
+  const int num_xways = std::max<int>(1, static_cast<int>(options_.l_rating));
+  const int num_dirs = options_.l_rating < 1.0 ? 1 : 2;
+
+  std::vector<Car> cars;
+  int64_t next_car_id = 1;
+  double accident_countdown = rng.NextExponential(options_.mean_accident_gap);
+
+  for (int64_t t = 0; t < duration_s; ++t) {
+    // --- keep the fleet sized so the report rate tracks the ramp ---
+    const size_t target_cars = static_cast<size_t>(
+        TargetRate(static_cast<double>(t)) *
+        static_cast<double>(kReportIntervalSeconds));
+    while (cars.size() < target_cars) {
+      Car car;
+      car.id = next_car_id++;
+      car.xway = static_cast<int64_t>(rng.NextBounded(num_xways));
+      car.dir = static_cast<int64_t>(rng.NextBounded(num_dirs));
+      car.lane = rng.NextInRange(1, 3);
+      // Enter at a random segment so traffic covers the expressway from the
+      // start of the run.
+      car.pos = static_cast<double>(
+          rng.NextInRange(0, kSegmentsPerXway * kFeetPerSegment - 1));
+      car.speed = std::clamp(
+          rng.NextGaussian(options_.mean_speed, options_.speed_stddev), 10.0,
+          100.0);
+      car.next_report = t + rng.NextInRange(0, kReportIntervalSeconds - 1);
+      cars.push_back(car);
+      ++report_.cars_spawned;
+    }
+
+    // --- occasionally crash a pair of cars ---
+    accident_countdown -= 1.0;
+    if (accident_countdown <= 0 && cars.size() >= 2) {
+      accident_countdown = rng.NextExponential(options_.mean_accident_gap);
+      const size_t a = rng.NextBounded(cars.size());
+      size_t b = rng.NextBounded(cars.size());
+      if (b == a) {
+        b = (b + 1) % cars.size();
+      }
+      Car& first = cars[a];
+      Car& second = cars[b];
+      if (first.stopped_until < 0 && second.stopped_until < 0) {
+        // Park the second car exactly on top of the first (same xway,
+        // direction, lane, position) — the accident-detection window keys
+        // on identical positions of distinct cars.
+        second.xway = first.xway;
+        second.dir = first.dir;
+        second.lane = first.lane;
+        second.pos = first.pos;
+        first.resume_speed = first.speed;
+        second.resume_speed = second.speed;
+        first.speed = 0;
+        second.speed = 0;
+        first.stopped_until = t + options_.accident_duration;
+        second.stopped_until = t + options_.accident_duration;
+        ++report_.accidents_injected;
+      }
+    }
+
+    // --- reports and movement ---
+    for (Car& car : cars) {
+      if (car.stopped_until >= 0 && t >= car.stopped_until) {
+        car.stopped_until = -1;
+        car.speed = car.resume_speed;
+      }
+      if (t >= car.next_report) {
+        PositionReport pr;
+        pr.time = t;
+        pr.car = car.id;
+        pr.speed = car.speed;
+        pr.xway = car.xway;
+        pr.lane = car.lane;
+        pr.dir = car.dir;
+        pr.pos = static_cast<int64_t>(car.pos);
+        pr.seg = pr.pos / kFeetPerSegment;
+        const Timestamp arrival =
+            Timestamp::Seconds(static_cast<double>(t) + rng.NextDouble());
+        trace.Add(arrival, pr.ToToken());
+        ++report_.position_reports;
+        car.next_report += kReportIntervalSeconds;
+      }
+      if (car.stopped_until < 0) {
+        car.pos += car.speed * kFeetPerSecPerMph;
+      }
+    }
+
+    // --- retire cars that left the expressway ---
+    cars.erase(
+        std::remove_if(cars.begin(), cars.end(),
+                       [](const Car& c) {
+                         return c.pos >=
+                                static_cast<double>(kSegmentsPerXway *
+                                                    kFeetPerSegment);
+                       }),
+        cars.end());
+  }
+
+  trace.Sort();
+  return trace;
+}
+
+}  // namespace cwf::lrb

@@ -1,0 +1,77 @@
+// Linear Road workload generator.
+//
+// Substitutes the MIT/Brandeis generator the paper downloads from the
+// Linear Road website: a deterministic (seeded) car simulator for L = 0.5
+// expressways producing the paper's Figure-5 workload shape — the input
+// rate ramps from ~20 to ~200 position reports per second over a
+// 600-second run. Cars enter the expressway, report their position every
+// 30 seconds, travel at gaussian-distributed speeds, and occasionally crash
+// in pairs (both cars emit identical stopped positions for several reports,
+// which is exactly what the workflow's stopped-car / accident-detection
+// windows look for).
+
+#ifndef CONFLUENCE_LRB_GENERATOR_H_
+#define CONFLUENCE_LRB_GENERATOR_H_
+
+#include "common/rng.h"
+#include "lrb/types.h"
+#include "stream/trace.h"
+
+namespace cwf::lrb {
+
+/// \brief Generator parameters (defaults reproduce the paper's Table 3 /
+/// Figure 5 setup).
+struct GeneratorOptions {
+  /// Expressway rating; 0.5 = one expressway, one direction.
+  double l_rating = 0.5;
+  /// Experiment duration.
+  Duration duration = Seconds(600);
+  /// Input rate ramp: rate(t) = initial + slope * t (reports/second),
+  /// capped at max_rate. Defaults match Figure 5 (≈20 at t=0, ≈160 at
+  /// 440 s, capped near 200).
+  double initial_rate = 20.0;
+  double rate_slope_per_sec = 0.32;
+  double max_rate = 200.0;
+  /// Mean car speed in mph (gaussian, clamped to [10, 100]).
+  double mean_speed = 60.0;
+  double speed_stddev = 15.0;
+  /// Mean seconds between accident injections across the expressway.
+  double mean_accident_gap = 90.0;
+  /// How long a crashed car pair stays stopped (seconds). Linear Road
+  /// crashes block traffic for many minutes; 300 s keeps the accident
+  /// "fresh" for the notifier's 60-second recency filter despite the
+  /// detection lag of the 4-report stopped-car window.
+  int64_t accident_duration = 300;
+  /// PRNG seed (runs are bit-reproducible per seed).
+  uint64_t seed = 42;
+};
+
+/// \brief Summary of what a generated trace contains.
+struct GeneratorReport {
+  size_t position_reports = 0;
+  size_t cars_spawned = 0;
+  size_t accidents_injected = 0;
+};
+
+/// \brief The car simulator.
+class Generator {
+ public:
+  explicit Generator(GeneratorOptions options = {});
+
+  /// \brief Produce the full position-report trace (sorted by arrival).
+  Trace Generate();
+
+  /// \brief Statistics of the last Generate() call.
+  const GeneratorReport& report() const { return report_; }
+
+  /// \brief The target input rate at time `t` (for Figure 5).
+  double TargetRate(double t_seconds) const;
+
+ private:
+  GeneratorOptions options_;
+  GeneratorReport report_;
+};
+
+}  // namespace cwf::lrb
+
+#endif  // CONFLUENCE_LRB_GENERATOR_H_

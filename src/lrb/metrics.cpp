@@ -1,0 +1,123 @@
+#include "lrb/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cwf::lrb {
+
+void ResponseTimeSeries::Record(Timestamp event_ts, Timestamp completed_at) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back({event_ts, completed_at});
+}
+
+size_t ResponseTimeSeries::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+double ResponseTimeSeries::OverallAvgSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (const Sample& s : samples_) {
+    sum += static_cast<double>(s.completed_at - s.event_ts);
+  }
+  return sum / static_cast<double>(samples_.size()) / 1e6;
+}
+
+double ResponseTimeSeries::MaxSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Duration max_d = 0;
+  for (const Sample& s : samples_) {
+    max_d = std::max(max_d, s.completed_at - s.event_ts);
+  }
+  return static_cast<double>(max_d) / 1e6;
+}
+
+double ResponseTimeSeries::PercentileSeconds(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) {
+    return 0;
+  }
+  std::vector<Duration> durations;
+  durations.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    durations.push_back(s.completed_at - s.event_ts);
+  }
+  std::sort(durations.begin(), durations.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(durations.size() - 1);
+  return static_cast<double>(durations[static_cast<size_t>(rank)]) / 1e6;
+}
+
+double ResponseTimeSeries::FractionUnder(Duration target) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) {
+    return 1.0;
+  }
+  size_t under = 0;
+  for (const Sample& s : samples_) {
+    if (s.completed_at - s.event_ts <= target) {
+      ++under;
+    }
+  }
+  return static_cast<double>(under) / static_cast<double>(samples_.size());
+}
+
+std::vector<ResponseTimeSeries::Point> ResponseTimeSeries::Series(
+    Duration bucket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Point> out;
+  if (samples_.empty() || bucket <= 0) {
+    return out;
+  }
+  Timestamp end{0};
+  for (const Sample& s : samples_) {
+    if (s.completed_at > end) {
+      end = s.completed_at;
+    }
+  }
+  const size_t buckets = static_cast<size_t>(end.micros() / bucket) + 1;
+  std::vector<double> sums(buckets, 0);
+  std::vector<double> maxes(buckets, 0);
+  std::vector<size_t> counts(buckets, 0);
+  for (const Sample& s : samples_) {
+    const size_t b = static_cast<size_t>(s.completed_at.micros() / bucket);
+    const double resp = static_cast<double>(s.completed_at - s.event_ts) / 1e6;
+    sums[b] += resp;
+    maxes[b] = std::max(maxes[b], resp);
+    ++counts[b];
+  }
+  for (size_t b = 0; b < buckets; ++b) {
+    if (counts[b] == 0) {
+      continue;
+    }
+    out.push_back({static_cast<double>(b) * static_cast<double>(bucket) / 1e6,
+                   sums[b] / static_cast<double>(counts[b]), maxes[b],
+                   counts[b]});
+  }
+  return out;
+}
+
+OutputActor::OutputActor(std::string name, ResponseTimeSeries* series)
+    : Actor(std::move(name)), series_(series) {
+  CWF_CHECK(series_ != nullptr);
+  in_ = AddInputPort("in");
+}
+
+Status OutputActor::Fire() {
+  std::optional<Window> w = in_->Get();
+  if (!w.has_value()) {
+    return Status::OK();
+  }
+  const Timestamp now = ctx_->clock->Now();
+  for (const CWEvent& e : w->events) {
+    series_->Record(e.timestamp, now);
+    ++notifications_;
+  }
+  return Status::OK();
+}
+
+}  // namespace cwf::lrb

@@ -1,0 +1,81 @@
+// Response-time instrumentation for QoS evaluation.
+//
+// The paper's figures plot the response time observed at the
+// TollNotification output actor over the run: response time of a result is
+// the engine time at which the output actor consumes it minus the arrival
+// timestamp of the external event (position report) it answers.
+
+#ifndef CONFLUENCE_LRB_METRICS_H_
+#define CONFLUENCE_LRB_METRICS_H_
+
+#include <mutex>
+#include <vector>
+
+#include "core/actor.h"
+
+namespace cwf::lrb {
+
+/// \brief A recorded series of (event arrival, completion) pairs with
+/// time-bucketed aggregation. Thread-safe.
+class ResponseTimeSeries {
+ public:
+  void Record(Timestamp event_ts, Timestamp completed_at);
+
+  size_t count() const;
+
+  /// \brief Mean response time over the whole run, in seconds.
+  double OverallAvgSeconds() const;
+
+  /// \brief Maximum response time, in seconds.
+  double MaxSeconds() const;
+
+  /// \brief p-th percentile (0..100) response time in seconds.
+  double PercentileSeconds(double p) const;
+
+  /// \brief Fraction of results produced within `target` (QoS delay-target
+  /// metric).
+  double FractionUnder(Duration target) const;
+
+  /// \brief One point of the response-time-vs-time curve.
+  struct Point {
+    double t_seconds;        ///< bucket start (completion-time axis)
+    double avg_response_s;   ///< mean response time in the bucket
+    double max_response_s;   ///< max response time in the bucket
+    size_t n;                ///< results in the bucket
+  };
+
+  /// \brief The curve the paper's Figures 6–8 plot, bucketed by completion
+  /// time.
+  std::vector<Point> Series(Duration bucket) const;
+
+ private:
+  struct Sample {
+    Timestamp event_ts;
+    Timestamp completed_at;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Sample> samples_;
+};
+
+/// \brief Terminal output actor that records response times (the paper's
+/// TollNotification / AccidentNotificationOut measurement points).
+class OutputActor : public Actor {
+ public:
+  OutputActor(std::string name, ResponseTimeSeries* series);
+
+  InputPort* in() const { return in_; }
+
+  Status Fire() override;
+
+  uint64_t notifications() const { return notifications_; }
+
+ private:
+  ResponseTimeSeries* series_;
+  InputPort* in_;
+  uint64_t notifications_ = 0;
+};
+
+}  // namespace cwf::lrb
+
+#endif  // CONFLUENCE_LRB_METRICS_H_

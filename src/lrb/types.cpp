@@ -1,0 +1,50 @@
+#include "lrb/types.h"
+
+#include <sstream>
+
+namespace cwf::lrb {
+
+Token PositionReport::ToToken() const {
+  auto rec = std::make_shared<Record>();
+  rec->Set(kFieldTime, Value(time));
+  rec->Set(kFieldCar, Value(car));
+  rec->Set(kFieldSpeed, Value(speed));
+  rec->Set(kFieldXway, Value(xway));
+  rec->Set(kFieldLane, Value(lane));
+  rec->Set(kFieldDir, Value(dir));
+  rec->Set(kFieldSeg, Value(seg));
+  rec->Set(kFieldPos, Value(pos));
+  return Token(RecordPtr(std::move(rec)));
+}
+
+PositionReport PositionReport::FromToken(const Token& token) {
+  PositionReport r;
+  r.time = token.Field(kFieldTime).AsInt();
+  r.car = token.Field(kFieldCar).AsInt();
+  r.speed = token.Field(kFieldSpeed).AsDouble();
+  r.xway = token.Field(kFieldXway).AsInt();
+  r.lane = token.Field(kFieldLane).AsInt();
+  r.dir = token.Field(kFieldDir).AsInt();
+  r.seg = token.Field(kFieldSeg).AsInt();
+  r.pos = token.Field(kFieldPos).AsInt();
+  return r;
+}
+
+std::string PositionReport::ToString() const {
+  std::ostringstream oss;
+  oss << "PR(t=" << time << " car=" << car << " v=" << speed
+      << " xway=" << xway << " lane=" << lane << " dir=" << dir
+      << " seg=" << seg << " pos=" << pos << ")";
+  return oss.str();
+}
+
+double ComputeToll(double lav, int64_t cars, bool accident_in_scope) {
+  if (lav < kTollLavThreshold && cars > kTollCarsThreshold &&
+      !accident_in_scope) {
+    const double excess = static_cast<double>(cars - kTollCarsThreshold);
+    return 2.0 * excess * excess;
+  }
+  return 0.0;
+}
+
+}  // namespace cwf::lrb

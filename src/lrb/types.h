@@ -1,0 +1,69 @@
+// Linear Road benchmark: tuple types and constants.
+//
+// Linear Road (Arasu et al., VLDB 2004) simulates variable tolling on the
+// expressways of a fictional metropolitan area. Following the paper, only
+// the stream-processing aspect is implemented (historical queries are
+// excluded): a single feed of car position reports drives accident
+// detection/notification, per-segment statistics and toll
+// calculation/notification.
+
+#ifndef CONFLUENCE_LRB_TYPES_H_
+#define CONFLUENCE_LRB_TYPES_H_
+
+#include <string>
+
+#include "core/token.h"
+
+namespace cwf::lrb {
+
+// Field names of the position-report record.
+inline constexpr const char* kFieldTime = "time";   // seconds since start
+inline constexpr const char* kFieldCar = "car";     // car id
+inline constexpr const char* kFieldSpeed = "speed"; // mph
+inline constexpr const char* kFieldXway = "xway";   // expressway id
+inline constexpr const char* kFieldLane = "lane";   // 0..4 (4 = exit lane)
+inline constexpr const char* kFieldDir = "dir";     // 0 = east, 1 = west
+inline constexpr const char* kFieldSeg = "seg";     // segment (mile) 0..99
+inline constexpr const char* kFieldPos = "pos";     // feet from west end
+
+// Benchmark constants.
+inline constexpr int kSegmentsPerXway = 100;
+inline constexpr int kFeetPerSegment = 5280;
+inline constexpr int kExitLane = 4;
+inline constexpr int64_t kReportIntervalSeconds = 30;
+/// A car reporting the same position this many consecutive times is stopped.
+inline constexpr int kStoppedReportCount = 4;
+/// Accident notifications cover this many segments upstream of the crash.
+inline constexpr int kAccidentNotifySegments = 4;
+/// Toll formula thresholds (from the paper's SQL).
+inline constexpr double kTollLavThreshold = 40.0;
+inline constexpr int64_t kTollCarsThreshold = 50;
+
+/// \brief A decoded position report.
+struct PositionReport {
+  int64_t time = 0;  ///< seconds since run start
+  int64_t car = 0;
+  double speed = 0;
+  int64_t xway = 0;
+  int64_t lane = 0;
+  int64_t dir = 0;
+  int64_t seg = 0;
+  int64_t pos = 0;
+
+  /// \brief Encode as a record token.
+  Token ToToken() const;
+
+  /// \brief Decode from a record token (CHECK-fails on malformed tokens).
+  static PositionReport FromToken(const Token& token);
+
+  std::string ToString() const;
+};
+
+/// \brief Toll formula of the benchmark:
+/// 2 * (cars - 50)^2 when LAV < 40 mph, more than 50 cars, and no accident
+/// in scope; 0 otherwise.
+double ComputeToll(double lav, int64_t cars, bool accident_in_scope);
+
+}  // namespace cwf::lrb
+
+#endif  // CONFLUENCE_LRB_TYPES_H_

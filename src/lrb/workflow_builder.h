@@ -1,0 +1,53 @@
+// Assembles the continuous-workflow implementation of Linear Road
+// (paper Figure 10): a single position-report feed fanned out to the three
+// areas — accident detection/notification, segment statistics, toll
+// calculation/notification — with the accident-detection pipeline packaged
+// as a second-level sub-workflow under a DDF director (the paper's
+// two-level hierarchy).
+
+#ifndef CONFLUENCE_LRB_WORKFLOW_BUILDER_H_
+#define CONFLUENCE_LRB_WORKFLOW_BUILDER_H_
+
+#include <memory>
+
+#include "core/workflow.h"
+#include "lrb/actors.h"
+#include "lrb/metrics.h"
+#include "stafilos/abstract_scheduler.h"
+#include "stream/stream_source.h"
+
+namespace cwf::lrb {
+
+/// \brief The built application: workflow + side-store + instrumentation.
+struct LRBApplication {
+  std::unique_ptr<Workflow> workflow;
+  std::shared_ptr<db::Database> database;
+  std::unique_ptr<ResponseTimeSeries> toll_series;
+  std::unique_ptr<ResponseTimeSeries> accident_series;
+
+  // Not owned (owned by the workflow):
+  StreamSourceActor* source = nullptr;
+  OutputActor* toll_notification = nullptr;
+  OutputActor* accident_notification_out = nullptr;
+  TollCalculator* toll_calculator = nullptr;
+  InsertAccident* insert_accident = nullptr;
+};
+
+/// \brief Build the LRB workflow reading from `feed`.
+///
+/// `hierarchical` packages stopped-car + accident detection into a
+/// CompositeActor with an inner DDF director (the paper's structure);
+/// `false` flattens them to top-level actors (used by the structure
+/// ablation).
+Result<LRBApplication> BuildLRBApplication(PushChannelPtr feed,
+                                           bool hierarchical = true);
+
+/// \brief Assign the paper's Table-3 QBS priorities: 5 for the actors
+/// handling immediate output (TollCalculation, TollNotification,
+/// AccidentNotification, AccidentNotificationOut), 10 for statistics
+/// maintenance and accident detection.
+void ApplyLRBPriorities(AbstractScheduler* scheduler);
+
+}  // namespace cwf::lrb
+
+#endif  // CONFLUENCE_LRB_WORKFLOW_BUILDER_H_

@@ -1,0 +1,99 @@
+#include "multi/connection_controller.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cwf {
+
+Status ConnectionController::Register(std::unique_ptr<Manager> manager) {
+  CWF_CHECK(manager != nullptr);
+  if (Find(manager->name()).ok()) {
+    return Status::AlreadyExists("workflow '" + manager->name() +
+                                 "' already registered");
+  }
+  managers_.push_back(std::move(manager));
+  return Status::OK();
+}
+
+Status ConnectionController::Remove(const std::string& name) {
+  auto it = std::find_if(managers_.begin(), managers_.end(),
+                         [&](const std::unique_ptr<Manager>& m) {
+                           return m->name() == name;
+                         });
+  if (it == managers_.end()) {
+    return Status::NotFound("no workflow '" + name + "'");
+  }
+  if ((*it)->state() != ManagerState::kStopped) {
+    return Status::FailedPrecondition("workflow '" + name +
+                                      "' must be stopped before removal");
+  }
+  managers_.erase(it);
+  return Status::OK();
+}
+
+Result<Manager*> ConnectionController::Find(const std::string& name) const {
+  for (const auto& m : managers_) {
+    if (m->name() == name) {
+      return m.get();
+    }
+  }
+  return Status::NotFound("no workflow '" + name + "'");
+}
+
+std::vector<Manager*> ConnectionController::Managers() const {
+  std::vector<Manager*> out;
+  out.reserve(managers_.size());
+  for (const auto& m : managers_) {
+    out.push_back(m.get());
+  }
+  return out;
+}
+
+Result<std::string> ConnectionController::Execute(
+    const std::string& command_line) {
+  std::istringstream iss(command_line);
+  std::string verb;
+  iss >> verb;
+  if (verb.empty()) {
+    return Status::InvalidArgument("empty command");
+  }
+  if (verb == "list") {
+    std::ostringstream oss;
+    for (const auto& m : managers_) {
+      oss << m->name() << " " << ManagerStateName(m->state()) << "\n";
+    }
+    return oss.str();
+  }
+  std::string name;
+  iss >> name;
+  if (name.empty()) {
+    return Status::InvalidArgument("command '" + verb +
+                                   "' requires a workflow name");
+  }
+  if (verb == "remove") {
+    CWF_RETURN_NOT_OK(Remove(name));
+    return std::string("removed " + name);
+  }
+  CWF_ASSIGN_OR_RETURN(Manager * manager, Find(name));
+  if (verb == "status") {
+    std::ostringstream oss;
+    oss << manager->name() << " " << ManagerStateName(manager->state())
+        << " cpu_used=" << manager->cpu_time_used() << "us";
+    return oss.str();
+  }
+  if (verb == "pause") {
+    CWF_RETURN_NOT_OK(manager->Pause());
+    return std::string("paused " + name);
+  }
+  if (verb == "resume") {
+    CWF_RETURN_NOT_OK(manager->Resume());
+    return std::string("resumed " + name);
+  }
+  if (verb == "stop") {
+    CWF_RETURN_NOT_OK(manager->Stop());
+    return std::string("stopped " + name);
+  }
+  return Status::InvalidArgument("unknown command '" + verb + "'");
+}
+
+}  // namespace cwf

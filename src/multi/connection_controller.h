@@ -1,0 +1,53 @@
+// The ConnectionController: external control of multiple running workflows.
+//
+// "When Kepler/Confluence is started in multi-workflow mode the
+// ConnectionController is instantiated and is listening for commands to
+// manage running workflows as well as add and remove them from the running
+// list." This implementation exposes the same command protocol over an
+// in-process string interface (a network front-end would forward lines to
+// Execute()).
+
+#ifndef CONFLUENCE_MULTI_CONNECTION_CONTROLLER_H_
+#define CONFLUENCE_MULTI_CONNECTION_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "multi/global_scheduler.h"
+
+namespace cwf {
+
+/// \brief Command console for the multi-workflow runtime.
+///
+/// Commands: `list` | `status <wf>` | `pause <wf>` | `resume <wf>` |
+/// `stop <wf>` | `remove <wf>`. Workflows are registered programmatically
+/// via Register() (an `add` over the wire would deserialize a workflow
+/// spec, which is out of scope here).
+class ConnectionController {
+ public:
+  ConnectionController() = default;
+
+  /// \brief Take ownership of a managed workflow and make it addressable by
+  /// name.
+  Status Register(std::unique_ptr<Manager> manager);
+
+  /// \brief Remove a stopped workflow from the running list.
+  Status Remove(const std::string& name);
+
+  /// \brief Look up a managed workflow.
+  Result<Manager*> Find(const std::string& name) const;
+
+  /// \brief Parse and execute one command line; returns the reply text.
+  Result<std::string> Execute(const std::string& command_line);
+
+  /// \brief All managed workflows (for the global scheduler).
+  std::vector<Manager*> Managers() const;
+
+ private:
+  std::vector<std::unique_ptr<Manager>> managers_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_MULTI_CONNECTION_CONTROLLER_H_

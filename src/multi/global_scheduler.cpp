@@ -1,0 +1,65 @@
+#include "multi/global_scheduler.h"
+
+namespace cwf {
+
+GlobalScheduler::GlobalScheduler(Options options) : options_(options) {}
+
+void GlobalScheduler::AddManager(Manager* manager, double weight) {
+  CWF_CHECK(manager != nullptr);
+  CWF_CHECK_MSG(weight > 0, "capacity weight must be positive");
+  slots_.push_back({manager, weight});
+}
+
+Duration GlobalScheduler::QuantumFor(const Slot& slot) const {
+  switch (options_.policy) {
+    case CapacityPolicy::kEqualShare:
+      return options_.base_quantum;
+    case CapacityPolicy::kWeightedShare:
+      return static_cast<Duration>(
+          static_cast<double>(options_.base_quantum) * slot.weight);
+  }
+  return options_.base_quantum;
+}
+
+Status GlobalScheduler::Run(Clock* clock, Timestamp until) {
+  CWF_CHECK(clock != nullptr);
+  for (;;) {
+    if (clock->Now() >= until) {
+      break;
+    }
+    bool progressed = false;
+    for (Slot& slot : slots_) {
+      if (clock->Now() >= until) {
+        break;
+      }
+      if (!slot.manager->HasPendingWork()) {
+        continue;
+      }
+      ++turns_;
+      CWF_RETURN_NOT_OK(slot.manager->RunSlice(QuantumFor(slot)));
+      progressed = true;
+    }
+    if (progressed) {
+      continue;
+    }
+    // Nothing runnable now: jump to the earliest wakeup of any workflow.
+    Timestamp next = Timestamp::Max();
+    for (const Slot& slot : slots_) {
+      const Timestamp w = slot.manager->NextWakeup();
+      if (w < next) {
+        next = w;
+      }
+    }
+    if (next == Timestamp::Max() || next > until || !clock->is_virtual()) {
+      break;
+    }
+    if (next > clock->Now()) {
+      clock->AdvanceTo(next);
+    } else {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cwf

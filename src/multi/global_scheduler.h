@@ -1,0 +1,62 @@
+// The top level of the two-level multi-CWf scheduling design (paper §5).
+//
+// Each workflow's director runs its own local scheduler; the global
+// scheduler distributes CPU capacity across workflow instances by
+// allocating execution quanta to their Managers according to a capacity
+// distribution policy.
+
+#ifndef CONFLUENCE_MULTI_GLOBAL_SCHEDULER_H_
+#define CONFLUENCE_MULTI_GLOBAL_SCHEDULER_H_
+
+#include <vector>
+
+#include "multi/manager.h"
+
+namespace cwf {
+
+/// \brief CPU capacity distribution policies.
+enum class CapacityPolicy {
+  kEqualShare,     ///< identical quantum for every running workflow
+  kWeightedShare,  ///< quantum proportional to workflow weight
+};
+
+/// \brief Global-scheduler tuning knobs.
+struct GlobalSchedulerOptions {
+  CapacityPolicy policy = CapacityPolicy::kEqualShare;
+  /// Base CPU quantum per turn, in microseconds.
+  Duration base_quantum = 10000;
+};
+
+/// \brief Round-robin allocator of CPU quanta over workflow Managers.
+class GlobalScheduler {
+ public:
+  using Options = GlobalSchedulerOptions;
+
+  explicit GlobalScheduler(Options options = {});
+
+  /// \brief Register a managed workflow with a capacity weight.
+  void AddManager(Manager* manager, double weight = 1.0);
+
+  /// \brief Drive all running workflows until the shared clock passes
+  /// `until` or everything drains.
+  Status Run(Clock* clock, Timestamp until);
+
+  /// \brief Number of allocation turns taken so far.
+  uint64_t turns() const { return turns_; }
+
+ private:
+  struct Slot {
+    Manager* manager;
+    double weight;
+  };
+
+  Duration QuantumFor(const Slot& slot) const;
+
+  Options options_;
+  std::vector<Slot> slots_;
+  uint64_t turns_ = 0;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_MULTI_GLOBAL_SCHEDULER_H_

@@ -1,0 +1,86 @@
+#include "multi/manager.h"
+
+namespace cwf {
+
+const char* ManagerStateName(ManagerState state) {
+  switch (state) {
+    case ManagerState::kCreated:
+      return "CREATED";
+    case ManagerState::kRunning:
+      return "RUNNING";
+    case ManagerState::kPaused:
+      return "PAUSED";
+    case ManagerState::kStopped:
+      return "STOPPED";
+  }
+  return "?";
+}
+
+Manager::Manager(std::string name, std::unique_ptr<Workflow> workflow,
+                 std::unique_ptr<Director> director)
+    : name_(std::move(name)),
+      workflow_(std::move(workflow)),
+      director_(std::move(director)) {
+  CWF_CHECK(workflow_ != nullptr && director_ != nullptr);
+}
+
+Status Manager::Initialize(Clock* clock, const CostModel* cost_model) {
+  if (state_ != ManagerState::kCreated) {
+    return Status::FailedPrecondition("manager '" + name_ +
+                                      "' already initialized");
+  }
+  clock_ = clock;
+  CWF_RETURN_NOT_OK(director_->Initialize(workflow_.get(), clock, cost_model));
+  state_ = ManagerState::kRunning;
+  return Status::OK();
+}
+
+Status Manager::RunSlice(Duration quantum) {
+  if (state_ != ManagerState::kRunning) {
+    return Status::OK();
+  }
+  const Timestamp start = clock_->Now();
+  CWF_RETURN_NOT_OK(director_->Run(start + quantum));
+  cpu_used_ += clock_->Now() - start;
+  return Status::OK();
+}
+
+bool Manager::HasPendingWork() const {
+  return state_ == ManagerState::kRunning && director_->HasPendingWork();
+}
+
+Timestamp Manager::NextWakeup() const {
+  if (state_ != ManagerState::kRunning) {
+    return Timestamp::Max();
+  }
+  return director_->NextWakeup();
+}
+
+Status Manager::Pause() {
+  if (state_ != ManagerState::kRunning) {
+    return Status::FailedPrecondition("manager '" + name_ + "' is not running");
+  }
+  state_ = ManagerState::kPaused;
+  return Status::OK();
+}
+
+Status Manager::Resume() {
+  if (state_ != ManagerState::kPaused) {
+    return Status::FailedPrecondition("manager '" + name_ + "' is not paused");
+  }
+  state_ = ManagerState::kRunning;
+  return Status::OK();
+}
+
+Status Manager::Stop() {
+  if (state_ == ManagerState::kStopped) {
+    return Status::OK();
+  }
+  if (state_ != ManagerState::kCreated) {
+    CWF_RETURN_NOT_OK(director_->Wrapup());
+  }
+  state_ = ManagerState::kStopped;
+  return Status::OK();
+}
+
+}  // namespace cwf

@@ -1,0 +1,66 @@
+// The Manager: lifecycle control of one workflow instance.
+//
+// Mirrors the PtolemyII/Kepler Manager module the paper's multi-workflow
+// design (§5, Figure 9) builds on: the top-level global scheduler switches
+// between workflows using the Manager methods initialize(), pause(),
+// resume(), stop().
+
+#ifndef CONFLUENCE_MULTI_MANAGER_H_
+#define CONFLUENCE_MULTI_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/director.h"
+
+namespace cwf {
+
+/// \brief Lifecycle state of a managed workflow.
+enum class ManagerState { kCreated, kRunning, kPaused, kStopped };
+
+const char* ManagerStateName(ManagerState state);
+
+/// \brief Owns one workflow plus its (local-scheduler) director and drives
+/// it in time slices handed out by the global scheduler.
+class Manager {
+ public:
+  Manager(std::string name, std::unique_ptr<Workflow> workflow,
+          std::unique_ptr<Director> director);
+
+  const std::string& name() const { return name_; }
+  Workflow* workflow() { return workflow_.get(); }
+  Director* director() { return director_.get(); }
+  ManagerState state() const { return state_; }
+
+  /// \brief Initialize the director; transitions kCreated -> kRunning.
+  Status Initialize(Clock* clock, const CostModel* cost_model);
+
+  /// \brief Execute the workflow for one CPU quantum (until the shared
+  /// clock passes now + quantum). No-op unless kRunning.
+  Status RunSlice(Duration quantum);
+
+  /// \brief Whether a slice now would do useful work.
+  bool HasPendingWork() const;
+
+  /// \brief Earliest future wakeup of this workflow (Max when drained).
+  Timestamp NextWakeup() const;
+
+  Status Pause();
+  Status Resume();
+  Status Stop();
+
+  /// \brief Total virtual CPU time this workflow has been allocated.
+  Duration cpu_time_used() const { return cpu_used_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Workflow> workflow_;
+  std::unique_ptr<Director> director_;
+  ManagerState state_ = ManagerState::kCreated;
+  Clock* clock_ = nullptr;
+  Duration cpu_used_ = 0;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_MULTI_MANAGER_H_

@@ -1,0 +1,39 @@
+#include "stafilos/edf_scheduler.h"
+
+namespace cwf {
+
+EDFScheduler::EDFScheduler(EDFOptions options) {
+  source_interval_ = options.source_interval;
+}
+
+bool EDFScheduler::HigherPriority(const Entry& a, const Entry& b) const {
+  if (a.is_source != b.is_source) {
+    return a.is_source;
+  }
+  if (a.is_source) {
+    return a.ready_order < b.ready_order;
+  }
+  const Timestamp ta =
+      a.queue.empty() ? Timestamp::Max() : a.queue.front().key_ts;
+  const Timestamp tb =
+      b.queue.empty() ? Timestamp::Max() : b.queue.front().key_ts;
+  if (ta != tb) {
+    return ta < tb;  // oldest external event first
+  }
+  return a.ready_order < b.ready_order;
+}
+
+void EDFScheduler::RecomputeState(Entry* entry) {
+  if (!entry->is_source) {
+    SetState(entry, entry->queue.empty() ? ActorState::kInactive
+                                         : ActorState::kActive);
+    return;
+  }
+  if (SourceHasData(*entry) && !entry->fired_this_iteration) {
+    SetState(entry, ActorState::kActive);
+  } else {
+    SetState(entry, ActorState::kWaiting);
+  }
+}
+
+}  // namespace cwf

@@ -1,0 +1,36 @@
+// Earliest-Deadline-First (latency-driven) scheduler.
+//
+// Implements the extension direction the paper's discussion calls out
+// ("implementing schedulers which are able to combine priorities with flow
+// information would greatly improve performance"): the dynamic priority of
+// an actor is the age of the oldest *external* event waiting in its queue,
+// so the tuple closest to violating a latency target is pushed through the
+// workflow first.
+
+#ifndef CONFLUENCE_STAFILOS_EDF_SCHEDULER_H_
+#define CONFLUENCE_STAFILOS_EDF_SCHEDULER_H_
+
+#include "stafilos/abstract_scheduler.h"
+
+namespace cwf {
+
+/// \brief EDF tuning knobs.
+struct EDFOptions {
+  /// Source dispatch interval (like QBS/RR).
+  int source_interval = 5;
+};
+
+class EDFScheduler : public AbstractScheduler {
+ public:
+  explicit EDFScheduler(EDFOptions options = {});
+
+  const char* name() const override { return "EDF"; }
+
+ protected:
+  bool HigherPriority(const Entry& a, const Entry& b) const override;
+  void RecomputeState(Entry* entry) override;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_STAFILOS_EDF_SCHEDULER_H_

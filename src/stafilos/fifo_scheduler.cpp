@@ -1,0 +1,36 @@
+#include "stafilos/fifo_scheduler.h"
+
+namespace cwf {
+
+FIFOScheduler::FIFOScheduler(FIFOOptions options) {
+  source_interval_ = options.source_interval;
+}
+
+bool FIFOScheduler::HigherPriority(const Entry& a, const Entry& b) const {
+  // Sources (holding data that has not even entered the workflow yet) go
+  // first; otherwise the earliest-enqueued head window wins.
+  if (a.is_source != b.is_source) {
+    return a.is_source;
+  }
+  if (a.is_source) {
+    return a.ready_order < b.ready_order;
+  }
+  const uint64_t sa = a.queue.empty() ? UINT64_MAX : a.queue.front().key_seq;
+  const uint64_t sb = b.queue.empty() ? UINT64_MAX : b.queue.front().key_seq;
+  return sa < sb;
+}
+
+void FIFOScheduler::RecomputeState(Entry* entry) {
+  if (!entry->is_source) {
+    SetState(entry, entry->queue.empty() ? ActorState::kInactive
+                                         : ActorState::kActive);
+    return;
+  }
+  if (SourceHasData(*entry) && !entry->fired_this_iteration) {
+    SetState(entry, ActorState::kActive);
+  } else {
+    SetState(entry, ActorState::kWaiting);
+  }
+}
+
+}  // namespace cwf

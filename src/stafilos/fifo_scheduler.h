@@ -1,0 +1,34 @@
+// FIFO (event-order) scheduler.
+//
+// The simplest STAFiLOS policy: windows are processed in the order they
+// became ready, globally — analogous to Ptolemy's DE event-queue execution.
+// Included as the paper's "event order" baseline (Table 1) and as the
+// minimal example of extending the Abstract Scheduler.
+
+#ifndef CONFLUENCE_STAFILOS_FIFO_SCHEDULER_H_
+#define CONFLUENCE_STAFILOS_FIFO_SCHEDULER_H_
+
+#include "stafilos/abstract_scheduler.h"
+
+namespace cwf {
+
+/// \brief FIFO tuning knobs.
+struct FIFOOptions {
+  /// Source dispatch interval (0 = sources fire once per iteration).
+  int source_interval = 5;
+};
+
+class FIFOScheduler : public AbstractScheduler {
+ public:
+  explicit FIFOScheduler(FIFOOptions options = {});
+
+  const char* name() const override { return "FIFO"; }
+
+ protected:
+  bool HigherPriority(const Entry& a, const Entry& b) const override;
+  void RecomputeState(Entry* entry) override;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_STAFILOS_FIFO_SCHEDULER_H_

@@ -1,0 +1,74 @@
+#include "stafilos/qbs_scheduler.h"
+
+#include <algorithm>
+namespace cwf {
+
+QBSScheduler::QBSScheduler(QBSOptions options) : options_(options) {
+  source_interval_ = options_.source_interval;
+}
+
+double QBSScheduler::QuantumFor(int priority) const {
+  const double b = static_cast<double>(options_.basic_quantum);
+  if (priority >= 20) {
+    return (40.0 - priority) * b;
+  }
+  return (40.0 - priority) * 4.0 * b;
+}
+
+void QBSScheduler::OnRegister(Entry* entry) {
+  entry->quantum = QuantumFor(entry->designer_priority);
+}
+
+bool QBSScheduler::HigherPriority(const Entry& a, const Entry& b) const {
+  // "The active actors are sorted by ascending priority. If two actors have
+  // the same priority then they are treated as FIFO."
+  if (a.designer_priority != b.designer_priority) {
+    return a.designer_priority < b.designer_priority;
+  }
+  return a.ready_order < b.ready_order;
+}
+
+void QBSScheduler::RecomputeState(Entry* entry) {
+  if (!entry->is_source) {
+    // Table 2, QBS column: ACTIVE = events waiting AND positive quantum;
+    // WAITING = events waiting AND non-positive quantum; INACTIVE = no
+    // events (quantum preserved).
+    if (entry->queue.empty()) {
+      SetState(entry, ActorState::kInactive);
+    } else if (entry->quantum > 0) {
+      SetState(entry, ActorState::kActive);
+    } else {
+      SetState(entry, ActorState::kWaiting);
+    }
+    return;
+  }
+  // Source actors never become INACTIVE (Table 2): ACTIVE when they hold a
+  // positive quantum and have not fired in the current director iteration
+  // (the regular-interval mechanism can dispatch them regardless).
+  if (SourceHasData(*entry) && entry->quantum > 0 &&
+      !entry->fired_this_iteration) {
+    SetState(entry, ActorState::kActive);
+  } else {
+    SetState(entry, ActorState::kWaiting);
+  }
+}
+
+void QBSScheduler::ChargeCost(Entry* entry, Duration cost) {
+  entry->quantum -= static_cast<double>(cost);
+}
+
+void QBSScheduler::OnIterationEnd() {
+  // Re-quantification: every actor receives a fresh quantum *added to* its
+  // balance — an actor that overdrew badly can remain negative (and stays
+  // WAITING), while long-idle low-priority actors accumulate quantum (the
+  // starvation artifact the paper observes for b = 5000 µs in Figure 7).
+  // The bank is capped at max_banked_epochs full quanta.
+  for (Entry& entry : entries_) {
+    const double q = QuantumFor(entry.designer_priority);
+    entry.quantum = std::min(entry.quantum + q,
+                             q * static_cast<double>(options_.max_banked_epochs));
+  }
+  AbstractScheduler::OnIterationEnd();
+}
+
+}  // namespace cwf

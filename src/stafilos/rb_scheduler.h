@@ -1,0 +1,54 @@
+// The Rate-Based Scheduler (RB).
+//
+// Based on the Highest Rate scheduler of Sharaf et al. (TODS 2008), the best
+// performing CQ scheduler for average response time. Actor priorities are
+// dynamic:
+//
+//     Pr(A) = S_A / C_A
+//
+// with S_A the actor's *global* selectivity and C_A its *global* average
+// cost (downstream paths added up when an actor fans out). Event processing
+// is divided into periods: events enqueued during the current period are
+// held in a buffer and released into the actors' queues when the period ends
+// (the director's end of iteration). Dynamic priorities are re-evaluated at
+// the end of each period. Source actors get no special treatment — the
+// property that costs RB dearly on response time in the paper's Figure 8.
+
+#ifndef CONFLUENCE_STAFILOS_RB_SCHEDULER_H_
+#define CONFLUENCE_STAFILOS_RB_SCHEDULER_H_
+
+#include "stafilos/abstract_scheduler.h"
+
+namespace cwf {
+
+/// \brief RB tuning knobs.
+struct RBOptions {
+  /// Ablation switch: when > 0, sources are dispatched every N internal
+  /// firings like QBS/RR do (OFF in the paper; the ablation bench measures
+  /// how much of RB's loss this explains).
+  int source_interval = 0;
+};
+
+class RBScheduler : public AbstractScheduler {
+ public:
+  explicit RBScheduler(RBOptions options = {});
+
+  const char* name() const override { return "RB"; }
+
+  void OnIterationEnd() override;
+
+  /// \brief Current dynamic priority of an actor (for tests/benches).
+  double PriorityOf(const Actor* actor) const;
+
+ protected:
+  bool BufferToNextPeriod() const override { return true; }
+  bool HigherPriority(const Entry& a, const Entry& b) const override;
+  void RecomputeState(Entry* entry) override;
+
+ private:
+  RBOptions options_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_STAFILOS_RB_SCHEDULER_H_

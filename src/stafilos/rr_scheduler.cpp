@@ -1,0 +1,57 @@
+#include "stafilos/rr_scheduler.h"
+
+namespace cwf {
+
+RRScheduler::RRScheduler(RROptions options) : options_(options) {
+  source_interval_ = options_.source_interval;
+}
+
+void RRScheduler::OnRegister(Entry* entry) {
+  entry->quantum = static_cast<double>(options_.slice);
+}
+
+bool RRScheduler::HigherPriority(const Entry& a, const Entry& b) const {
+  // Pure FIFO ring: the actor that became ready earliest runs first.
+  return a.ready_order < b.ready_order;
+}
+
+void RRScheduler::RecomputeState(Entry* entry) {
+  if (!entry->is_source) {
+    if (entry->queue.empty()) {
+      // Processed everything: give up the remaining slice.
+      entry->quantum = 0;
+      SetState(entry, ActorState::kInactive);
+      return;
+    }
+    if (entry->state == ActorState::kInactive) {
+      // New events for an inactive actor: fresh slice, end of the ring
+      // (SetState stamps a new ready_order).
+      entry->quantum = static_cast<double>(options_.slice);
+      SetState(entry, ActorState::kActive);
+      return;
+    }
+    SetState(entry, entry->quantum > 0 ? ActorState::kActive
+                                       : ActorState::kWaiting);
+    return;
+  }
+  if (SourceHasData(*entry) && entry->quantum > 0 &&
+      !entry->fired_this_iteration) {
+    SetState(entry, ActorState::kActive);
+  } else {
+    SetState(entry, ActorState::kWaiting);
+  }
+}
+
+void RRScheduler::ChargeCost(Entry* entry, Duration cost) {
+  entry->quantum -= static_cast<double>(cost);
+}
+
+void RRScheduler::OnIterationEnd() {
+  // New period: every actor gets a fresh slice (not accumulated).
+  for (Entry& entry : entries_) {
+    entry.quantum = static_cast<double>(options_.slice);
+  }
+  AbstractScheduler::OnIterationEnd();
+}
+
+}  // namespace cwf

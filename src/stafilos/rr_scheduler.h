@@ -1,0 +1,49 @@
+// The Round-Robin Scheduler (RR).
+//
+// "At each scheduling period it gives the active actors a time slice
+// (quantum) on which they are allowed to run. They are then scheduled to
+// process their available events in a round robin manner. If they manage to
+// process all of their current events they transition to the inactive state
+// and give up any remaining slice. If they consume their slice they
+// transition to the waiting state until the next period. If an actor is
+// inactive and new events arrive, a slice is assigned to it and the actor
+// is placed at the end of the Round-Robin queue."
+
+#ifndef CONFLUENCE_STAFILOS_RR_SCHEDULER_H_
+#define CONFLUENCE_STAFILOS_RR_SCHEDULER_H_
+
+#include "stafilos/abstract_scheduler.h"
+
+namespace cwf {
+
+/// \brief RR tuning knobs (paper Table 3).
+struct RROptions {
+  /// The time slice per period, in microseconds.
+  Duration slice = 20000;
+  /// One source firing per this many internal firings (the paper's
+  /// STAFiLOS schedulers other than RB "distinguish the source actors ...
+  /// and independently schedule them in regular intervals").
+  int source_interval = 5;
+};
+
+class RRScheduler : public AbstractScheduler {
+ public:
+  explicit RRScheduler(RROptions options = {});
+
+  const char* name() const override { return "RR"; }
+
+  void OnIterationEnd() override;
+
+ protected:
+  void OnRegister(Entry* entry) override;
+  bool HigherPriority(const Entry& a, const Entry& b) const override;
+  void RecomputeState(Entry* entry) override;
+  void ChargeCost(Entry* entry, Duration cost) override;
+
+ private:
+  RROptions options_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_STAFILOS_RR_SCHEDULER_H_

@@ -1,0 +1,65 @@
+#include "stream/push_channel.h"
+
+namespace cwf {
+
+void PushChannel::Push(Token token, Timestamp arrival) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CWF_CHECK_MSG(!closed_, "Push() on a closed channel");
+    queue_.push_back({arrival, std::move(token)});
+  }
+  cv_.notify_all();
+}
+
+void PushChannel::PushTrace(const Trace& trace) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CWF_CHECK_MSG(!closed_, "PushTrace() on a closed channel");
+    for (const TraceEntry& e : trace.entries()) {
+      queue_.push_back(e);
+    }
+  }
+  cv_.notify_all();
+}
+
+void PushChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool PushChannel::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::vector<TraceEntry> PushChannel::PopArrived(Timestamp now,
+                                                size_t max_batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEntry> out;
+  while (!queue_.empty() && queue_.front().arrival <= now &&
+         (max_batch == 0 || out.size() < max_batch)) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+Timestamp PushChannel::NextArrival() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.empty() ? Timestamp::Max() : queue_.front().arrival;
+}
+
+size_t PushChannel::Pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void PushChannel::WaitForData() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+}
+
+}  // namespace cwf

@@ -1,0 +1,64 @@
+// Push communication into the workflow.
+//
+// CONFLuEnCE supports push communication from external stream sources (the
+// paper's actors connect over TCP/HTTP). This module provides the transport
+// those actors read from: a thread-safe channel that external producers push
+// timestamped tuples into, and that source actors drain "at a rate dictated
+// by the director's execution model". For reproducible experiments, a whole
+// Trace can be pre-loaded.
+
+#ifndef CONFLUENCE_STREAM_PUSH_CHANNEL_H_
+#define CONFLUENCE_STREAM_PUSH_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "stream/trace.h"
+
+namespace cwf {
+
+/// \brief Thread-safe queue of externally arriving tuples.
+class PushChannel {
+ public:
+  PushChannel() = default;
+
+  /// \brief Producer side: deposit a tuple arriving at `arrival`.
+  void Push(Token token, Timestamp arrival);
+
+  /// \brief Pre-load every entry of a trace (producer side, bulk).
+  void PushTrace(const Trace& trace);
+
+  /// \brief Mark the stream finished: no further pushes will come.
+  void Close();
+
+  bool closed() const;
+
+  /// \brief Consumer side: remove and return tuples with arrival <= now,
+  /// up to `max_batch` (0 = unlimited).
+  std::vector<TraceEntry> PopArrived(Timestamp now, size_t max_batch = 0);
+
+  /// \brief Arrival time of the oldest queued tuple; Timestamp::Max() when
+  /// empty.
+  Timestamp NextArrival() const;
+
+  /// \brief Queued tuple count.
+  size_t Pending() const;
+
+  /// \brief Block (real-time mode) until a tuple is queued or the channel is
+  /// closed; returns immediately if either already holds.
+  void WaitForData() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::deque<TraceEntry> queue_;
+  bool closed_ = false;
+};
+
+using PushChannelPtr = std::shared_ptr<PushChannel>;
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_STREAM_PUSH_CHANNEL_H_

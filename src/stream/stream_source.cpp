@@ -1,0 +1,27 @@
+#include "stream/stream_source.h"
+
+namespace cwf {
+
+StreamSourceActor::StreamSourceActor(std::string name, PushChannelPtr channel,
+                                     size_t max_batch_per_firing)
+    : Actor(std::move(name)),
+      channel_(std::move(channel)),
+      max_batch_(max_batch_per_firing) {
+  CWF_CHECK_MSG(channel_ != nullptr, "StreamSourceActor needs a channel");
+  out_ = AddOutputPort("out");
+}
+
+Result<bool> StreamSourceActor::Prefire() {
+  return channel_->NextArrival() <= ctx_->clock->Now();
+}
+
+Status StreamSourceActor::Fire() {
+  const Timestamp now = ctx_->clock->Now();
+  for (TraceEntry& e : channel_->PopArrived(now, max_batch_)) {
+    SendStamped(out_, std::move(e.token), e.arrival);
+    ++injected_;
+  }
+  return Status::OK();
+}
+
+}  // namespace cwf

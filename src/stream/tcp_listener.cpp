@@ -1,0 +1,149 @@
+#include "stream/tcp_listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "stream/trace.h"
+
+namespace cwf {
+
+TcpLineListener::TcpLineListener(PushChannelPtr channel, Clock* clock)
+    : channel_(std::move(channel)), clock_(clock) {
+  CWF_CHECK(channel_ != nullptr && clock_ != nullptr);
+}
+
+TcpLineListener::~TcpLineListener() { Stop(); }
+
+Status TcpLineListener::Start(uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("listener already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpLineListener::AcceptLoop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load()) {
+        return;  // listening socket closed by Stop()
+      }
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    if (stopping_.load()) {
+      ::close(client);
+      return;
+    }
+    client_fds_.push_back(client);
+    client_threads_.emplace_back([this, client] { ClientLoop(client); });
+  }
+}
+
+void TcpLineListener::ClientLoop(int client_fd) {
+  std::string pending;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
+    if (n <= 0) {
+      return;  // peer closed or Stop() shut the socket down
+    }
+    pending.append(buf, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;
+      }
+      auto token = ParseTokenBody(line);
+      if (!token.ok()) {
+        parse_errors_.fetch_add(1);
+        CWF_LOG(kWarn) << "tcp listener dropped malformed line: "
+                       << token.status().ToString();
+        continue;
+      }
+      if (channel_->closed()) {
+        return;
+      }
+      channel_->Push(std::move(token).value(), clock_->Now());
+      tuples_received_.fetch_add(1);
+    }
+  }
+}
+
+void TcpLineListener::Stop() {
+  if (stopping_.exchange(true)) {
+    // Still join if a previous Stop lost a race with thread creation.
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (int fd : client_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    client_fds_.clear();
+    threads.swap(client_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (!channel_->closed()) {
+    channel_->Close();
+  }
+}
+
+}  // namespace cwf

@@ -1,0 +1,80 @@
+// TCP push transport: external data streams connect over the network.
+//
+// "In order to support push communications on continuous workflows, we have
+// implemented various actors which are able to connect to external data
+// streams (through TCP or HTTP connections). As data are pushed into those
+// connections from the sources these actors pump it into the workflow's
+// internal ports at a rate which is again dictated by the director's
+// execution model."
+//
+// TcpLineListener is the network half of that: it accepts client
+// connections on a TCP port and turns each newline-delimited line (the same
+// `field=tag:value;...` body format used by trace files — see
+// SerializeTokenBody in stream/trace.h) into a tuple pushed onto a
+// PushChannel, stamped with its arrival time. A StreamSourceActor on the
+// same channel then injects the tuples under whatever director is in
+// charge.
+
+#ifndef CONFLUENCE_STREAM_TCP_LISTENER_H_
+#define CONFLUENCE_STREAM_TCP_LISTENER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/clock.h"
+#include "stream/push_channel.h"
+
+namespace cwf {
+
+/// \brief Accepts TCP clients and pushes their newline-delimited tuples
+/// onto a channel. Runs its own accept/read threads; Stop() (or the
+/// destructor) shuts everything down and closes the channel.
+class TcpLineListener {
+ public:
+  /// \brief Tuples are stamped with `clock->Now()` at the moment their line
+  /// is parsed (their external arrival time).
+  TcpLineListener(PushChannelPtr channel, Clock* clock);
+  ~TcpLineListener();
+
+  TcpLineListener(const TcpLineListener&) = delete;
+  TcpLineListener& operator=(const TcpLineListener&) = delete;
+
+  /// \brief Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start
+  /// accepting.
+  Status Start(uint16_t port = 0);
+
+  /// \brief The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// \brief Stop accepting, drop live connections, join threads and close
+  /// the channel. Idempotent.
+  void Stop();
+
+  /// \brief Tuples successfully parsed and pushed.
+  uint64_t tuples_received() const { return tuples_received_.load(); }
+
+  /// \brief Lines that failed to parse (dropped with a log message).
+  uint64_t parse_errors() const { return parse_errors_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ClientLoop(int client_fd);
+
+  PushChannelPtr channel_;
+  Clock* clock_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> tuples_received_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::thread accept_thread_;
+  std::mutex clients_mutex_;
+  std::vector<std::thread> client_threads_;
+  std::vector<int> client_fds_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_STREAM_TCP_LISTENER_H_

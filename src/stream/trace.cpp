@@ -1,0 +1,202 @@
+#include "stream/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cwf {
+namespace {
+
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == ';' || c == '=' || c == '\\' || c == '\n' || c == '\t') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+std::string SerializeValue(const Value& v) {
+  if (v.is_int()) {
+    return "i:" + std::to_string(v.AsInt());
+  }
+  if (v.is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "d:%.17g", v.AsDouble());
+    return buf;
+  }
+  if (v.is_bool()) {
+    return v.AsBool() ? "b:1" : "b:0";
+  }
+  if (v.is_string()) {
+    return "s:" + EscapeField(v.AsString());
+  }
+  return "n:";
+}
+
+Result<Value> ParseValue(const std::string& s) {
+  if (s.size() < 2 || s[1] != ':') {
+    return Status::InvalidArgument("malformed trace value '" + s + "'");
+  }
+  const std::string body = s.substr(2);
+  switch (s[0]) {
+    case 'i':
+      return Value(static_cast<int64_t>(std::stoll(body)));
+    case 'd':
+      return Value(std::stod(body));
+    case 'b':
+      return Value(body == "1");
+    case 's':
+      return Value(UnescapeField(body));
+    case 'n':
+      return Value();
+  }
+  return Status::InvalidArgument("unknown trace value tag '" + s + "'");
+}
+
+}  // namespace
+
+std::string SerializeTokenBody(const Token& token) {
+  std::string out;
+  if (token.is_record()) {
+    const RecordPtr& rec = token.AsRecord();
+    bool first = true;
+    for (const auto& [name, value] : rec->fields()) {
+      if (!first) {
+        out += ";";
+      }
+      first = false;
+      out += EscapeField(name);
+      out += "=";
+      out += SerializeValue(value);
+    }
+  } else if (!token.is_nil()) {
+    Value v;
+    if (token.is_int()) v = Value(token.AsInt());
+    else if (token.is_double()) v = Value(token.AsDouble());
+    else if (token.is_bool()) v = Value(token.AsBool());
+    else v = Value(token.AsString());
+    out = "value=" + SerializeValue(v);
+  }
+  return out;
+}
+
+Result<Token> ParseTokenBody(const std::string& body) {
+  if (body.empty()) {
+    return Token();
+  }
+  auto rec = std::make_shared<Record>();
+  // Split on unescaped ';'.
+  std::vector<std::string> parts;
+  std::string current;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '\\' && i + 1 < body.size()) {
+      current.push_back(body[i]);
+      current.push_back(body[i + 1]);
+      ++i;
+    } else if (body[i] == ';') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(body[i]);
+    }
+  }
+  parts.push_back(current);
+  for (const std::string& part : parts) {
+    // Split on the first unescaped '='.
+    size_t eq = std::string::npos;
+    for (size_t i = 0; i < part.size(); ++i) {
+      if (part[i] == '\\') {
+        ++i;
+      } else if (part[i] == '=') {
+        eq = i;
+        break;
+      }
+    }
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed trace field: " + part);
+    }
+    auto value = ParseValue(part.substr(eq + 1));
+    if (!value.ok()) {
+      return value.status();
+    }
+    rec->Set(UnescapeField(part.substr(0, eq)), std::move(value).value());
+  }
+  return Token(RecordPtr(std::move(rec)));
+}
+
+void Trace::Sort() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.arrival < b.arrival;
+                   });
+}
+
+Timestamp Trace::EndTime() const {
+  return entries_.empty() ? Timestamp(0) : entries_.back().arrival;
+}
+
+size_t Trace::CountInRange(Timestamp from, Timestamp to) const {
+  size_t count = 0;
+  for (const TraceEntry& e : entries_) {
+    if (e.arrival >= from && e.arrival < to) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Status Trace::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  for (const TraceEntry& e : entries_) {
+    out << e.arrival.micros() << "\t" << SerializeTokenBody(e.token) << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::Internal("write to '" + path + "' failed");
+}
+
+Result<Trace> Trace::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open trace file '" + path + "'");
+  }
+  Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("malformed trace line: " + line);
+    }
+    const Timestamp arrival(std::stoll(line.substr(0, tab)));
+    auto token = ParseTokenBody(line.substr(tab + 1));
+    if (!token.ok()) {
+      return token.status();
+    }
+    trace.Add(arrival, std::move(token).value());
+  }
+  return trace;
+}
+
+}  // namespace cwf

@@ -1,0 +1,5 @@
+#include "window/tm_windowed_receiver.h"
+
+// TMWindowedReceiver is header-only; this TU anchors the vtable.
+
+namespace cwf {}  // namespace cwf

@@ -1,0 +1,57 @@
+// The TM windowed receiver used by the scheduled (SCWF) director.
+//
+// Event flow (paper Figure 4): put() evaluates the window semantics; a
+// produced window is *not* kept locally — it is enqueued at the consuming
+// actor's ready queue inside the scheduler. When the director decides to run
+// that actor it dequeues the window and deposits it into this receiver's
+// buffer, making it available to the next get() issued by the actor's
+// fire().
+
+#ifndef CONFLUENCE_WINDOW_TM_WINDOWED_RECEIVER_H_
+#define CONFLUENCE_WINDOW_TM_WINDOWED_RECEIVER_H_
+
+#include <functional>
+
+#include "window/windowed_receiver.h"
+
+namespace cwf {
+
+/// \brief Scheduled variant of WindowedReceiver.
+class TMWindowedReceiver : public WindowedReceiver {
+ public:
+  /// Invoked (synchronously, inside put()) whenever a window is produced;
+  /// the SCWF director routes it to the scheduler's per-actor event queue.
+  using ReadyCallback = std::function<void(TMWindowedReceiver*, Window)>;
+
+  TMWindowedReceiver(InputPort* port, WindowSpec spec, ReadyCallback callback)
+      : WindowedReceiver(port, std::move(spec)),
+        callback_(std::move(callback)) {}
+
+  /// \brief Director-side: deposit a scheduler-dequeued window into the
+  /// buffer read by the actor's next get().
+  void DeliverBuffered(Window w) { buffer_.push_back(std::move(w)); }
+
+  bool HasWindow() const override { return !buffer_.empty(); }
+
+  std::optional<Window> Get() override {
+    if (buffer_.empty()) {
+      return std::nullopt;
+    }
+    Window w = std::move(buffer_.front());
+    buffer_.pop_front();
+    return w;
+  }
+
+  size_t ReadyWindowCount() const override { return buffer_.size(); }
+
+ protected:
+  void OnWindowProduced(Window w) override { callback_(this, std::move(w)); }
+
+ private:
+  ReadyCallback callback_;
+  std::deque<Window> buffer_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_WINDOW_TM_WINDOWED_RECEIVER_H_

@@ -1,0 +1,5 @@
+#include "window/windowed_receiver.h"
+
+// WindowedReceiver is header-only; this TU anchors the vtable.
+
+namespace cwf {}  // namespace cwf

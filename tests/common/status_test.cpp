@@ -1,0 +1,129 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cwf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad window size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad window size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window size");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeNameTest, CoversEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "Aborted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err(Status::NotFound("missing"));
+  EXPECT_EQ(err.value_or(7), 7);
+  Result<int> ok(3);
+  EXPECT_EQ(ok.value_or(7), 3);
+}
+
+TEST(ResultTest, OkStatusWithoutValueBecomesInternalError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnNotOk(bool fail) {
+  CWF_RETURN_NOT_OK(fail ? Fails() : Succeeds());
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UseReturnNotOk(false).ok());
+  EXPECT_EQ(UseReturnNotOk(true).code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return Status::InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CWF_ASSIGN_OR_RETURN(int h, Half(x));
+  CWF_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(MacroTest, AssignOrReturnChains) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  CWF_CHECK(1 + 1 == 2);
+  CWF_CHECK_MSG(true, "never shown");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(CWF_CHECK(false), "CWF_CHECK failed");
+  EXPECT_DEATH(CWF_CHECK_MSG(false, "context " << 42), "context 42");
+}
+
+}  // namespace
+}  // namespace cwf

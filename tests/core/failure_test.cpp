@@ -1,0 +1,194 @@
+// Failure injection: errors raised inside actor lifecycle methods must
+// propagate out of every director's Run()/Initialize() instead of being
+// swallowed, and logging/cost-model plumbing must behave.
+
+#include <gtest/gtest.h>
+
+#include "actors/library.h"
+#include "common/logging.h"
+#include "directors/ddf_director.h"
+#include "directors/scwf_director.h"
+#include "directors/sdf_director.h"
+#include "stafilos/fifo_scheduler.h"
+#include "stream/stream_source.h"
+
+namespace cwf {
+namespace {
+
+class FaultyActor : public Actor {
+ public:
+  enum class FailAt { kInitialize, kPrefire, kFire, kPostfire, kWrapup };
+
+  FaultyActor(FailAt mode, int after_firings = 0)
+      : Actor("faulty"), mode_(mode), after_(after_firings) {
+    in_ = AddInputPort("in");
+    out_ = AddOutputPort("out");
+  }
+
+  Status Initialize(ExecutionContext* ctx) override {
+    CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+    if (mode_ == FailAt::kInitialize) {
+      return Status::Internal("init exploded");
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Prefire() override {
+    if (mode_ == FailAt::kPrefire && in_->HasWindow()) {
+      return Status::Internal("prefire exploded");
+    }
+    return Actor::Prefire();
+  }
+
+  Status Fire() override {
+    auto w = in_->Get();
+    if (mode_ == FailAt::kFire && fired_ >= after_) {
+      return Status::Internal("fire exploded");
+    }
+    ++fired_;
+    if (w.has_value()) {
+      Send(out_, w->events[0].token);
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Postfire() override {
+    if (mode_ == FailAt::kPostfire) {
+      return Status::Internal("postfire exploded");
+    }
+    return true;
+  }
+
+  Status Wrapup() override {
+    if (mode_ == FailAt::kWrapup) {
+      return Status::Internal("wrapup exploded");
+    }
+    return Status::OK();
+  }
+
+  InputPort* in_;
+  OutputPort* out_;
+  int fired_ = 0;
+
+ private:
+  FailAt mode_;
+  int after_;
+};
+
+struct Rig {
+  Workflow wf{"w"};
+  std::shared_ptr<PushChannel> feed = std::make_shared<PushChannel>();
+  FaultyActor* faulty;
+  VirtualClock clock;
+  CostModel cm;
+
+  explicit Rig(FaultyActor::FailAt mode, int after = 0) {
+    auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+    faulty = wf.AddActor<FaultyActor>(mode, after);
+    auto* sink = wf.AddActor<NullSink>("sink");
+    CWF_CHECK(wf.Connect(src->out(), faulty->in_).ok());
+    CWF_CHECK(wf.Connect(faulty->out_, sink->in()).ok());
+    feed->Push(Token(1), Timestamp(0));
+    feed->Push(Token(2), Timestamp(0));
+    feed->Close();
+  }
+};
+
+TEST(FailureTest, InitializeErrorSurfacesFromDirectorInitialize) {
+  Rig rig(FaultyActor::FailAt::kInitialize);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  EXPECT_EQ(d.Initialize(&rig.wf, &rig.clock, &rig.cm).code(),
+            StatusCode::kInternal);
+}
+
+TEST(FailureTest, FireErrorSurfacesFromScwfRun) {
+  Rig rig(FaultyActor::FailAt::kFire);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  EXPECT_EQ(d.Run(Timestamp::Max()).code(), StatusCode::kInternal);
+}
+
+TEST(FailureTest, FireErrorSurfacesFromDdfRun) {
+  Rig rig(FaultyActor::FailAt::kFire);
+  DDFDirector d;
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, nullptr).ok());
+  EXPECT_EQ(d.Run(Timestamp::Max()).code(), StatusCode::kInternal);
+}
+
+TEST(FailureTest, PrefireErrorSurfaces) {
+  Rig rig(FaultyActor::FailAt::kPrefire);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  EXPECT_EQ(d.Run(Timestamp::Max()).code(), StatusCode::kInternal);
+}
+
+TEST(FailureTest, PostfireErrorSurfaces) {
+  Rig rig(FaultyActor::FailAt::kPostfire);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  EXPECT_EQ(d.Run(Timestamp::Max()).code(), StatusCode::kInternal);
+}
+
+TEST(FailureTest, WrapupErrorSurfaces) {
+  Rig rig(FaultyActor::FailAt::kWrapup);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(d.Wrapup().code(), StatusCode::kInternal);
+}
+
+TEST(FailureTest, PartialWorkBeforeFailureIsVisible) {
+  Rig rig(FaultyActor::FailAt::kFire, /*after=*/1);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  EXPECT_FALSE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(rig.faulty->fired_, 1);  // first tuple made it through
+}
+
+TEST(LoggingTest, SinkCapturesAtThreshold) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&](LogLevel level, const std::string& msg) {
+    captured.emplace_back(level, msg);
+  });
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  CWF_LOG(kDebug) << "hidden";
+  CWF_LOG(kInfo) << "visible " << 42;
+  CWF_LOG(kError) << "loud";
+  SetLogLevel(prev);
+  SetLogSink(nullptr);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "visible 42");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+}
+
+TEST(CostModelTest, PerActorOverridesAndFiringCost) {
+  CostModel cm;
+  cm.SetDefault({100, 10, 5});
+  cm.SetActorCost("special", {1000, 0, 0});
+  EXPECT_EQ(cm.FiringCost("anybody", 2, 3), 100 + 20 + 15);
+  EXPECT_EQ(cm.FiringCost("special", 2, 3), 1000);
+  EXPECT_EQ(cm.ParamsFor("special").base, 1000);
+  EXPECT_EQ(cm.ParamsFor("other").base, 100);
+}
+
+TEST(ClockDeathTest, RealClockCannotAdvance) {
+  RealClock clock;
+  EXPECT_DEATH(clock.AdvanceTo(Timestamp::Seconds(1)), "cannot advance");
+}
+
+TEST(ClockDeathTest, VirtualClockCannotGoBackward) {
+  VirtualClock clock(Timestamp::Seconds(5));
+  EXPECT_DEATH(clock.AdvanceTo(Timestamp::Seconds(4)), "moved backward");
+}
+
+TEST(ClockTest, RealClockMonotone) {
+  RealClock clock;
+  const Timestamp a = clock.Now();
+  const Timestamp b = clock.Now();
+  EXPECT_LE(a, b);
+  EXPECT_FALSE(clock.is_virtual());
+}
+
+}  // namespace
+}  // namespace cwf

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/event.h"
+#include "core/wave.h"
+
+namespace cwf {
+namespace {
+
+TEST(WaveTagTest, RootProperties) {
+  WaveTag t = WaveTag::Root(42);
+  EXPECT_EQ(t.root(), 42u);
+  EXPECT_EQ(t.depth(), 0u);
+  EXPECT_EQ(t.ToString(), "t42");
+}
+
+TEST(WaveTagTest, ChildrenFormHierarchy) {
+  WaveTag t = WaveTag::Root(7);
+  WaveTag c3 = t.Child(3);
+  EXPECT_EQ(c3.ToString(), "t7.3");
+  EXPECT_EQ(c3.depth(), 1u);
+  WaveTag c31 = c3.Child(1);
+  EXPECT_EQ(c31.ToString(), "t7.3.1");
+  EXPECT_EQ(c31.depth(), 2u);
+  EXPECT_EQ(c31.Parent(), c3);
+  EXPECT_EQ(c3.Parent(), t);
+}
+
+TEST(WaveTagDeathTest, InvalidOperations) {
+  EXPECT_DEATH(WaveTag::Root(1).Parent(), "no parent");
+  EXPECT_DEATH(WaveTag::Root(1).Child(0), "1-based");
+}
+
+TEST(WaveTagTest, ContainsIsReflexiveAndDescendant) {
+  WaveTag t = WaveTag::Root(5);
+  WaveTag c = t.Child(2);
+  WaveTag gc = c.Child(9);
+  EXPECT_TRUE(t.Contains(t));
+  EXPECT_TRUE(t.Contains(c));
+  EXPECT_TRUE(t.Contains(gc));
+  EXPECT_TRUE(c.Contains(gc));
+  EXPECT_FALSE(c.Contains(t));
+  EXPECT_FALSE(t.Child(1).Contains(c));
+  EXPECT_FALSE(WaveTag::Root(6).Contains(t));
+}
+
+TEST(WaveTagTest, LexicographicOrdering) {
+  WaveTag a = WaveTag::Root(1);
+  WaveTag b = WaveTag::Root(2);
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, a.Child(1));              // prefix before extension
+  EXPECT_LT(a.Child(1), a.Child(2));
+  EXPECT_LT(a.Child(1).Child(5), a.Child(2));
+}
+
+TEST(WaveTagTest, EqualityAndInequality) {
+  WaveTag a = WaveTag::Root(3).Child(1);
+  WaveTag b = WaveTag::Root(3).Child(1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, WaveTag::Root(3).Child(2));
+  EXPECT_NE(a, WaveTag::Root(4).Child(1));
+}
+
+TEST(CWEventTest, ToStringIncludesWaveAndLastMark) {
+  CWEvent e(Token(9), Timestamp::Seconds(2), WaveTag::Root(8).Child(1));
+  EXPECT_NE(e.ToString().find("t8.1"), std::string::npos);
+  EXPECT_EQ(e.ToString().find("[last]"), std::string::npos);
+  e.last_in_wave = true;
+  EXPECT_NE(e.ToString().find("[last]"), std::string::npos);
+}
+
+TEST(WindowStructTest, OldestTimestamp) {
+  Window w;
+  EXPECT_EQ(w.OldestTimestamp(), Timestamp::Max());
+  w.events.push_back(CWEvent(Token(1), Timestamp(50), WaveTag::Root(1)));
+  w.events.push_back(CWEvent(Token(2), Timestamp(20), WaveTag::Root(2)));
+  w.events.push_back(CWEvent(Token(3), Timestamp(90), WaveTag::Root(3)));
+  EXPECT_EQ(w.OldestTimestamp(), Timestamp(20));
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.front().token.AsInt(), 1);
+  EXPECT_EQ(w.back().token.AsInt(), 3);
+  EXPECT_EQ(w[1].token.AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace cwf

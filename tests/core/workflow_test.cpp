@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "actors/library.h"
+#include "core/workflow.h"
+
+namespace cwf {
+namespace {
+
+Token Identity(const Token& t) { return t; }
+
+std::unique_ptr<MapActor> Node(const std::string& name) {
+  return std::make_unique<MapActor>(name, Identity);
+}
+
+TEST(WorkflowTest, AddAndFindActors) {
+  Workflow wf("w");
+  Actor* a = wf.AdoptActor(Node("A"));
+  EXPECT_EQ(wf.FindActor("A"), a);
+  EXPECT_EQ(wf.FindActor("B"), nullptr);
+  EXPECT_EQ(wf.actors().size(), 1u);
+}
+
+TEST(WorkflowDeathTest, DuplicateNameAborts) {
+  Workflow wf("w");
+  wf.AdoptActor(Node("A"));
+  EXPECT_DEATH(wf.AdoptActor(Node("A")), "duplicate actor name");
+}
+
+TEST(WorkflowTest, ConnectByName) {
+  Workflow wf("w");
+  wf.AdoptActor(Node("A"));
+  wf.AdoptActor(Node("B"));
+  EXPECT_TRUE(wf.Connect("A", "out", "B", "in").ok());
+  ASSERT_EQ(wf.channels().size(), 1u);
+  EXPECT_EQ(wf.channels()[0].from->FullName(), "A.out");
+  EXPECT_EQ(wf.channels()[0].to->FullName(), "B.in");
+  EXPECT_EQ(wf.channels()[0].to_channel, 0u);
+}
+
+TEST(WorkflowTest, ConnectErrors) {
+  Workflow wf("w");
+  wf.AdoptActor(Node("A"));
+  EXPECT_EQ(wf.Connect("X", "out", "A", "in").code(), StatusCode::kNotFound);
+  EXPECT_EQ(wf.Connect("A", "out", "X", "in").code(), StatusCode::kNotFound);
+  EXPECT_EQ(wf.Connect("A", "bad", "A", "in").code(), StatusCode::kNotFound);
+  EXPECT_EQ(wf.Connect("A", "out", "A", "bad").code(), StatusCode::kNotFound);
+  EXPECT_EQ(wf.Connect(nullptr, nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkflowTest, FanInAssignsChannelSlots) {
+  Workflow wf("w");
+  wf.AdoptActor(Node("A"));
+  wf.AdoptActor(Node("B"));
+  wf.AdoptActor(Node("C"));
+  ASSERT_TRUE(wf.Connect("A", "out", "C", "in").ok());
+  ASSERT_TRUE(wf.Connect("B", "out", "C", "in").ok());
+  EXPECT_EQ(wf.channels()[0].to_channel, 0u);
+  EXPECT_EQ(wf.channels()[1].to_channel, 1u);
+}
+
+TEST(WorkflowTest, SourcesAndSinks) {
+  Workflow wf("w");
+  wf.AdoptActor(Node("A"));
+  wf.AdoptActor(Node("B"));
+  wf.AdoptActor(Node("C"));
+  ASSERT_TRUE(wf.Connect("A", "out", "B", "in").ok());
+  ASSERT_TRUE(wf.Connect("B", "out", "C", "in").ok());
+  auto sources = wf.Sources();
+  auto sinks = wf.Sinks();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0]->name(), "A");
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0]->name(), "C");
+}
+
+TEST(WorkflowTest, UpstreamDownstreamDeduplicated) {
+  Workflow wf("w");
+  auto* a = wf.AdoptActor(Node("A"));
+  auto* b = wf.AdoptActor(std::make_unique<MapActor>("B", Identity));
+  // Two parallel channels A->B.
+  auto* bm = static_cast<MapActor*>(b);
+  (void)bm;
+  ASSERT_TRUE(wf.Connect("A", "out", "B", "in").ok());
+  ASSERT_TRUE(wf.Connect("A", "out", "B", "in").ok());
+  EXPECT_EQ(wf.DownstreamOf(a).size(), 1u);
+  EXPECT_EQ(wf.UpstreamOf(b).size(), 1u);
+}
+
+TEST(WorkflowTest, CycleDetection) {
+  Workflow wf("w");
+  wf.AdoptActor(Node("A"));
+  wf.AdoptActor(Node("B"));
+  wf.AdoptActor(Node("C"));
+  ASSERT_TRUE(wf.Connect("A", "out", "B", "in").ok());
+  ASSERT_TRUE(wf.Connect("B", "out", "C", "in").ok());
+  EXPECT_FALSE(wf.HasCycle());
+  ASSERT_TRUE(wf.Connect("C", "out", "A", "in").ok());
+  EXPECT_TRUE(wf.HasCycle());
+}
+
+TEST(WorkflowTest, ValidatePassesOnGoodGraph) {
+  Workflow wf("w");
+  wf.AdoptActor(Node("A"));
+  wf.AdoptActor(Node("B"));
+  ASSERT_TRUE(wf.Connect("A", "out", "B", "in").ok());
+  EXPECT_TRUE(wf.Validate().ok());
+}
+
+TEST(WorkflowTest, ValidateRejectsSelfLoop) {
+  Workflow wf("w");
+  auto* a = static_cast<MapActor*>(wf.AdoptActor(Node("A")));
+  ASSERT_TRUE(wf.Connect(a->out(), a->in()).ok());
+  EXPECT_EQ(wf.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkflowTest, ValidateRejectsBadWindowSpec) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<MapActor>("A", Identity);
+  auto* b = wf.AddActor<MapActor>("B", Identity,
+                                  WindowSpec::Tuples(0, 1));  // invalid size
+  ASSERT_TRUE(wf.Connect(a->out(), b->in()).ok());
+  EXPECT_FALSE(wf.Validate().ok());
+}
+
+TEST(WorkflowTest, ConnectRejectsForeignActorPorts) {
+  Workflow wf1("w1");
+  Workflow wf2("w2");
+  auto* a = wf1.AddActor<MapActor>("A", Identity);
+  auto* b = wf2.AddActor<MapActor>("B", Identity);
+  EXPECT_EQ(wf1.Connect(a->out(), b->in()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cwf
+
+namespace cwf {
+namespace {
+
+TEST(WorkflowDotTest, RendersNodesEdgesAndWindowLabels) {
+  Workflow wf("dotted");
+  auto* a = wf.AddActor<MapActor>("alpha", Identity);
+  auto* b = wf.AddActor<WindowFnActor>(
+      "beta", WindowSpec::Tuples(4, 1).GroupBy({"car"}),
+      [](const Window&, std::vector<Token>*) { return Status::OK(); });
+  ASSERT_TRUE(wf.Connect(a->out(), b->in()).ok());
+  const std::string dot = wf.ToDot();
+  EXPECT_NE(dot.find("digraph \"dotted\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"alpha\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"beta\""), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // The windowed channel is labelled with its semantics.
+  EXPECT_NE(dot.find("size=4"), std::string::npos);
+  // Sources are drawn distinctly.
+  EXPECT_NE(dot.find("invhouse"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwf

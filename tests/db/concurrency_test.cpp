@@ -1,0 +1,81 @@
+// Thread-safety of the embedded store: the PNCWF OS-thread mode has several
+// actor threads reading and writing tables concurrently.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "db/database.h"
+
+namespace cwf::db {
+namespace {
+
+TEST(TableConcurrencyTest, ParallelUpsertsAndReads) {
+  Table table("t", Schema({{"k", ColumnType::kInt64},
+                           {"v", ColumnType::kInt64}}));
+  ASSERT_TRUE(table.CreateIndex("pk", {"k"}, true).ok());
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  constexpr int kKeys = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int64_t k = (t * 7 + i) % kKeys;
+        if (i % 3 == 0) {
+          auto rows = table.Select(Eq("k", Value(k)));
+          if (!rows.ok()) {
+            ++failures;
+          }
+        } else {
+          auto up = table.Upsert({"k"}, {Value(k), Value(int64_t{i})});
+          if (!up.ok()) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // Upserts on kKeys distinct keys: exactly kKeys rows, index consistent.
+  EXPECT_EQ(table.RowCount(), static_cast<size_t>(kKeys));
+  for (int64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(table.Select(Eq("k", Value(k))).value().size(), 1u) << k;
+  }
+}
+
+TEST(TableConcurrencyTest, ParallelInsertDeleteKeepsCountsSane) {
+  Table table("t", Schema({{"k", ColumnType::kInt64}}));
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> inserted{0};
+  std::atomic<int64_t> deleted{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        const int64_t k = t * 10000 + i;
+        if (table.Insert({Value(k)}).ok()) {
+          inserted.fetch_add(1);
+        }
+        if (i % 2 == 0) {
+          auto n = table.Delete(Eq("k", Value(k)));
+          if (n.ok()) {
+            deleted.fetch_add(static_cast<int64_t>(n.value()));
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(static_cast<int64_t>(table.RowCount()),
+            inserted.load() - deleted.load());
+}
+
+}  // namespace
+}  // namespace cwf::db

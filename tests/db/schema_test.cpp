@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "db/schema.h"
+
+namespace cwf::db {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"name", ColumnType::kString},
+                 {"score", ColumnType::kDouble},
+                 {"active", ColumnType::kBool}});
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.ColumnIndex("id").value(), 0u);
+  EXPECT_EQ(s.ColumnIndex("active").value(), 3u);
+  EXPECT_FALSE(s.ColumnIndex("missing").ok());
+}
+
+TEST(SchemaTest, ColumnIndexesBatch) {
+  Schema s = TestSchema();
+  auto idx = s.ColumnIndexes({"score", "id"});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), (std::vector<size_t>{2, 0}));
+  EXPECT_FALSE(s.ColumnIndexes({"id", "nope"}).ok());
+}
+
+TEST(SchemaTest, TypeMatching) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.TypeMatches(0, Value(5)));
+  EXPECT_FALSE(s.TypeMatches(0, Value(5.0)));
+  EXPECT_TRUE(s.TypeMatches(2, Value(5.0)));
+  EXPECT_TRUE(s.TypeMatches(2, Value(5)));  // int widens into double column
+  EXPECT_TRUE(s.TypeMatches(1, Value("x")));
+  EXPECT_TRUE(s.TypeMatches(3, Value(true)));
+  // Nulls fit anywhere.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(s.TypeMatches(i, Value()));
+  }
+}
+
+TEST(SchemaTest, CheckRowValidatesArityAndTypes) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.CheckRow({Value(1), Value("a"), Value(1.5), Value(true)}).ok());
+  EXPECT_FALSE(s.CheckRow({Value(1), Value("a")}).ok());
+  EXPECT_FALSE(
+      s.CheckRow({Value("bad"), Value("a"), Value(1.5), Value(true)}).ok());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  const std::string str = TestSchema().ToString();
+  EXPECT_NE(str.find("id INT64"), std::string::npos);
+  EXPECT_NE(str.find("score DOUBLE"), std::string::npos);
+}
+
+TEST(ColumnTypeNameTest, AllNames) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt64), "INT64");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kBool), "BOOL");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace cwf::db

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "actors/library.h"
+#include "directors/pncwf_director.h"
+#include "stream/stream_source.h"
+
+namespace cwf {
+namespace {
+
+struct Rig {
+  Workflow wf{"w"};
+  std::shared_ptr<PushChannel> feed = std::make_shared<PushChannel>();
+  StreamSourceActor* src;
+  MapActor* map;
+  CollectorSink* sink;
+  VirtualClock clock;
+  CostModel cm;
+
+  Rig() {
+    src = wf.AddActor<StreamSourceActor>("src", feed);
+    map = wf.AddActor<MapActor>(
+        "map", [](const Token& t) { return Token(t.AsInt() + 1); });
+    sink = wf.AddActor<CollectorSink>("sink");
+    CWF_CHECK(wf.Connect(src->out(), map->in()).ok());
+    CWF_CHECK(wf.Connect(map->out(), sink->in()).ok());
+  }
+};
+
+TEST(PNCWFSimTest, ProcessesStreamUnderVirtualTime) {
+  Rig rig;
+  for (int i = 0; i < 10; ++i) {
+    rig.feed->Push(Token(i), Timestamp::Seconds(i));
+  }
+  rig.feed->Close();
+  PNCWFDirector d;
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  auto got = rig.sink->TakeSnapshot();
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(got[9].token.AsInt(), 10);
+  EXPECT_GT(d.context_switches(), 0u);
+}
+
+TEST(PNCWFSimTest, ChargesModeledCosts) {
+  Rig rig;
+  rig.feed->Push(Token(1), Timestamp(0));
+  rig.feed->Close();
+  rig.cm.SetDefault({1000, 0, 0});
+  rig.cm.context_switch_overhead = 100;
+  rig.cm.sync_per_event_overhead = 0;
+  PNCWFDirector d;
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  // 3 firings (src, map, sink) + context switches: strictly positive time.
+  EXPECT_GE(rig.clock.Now().micros(), 3000 + 300);
+}
+
+TEST(PNCWFSimTest, ResponseTimeIncludesQueueing) {
+  Rig rig;
+  // Expensive map: 1 virtual second per firing; 5 simultaneous arrivals.
+  rig.cm.SetActorCost("map", {1000000, 0, 0});
+  for (int i = 0; i < 5; ++i) {
+    rig.feed->Push(Token(i), Timestamp(0));
+  }
+  rig.feed->Close();
+  PNCWFDirector d;
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  auto got = rig.sink->TakeSnapshot();
+  ASSERT_EQ(got.size(), 5u);
+  // The 5th tuple waited for four 1-second firings before its own.
+  const Duration last_response = got[4].completed_at - got[4].event_timestamp;
+  EXPECT_GE(last_response, Seconds(4.9));
+}
+
+TEST(PNCWFSimTest, RequiresVirtualClockAndCostModel) {
+  Rig rig;
+  RealClock real;
+  PNCWFDirector d1;
+  EXPECT_EQ(d1.Initialize(&rig.wf, &real, &rig.cm).code(),
+            StatusCode::kInvalidArgument);
+  PNCWFDirector d2;
+  EXPECT_EQ(d2.Initialize(&rig.wf, &rig.clock, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PNCWFSimTest, TimedWindowsCloseViaTimeouts) {
+  Workflow wf("w");
+  auto feed = std::make_shared<PushChannel>();
+  auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+  auto* minute = wf.AddActor<WindowFnActor>(
+      "minute", WindowSpec::Time(Seconds(60), Seconds(60)),
+      [](const Window& w, std::vector<Token>* out) {
+        out->push_back(Token(static_cast<int64_t>(w.size())));
+        return Status::OK();
+      });
+  auto* sink = wf.AddActor<CollectorSink>("sink");
+  ASSERT_TRUE(wf.Connect(src->out(), minute->in()).ok());
+  ASSERT_TRUE(wf.Connect(minute->out(), sink->in()).ok());
+  feed->Push(Token(1), Timestamp::Seconds(10));
+  feed->Push(Token(2), Timestamp::Seconds(50));
+  feed->Close();
+  VirtualClock clock;
+  CostModel cm;
+  PNCWFDirector d;
+  ASSERT_TRUE(d.Initialize(&wf, &clock, &cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Seconds(120)).ok());
+  auto got = sink->TakeSnapshot();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].token.AsInt(), 2);
+}
+
+TEST(PNCWFSimTest, HigherSyncOverheadLowersCapacity) {
+  // Same workload, two overhead settings: the costlier one finishes later.
+  auto run_with_sync = [](Duration sync) {
+    Rig rig;
+    for (int i = 0; i < 50; ++i) {
+      rig.feed->Push(Token(i), Timestamp(0));
+    }
+    rig.feed->Close();
+    rig.cm.sync_per_event_overhead = sync;
+    PNCWFDirector d;
+    CWF_CHECK(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+    CWF_CHECK(d.Run(Timestamp::Max()).ok());
+    return rig.clock.Now();
+  };
+  EXPECT_LT(run_with_sync(0), run_with_sync(200));
+}
+
+}  // namespace
+}  // namespace cwf

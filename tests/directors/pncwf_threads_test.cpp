@@ -1,0 +1,153 @@
+// OS-thread mode of the PNCWF director: one std::thread per actor with
+// blocking windowed receivers on a real clock.
+
+#include <gtest/gtest.h>
+
+#include "actors/library.h"
+#include "directors/pncwf_director.h"
+#include "stream/stream_source.h"
+
+namespace cwf {
+namespace {
+
+PNCWFOptions ThreadMode() {
+  PNCWFOptions o;
+  o.mode = PNCWFMode::kOsThreads;
+  return o;
+}
+
+TEST(PNCWFThreadsTest, DrainsFiniteStream) {
+  Workflow wf("w");
+  auto feed = std::make_shared<PushChannel>();
+  auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+  auto* map = wf.AddActor<MapActor>(
+      "map", [](const Token& t) { return Token(t.AsInt() * 3); });
+  auto* sink = wf.AddActor<CollectorSink>("sink");
+  ASSERT_TRUE(wf.Connect(src->out(), map->in()).ok());
+  ASSERT_TRUE(wf.Connect(map->out(), sink->in()).ok());
+  for (int i = 0; i < 20; ++i) {
+    feed->Push(Token(i), Timestamp(0));  // all available immediately
+  }
+  feed->Close();
+  RealClock clock;
+  PNCWFDirector d(ThreadMode());
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  auto got = sink->TakeSnapshot();
+  ASSERT_EQ(got.size(), 20u);
+  // Per-channel FIFO order is preserved.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(got[i].token.AsInt(), i * 3);
+  }
+}
+
+TEST(PNCWFThreadsTest, FanOutDeliversToAllBranches) {
+  Workflow wf("w");
+  auto feed = std::make_shared<PushChannel>();
+  auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+  auto* s1 = wf.AddActor<CollectorSink>("s1");
+  auto* s2 = wf.AddActor<CollectorSink>("s2");
+  ASSERT_TRUE(wf.Connect(src->out(), s1->in()).ok());
+  ASSERT_TRUE(wf.Connect(src->out(), s2->in()).ok());
+  for (int i = 0; i < 10; ++i) {
+    feed->Push(Token(i), Timestamp(0));
+  }
+  feed->Close();
+  RealClock clock;
+  PNCWFDirector d(ThreadMode());
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(s1->count(), 10u);
+  EXPECT_EQ(s2->count(), 10u);
+}
+
+TEST(PNCWFThreadsTest, WindowedActorAggregatesConcurrently) {
+  Workflow wf("w");
+  auto feed = std::make_shared<PushChannel>();
+  auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+  auto* sum = wf.AddActor<WindowFnActor>(
+      "sum", WindowSpec::Tuples(5, 5).DeleteUsedEvents(true),
+      [](const Window& w, std::vector<Token>* out) {
+        int64_t total = 0;
+        for (const auto& e : w.events) {
+          total += e.token.AsInt();
+        }
+        out->push_back(Token(total));
+        return Status::OK();
+      });
+  auto* sink = wf.AddActor<CollectorSink>("sink");
+  ASSERT_TRUE(wf.Connect(src->out(), sum->in()).ok());
+  ASSERT_TRUE(wf.Connect(sum->out(), sink->in()).ok());
+  for (int i = 1; i <= 25; ++i) {
+    feed->Push(Token(i), Timestamp(0));
+  }
+  feed->Close();
+  RealClock clock;
+  PNCWFDirector d(ThreadMode());
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  auto got = sink->TakeSnapshot();
+  ASSERT_EQ(got.size(), 5u);
+  int64_t grand = 0;
+  for (const auto& r : got) {
+    grand += r.token.AsInt();
+  }
+  EXPECT_EQ(grand, 25 * 26 / 2);
+}
+
+TEST(PNCWFThreadsTest, TimedWindowClosedByBlockedThreadTimeout) {
+  Workflow wf("w");
+  auto feed = std::make_shared<PushChannel>();
+  auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+  auto* win = wf.AddActor<WindowFnActor>(
+      "win", WindowSpec::Time(Millis(50), Millis(50)),
+      [](const Window& w, std::vector<Token>* out) {
+        out->push_back(Token(static_cast<int64_t>(w.size())));
+        return Status::OK();
+      });
+  auto* sink = wf.AddActor<CollectorSink>("sink");
+  ASSERT_TRUE(wf.Connect(src->out(), win->in()).ok());
+  ASSERT_TRUE(wf.Connect(win->out(), sink->in()).ok());
+  feed->Push(Token(1), Timestamp(0));
+  feed->Push(Token(2), Timestamp(0));
+  feed->Close();
+  RealClock clock;
+  PNCWFDirector d(ThreadMode());
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  // The window can only close via the blocked reader's timeout handling.
+  ASSERT_TRUE(d.Run(clock.Now() + Millis(400)).ok());
+  auto got = sink->TakeSnapshot();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].token.AsInt(), 2);
+}
+
+TEST(PNCWFThreadsTest, RequiresRealClock) {
+  Workflow wf("w");
+  VirtualClock clock;
+  PNCWFDirector d(ThreadMode());
+  EXPECT_EQ(d.Initialize(&wf, &clock, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PNCWFThreadsTest, ReinitializeAfterRun) {
+  // The director must be reusable: run, then initialize a new workflow.
+  auto run_once = [](PNCWFDirector* d) {
+    Workflow wf("w");
+    auto feed = std::make_shared<PushChannel>();
+    auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+    auto* sink = wf.AddActor<CollectorSink>("sink");
+    CWF_CHECK(wf.Connect(src->out(), sink->in()).ok());
+    feed->Push(Token(1), Timestamp(0));
+    feed->Close();
+    RealClock clock;
+    CWF_CHECK(d->Initialize(&wf, &clock, nullptr).ok());
+    CWF_CHECK(d->Run(Timestamp::Max()).ok());
+    return sink->count();
+  };
+  PNCWFDirector d(ThreadMode());
+  EXPECT_EQ(run_once(&d), 1u);
+  EXPECT_EQ(run_once(&d), 1u);
+}
+
+}  // namespace
+}  // namespace cwf

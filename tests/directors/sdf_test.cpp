@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "actors/library.h"
+#include "directors/sdf_director.h"
+
+namespace cwf {
+namespace {
+
+/// Produces `rate` constant tokens per firing, `firings` times.
+class RateSource : public Actor {
+ public:
+  RateSource(std::string name, int64_t rate, int64_t firings)
+      : Actor(std::move(name)), rate_(rate), firings_(firings) {
+    out_ = AddOutputPort("out");
+  }
+  Result<bool> Prefire() override { return fired_ < firings_; }
+  Status Fire() override {
+    for (int64_t i = 0; i < rate_; ++i) {
+      Send(out_, Token(counter_++));
+    }
+    ++fired_;
+    return Status::OK();
+  }
+  int64_t ProductionRate(const OutputPort*) const override { return rate_; }
+  OutputPort* out_;
+
+ private:
+  int64_t rate_;
+  int64_t firings_;
+  int64_t fired_ = 0;
+  int64_t counter_ = 0;
+};
+
+/// Consumes a window of `rate` tokens per firing and emits their sum.
+class BlockSum : public WindowFnActor {
+ public:
+  BlockSum(std::string name, int64_t rate)
+      : WindowFnActor(std::move(name),
+                      WindowSpec::Tuples(rate, rate).DeleteUsedEvents(true),
+                      [](const Window& w, std::vector<Token>* out) {
+                        int64_t sum = 0;
+                        for (const auto& e : w.events) {
+                          sum += e.token.AsInt();
+                        }
+                        out->push_back(Token(sum));
+                        return Status::OK();
+                      }) {}
+};
+
+TEST(SDFTest, SolvesBalanceEquations) {
+  // src(2/firing) -> sum(consumes 3): repetitions src=3, sum=2.
+  Workflow wf("w");
+  auto* src = wf.AddActor<RateSource>("src", 2, 100);
+  auto* sum = wf.AddActor<BlockSum>("sum", 3);
+  auto* sink = wf.AddActor<CollectorSink>("sink");
+  ASSERT_TRUE(wf.Connect(src->out_, sum->in()).ok());
+  ASSERT_TRUE(wf.Connect(sum->out(), sink->in()).ok());
+  VirtualClock clock;
+  SDFDirector d;
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  EXPECT_EQ(d.Repetitions(src).value(), 3);
+  EXPECT_EQ(d.Repetitions(sum).value(), 2);
+  EXPECT_EQ(d.Repetitions(sink).value(), 2);
+  EXPECT_EQ(d.schedule().size(), 7u);
+}
+
+TEST(SDFTest, ExecutesScheduleCorrectly) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<RateSource>("src", 2, 3);  // 6 tokens total: 0..5
+  auto* sum = wf.AddActor<BlockSum>("sum", 3);
+  auto* sink = wf.AddActor<CollectorSink>("sink");
+  ASSERT_TRUE(wf.Connect(src->out_, sum->in()).ok());
+  ASSERT_TRUE(wf.Connect(sum->out(), sink->in()).ok());
+  VirtualClock clock;
+  SDFDirector d;
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  auto got = sink->TakeSnapshot();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].token.AsInt(), 0 + 1 + 2);
+  EXPECT_EQ(got[1].token.AsInt(), 3 + 4 + 5);
+}
+
+TEST(SDFTest, UniformRatePipelineHasUnitRepetitions) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<RateSource>("src", 1, 2);
+  auto* map = wf.AddActor<MapActor>(
+      "map", [](const Token& t) { return Token(t.AsInt() + 1); });
+  auto* sink = wf.AddActor<CollectorSink>("sink");
+  ASSERT_TRUE(wf.Connect(src->out_, map->in()).ok());
+  ASSERT_TRUE(wf.Connect(map->out(), sink->in()).ok());
+  VirtualClock clock;
+  SDFDirector d;
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  EXPECT_EQ(d.Repetitions(src).value(), 1);
+  EXPECT_EQ(d.Repetitions(map).value(), 1);
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(sink->count(), 2u);
+}
+
+TEST(SDFTest, RejectsTimeWindows) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<RateSource>("src", 1, 1);
+  auto* agg = wf.AddActor<WindowFnActor>(
+      "agg", WindowSpec::Time(Seconds(60), Seconds(60)),
+      [](const Window&, std::vector<Token>*) { return Status::OK(); });
+  ASSERT_TRUE(wf.Connect(src->out_, agg->in()).ok());
+  VirtualClock clock;
+  SDFDirector d;
+  EXPECT_EQ(d.Initialize(&wf, &clock, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SDFTest, SlidingWindowStepDefinesConsumption) {
+  // A sliding window of size 4, step 2 consumes 2 fresh tokens per firing in
+  // steady state: src produces 1/firing => src repeats 2x per sum firing.
+  Workflow wf("w");
+  auto* src = wf.AddActor<RateSource>("src", 1, 100);
+  auto* sum = wf.AddActor<WindowFnActor>(
+      "sum", WindowSpec::Tuples(4, 2),
+      [](const Window&, std::vector<Token>*) { return Status::OK(); });
+  ASSERT_TRUE(wf.Connect(src->out_, sum->in()).ok());
+  VirtualClock clock;
+  SDFDirector d;
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  EXPECT_EQ(d.Repetitions(src).value(), 2);
+  EXPECT_EQ(d.Repetitions(sum).value(), 1);
+}
+
+TEST(SDFTest, MultiComponentGraphsSolveIndependently) {
+  Workflow wf("w");
+  auto* s1 = wf.AddActor<RateSource>("s1", 1, 1);
+  auto* k1 = wf.AddActor<CollectorSink>("k1");
+  auto* s2 = wf.AddActor<RateSource>("s2", 3, 1);
+  auto* k2 = wf.AddActor<WindowFnActor>(
+      "k2", WindowSpec::Tuples(3, 3).DeleteUsedEvents(true),
+      [](const Window&, std::vector<Token>*) { return Status::OK(); });
+  ASSERT_TRUE(wf.Connect(s1->out_, k1->in()).ok());
+  ASSERT_TRUE(wf.Connect(s2->out_, k2->in()).ok());
+  VirtualClock clock;
+  SDFDirector d;
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  EXPECT_EQ(d.Repetitions(s1).value(), 1);
+  EXPECT_EQ(d.Repetitions(s2).value(), 1);
+  EXPECT_EQ(d.Repetitions(k2).value(), 1);
+}
+
+TEST(SDFTest, StarvedScheduleTerminates) {
+  // Source stops after 1 firing even though the schedule wants 3.
+  Workflow wf("w");
+  auto* src = wf.AddActor<RateSource>("src", 1, 1);
+  auto* sum = wf.AddActor<BlockSum>("sum", 3);
+  ASSERT_TRUE(wf.Connect(src->out_, sum->in()).ok());
+  VirtualClock clock;
+  SDFDirector d;
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());  // must not hang
+  EXPECT_EQ(src->total_firings(), 1u);
+  EXPECT_EQ(sum->total_firings(), 0u);
+}
+
+}  // namespace
+}  // namespace cwf
+
+namespace cwf {
+namespace {
+
+TEST(SDFTest, InconsistentRatesRejected) {
+  // Diamond with mismatched rates: src -(1)-> a -(1)-> sink and
+  // src -(2)-> b -(1)-> sink cannot balance.
+  Workflow wf("bad");
+  auto* src = wf.AddActor<RateSource>("src", 1, 1);
+  auto* a = wf.AddActor<MapActor>("a", [](const Token& t) { return t; });
+  auto* b = wf.AddActor<BlockSum>("b", 2);  // consumes 2 per firing
+  auto* sink = wf.AddActor<WindowFnActor>(
+      "sink", WindowSpec::Tuples(1, 1).DeleteUsedEvents(true),
+      [](const Window&, std::vector<Token>*) { return Status::OK(); });
+  ASSERT_TRUE(wf.Connect(src->out_, a->in()).ok());
+  ASSERT_TRUE(wf.Connect(src->out_, b->in()).ok());
+  ASSERT_TRUE(wf.Connect(a->out(), sink->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), sink->in()).ok());
+  VirtualClock clock;
+  SDFDirector d;
+  // a fires 1x, b fires 0.5x per src firing; both feed `sink` whose single
+  // port demands equal rates -> inconsistent.
+  EXPECT_EQ(d.Initialize(&wf, &clock, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cwf

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "directors/taxonomy.h"
+
+namespace cwf {
+namespace {
+
+TEST(TaxonomyTest, ContainsAllPaperRows) {
+  const auto& rows = DirectorTaxonomy();
+  EXPECT_EQ(rows.size(), 14u);  // 4 Kepler + 8 PtolemyII + PNCWF + SCWF
+  auto find = [&](const std::string& name) -> const DirectorInfo* {
+    for (const auto& r : rows) {
+      if (r.name == name) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  for (const char* name :
+       {"SDF", "DDF", "PN", "DE", "CN", "CI", "CSP", "DT", "HDF", "SR", "TM",
+        "TPN", "PNCWF", "SCWF"}) {
+    EXPECT_NE(find(name), nullptr) << name;
+  }
+  EXPECT_EQ(find("PNCWF")->group, "CONFLuEnCE");
+  EXPECT_EQ(find("PNCWF")->scheduling, "Thread/OS");
+  EXPECT_EQ(find("PNCWF")->computation_driver, "Data-Windowed-driven");
+}
+
+TEST(TaxonomyTest, ImplementedFlagMatchesLibrary) {
+  for (const auto& row : DirectorTaxonomy()) {
+    const bool should_be_implemented =
+        row.name == "SDF" || row.name == "DDF" || row.name == "PNCWF" ||
+        row.name == "SCWF";
+    EXPECT_EQ(row.implemented_here, should_be_implemented) << row.name;
+  }
+}
+
+TEST(TaxonomyTest, RenderProducesAlignedTable) {
+  const std::string table = RenderDirectorTaxonomy();
+  EXPECT_NE(table.find("Director"), std::string::npos);
+  EXPECT_NE(table.find("PNCWF"), std::string::npos);
+  EXPECT_NE(table.find("Pluggable (STAFiLOS)"), std::string::npos);
+  // One header + separator + 14 rows.
+  size_t lines = 0;
+  for (char c : table) {
+    lines += (c == '\n');
+  }
+  EXPECT_EQ(lines, 16u);
+}
+
+}  // namespace
+}  // namespace cwf

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include "core/clock.h"
+#include "core/receiver.h"
+#include "lrb/actors.h"
+#include "window/windowed_receiver.h"
+
+namespace cwf::lrb {
+namespace {
+
+CWEvent ReportEv(const PositionReport& r, uint64_t seq) {
+  CWEvent e;
+  e.token = r.ToToken();
+  e.timestamp = Timestamp::Seconds(static_cast<double>(r.time));
+  e.wave = WaveTag::Root(seq);
+  e.last_in_wave = true;
+  e.seq = seq;
+  return e;
+}
+
+PositionReport Report(int64_t time, int64_t car, double speed, int64_t seg,
+                      int64_t pos, int64_t lane = 2) {
+  PositionReport r;
+  r.time = time;
+  r.car = car;
+  r.speed = speed;
+  r.xway = 0;
+  r.lane = lane;
+  r.dir = 0;
+  r.seg = seg;
+  r.pos = pos;
+  return r;
+}
+
+/// Drive a standalone actor: wire a windowed receiver per its input spec,
+/// feed events, fire while ready, collect outputs.
+std::vector<Token> Drive(Actor* actor, InputPort* in,
+                         const std::vector<CWEvent>& events) {
+  in->SetReceiver(0, std::make_unique<WindowedReceiver>(in, in->spec()));
+  static ExecutionContext ctx;
+  static VirtualClock clock;
+  ctx.clock = &clock;
+  CWF_CHECK(actor->Initialize(&ctx).ok());
+  std::vector<Token> out;
+  for (const CWEvent& e : events) {
+    CWF_CHECK(in->receiver(0)->Put(e).ok());
+    while (actor->Prefire().value()) {
+      actor->BeginFiring();
+      CWF_CHECK(actor->Fire().ok());
+      for (auto& po : actor->TakePendingOutputs()) {
+        out.push_back(std::move(po.token));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(StoppedCarDetectorTest, DetectsFourIdenticalReports) {
+  StoppedCarDetector det("d");
+  std::vector<CWEvent> events;
+  for (int k = 0; k < 4; ++k) {
+    events.push_back(ReportEv(Report(k * 30, 7, 0, 10, 53000), k + 1));
+  }
+  auto out = Drive(&det, det.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Field("car").AsInt(), 7);
+  EXPECT_EQ(out[0].Field("time").AsInt(), 0);  // the FIRST of the four
+}
+
+TEST(StoppedCarDetectorTest, MovingCarNotDetected) {
+  StoppedCarDetector det("d");
+  std::vector<CWEvent> events;
+  for (int k = 0; k < 6; ++k) {
+    events.push_back(
+        ReportEv(Report(k * 30, 7, 50, 10, 53000 + k * 100), k + 1));
+  }
+  EXPECT_TRUE(Drive(&det, det.in(), events).empty());
+}
+
+TEST(StoppedCarDetectorTest, ExitLaneIgnored) {
+  StoppedCarDetector det("d");
+  std::vector<CWEvent> events;
+  for (int k = 0; k < 4; ++k) {
+    events.push_back(
+        ReportEv(Report(k * 30, 7, 0, 10, 53000, kExitLane), k + 1));
+  }
+  EXPECT_TRUE(Drive(&det, det.in(), events).empty());
+}
+
+TEST(StoppedCarDetectorTest, SlidingWindowKeepsDetectingWhileStopped) {
+  StoppedCarDetector det("d");
+  std::vector<CWEvent> events;
+  for (int k = 0; k < 6; ++k) {
+    events.push_back(ReportEv(Report(k * 30, 7, 0, 10, 53000), k + 1));
+  }
+  // Windows [0..3], [1..4], [2..5] all detect.
+  EXPECT_EQ(Drive(&det, det.in(), events).size(), 3u);
+}
+
+TEST(StoppedCarDetectorTest, GroupByCarSeparatesVehicles) {
+  StoppedCarDetector det("d");
+  std::vector<CWEvent> events;
+  // Interleave two cars, only car 1 is stopped.
+  for (int k = 0; k < 4; ++k) {
+    events.push_back(ReportEv(Report(k * 30, 1, 0, 10, 53000), 2 * k + 1));
+    events.push_back(
+        ReportEv(Report(k * 30 + 1, 2, 50, 10, 53000 + k * 200), 2 * k + 2));
+  }
+  auto out = Drive(&det, det.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Field("car").AsInt(), 1);
+}
+
+TEST(AccidentDetectorTest, TwoCarsSamePositionIsAccident) {
+  AccidentDetector det("a");
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(90, 1, 0, 10, 53000), 1));
+  events.push_back(ReportEv(Report(92, 2, 0, 10, 53000), 2));
+  auto out = Drive(&det, det.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Field("car1").AsInt(), 1);
+  EXPECT_EQ(out[0].Field("car2").AsInt(), 2);
+  EXPECT_EQ(out[0].Field("seg").AsInt(), 10);
+  EXPECT_EQ(out[0].Field("time").AsInt(), 92);
+}
+
+TEST(AccidentDetectorTest, SameCarTwiceIsNotAccident) {
+  AccidentDetector det("a");
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(90, 1, 0, 10, 53000), 1));
+  events.push_back(ReportEv(Report(120, 1, 0, 10, 53000), 2));
+  EXPECT_TRUE(Drive(&det, det.in(), events).empty());
+}
+
+TEST(AccidentDetectorTest, DifferentPositionsDoNotCollide) {
+  AccidentDetector det("a");
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(90, 1, 0, 10, 53000), 1));
+  events.push_back(ReportEv(Report(92, 2, 0, 10, 54000), 2));
+  EXPECT_TRUE(Drive(&det, det.in(), events).empty());
+}
+
+class DbFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = CreateLRBDatabase().value();
+    ctx_.clock = &clock_;
+  }
+
+  Status SeedAccident(int64_t seg, int64_t ts) {
+    auto table = db_->GetTable(kTableAccidents).value();
+    return table
+        ->Insert({Value(int64_t{0}), Value(int64_t{0}), Value(seg),
+                  Value(seg * 5280), Value(int64_t{1}), Value(int64_t{2}),
+                  Value(ts)})
+        .status();
+  }
+
+  std::shared_ptr<db::Database> db_;
+  VirtualClock clock_;
+  ExecutionContext ctx_;
+};
+
+TEST_F(DbFixture, AccidentInScopeDirectionality) {
+  ASSERT_TRUE(SeedAccident(10, 100).ok());
+  auto table = db_->GetTable(kTableAccidents).value();
+  // dir 0 (increasing segs): accident must be in [seg, seg+4].
+  EXPECT_TRUE(AccidentInScope(table, 0, 0, 8, 50).value());   // 10 in [8,12]
+  EXPECT_TRUE(AccidentInScope(table, 0, 0, 10, 50).value());  // own segment
+  EXPECT_FALSE(AccidentInScope(table, 0, 0, 11, 50).value()); // behind car
+  EXPECT_FALSE(AccidentInScope(table, 0, 0, 5, 50).value());  // too far ahead
+  // dir 1 (decreasing segs): accident must be in [seg-4, seg].
+  EXPECT_FALSE(AccidentInScope(table, 0, 1, 8, 50).value());  // wrong dir row
+}
+
+TEST_F(DbFixture, AccidentInScopeRecencyFilter) {
+  ASSERT_TRUE(SeedAccident(10, 100).ok());
+  auto table = db_->GetTable(kTableAccidents).value();
+  EXPECT_TRUE(AccidentInScope(table, 0, 0, 10, 100).value());
+  EXPECT_FALSE(AccidentInScope(table, 0, 0, 10, 101).value());  // stale
+}
+
+TEST_F(DbFixture, InsertAccidentDedupsPairs) {
+  InsertAccident ia("ia", db_.get());
+  ia.in()->SetReceiver(
+      0, std::make_unique<WindowedReceiver>(ia.in(), ia.in()->spec()));
+  ASSERT_TRUE(ia.Initialize(&ctx_).ok());
+  auto accident = [&](int64_t ts, uint64_t seq) {
+    auto rec = std::make_shared<Record>();
+    rec->Set("time", Value(ts));
+    rec->Set("xway", Value(int64_t{0}));
+    rec->Set("dir", Value(int64_t{0}));
+    rec->Set("seg", Value(int64_t{10}));
+    rec->Set("pos", Value(int64_t{53000}));
+    rec->Set("car1", Value(int64_t{1}));
+    rec->Set("car2", Value(int64_t{2}));
+    CWEvent e;
+    e.token = Token(RecordPtr(rec));
+    e.timestamp = Timestamp::Seconds(static_cast<double>(ts));
+    e.wave = WaveTag::Root(seq);
+    e.seq = seq;
+    return e;
+  };
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ia.in()->receiver(0)->Put(accident(90 + i * 30, i + 1)).ok());
+    ia.BeginFiring();
+    ASSERT_TRUE(ia.Fire().ok());
+  }
+  EXPECT_EQ(ia.accidents_recorded(), 1u);  // one incident, refreshed twice
+  auto table = db_->GetTable(kTableAccidents).value();
+  EXPECT_EQ(table->RowCount(), 1u);
+  // Timestamp was refreshed to the latest detection.
+  auto row = table->SelectOne(db::True()).value();
+  EXPECT_EQ((*row)[6].AsInt(), 150);
+}
+
+TEST_F(DbFixture, TollCalculatorFiresOnSegmentChange) {
+  // Seed segment statistics: congested segment 11.
+  auto stats = db_->GetTable(kTableSegmentStats).value();
+  ASSERT_TRUE(stats
+                  ->Insert({Value(int64_t{0}), Value(int64_t{0}),
+                            Value(int64_t{11}), Value(30.0), Value(int64_t{80}),
+                            Value(int64_t{1})})
+                  .ok());
+  TollCalculator tc("tc", db_.get());
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(0, 5, 50, 10, 10 * 5280), 1));
+  events.push_back(ReportEv(Report(30, 5, 50, 11, 11 * 5280), 2));
+  auto out = Drive(&tc, tc.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Field("car").AsInt(), 5);
+  EXPECT_EQ(out[0].Field("seg").AsInt(), 11);
+  EXPECT_DOUBLE_EQ(out[0].Field("toll").AsDouble(), 2 * 30 * 30);
+}
+
+TEST_F(DbFixture, TollZeroWithoutCongestion) {
+  TollCalculator tc("tc", db_.get());
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(0, 5, 50, 10, 10 * 5280), 1));
+  events.push_back(ReportEv(Report(30, 5, 50, 11, 11 * 5280), 2));
+  auto out = Drive(&tc, tc.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].Field("toll").AsDouble(), 0.0);
+}
+
+TEST_F(DbFixture, TollWaivedNearAccident) {
+  auto stats = db_->GetTable(kTableSegmentStats).value();
+  ASSERT_TRUE(stats
+                  ->Insert({Value(int64_t{0}), Value(int64_t{0}),
+                            Value(int64_t{11}), Value(30.0), Value(int64_t{80}),
+                            Value(int64_t{1})})
+                  .ok());
+  ASSERT_TRUE(SeedAccident(12, 25).ok());  // within [11, 15], fresh at t=30
+  TollCalculator tc("tc", db_.get());
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(0, 5, 50, 10, 10 * 5280), 1));
+  events.push_back(ReportEv(Report(30, 5, 50, 11, 11 * 5280), 2));
+  auto out = Drive(&tc, tc.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].Field("toll").AsDouble(), 0.0);
+}
+
+TEST_F(DbFixture, TollNotCalculatedWithinSameSegment) {
+  TollCalculator tc("tc", db_.get());
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(0, 5, 50, 10, 10 * 5280), 1));
+  events.push_back(ReportEv(Report(30, 5, 50, 10, 10 * 5280 + 500), 2));
+  EXPECT_TRUE(Drive(&tc, tc.in(), events).empty());
+  EXPECT_EQ(tc.tolls_calculated(), 0u);
+}
+
+TEST_F(DbFixture, AccidentNotifierEmitsForCarsInRange) {
+  ASSERT_TRUE(SeedAccident(12, 95).ok());
+  AccidentNotifier an("an", db_.get());
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(100, 9, 50, 10, 10 * 5280), 1));   // in range
+  events.push_back(ReportEv(Report(100, 10, 50, 3, 3 * 5280), 2));    // too far
+  events.push_back(
+      ReportEv(Report(100, 11, 50, 13, 13 * 5280), 3));  // behind accident
+  auto out = Drive(&an, an.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Field("car").AsInt(), 9);
+}
+
+TEST_F(DbFixture, AvgsvComputesPerCarSegmentAverage) {
+  AvgsvActor avgsv("avgsv");
+  std::vector<CWEvent> events;
+  events.push_back(ReportEv(Report(10, 1, 40, 10, 53000), 1));
+  events.push_back(ReportEv(Report(40, 1, 60, 10, 53100), 2));
+  // Close the minute window with an event in the next minute.
+  events.push_back(ReportEv(Report(70, 1, 99, 10, 53200), 3));
+  auto out = Drive(&avgsv, avgsv.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].Field("avg_speed").AsDouble(), 50.0);
+  EXPECT_EQ(out[0].Field("car").AsInt(), 1);
+  EXPECT_EQ(out[0].Field("minute").AsInt(), 0);
+}
+
+TEST_F(DbFixture, AvgsMaintainsLavOverFiveMinutes) {
+  AvgsActor avgs("avgs", db_.get());
+  avgs.in()->SetReceiver(
+      0, std::make_unique<WindowedReceiver>(avgs.in(), avgs.in()->spec()));
+  ASSERT_TRUE(avgs.Initialize(&ctx_).ok());
+  auto minute_avg = [&](int64_t minute, double avg, uint64_t seq) {
+    auto rec = std::make_shared<Record>();
+    rec->Set("car", Value(int64_t{1}));
+    rec->Set("xway", Value(int64_t{0}));
+    rec->Set("dir", Value(int64_t{0}));
+    rec->Set("seg", Value(int64_t{10}));
+    rec->Set("minute", Value(minute));
+    rec->Set("avg_speed", Value(avg));
+    CWEvent e;
+    e.token = Token(RecordPtr(rec));
+    e.timestamp = Timestamp::Seconds(static_cast<double>(minute * 60 + 30));
+    e.wave = WaveTag::Root(seq);
+    e.seq = seq;
+    return e;
+  };
+  std::vector<double> speeds = {50, 40, 30, 20, 10, 60};
+  uint64_t seq = 0;
+  for (int64_t m = 0; m < 6; ++m) {
+    ASSERT_TRUE(
+        avgs.in()->receiver(0)->Put(minute_avg(m, speeds[m], ++seq)).ok());
+    while (avgs.Prefire().value()) {
+      avgs.BeginFiring();
+      ASSERT_TRUE(avgs.Fire().ok());
+      avgs.TakePendingOutputs();
+    }
+  }
+  // Force the last window out.
+  avgs.in()->receiver(0)->Flush();
+  while (avgs.Prefire().value()) {
+    avgs.BeginFiring();
+    ASSERT_TRUE(avgs.Fire().ok());
+    avgs.TakePendingOutputs();
+  }
+  // LAV after minute 5 closes: avg of minutes 1..5 = (40+30+20+10+60)/5 = 32.
+  auto stats = db_->GetTable(kTableSegmentStats).value();
+  auto row = stats->SelectOne(db::Eq("seg", Value(int64_t{10}))).value();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_NEAR((*row)[3].AsDouble(), 32.0, 1e-9);
+}
+
+TEST_F(DbFixture, CarCountsDistinctCarsPerMinute) {
+  CarCountActor cars("cars", db_.get());
+  std::vector<CWEvent> events;
+  // Three reports, two distinct cars in minute 0.
+  events.push_back(ReportEv(Report(5, 1, 50, 10, 53000), 1));
+  events.push_back(ReportEv(Report(15, 2, 50, 10, 53100), 2));
+  events.push_back(ReportEv(Report(35, 1, 50, 10, 53200), 3));
+  events.push_back(ReportEv(Report(65, 3, 50, 10, 53300), 4));  // closes min 0
+  auto out = Drive(&cars, cars.in(), events);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Field("cars").AsInt(), 2);
+  auto stats = db_->GetTable(kTableSegmentStats).value();
+  auto row = stats->SelectOne(db::Eq("seg", Value(int64_t{10}))).value();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)[4].AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace cwf::lrb

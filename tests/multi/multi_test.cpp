@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "actors/library.h"
+#include "directors/scwf_director.h"
+#include "multi/connection_controller.h"
+#include "stafilos/fifo_scheduler.h"
+#include "stream/stream_source.h"
+
+namespace cwf {
+namespace {
+
+struct Built {
+  std::unique_ptr<Manager> manager;
+  CollectorSink* sink;
+  std::shared_ptr<PushChannel> feed;
+};
+
+Built BuildManaged(const std::string& name, int events, Timestamp start) {
+  auto wf = std::make_unique<Workflow>(name + ".wf");
+  auto feed = std::make_shared<PushChannel>();
+  auto* src = wf->AddActor<StreamSourceActor>("src", feed);
+  auto* map = wf->AddActor<MapActor>(
+      "map", [](const Token& t) { return Token(t.AsInt() + 1); });
+  auto* sink = wf->AddActor<CollectorSink>("sink");
+  CWF_CHECK(wf->Connect(src->out(), map->in()).ok());
+  CWF_CHECK(wf->Connect(map->out(), sink->in()).ok());
+  for (int i = 0; i < events; ++i) {
+    feed->Push(Token(i), start);  // all available together at `start`
+  }
+  feed->Close();
+  auto manager = std::make_unique<Manager>(
+      name, std::move(wf),
+      std::make_unique<SCWFDirector>(std::make_unique<FIFOScheduler>()));
+  return {std::move(manager), sink, feed};
+}
+
+TEST(ManagerTest, LifecycleTransitions) {
+  Built b = BuildManaged("wf1", 3, Timestamp(0));
+  VirtualClock clock;
+  CostModel cm;
+  EXPECT_EQ(b.manager->state(), ManagerState::kCreated);
+  ASSERT_TRUE(b.manager->Initialize(&clock, &cm).ok());
+  EXPECT_EQ(b.manager->state(), ManagerState::kRunning);
+  ASSERT_TRUE(b.manager->Pause().ok());
+  EXPECT_EQ(b.manager->state(), ManagerState::kPaused);
+  EXPECT_FALSE(b.manager->Pause().ok());  // double pause rejected
+  ASSERT_TRUE(b.manager->Resume().ok());
+  EXPECT_EQ(b.manager->state(), ManagerState::kRunning);
+  ASSERT_TRUE(b.manager->Stop().ok());
+  EXPECT_EQ(b.manager->state(), ManagerState::kStopped);
+  EXPECT_TRUE(b.manager->Stop().ok());  // idempotent
+}
+
+TEST(ManagerTest, RunSliceProcessesBoundedWork) {
+  Built b = BuildManaged("wf1", 10, Timestamp(0));
+  VirtualClock clock;
+  CostModel cm;
+  cm.SetDefault({1000, 0, 0});
+  ASSERT_TRUE(b.manager->Initialize(&clock, &cm).ok());
+  ASSERT_TRUE(b.manager->RunSlice(Seconds(0.005)).ok());
+  const size_t after_one_slice = b.sink->count();
+  EXPECT_LT(after_one_slice, 10u);
+  while (b.manager->HasPendingWork()) {
+    ASSERT_TRUE(b.manager->RunSlice(Seconds(100)).ok());
+  }
+  EXPECT_EQ(b.sink->count(), 10u);
+  EXPECT_GT(b.manager->cpu_time_used(), 0);
+}
+
+TEST(ManagerTest, PausedManagerDoesNotRun) {
+  Built b = BuildManaged("wf1", 5, Timestamp(0));
+  VirtualClock clock;
+  CostModel cm;
+  ASSERT_TRUE(b.manager->Initialize(&clock, &cm).ok());
+  ASSERT_TRUE(b.manager->Pause().ok());
+  ASSERT_TRUE(b.manager->RunSlice(Seconds(100)).ok());
+  EXPECT_EQ(b.sink->count(), 0u);
+  EXPECT_FALSE(b.manager->HasPendingWork());
+  EXPECT_EQ(b.manager->NextWakeup(), Timestamp::Max());
+}
+
+TEST(GlobalSchedulerTest, TwoWorkflowsShareTheCpu) {
+  Built a = BuildManaged("alpha", 20, Timestamp(0));
+  Built b = BuildManaged("beta", 20, Timestamp(0));
+  VirtualClock clock;
+  CostModel cm;
+  cm.SetDefault({1000, 0, 0});
+  ASSERT_TRUE(a.manager->Initialize(&clock, &cm).ok());
+  ASSERT_TRUE(b.manager->Initialize(&clock, &cm).ok());
+  GlobalScheduler gs;
+  gs.AddManager(a.manager.get());
+  gs.AddManager(b.manager.get());
+  ASSERT_TRUE(gs.Run(&clock, Timestamp::Seconds(120)).ok());
+  EXPECT_EQ(a.sink->count(), 20u);
+  EXPECT_EQ(b.sink->count(), 20u);
+  EXPECT_GT(gs.turns(), 1u);
+  // Equal share: CPU allocations are comparable.
+  const double ratio =
+      static_cast<double>(a.manager->cpu_time_used() + 1) /
+      static_cast<double>(b.manager->cpu_time_used() + 1);
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(GlobalSchedulerTest, WeightedShareFavorsHeavyWorkflow) {
+  Built a = BuildManaged("alpha", 200, Timestamp(0));
+  Built b = BuildManaged("beta", 200, Timestamp(0));
+  VirtualClock clock;
+  CostModel cm;
+  cm.SetDefault({2000, 0, 0});
+  ASSERT_TRUE(a.manager->Initialize(&clock, &cm).ok());
+  ASSERT_TRUE(b.manager->Initialize(&clock, &cm).ok());
+  GlobalSchedulerOptions opt;
+  opt.policy = CapacityPolicy::kWeightedShare;
+  opt.base_quantum = 10000;
+  GlobalScheduler gs(opt);
+  gs.AddManager(a.manager.get(), 4.0);
+  gs.AddManager(b.manager.get(), 1.0);
+  // Stop mid-flight: alpha should have been allocated ~4x the quanta.
+  ASSERT_TRUE(gs.Run(&clock, Timestamp::Seconds(1)).ok());
+  EXPECT_GT(a.sink->count(), b.sink->count());
+}
+
+TEST(GlobalSchedulerTest, AdvancesIdleTimeToNextArrival) {
+  Built a = BuildManaged("alpha", 1, Timestamp::Seconds(50));
+  VirtualClock clock;
+  CostModel cm;
+  ASSERT_TRUE(a.manager->Initialize(&clock, &cm).ok());
+  GlobalScheduler gs;
+  gs.AddManager(a.manager.get());
+  ASSERT_TRUE(gs.Run(&clock, Timestamp::Seconds(200)).ok());
+  EXPECT_EQ(a.sink->count(), 1u);
+  EXPECT_GE(clock.Now(), Timestamp::Seconds(50));
+}
+
+TEST(ConnectionControllerTest, CommandProtocol) {
+  ConnectionController cc;
+  Built a = BuildManaged("alpha", 1, Timestamp(0));
+  Built b = BuildManaged("beta", 1, Timestamp(0));
+  VirtualClock clock;
+  CostModel cm;
+  ASSERT_TRUE(a.manager->Initialize(&clock, &cm).ok());
+  ASSERT_TRUE(b.manager->Initialize(&clock, &cm).ok());
+  ASSERT_TRUE(cc.Register(std::move(a.manager)).ok());
+  ASSERT_TRUE(cc.Register(std::move(b.manager)).ok());
+
+  auto list = cc.Execute("list");
+  ASSERT_TRUE(list.ok());
+  EXPECT_NE(list->find("alpha RUNNING"), std::string::npos);
+  EXPECT_NE(list->find("beta RUNNING"), std::string::npos);
+
+  ASSERT_TRUE(cc.Execute("pause alpha").ok());
+  EXPECT_NE(cc.Execute("status alpha")->find("PAUSED"), std::string::npos);
+  ASSERT_TRUE(cc.Execute("resume alpha").ok());
+  ASSERT_TRUE(cc.Execute("stop alpha").ok());
+  EXPECT_NE(cc.Execute("status alpha")->find("STOPPED"), std::string::npos);
+
+  // Remove requires the workflow to be stopped.
+  EXPECT_FALSE(cc.Execute("remove beta").ok());
+  ASSERT_TRUE(cc.Execute("stop beta").ok());
+  ASSERT_TRUE(cc.Execute("remove beta").ok());
+  EXPECT_FALSE(cc.Find("beta").ok());
+}
+
+TEST(ConnectionControllerTest, ErrorsOnBadCommands) {
+  ConnectionController cc;
+  EXPECT_FALSE(cc.Execute("").ok());
+  EXPECT_FALSE(cc.Execute("pause").ok());
+  EXPECT_FALSE(cc.Execute("bounce wf").ok());
+  EXPECT_FALSE(cc.Execute("status nosuch").ok());
+}
+
+TEST(ConnectionControllerTest, DuplicateRegistrationRejected) {
+  ConnectionController cc;
+  Built a = BuildManaged("alpha", 1, Timestamp(0));
+  Built dup = BuildManaged("alpha", 1, Timestamp(0));
+  ASSERT_TRUE(cc.Register(std::move(a.manager)).ok());
+  EXPECT_EQ(cc.Register(std::move(dup.manager)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ManagerStateNameTest, Names) {
+  EXPECT_STREQ(ManagerStateName(ManagerState::kCreated), "CREATED");
+  EXPECT_STREQ(ManagerStateName(ManagerState::kRunning), "RUNNING");
+  EXPECT_STREQ(ManagerStateName(ManagerState::kPaused), "PAUSED");
+  EXPECT_STREQ(ManagerStateName(ManagerState::kStopped), "STOPPED");
+}
+
+}  // namespace
+}  // namespace cwf
+
+namespace cwf {
+namespace {
+
+TEST(ManagerTest, DoubleInitializeRejected) {
+  Built b = BuildManaged("wf1", 1, Timestamp(0));
+  VirtualClock clock;
+  CostModel cm;
+  ASSERT_TRUE(b.manager->Initialize(&clock, &cm).ok());
+  EXPECT_EQ(b.manager->Initialize(&clock, &cm).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GlobalSchedulerTest, NoManagersTerminatesImmediately) {
+  GlobalScheduler gs;
+  VirtualClock clock;
+  EXPECT_TRUE(gs.Run(&clock, Timestamp::Seconds(10)).ok());
+  EXPECT_EQ(gs.turns(), 0u);
+}
+
+TEST(GlobalSchedulerTest, StoppedManagerIsSkipped) {
+  Built a = BuildManaged("alpha", 5, Timestamp(0));
+  VirtualClock clock;
+  CostModel cm;
+  ASSERT_TRUE(a.manager->Initialize(&clock, &cm).ok());
+  ASSERT_TRUE(a.manager->Stop().ok());
+  GlobalScheduler gs;
+  gs.AddManager(a.manager.get());
+  ASSERT_TRUE(gs.Run(&clock, Timestamp::Seconds(10)).ok());
+  EXPECT_EQ(a.sink->count(), 0u);
+}
+
+}  // namespace
+}  // namespace cwf

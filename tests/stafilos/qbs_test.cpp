@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "sched_test_util.h"
+#include "stafilos/qbs_scheduler.h"
+
+namespace cwf {
+namespace {
+
+using schedtest::PipelineRig;
+
+TEST(QBSTest, QuantumFormulaEquation1) {
+  QBSOptions opt;
+  opt.basic_quantum = 500;
+  QBSScheduler s(opt);
+  // p >= 20: (40-p)*b
+  EXPECT_DOUBLE_EQ(s.QuantumFor(20), 20 * 500.0);
+  EXPECT_DOUBLE_EQ(s.QuantumFor(39), 1 * 500.0);
+  // p < 20: (40-p)*4b
+  EXPECT_DOUBLE_EQ(s.QuantumFor(19), 21 * 4 * 500.0);
+  EXPECT_DOUBLE_EQ(s.QuantumFor(5), 35 * 4 * 500.0);
+  EXPECT_DOUBLE_EQ(s.QuantumFor(10), 30 * 4 * 500.0);
+}
+
+TEST(QBSTest, ProcessesPipelineCompletely) {
+  PipelineRig rig;
+  rig.PushN(50);
+  rig.feed->Close();
+  SCWFDirector d(std::make_unique<QBSScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(rig.sink->count(), 50u);
+}
+
+TEST(QBSTest, HigherPriorityActorRunsFirst) {
+  // Two parallel branches; the priority-5 branch must complete before the
+  // priority-30 branch under contention.
+  Workflow wf("w");
+  auto feed = std::make_shared<PushChannel>();
+  auto* src = wf.AddActor<StreamSourceActor>("src", feed);
+  auto* hot = wf.AddActor<MapActor>("hot", [](const Token& t) { return t; });
+  auto* cold = wf.AddActor<MapActor>("cold", [](const Token& t) { return t; });
+  auto* hot_sink = wf.AddActor<CollectorSink>("hot_sink");
+  auto* cold_sink = wf.AddActor<CollectorSink>("cold_sink");
+  ASSERT_TRUE(wf.Connect(src->out(), hot->in()).ok());
+  ASSERT_TRUE(wf.Connect(src->out(), cold->in()).ok());
+  ASSERT_TRUE(wf.Connect(hot->out(), hot_sink->in()).ok());
+  ASSERT_TRUE(wf.Connect(cold->out(), cold_sink->in()).ok());
+  auto sched = std::make_unique<QBSScheduler>();
+  sched->SetActorPriority("hot", 5);
+  sched->SetActorPriority("hot_sink", 5);
+  sched->SetActorPriority("cold", 30);
+  sched->SetActorPriority("cold_sink", 30);
+  for (int i = 0; i < 50; ++i) {
+    feed->Push(Token(i), Timestamp(0));
+  }
+  feed->Close();
+  VirtualClock clock;
+  CostModel cm;
+  cm.SetDefault({1000, 0, 0});
+  SCWFDirector d(std::move(sched));
+  ASSERT_TRUE(d.Initialize(&wf, &clock, &cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  ASSERT_EQ(hot_sink->count(), 50u);
+  ASSERT_EQ(cold_sink->count(), 50u);
+  // The hot branch's average completion time is earlier.
+  auto avg_completion = [](const CollectorSink& sink) {
+    double sum = 0;
+    for (const auto& r : sink.TakeSnapshot()) {
+      sum += r.completed_at.seconds();
+    }
+    return sum / static_cast<double>(sink.count());
+  };
+  EXPECT_LT(avg_completion(*hot_sink), avg_completion(*cold_sink));
+}
+
+TEST(QBSTest, QuantumExhaustionMovesActorToWaiting) {
+  PipelineRig rig;
+  rig.cm.SetActorCost("stage_a", {30000, 0, 0});  // huge cost per firing
+  QBSOptions opt;
+  opt.basic_quantum = 100;  // tiny quanta: exhaust after one firing
+  auto sched = std::make_unique<QBSScheduler>(opt);
+  QBSScheduler* sp = sched.get();
+  rig.PushN(10);
+  rig.feed->Close();
+  SCWFDirector d(std::move(sched));
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  // Everything still completes (re-quantification revives WAITING actors).
+  EXPECT_EQ(rig.sink->count(), 10u);
+  EXPECT_GT(sp->iteration_count(), 1u);
+}
+
+TEST(QBSTest, SourceIntervalSmoothsInjection) {
+  // With a source interval of 1 the source is offered after every internal
+  // firing; with a huge interval it only runs when nothing else is active.
+  auto run = [](int interval) {
+    PipelineRig rig;
+    rig.PushN(30);
+    rig.feed->Close();
+    QBSOptions opt;
+    opt.source_interval = interval;
+    SCWFDirector d(std::make_unique<QBSScheduler>(opt));
+    CWF_CHECK(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+    CWF_CHECK(d.Run(Timestamp::Max()).ok());
+    return rig.sink->count();
+  };
+  EXPECT_EQ(run(1), 30u);
+  EXPECT_EQ(run(1000), 30u);
+}
+
+TEST(QBSTest, BankedQuantumIsCapped) {
+  QBSOptions opt;
+  opt.basic_quantum = 500;
+  opt.max_banked_epochs = 2;
+  PipelineRig rig;
+  auto sched = std::make_unique<QBSScheduler>(opt);
+  QBSScheduler* sp = sched.get();
+  rig.PushN(5, Timestamp::Seconds(100));  // idle until t=100
+  rig.feed->Close();
+  SCWFDirector d(std::move(sched));
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(rig.sink->count(), 5u);
+  (void)sp;
+}
+
+TEST(QBSTest, FifoTieBreakWithinPriorityClass) {
+  QBSScheduler s;
+  EXPECT_STREQ(s.name(), "QBS");
+}
+
+}  // namespace
+}  // namespace cwf

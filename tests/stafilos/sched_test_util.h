@@ -1,0 +1,45 @@
+// Shared rig for scheduler tests: src -> stage -> sink under SCWF.
+
+#ifndef CONFLUENCE_TESTS_STAFILOS_SCHED_TEST_UTIL_H_
+#define CONFLUENCE_TESTS_STAFILOS_SCHED_TEST_UTIL_H_
+
+#include <memory>
+
+#include "actors/library.h"
+#include "directors/scwf_director.h"
+#include "stream/stream_source.h"
+
+namespace cwf::schedtest {
+
+struct PipelineRig {
+  Workflow wf{"rig"};
+  std::shared_ptr<PushChannel> feed = std::make_shared<PushChannel>();
+  StreamSourceActor* src;
+  MapActor* stage_a;
+  MapActor* stage_b;
+  CollectorSink* sink;
+  VirtualClock clock;
+  CostModel cm;
+
+  PipelineRig() {
+    src = wf.AddActor<StreamSourceActor>("src", feed);
+    stage_a = wf.AddActor<MapActor>(
+        "stage_a", [](const Token& t) { return Token(t.AsInt() + 1); });
+    stage_b = wf.AddActor<MapActor>(
+        "stage_b", [](const Token& t) { return Token(t.AsInt() * 2); });
+    sink = wf.AddActor<CollectorSink>("sink");
+    CWF_CHECK(wf.Connect(src->out(), stage_a->in()).ok());
+    CWF_CHECK(wf.Connect(stage_a->out(), stage_b->in()).ok());
+    CWF_CHECK(wf.Connect(stage_b->out(), sink->in()).ok());
+  }
+
+  void PushN(int n, Timestamp at = Timestamp(0)) {
+    for (int i = 0; i < n; ++i) {
+      feed->Push(Token(i), at);
+    }
+  }
+};
+
+}  // namespace cwf::schedtest
+
+#endif  // CONFLUENCE_TESTS_STAFILOS_SCHED_TEST_UTIL_H_

@@ -1,0 +1,203 @@
+// Cross-scheduler properties: whatever the policy, no event is lost, the
+// same results are produced, and runs are deterministic.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched_test_util.h"
+#include "stafilos/edf_scheduler.h"
+#include "stafilos/fifo_scheduler.h"
+#include "stafilos/qbs_scheduler.h"
+#include "stafilos/rb_scheduler.h"
+#include "stafilos/rr_scheduler.h"
+
+namespace cwf {
+namespace {
+
+enum class Kind { kQBS, kRR, kRB, kFIFO, kEDF };
+
+std::unique_ptr<AbstractScheduler> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kQBS:
+      return std::make_unique<QBSScheduler>();
+    case Kind::kRR:
+      return std::make_unique<RRScheduler>();
+    case Kind::kRB:
+      return std::make_unique<RBScheduler>();
+    case Kind::kFIFO:
+      return std::make_unique<FIFOScheduler>();
+    case Kind::kEDF:
+      return std::make_unique<EDFScheduler>();
+  }
+  return nullptr;
+}
+
+const char* Name(Kind k) {
+  switch (k) {
+    case Kind::kQBS:
+      return "QBS";
+    case Kind::kRR:
+      return "RR";
+    case Kind::kRB:
+      return "RB";
+    case Kind::kFIFO:
+      return "FIFO";
+    case Kind::kEDF:
+      return "EDF";
+  }
+  return "?";
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(SchedulerProperty, NoEventLossUnderBurstyLoad) {
+  schedtest::PipelineRig rig;
+  Rng rng(7);
+  int pushed = 0;
+  for (int burst = 0; burst < 10; ++burst) {
+    const Timestamp at = Timestamp::Seconds(burst * 5);
+    const int n = static_cast<int>(rng.NextInRange(1, 40));
+    for (int i = 0; i < n; ++i) {
+      rig.feed->Push(Token(pushed++), at);
+    }
+  }
+  rig.feed->Close();
+  SCWFDirector d(Make(GetParam()));
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(rig.sink->count(), static_cast<size_t>(pushed)) << Name(GetParam());
+  // Scheduler fully drained.
+  EXPECT_EQ(d.scheduler()->TotalQueuedEvents(), 0u);
+}
+
+TEST_P(SchedulerProperty, SameMultisetOfResultsAsFIFO) {
+  auto run = [](std::unique_ptr<AbstractScheduler> sched) {
+    schedtest::PipelineRig rig;
+    for (int i = 0; i < 60; ++i) {
+      rig.feed->Push(Token(i), Timestamp::Seconds(i / 10));
+    }
+    rig.feed->Close();
+    SCWFDirector d(std::move(sched));
+    CWF_CHECK(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+    CWF_CHECK(d.Run(Timestamp::Max()).ok());
+    std::vector<int64_t> values;
+    for (const auto& r : rig.sink->TakeSnapshot()) {
+      values.push_back(r.token.AsInt());
+    }
+    std::sort(values.begin(), values.end());
+    return values;
+  };
+  EXPECT_EQ(run(Make(GetParam())), run(Make(Kind::kFIFO)));
+}
+
+TEST_P(SchedulerProperty, RunsAreDeterministic) {
+  auto run = [&] {
+    schedtest::PipelineRig rig;
+    for (int i = 0; i < 40; ++i) {
+      rig.feed->Push(Token(i), Timestamp::Seconds(i / 4));
+    }
+    rig.feed->Close();
+    SCWFDirector d(Make(GetParam()));
+    CWF_CHECK(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+    CWF_CHECK(d.Run(Timestamp::Max()).ok());
+    std::vector<std::pair<int64_t, int64_t>> seq;
+    for (const auto& r : rig.sink->TakeSnapshot()) {
+      seq.emplace_back(r.token.AsInt(), r.completed_at.micros());
+    }
+    return seq;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(SchedulerProperty, SurvivesZeroEventRun) {
+  schedtest::PipelineRig rig;
+  rig.feed->Close();
+  SCWFDirector d(Make(GetParam()));
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(rig.sink->count(), 0u);
+}
+
+TEST_P(SchedulerProperty, IdempotentAcrossSequentialHorizons) {
+  schedtest::PipelineRig rig;
+  for (int i = 0; i < 30; ++i) {
+    rig.feed->Push(Token(i), Timestamp::Seconds(i));
+  }
+  rig.feed->Close();
+  SCWFDirector d(Make(GetParam()));
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  for (int t = 5; t <= 35; t += 5) {
+    ASSERT_TRUE(d.Run(Timestamp::Seconds(t)).ok());
+  }
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(rig.sink->count(), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedulerProperty,
+                         ::testing::Values(Kind::kQBS, Kind::kRR, Kind::kRB,
+                                           Kind::kFIFO, Kind::kEDF),
+                         [](const auto& info) { return Name(info.param); });
+
+}  // namespace
+}  // namespace cwf
+
+// ---------------------------------------------------------------------------
+// Load shedding (extension)
+// ---------------------------------------------------------------------------
+
+namespace cwf {
+namespace {
+
+TEST(LoadSheddingTest, DisabledByDefaultLosesNothing) {
+  schedtest::PipelineRig rig;
+  rig.PushN(100);
+  rig.feed->Close();
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(rig.sink->count(), 100u);
+  auto* fifo = static_cast<FIFOScheduler*>(d.scheduler());
+  EXPECT_EQ(fifo->shed_windows(), 0u);
+}
+
+TEST(LoadSheddingTest, CapBoundsQueueAndCountsDrops) {
+  schedtest::PipelineRig rig;
+  // Slow middle stage, all tuples arrive at once: queues build up.
+  rig.cm.SetActorCost("stage_a", {50000, 0, 0});
+  rig.PushN(200);
+  rig.feed->Close();
+  auto sched = std::make_unique<FIFOScheduler>();
+  sched->SetLoadShedding({10});
+  FIFOScheduler* sp = sched.get();
+  SCWFDirector d(std::move(sched));
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_GT(sp->shed_windows(), 0u);
+  EXPECT_EQ(sp->shed_events(), sp->shed_windows());  // 1-event windows
+  // Everything admitted was processed; admitted + shed = offered.
+  EXPECT_EQ(rig.sink->count() + sp->shed_windows(), 200u);
+  EXPECT_LT(rig.sink->count(), 200u);
+}
+
+TEST(LoadSheddingTest, SheddingImprovesResponseUnderOverload) {
+  auto run = [](size_t cap) {
+    schedtest::PipelineRig rig;
+    rig.cm.SetActorCost("stage_a", {50000, 0, 0});
+    rig.PushN(200);
+    rig.feed->Close();
+    auto sched = std::make_unique<FIFOScheduler>();
+    sched->SetLoadShedding({cap});
+    SCWFDirector d(std::move(sched));
+    CWF_CHECK(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+    CWF_CHECK(d.Run(Timestamp::Max()).ok());
+    Duration worst = 0;
+    for (const auto& r : rig.sink->TakeSnapshot()) {
+      worst = std::max(worst, r.completed_at - r.event_timestamp);
+    }
+    return worst;
+  };
+  EXPECT_LT(run(5), run(0));
+}
+
+}  // namespace
+}  // namespace cwf

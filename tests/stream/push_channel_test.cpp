@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/clock.h"
+#include "stream/stream_source.h"
+
+namespace cwf {
+namespace {
+
+TEST(PushChannelTest, PopArrivedRespectsTime) {
+  PushChannel ch;
+  ch.Push(Token(1), Timestamp::Seconds(1));
+  ch.Push(Token(2), Timestamp::Seconds(2));
+  ch.Push(Token(3), Timestamp::Seconds(3));
+  EXPECT_EQ(ch.Pending(), 3u);
+  EXPECT_EQ(ch.NextArrival(), Timestamp::Seconds(1));
+  auto batch = ch.PopArrived(Timestamp::Seconds(2));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].token.AsInt(), 1);
+  EXPECT_EQ(ch.NextArrival(), Timestamp::Seconds(3));
+}
+
+TEST(PushChannelTest, MaxBatchLimitsDrain) {
+  PushChannel ch;
+  for (int i = 0; i < 5; ++i) {
+    ch.Push(Token(i), Timestamp(0));
+  }
+  EXPECT_EQ(ch.PopArrived(Timestamp::Seconds(1), 2).size(), 2u);
+  EXPECT_EQ(ch.Pending(), 3u);
+}
+
+TEST(PushChannelTest, EmptyChannelSentinels) {
+  PushChannel ch;
+  EXPECT_EQ(ch.NextArrival(), Timestamp::Max());
+  EXPECT_TRUE(ch.PopArrived(Timestamp::Max()).empty());
+}
+
+TEST(PushChannelTest, CloseSemantics) {
+  PushChannel ch;
+  EXPECT_FALSE(ch.closed());
+  ch.Close();
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(PushChannelDeathTest, PushAfterCloseAborts) {
+  PushChannel ch;
+  ch.Close();
+  EXPECT_DEATH(ch.Push(Token(1), Timestamp(0)), "closed channel");
+}
+
+TEST(PushChannelTest, PushTraceBulkLoads) {
+  Trace t;
+  t.Add(Timestamp::Seconds(1), Token(1));
+  t.Add(Timestamp::Seconds(2), Token(2));
+  PushChannel ch;
+  ch.PushTrace(t);
+  EXPECT_EQ(ch.Pending(), 2u);
+}
+
+TEST(PushChannelTest, WaitForDataWakesOnPush) {
+  PushChannel ch;
+  std::thread producer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.Push(Token(1), Timestamp(0));
+  });
+  ch.WaitForData();
+  EXPECT_GE(ch.Pending(), 1u);
+  producer.join();
+}
+
+TEST(PushChannelTest, WaitForDataWakesOnClose) {
+  PushChannel ch;
+  std::thread closer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.Close();
+  });
+  ch.WaitForData();
+  EXPECT_TRUE(ch.closed());
+  closer.join();
+}
+
+TEST(StreamSourceActorTest, PrefireTracksClockAndData) {
+  auto ch = std::make_shared<PushChannel>();
+  StreamSourceActor src("src", ch);
+  ExecutionContext ctx;
+  VirtualClock clock;
+  ctx.clock = &clock;
+  ASSERT_TRUE(src.Initialize(&ctx).ok());
+  EXPECT_FALSE(src.Prefire().value());
+  ch->Push(Token(1), Timestamp::Seconds(5));
+  EXPECT_FALSE(src.Prefire().value());  // arrival in the future
+  clock.AdvanceTo(Timestamp::Seconds(5));
+  EXPECT_TRUE(src.Prefire().value());
+}
+
+TEST(StreamSourceActorTest, FireInjectsArrivedWithArrivalStamps) {
+  auto ch = std::make_shared<PushChannel>();
+  StreamSourceActor src("src", ch);
+  ExecutionContext ctx;
+  VirtualClock clock;
+  ctx.clock = &clock;
+  ASSERT_TRUE(src.Initialize(&ctx).ok());
+  ch->Push(Token(1), Timestamp::Seconds(1));
+  ch->Push(Token(2), Timestamp::Seconds(2));
+  ch->Push(Token(3), Timestamp::Seconds(9));
+  clock.AdvanceTo(Timestamp::Seconds(3));
+  src.BeginFiring();
+  ASSERT_TRUE(src.Fire().ok());
+  auto out = src.TakePendingOutputs();
+  ASSERT_EQ(out.size(), 2u);  // the t=9 tuple has not arrived yet
+  EXPECT_EQ(out[0].external_timestamp.value(), Timestamp::Seconds(1));
+  EXPECT_EQ(out[1].external_timestamp.value(), Timestamp::Seconds(2));
+  EXPECT_EQ(src.injected(), 2u);
+}
+
+TEST(StreamSourceActorTest, ExhaustedOnlyWhenClosedAndDrained) {
+  auto ch = std::make_shared<PushChannel>();
+  StreamSourceActor src("src", ch);
+  EXPECT_FALSE(src.Exhausted());  // open channel: more may come
+  ch->Push(Token(1), Timestamp(0));
+  ch->Close();
+  EXPECT_FALSE(src.Exhausted());  // still has a queued tuple
+  ch->PopArrived(Timestamp::Max());
+  EXPECT_TRUE(src.Exhausted());
+}
+
+TEST(StreamSourceActorTest, IsSourceAndBatchLimit) {
+  auto ch = std::make_shared<PushChannel>();
+  StreamSourceActor src("src", ch, /*max_batch_per_firing=*/1);
+  EXPECT_TRUE(src.IsSource());
+  ExecutionContext ctx;
+  VirtualClock clock;
+  ctx.clock = &clock;
+  ASSERT_TRUE(src.Initialize(&ctx).ok());
+  ch->Push(Token(1), Timestamp(0));
+  ch->Push(Token(2), Timestamp(0));
+  src.BeginFiring();
+  ASSERT_TRUE(src.Fire().ok());
+  EXPECT_EQ(src.TakePendingOutputs().size(), 1u);  // capped batch
+}
+
+}  // namespace
+}  // namespace cwf

@@ -1,0 +1,152 @@
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "actors/library.h"
+#include "directors/pncwf_director.h"
+#include "stream/stream_source.h"
+#include "stream/tcp_listener.h"
+
+namespace cwf {
+namespace {
+
+int ConnectTo(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CWF_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  CWF_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+            0);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    CWF_CHECK(n > 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void WaitFor(const std::function<bool()>& cond, int timeout_ms = 3000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (cond()) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(TcpListenerTest, ParsesLinesIntoChannel) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  TcpLineListener listener(channel, &clock);
+  ASSERT_TRUE(listener.Start(0).ok());
+  ASSERT_GT(listener.port(), 0);
+
+  const int fd = ConnectTo(listener.port());
+  SendAll(fd, "car=i:7;speed=d:55.5\nvalue=i:42\n");
+  WaitFor([&] { return listener.tuples_received() >= 2; });
+  ::close(fd);
+
+  EXPECT_EQ(listener.tuples_received(), 2u);
+  EXPECT_EQ(listener.parse_errors(), 0u);
+  auto batch = channel->PopArrived(Timestamp::Max());
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].token.Field("car").AsInt(), 7);
+  EXPECT_DOUBLE_EQ(batch[0].token.Field("speed").AsDouble(), 55.5);
+  EXPECT_EQ(batch[1].token.Field("value").AsInt(), 42);
+  listener.Stop();
+  EXPECT_TRUE(channel->closed());
+}
+
+TEST(TcpListenerTest, MalformedLinesCountedAndDropped) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  TcpLineListener listener(channel, &clock);
+  ASSERT_TRUE(listener.Start(0).ok());
+  const int fd = ConnectTo(listener.port());
+  SendAll(fd, "no_equals_sign\nok=i:1\n");
+  WaitFor([&] { return listener.tuples_received() >= 1; });
+  ::close(fd);
+  EXPECT_EQ(listener.parse_errors(), 1u);
+  EXPECT_EQ(listener.tuples_received(), 1u);
+  listener.Stop();
+}
+
+TEST(TcpListenerTest, MultipleClientsAndPartialWrites) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  TcpLineListener listener(channel, &clock);
+  ASSERT_TRUE(listener.Start(0).ok());
+  const int a = ConnectTo(listener.port());
+  const int b = ConnectTo(listener.port());
+  // A line split across two writes must reassemble.
+  SendAll(a, "k=i:");
+  SendAll(b, "k=i:2\n");
+  SendAll(a, "1\n");
+  WaitFor([&] { return listener.tuples_received() >= 2; });
+  ::close(a);
+  ::close(b);
+  EXPECT_EQ(listener.tuples_received(), 2u);
+  listener.Stop();
+}
+
+TEST(TcpListenerTest, StartTwiceRejected) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  TcpLineListener listener(channel, &clock);
+  ASSERT_TRUE(listener.Start(0).ok());
+  EXPECT_EQ(listener.Start(0).code(), StatusCode::kFailedPrecondition);
+  listener.Stop();
+}
+
+TEST(TcpListenerTest, EndToEndIntoThreadedWorkflow) {
+  // Network client -> TcpLineListener -> StreamSourceActor -> map -> sink,
+  // all live under the OS-thread PNCWF director.
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  TcpLineListener listener(channel, &clock);
+  ASSERT_TRUE(listener.Start(0).ok());
+
+  Workflow wf("net");
+  auto* src = wf.AddActor<StreamSourceActor>("src", channel);
+  auto* map = wf.AddActor<MapActor>("map", [](const Token& t) {
+    return Token(t.Field("v").AsInt() * 10);
+  });
+  auto* sink = wf.AddActor<CollectorSink>("sink");
+  ASSERT_TRUE(wf.Connect(src->out(), map->in()).ok());
+  ASSERT_TRUE(wf.Connect(map->out(), sink->in()).ok());
+
+  PNCWFOptions opts;
+  opts.mode = PNCWFMode::kOsThreads;
+  PNCWFDirector d(opts);
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+
+  std::thread producer([&] {
+    const int fd = ConnectTo(listener.port());
+    for (int i = 1; i <= 5; ++i) {
+      SendAll(fd, "v=i:" + std::to_string(i) + "\n");
+    }
+    ::close(fd);
+    WaitFor([&] { return listener.tuples_received() >= 5; });
+    listener.Stop();  // closes the channel -> workflow drains and exits
+  });
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  producer.join();
+
+  auto got = sink->TakeSnapshot();
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[4].token.AsInt(), 50);
+}
+
+}  // namespace
+}  // namespace cwf

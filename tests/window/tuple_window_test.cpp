@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+#include "window/window_operator.h"
+
+namespace cwf {
+namespace {
+
+using testutil::Ev;
+using testutil::Ints;
+using testutil::Rec;
+
+std::vector<Window> PutAll(WindowOperator* op, std::vector<int64_t> values) {
+  std::vector<Window> out;
+  int64_t ts = 0;
+  for (int64_t v : values) {
+    EXPECT_TRUE(op->Put(Ev(Token(v), ++ts), &out).ok());
+  }
+  return out;
+}
+
+TEST(TupleWindowTest, SlidingSize4Step1) {
+  WindowOperator op(WindowSpec::Tuples(4, 1));
+  auto windows = PutAll(&op, {1, 2, 3, 4, 5, 6});
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(Ints(windows[0]), (std::vector<int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(Ints(windows[1]), (std::vector<int64_t>{2, 3, 4, 5}));
+  EXPECT_EQ(Ints(windows[2]), (std::vector<int64_t>{3, 4, 5, 6}));
+}
+
+TEST(TupleWindowTest, TumblingSizeEqualsStep) {
+  WindowOperator op(WindowSpec::Tuples(3, 3));
+  auto windows = PutAll(&op, {1, 2, 3, 4, 5, 6, 7});
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(Ints(windows[0]), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(Ints(windows[1]), (std::vector<int64_t>{4, 5, 6}));
+  EXPECT_EQ(op.PendingEventCount(), 1u);
+}
+
+TEST(TupleWindowTest, SamplingStepGreaterThanSize) {
+  // Windows of 2 every 3 events: the event between windows is skipped
+  // (routed to the expired-items queue without ever joining a window).
+  WindowOperator op(WindowSpec::Tuples(2, 3));
+  auto windows = PutAll(&op, {1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(Ints(windows[0]), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(Ints(windows[1]), (std::vector<int64_t>{4, 5}));
+  EXPECT_EQ(Ints(windows[2]), (std::vector<int64_t>{7, 8}));
+  // Skipped events 3 and 6 expired unused.
+  auto expired = op.DrainExpired();
+  std::vector<int64_t> expired_vals;
+  for (const auto& e : expired) expired_vals.push_back(e.token.AsInt());
+  EXPECT_TRUE(std::find(expired_vals.begin(), expired_vals.end(), 3) !=
+              expired_vals.end());
+  EXPECT_TRUE(std::find(expired_vals.begin(), expired_vals.end(), 6) !=
+              expired_vals.end());
+}
+
+TEST(TupleWindowTest, DeleteUsedEventsConsumesWholeWindow) {
+  WindowOperator op(WindowSpec::Tuples(4, 1).DeleteUsedEvents(true));
+  auto windows = PutAll(&op, {1, 2, 3, 4, 5, 6, 7, 8});
+  // Consumption semantics: each window uses up its 4 events.
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(Ints(windows[0]), (std::vector<int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(Ints(windows[1]), (std::vector<int64_t>{5, 6, 7, 8}));
+}
+
+TEST(TupleWindowTest, ExpiredEventsSlideOut) {
+  WindowOperator op(WindowSpec::Tuples(2, 1));
+  PutAll(&op, {1, 2, 3});
+  auto expired = op.DrainExpired();
+  ASSERT_EQ(expired.size(), 2u);  // 1 and 2 slid out of scope
+  EXPECT_EQ(expired[0].token.AsInt(), 1);
+  EXPECT_EQ(expired[1].token.AsInt(), 2);
+  EXPECT_TRUE(op.DrainExpired().empty());  // drained
+}
+
+TEST(TupleWindowTest, NoExpiredUnderConsumptionMode) {
+  WindowOperator op(WindowSpec::Tuples(2, 1).DeleteUsedEvents(true));
+  PutAll(&op, {1, 2, 3, 4});
+  EXPECT_TRUE(op.DrainExpired().empty());
+}
+
+TEST(TupleWindowTest, GroupByPartitionsStream) {
+  WindowOperator op(WindowSpec::Tuples(2, 1).GroupBy({"car"}));
+  std::vector<Window> out;
+  int64_t ts = 0;
+  for (int64_t car : {1, 2, 1, 2, 1}) {
+    ++ts;
+    ASSERT_TRUE(
+        op.Put(Ev(Rec({{"car", Value(car)}, {"n", Value(ts)}}), ts), &out)
+            .ok());
+  }
+  // car 1 gets windows (n1,n3) and (n3,n5); car 2 gets (n2,n4). Production
+  // order follows the closing events: n3 (car 1), n4 (car 2), n5 (car 1).
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(op.GroupCount(), 2u);
+  EXPECT_EQ(out[0].group_key.Field("car").AsInt(), 1);
+  EXPECT_EQ(out[1].group_key.Field("car").AsInt(), 2);
+  EXPECT_EQ(out[2].group_key.Field("car").AsInt(), 1);
+}
+
+TEST(TupleWindowTest, GroupKeyTokenCarriesAllFields) {
+  WindowOperator op(WindowSpec::Tuples(1, 1).GroupBy({"xway", "seg"}));
+  std::vector<Window> out;
+  ASSERT_TRUE(
+      op.Put(Ev(Rec({{"xway", 1}, {"seg", 33}, {"v", 9}}), 1), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].group_key.Field("xway").AsInt(), 1);
+  EXPECT_EQ(out[0].group_key.Field("seg").AsInt(), 33);
+  EXPECT_FALSE(out[0].group_key.AsRecord()->Has("v"));
+}
+
+TEST(TupleWindowTest, GroupByRejectsNonRecordTokens) {
+  WindowOperator op(WindowSpec::Tuples(1, 1).GroupBy({"car"}));
+  std::vector<Window> out;
+  EXPECT_EQ(op.Put(Ev(Token(5), 1), &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TupleWindowTest, GroupByRejectsMissingField) {
+  WindowOperator op(WindowSpec::Tuples(1, 1).GroupBy({"car"}));
+  std::vector<Window> out;
+  EXPECT_FALSE(op.Put(Ev(Rec({{"other", 1}}), 1), &out).ok());
+}
+
+TEST(TupleWindowTest, FlushEmitsPartialWindows) {
+  WindowOperator op(WindowSpec::Tuples(4, 4));
+  PutAll(&op, {1, 2});
+  std::vector<Window> out;
+  op.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(Ints(out[0]), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(op.PendingEventCount(), 0u);
+}
+
+TEST(TupleWindowTest, WindowsProducedCounter) {
+  WindowOperator op(WindowSpec::Tuples(2, 2));
+  PutAll(&op, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(op.windows_produced(), 3u);
+}
+
+TEST(TupleWindowTest, NoDeadlinesForTupleWindows) {
+  WindowOperator op(WindowSpec::Tuples(2, 1));
+  PutAll(&op, {1});
+  EXPECT_EQ(op.NextDeadline(), Timestamp::Max());
+  std::vector<Window> out;
+  op.OnTimeout(Timestamp::Max(), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace cwf

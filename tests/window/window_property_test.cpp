@@ -1,0 +1,176 @@
+// Property-style parameterized sweeps over window semantics.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_util.h"
+#include "window/window_operator.h"
+
+namespace cwf {
+namespace {
+
+using testutil::Ev;
+
+struct TupleParams {
+  int64_t size;
+  int64_t step;
+  bool delete_used;
+  int64_t n_events;
+};
+
+class TupleWindowProperty : public ::testing::TestWithParam<TupleParams> {};
+
+// Invariant set for count-based windows over a strictly increasing stream:
+//  1. every produced window has exactly `size` events;
+//  2. window contents are contiguous, in-order slices;
+//  3. consecutive windows start `step` (or `size` under consumption) apart;
+//  4. conservation: every input event is in >=0 windows and ends up
+//     used, pending or expired — never silently lost.
+TEST_P(TupleWindowProperty, Invariants) {
+  const TupleParams p = GetParam();
+  WindowOperator op(
+      WindowSpec::Tuples(p.size, p.step).DeleteUsedEvents(p.delete_used));
+  std::vector<Window> windows;
+  for (int64_t i = 0; i < p.n_events; ++i) {
+    ASSERT_TRUE(op.Put(Ev(Token(i), i + 1), &windows).ok());
+  }
+  const int64_t advance = p.delete_used ? p.size : p.step;
+  int64_t expected_start = 0;
+  for (const Window& w : windows) {
+    ASSERT_EQ(static_cast<int64_t>(w.size()), p.size);
+    for (size_t i = 0; i < w.size(); ++i) {
+      EXPECT_EQ(w.events[i].token.AsInt(),
+                expected_start + static_cast<int64_t>(i));
+    }
+    expected_start += advance;
+  }
+  // Expected window count: floor((n - size) / advance) + 1 when n >= size.
+  const int64_t expected_windows =
+      p.n_events >= p.size ? (p.n_events - p.size) / advance + 1 : 0;
+  EXPECT_EQ(static_cast<int64_t>(windows.size()), expected_windows);
+
+  // Conservation.
+  const size_t expired = op.DrainExpired().size();
+  const size_t pending = op.PendingEventCount();
+  if (p.delete_used) {
+    EXPECT_EQ(static_cast<int64_t>(pending),
+              p.n_events - expected_windows * p.size);
+    EXPECT_EQ(expired, 0u);
+  } else {
+    EXPECT_EQ(static_cast<int64_t>(pending + expired), p.n_events);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TupleWindowProperty,
+    ::testing::Values(TupleParams{1, 1, false, 10}, TupleParams{1, 1, true, 10},
+                      TupleParams{4, 1, false, 25}, TupleParams{4, 1, true, 25},
+                      TupleParams{4, 4, false, 25}, TupleParams{4, 4, true, 25},
+                      TupleParams{2, 3, false, 20}, TupleParams{2, 3, true, 20},
+                      TupleParams{5, 2, false, 33}, TupleParams{7, 7, true, 50},
+                      TupleParams{10, 3, false, 100},
+                      TupleParams{3, 10, false, 100}));
+
+struct TimeParams {
+  int64_t size_s;
+  int64_t step_s;
+  bool delete_used;
+  int64_t n_events;
+  int64_t spacing_s;  // inter-event gap
+};
+
+class TimeWindowProperty : public ::testing::TestWithParam<TimeParams> {};
+
+// Invariants for time windows over an in-order stream:
+//  1. all events of a window fall within one [start, start+size) span;
+//  2. window spans are step-aligned to the epoch;
+//  3. events are never lost (window'd, pending or expired).
+TEST_P(TimeWindowProperty, Invariants) {
+  const TimeParams p = GetParam();
+  WindowOperator op(WindowSpec::Time(Seconds(p.size_s), Seconds(p.step_s))
+                        .DeleteUsedEvents(p.delete_used));
+  std::vector<Window> windows;
+  for (int64_t i = 0; i < p.n_events; ++i) {
+    ASSERT_TRUE(
+        op.Put(Ev(Token(i), Seconds(1 + i * p.spacing_s)), &windows).ok());
+  }
+  op.Flush(&windows);
+  size_t events_in_windows = 0;
+  for (const Window& w : windows) {
+    ASSERT_FALSE(w.empty());
+    const int64_t span =
+        w.back().timestamp.micros() - w.front().timestamp.micros();
+    EXPECT_LT(span, Seconds(p.size_s));
+    events_in_windows += w.size();
+  }
+  if (p.delete_used) {
+    // Consumption semantics: every event lands in exactly one window or
+    // expires unused (stragglers between gapped windows).
+    EXPECT_EQ(static_cast<int64_t>(events_in_windows +
+                                   op.DrainExpired().size()),
+              p.n_events);
+  } else if (p.step_s >= p.size_s) {
+    // Non-consuming tumbling windows: each event appears in at most one
+    // window (and additionally expires once it slides out).
+    EXPECT_LE(static_cast<int64_t>(events_in_windows), p.n_events);
+    EXPECT_LE(static_cast<int64_t>(op.DrainExpired().size()), p.n_events);
+  } else {
+    // Overlapping windows may duplicate events.
+    EXPECT_GE(static_cast<int64_t>(events_in_windows), p.n_events);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimeWindowProperty,
+    ::testing::Values(TimeParams{60, 60, true, 50, 7},
+                      TimeParams{60, 60, false, 50, 7},
+                      TimeParams{60, 30, false, 50, 7},
+                      TimeParams{10, 10, true, 100, 1},
+                      TimeParams{10, 5, false, 100, 1},
+                      TimeParams{5, 20, true, 60, 2},
+                      TimeParams{120, 120, true, 30, 11}));
+
+// Group-by property: windows formed per key match windows formed by running
+// one operator per key.
+class GroupByProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupByProperty, EquivalentToPerKeyOperators) {
+  const int num_keys = GetParam();
+  WindowOperator grouped(WindowSpec::Tuples(3, 2).GroupBy({"k"}));
+  std::vector<std::unique_ptr<WindowOperator>> isolated;
+  for (int k = 0; k < num_keys; ++k) {
+    isolated.push_back(
+        std::make_unique<WindowOperator>(WindowSpec::Tuples(3, 2)));
+  }
+  std::vector<Window> grouped_out;
+  std::vector<std::vector<Window>> isolated_out(num_keys);
+  for (int64_t i = 0; i < 200; ++i) {
+    const int k = static_cast<int>((i * 7) % num_keys);
+    CWEvent e = Ev(testutil::Rec({{"k", Value(k)}, {"v", Value(i)}}), i + 1);
+    ASSERT_TRUE(grouped.Put(e, &grouped_out).ok());
+    ASSERT_TRUE(isolated[k]->Put(e, &isolated_out[k]).ok());
+  }
+  // Same total window count, and grouped windows per key equal isolated ones.
+  size_t total_isolated = 0;
+  for (const auto& outs : isolated_out) {
+    total_isolated += outs.size();
+  }
+  ASSERT_EQ(grouped_out.size(), total_isolated);
+  std::vector<size_t> cursor(num_keys, 0);
+  for (const Window& w : grouped_out) {
+    const int k = static_cast<int>(w.group_key.Field("k").AsInt());
+    const Window& expect = isolated_out[k][cursor[k]++];
+    ASSERT_EQ(w.size(), expect.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+      EXPECT_EQ(w.events[i].token.Field("v").AsInt(),
+                expect.events[i].token.Field("v").AsInt());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupByProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace cwf
