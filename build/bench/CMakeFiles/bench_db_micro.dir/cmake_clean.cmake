@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_db_micro.dir/bench_db_micro.cpp.o"
+  "CMakeFiles/bench_db_micro.dir/bench_db_micro.cpp.o.d"
+  "bench_db_micro"
+  "bench_db_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_db_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

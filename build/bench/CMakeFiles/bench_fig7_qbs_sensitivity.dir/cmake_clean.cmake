@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_qbs_sensitivity.dir/bench_fig7_qbs_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig7_qbs_sensitivity.dir/bench_fig7_qbs_sensitivity.cpp.o.d"
+  "bench_fig7_qbs_sensitivity"
+  "bench_fig7_qbs_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_qbs_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

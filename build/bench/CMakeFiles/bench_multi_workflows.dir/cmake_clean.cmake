@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_workflows.dir/bench_multi_workflows.cpp.o"
+  "CMakeFiles/bench_multi_workflows.dir/bench_multi_workflows.cpp.o.d"
+  "bench_multi_workflows"
+  "bench_multi_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_monitor.dir/astro_monitor.cpp.o"
+  "CMakeFiles/astro_monitor.dir/astro_monitor.cpp.o.d"
+  "astro_monitor"
+  "astro_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_links.dir/distributed_links.cpp.o"
+  "CMakeFiles/distributed_links.dir/distributed_links.cpp.o.d"
+  "distributed_links"
+  "distributed_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

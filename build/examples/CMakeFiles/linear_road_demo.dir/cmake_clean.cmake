@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_road_demo.dir/linear_road_demo.cpp.o"
+  "CMakeFiles/linear_road_demo.dir/linear_road_demo.cpp.o.d"
+  "linear_road_demo"
+  "linear_road_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_road_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

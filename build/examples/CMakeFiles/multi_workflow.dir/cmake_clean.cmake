@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_workflow.dir/multi_workflow.cpp.o"
+  "CMakeFiles/multi_workflow.dir/multi_workflow.cpp.o.d"
+  "multi_workflow"
+  "multi_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

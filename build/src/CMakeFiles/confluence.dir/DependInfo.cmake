@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actors/library.cpp" "src/CMakeFiles/confluence.dir/actors/library.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/actors/library.cpp.o.d"
+  "/root/repo/src/actors/stream_ops.cpp" "src/CMakeFiles/confluence.dir/actors/stream_ops.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/actors/stream_ops.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/confluence.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/confluence.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/confluence.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/CMakeFiles/confluence.dir/common/time.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/common/time.cpp.o.d"
+  "/root/repo/src/core/actor.cpp" "src/CMakeFiles/confluence.dir/core/actor.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/actor.cpp.o.d"
+  "/root/repo/src/core/clock.cpp" "src/CMakeFiles/confluence.dir/core/clock.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/clock.cpp.o.d"
+  "/root/repo/src/core/composite_actor.cpp" "src/CMakeFiles/confluence.dir/core/composite_actor.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/composite_actor.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/confluence.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/director.cpp" "src/CMakeFiles/confluence.dir/core/director.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/director.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/CMakeFiles/confluence.dir/core/event.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/event.cpp.o.d"
+  "/root/repo/src/core/port.cpp" "src/CMakeFiles/confluence.dir/core/port.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/port.cpp.o.d"
+  "/root/repo/src/core/receiver.cpp" "src/CMakeFiles/confluence.dir/core/receiver.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/receiver.cpp.o.d"
+  "/root/repo/src/core/record.cpp" "src/CMakeFiles/confluence.dir/core/record.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/record.cpp.o.d"
+  "/root/repo/src/core/token.cpp" "src/CMakeFiles/confluence.dir/core/token.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/token.cpp.o.d"
+  "/root/repo/src/core/wave.cpp" "src/CMakeFiles/confluence.dir/core/wave.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/wave.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/CMakeFiles/confluence.dir/core/workflow.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/core/workflow.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/CMakeFiles/confluence.dir/db/database.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/db/database.cpp.o.d"
+  "/root/repo/src/db/query.cpp" "src/CMakeFiles/confluence.dir/db/query.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/db/query.cpp.o.d"
+  "/root/repo/src/db/schema.cpp" "src/CMakeFiles/confluence.dir/db/schema.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/db/schema.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/CMakeFiles/confluence.dir/db/table.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/db/table.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/CMakeFiles/confluence.dir/db/value.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/db/value.cpp.o.d"
+  "/root/repo/src/directors/ddf_director.cpp" "src/CMakeFiles/confluence.dir/directors/ddf_director.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/directors/ddf_director.cpp.o.d"
+  "/root/repo/src/directors/pncwf_director.cpp" "src/CMakeFiles/confluence.dir/directors/pncwf_director.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/directors/pncwf_director.cpp.o.d"
+  "/root/repo/src/directors/scwf_director.cpp" "src/CMakeFiles/confluence.dir/directors/scwf_director.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/directors/scwf_director.cpp.o.d"
+  "/root/repo/src/directors/sdf_director.cpp" "src/CMakeFiles/confluence.dir/directors/sdf_director.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/directors/sdf_director.cpp.o.d"
+  "/root/repo/src/directors/taxonomy.cpp" "src/CMakeFiles/confluence.dir/directors/taxonomy.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/directors/taxonomy.cpp.o.d"
+  "/root/repo/src/lrb/actors.cpp" "src/CMakeFiles/confluence.dir/lrb/actors.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/lrb/actors.cpp.o.d"
+  "/root/repo/src/lrb/generator.cpp" "src/CMakeFiles/confluence.dir/lrb/generator.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/lrb/generator.cpp.o.d"
+  "/root/repo/src/lrb/harness.cpp" "src/CMakeFiles/confluence.dir/lrb/harness.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/lrb/harness.cpp.o.d"
+  "/root/repo/src/lrb/metrics.cpp" "src/CMakeFiles/confluence.dir/lrb/metrics.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/lrb/metrics.cpp.o.d"
+  "/root/repo/src/lrb/types.cpp" "src/CMakeFiles/confluence.dir/lrb/types.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/lrb/types.cpp.o.d"
+  "/root/repo/src/lrb/workflow_builder.cpp" "src/CMakeFiles/confluence.dir/lrb/workflow_builder.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/lrb/workflow_builder.cpp.o.d"
+  "/root/repo/src/multi/connection_controller.cpp" "src/CMakeFiles/confluence.dir/multi/connection_controller.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/multi/connection_controller.cpp.o.d"
+  "/root/repo/src/multi/global_scheduler.cpp" "src/CMakeFiles/confluence.dir/multi/global_scheduler.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/multi/global_scheduler.cpp.o.d"
+  "/root/repo/src/multi/manager.cpp" "src/CMakeFiles/confluence.dir/multi/manager.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/multi/manager.cpp.o.d"
+  "/root/repo/src/stafilos/abstract_scheduler.cpp" "src/CMakeFiles/confluence.dir/stafilos/abstract_scheduler.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stafilos/abstract_scheduler.cpp.o.d"
+  "/root/repo/src/stafilos/edf_scheduler.cpp" "src/CMakeFiles/confluence.dir/stafilos/edf_scheduler.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stafilos/edf_scheduler.cpp.o.d"
+  "/root/repo/src/stafilos/fifo_scheduler.cpp" "src/CMakeFiles/confluence.dir/stafilos/fifo_scheduler.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stafilos/fifo_scheduler.cpp.o.d"
+  "/root/repo/src/stafilos/qbs_scheduler.cpp" "src/CMakeFiles/confluence.dir/stafilos/qbs_scheduler.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stafilos/qbs_scheduler.cpp.o.d"
+  "/root/repo/src/stafilos/rb_scheduler.cpp" "src/CMakeFiles/confluence.dir/stafilos/rb_scheduler.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stafilos/rb_scheduler.cpp.o.d"
+  "/root/repo/src/stafilos/rr_scheduler.cpp" "src/CMakeFiles/confluence.dir/stafilos/rr_scheduler.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stafilos/rr_scheduler.cpp.o.d"
+  "/root/repo/src/stafilos/statistics.cpp" "src/CMakeFiles/confluence.dir/stafilos/statistics.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stafilos/statistics.cpp.o.d"
+  "/root/repo/src/stream/push_channel.cpp" "src/CMakeFiles/confluence.dir/stream/push_channel.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stream/push_channel.cpp.o.d"
+  "/root/repo/src/stream/stream_source.cpp" "src/CMakeFiles/confluence.dir/stream/stream_source.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stream/stream_source.cpp.o.d"
+  "/root/repo/src/stream/tcp_listener.cpp" "src/CMakeFiles/confluence.dir/stream/tcp_listener.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stream/tcp_listener.cpp.o.d"
+  "/root/repo/src/stream/trace.cpp" "src/CMakeFiles/confluence.dir/stream/trace.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/stream/trace.cpp.o.d"
+  "/root/repo/src/window/tm_windowed_receiver.cpp" "src/CMakeFiles/confluence.dir/window/tm_windowed_receiver.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/window/tm_windowed_receiver.cpp.o.d"
+  "/root/repo/src/window/window_operator.cpp" "src/CMakeFiles/confluence.dir/window/window_operator.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/window/window_operator.cpp.o.d"
+  "/root/repo/src/window/window_spec.cpp" "src/CMakeFiles/confluence.dir/window/window_spec.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/window/window_spec.cpp.o.d"
+  "/root/repo/src/window/windowed_receiver.cpp" "src/CMakeFiles/confluence.dir/window/windowed_receiver.cpp.o" "gcc" "src/CMakeFiles/confluence.dir/window/windowed_receiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

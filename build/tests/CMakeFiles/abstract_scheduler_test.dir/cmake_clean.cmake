@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_scheduler_test.dir/stafilos/abstract_scheduler_test.cpp.o"
+  "CMakeFiles/abstract_scheduler_test.dir/stafilos/abstract_scheduler_test.cpp.o.d"
+  "abstract_scheduler_test"
+  "abstract_scheduler_test.pdb"
+  "abstract_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_policy_test.dir/stafilos/custom_policy_test.cpp.o"
+  "CMakeFiles/custom_policy_test.dir/stafilos/custom_policy_test.cpp.o.d"
+  "custom_policy_test"
+  "custom_policy_test.pdb"
+  "custom_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_concurrency_test.dir/db/concurrency_test.cpp.o"
+  "CMakeFiles/db_concurrency_test.dir/db/concurrency_test.cpp.o.d"
+  "db_concurrency_test"
+  "db_concurrency_test.pdb"
+  "db_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

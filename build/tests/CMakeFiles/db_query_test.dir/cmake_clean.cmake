@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_query_test.dir/db/query_test.cpp.o"
+  "CMakeFiles/db_query_test.dir/db/query_test.cpp.o.d"
+  "db_query_test"
+  "db_query_test.pdb"
+  "db_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

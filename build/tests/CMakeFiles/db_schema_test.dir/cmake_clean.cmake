@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_schema_test.dir/db/schema_test.cpp.o"
+  "CMakeFiles/db_schema_test.dir/db/schema_test.cpp.o.d"
+  "db_schema_test"
+  "db_schema_test.pdb"
+  "db_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_edf_test.dir/stafilos/fifo_edf_test.cpp.o"
+  "CMakeFiles/fifo_edf_test.dir/stafilos/fifo_edf_test.cpp.o.d"
+  "fifo_edf_test"
+  "fifo_edf_test.pdb"
+  "fifo_edf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_edf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrb_actors_test.dir/lrb/actors_test.cpp.o"
+  "CMakeFiles/lrb_actors_test.dir/lrb/actors_test.cpp.o.d"
+  "lrb_actors_test"
+  "lrb_actors_test.pdb"
+  "lrb_actors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrb_actors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

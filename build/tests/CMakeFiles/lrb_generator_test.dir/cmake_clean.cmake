@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrb_generator_test.dir/lrb/generator_test.cpp.o"
+  "CMakeFiles/lrb_generator_test.dir/lrb/generator_test.cpp.o.d"
+  "lrb_generator_test"
+  "lrb_generator_test.pdb"
+  "lrb_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrb_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

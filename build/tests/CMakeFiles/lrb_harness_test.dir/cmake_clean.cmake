@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrb_harness_test.dir/lrb/harness_test.cpp.o"
+  "CMakeFiles/lrb_harness_test.dir/lrb/harness_test.cpp.o.d"
+  "lrb_harness_test"
+  "lrb_harness_test.pdb"
+  "lrb_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrb_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrb_metrics_test.dir/lrb/metrics_test.cpp.o"
+  "CMakeFiles/lrb_metrics_test.dir/lrb/metrics_test.cpp.o.d"
+  "lrb_metrics_test"
+  "lrb_metrics_test.pdb"
+  "lrb_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrb_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

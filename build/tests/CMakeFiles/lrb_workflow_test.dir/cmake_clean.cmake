@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrb_workflow_test.dir/lrb/workflow_test.cpp.o"
+  "CMakeFiles/lrb_workflow_test.dir/lrb/workflow_test.cpp.o.d"
+  "lrb_workflow_test"
+  "lrb_workflow_test.pdb"
+  "lrb_workflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrb_workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

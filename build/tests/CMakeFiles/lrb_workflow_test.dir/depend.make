@@ -1,0 +1,2 @@
+# Empty dependencies file for lrb_workflow_test.
+# This may be replaced when dependencies are built.

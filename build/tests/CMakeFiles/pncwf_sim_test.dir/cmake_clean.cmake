@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pncwf_sim_test.dir/directors/pncwf_sim_test.cpp.o"
+  "CMakeFiles/pncwf_sim_test.dir/directors/pncwf_sim_test.cpp.o.d"
+  "pncwf_sim_test"
+  "pncwf_sim_test.pdb"
+  "pncwf_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pncwf_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pncwf_threads_test.dir/directors/pncwf_threads_test.cpp.o"
+  "CMakeFiles/pncwf_threads_test.dir/directors/pncwf_threads_test.cpp.o.d"
+  "pncwf_threads_test"
+  "pncwf_threads_test.pdb"
+  "pncwf_threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pncwf_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

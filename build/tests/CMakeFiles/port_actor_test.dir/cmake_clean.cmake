@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_actor_test.dir/core/port_actor_test.cpp.o"
+  "CMakeFiles/port_actor_test.dir/core/port_actor_test.cpp.o.d"
+  "port_actor_test"
+  "port_actor_test.pdb"
+  "port_actor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_actor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

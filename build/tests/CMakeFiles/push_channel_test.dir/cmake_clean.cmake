@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_channel_test.dir/stream/push_channel_test.cpp.o"
+  "CMakeFiles/push_channel_test.dir/stream/push_channel_test.cpp.o.d"
+  "push_channel_test"
+  "push_channel_test.pdb"
+  "push_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbs_test.dir/stafilos/qbs_test.cpp.o"
+  "CMakeFiles/qbs_test.dir/stafilos/qbs_test.cpp.o.d"
+  "qbs_test"
+  "qbs_test.pdb"
+  "qbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

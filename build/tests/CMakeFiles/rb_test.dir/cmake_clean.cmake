@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_test.dir/stafilos/rb_test.cpp.o"
+  "CMakeFiles/rb_test.dir/stafilos/rb_test.cpp.o.d"
+  "rb_test"
+  "rb_test.pdb"
+  "rb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

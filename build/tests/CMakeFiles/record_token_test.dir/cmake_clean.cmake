@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_token_test.dir/core/record_token_test.cpp.o"
+  "CMakeFiles/record_token_test.dir/core/record_token_test.cpp.o.d"
+  "record_token_test"
+  "record_token_test.pdb"
+  "record_token_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwf_test.dir/directors/scwf_test.cpp.o"
+  "CMakeFiles/scwf_test.dir/directors/scwf_test.cpp.o.d"
+  "scwf_test"
+  "scwf_test.pdb"
+  "scwf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_conditions_test.dir/stafilos/state_conditions_test.cpp.o"
+  "CMakeFiles/state_conditions_test.dir/stafilos/state_conditions_test.cpp.o.d"
+  "state_conditions_test"
+  "state_conditions_test.pdb"
+  "state_conditions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

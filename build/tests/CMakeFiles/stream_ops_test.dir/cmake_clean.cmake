@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_ops_test.dir/core/stream_ops_test.cpp.o"
+  "CMakeFiles/stream_ops_test.dir/core/stream_ops_test.cpp.o.d"
+  "stream_ops_test"
+  "stream_ops_test.pdb"
+  "stream_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

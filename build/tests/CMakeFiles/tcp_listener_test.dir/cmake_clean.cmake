@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_listener_test.dir/stream/tcp_listener_test.cpp.o"
+  "CMakeFiles/tcp_listener_test.dir/stream/tcp_listener_test.cpp.o.d"
+  "tcp_listener_test"
+  "tcp_listener_test.pdb"
+  "tcp_listener_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_listener_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

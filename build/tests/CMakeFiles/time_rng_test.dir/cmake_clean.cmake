@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_rng_test.dir/common/time_rng_test.cpp.o"
+  "CMakeFiles/time_rng_test.dir/common/time_rng_test.cpp.o.d"
+  "time_rng_test"
+  "time_rng_test.pdb"
+  "time_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

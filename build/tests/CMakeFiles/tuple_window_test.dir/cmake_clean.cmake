@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_window_test.dir/window/tuple_window_test.cpp.o"
+  "CMakeFiles/tuple_window_test.dir/window/tuple_window_test.cpp.o.d"
+  "tuple_window_test"
+  "tuple_window_test.pdb"
+  "tuple_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

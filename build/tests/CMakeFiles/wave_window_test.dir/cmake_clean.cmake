@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_window_test.dir/window/wave_window_test.cpp.o"
+  "CMakeFiles/wave_window_test.dir/window/wave_window_test.cpp.o.d"
+  "wave_window_test"
+  "wave_window_test.pdb"
+  "wave_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_property_test.dir/window/window_property_test.cpp.o"
+  "CMakeFiles/window_property_test.dir/window/window_property_test.cpp.o.d"
+  "window_property_test"
+  "window_property_test.pdb"
+  "window_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_spec_test.dir/window/window_spec_test.cpp.o"
+  "CMakeFiles/window_spec_test.dir/window/window_spec_test.cpp.o.d"
+  "window_spec_test"
+  "window_spec_test.pdb"
+  "window_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
