@@ -1,0 +1,54 @@
+# Sanitizer build matrix for the concurrency-correctness toolchain.
+#
+# CONFLUENCE_SANITIZE is a comma- or semicolon-separated list of sanitizers
+# to compile the whole tree (src/, tests/, bench/, examples/) with:
+#
+#   cmake -B build-tsan -S . -DCONFLUENCE_SANITIZE=thread
+#   cmake -B build-asan -S . -DCONFLUENCE_SANITIZE=address,undefined
+#
+# Supported values: thread | address | undefined | leak (and combinations,
+# except thread+address which the toolchain forbids). UBSan runs with
+# -fno-sanitize-recover so any hit fails the test instead of logging.
+
+set(CONFLUENCE_SANITIZE "" CACHE STRING
+    "Sanitizers to build with: comma list of thread|address|undefined|leak")
+
+set(CONFLUENCE_SANITIZE_FLAGS "")
+set(CONFLUENCE_SANITIZE_LIST "")
+
+if(CONFLUENCE_SANITIZE)
+  string(REPLACE "," ";" CONFLUENCE_SANITIZE_LIST "${CONFLUENCE_SANITIZE}")
+  foreach(_san IN LISTS CONFLUENCE_SANITIZE_LIST)
+    if(NOT _san MATCHES "^(thread|address|undefined|leak)$")
+      message(FATAL_ERROR
+          "CONFLUENCE_SANITIZE: unknown sanitizer '${_san}' "
+          "(expected thread, address, undefined or leak)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST CONFLUENCE_SANITIZE_LIST AND
+     "address" IN_LIST CONFLUENCE_SANITIZE_LIST)
+    message(FATAL_ERROR
+        "CONFLUENCE_SANITIZE: thread and address sanitizers are mutually "
+        "exclusive; build them as separate configurations")
+  endif()
+
+  string(REPLACE ";" "," _san_csv "${CONFLUENCE_SANITIZE_LIST}")
+  list(APPEND CONFLUENCE_SANITIZE_FLAGS
+       "-fsanitize=${_san_csv}" "-fno-omit-frame-pointer" "-g")
+  if("undefined" IN_LIST CONFLUENCE_SANITIZE_LIST)
+    # Make every UB diagnostic fatal so ctest fails on the first hit.
+    list(APPEND CONFLUENCE_SANITIZE_FLAGS "-fno-sanitize-recover=all")
+  endif()
+
+  add_compile_options(${CONFLUENCE_SANITIZE_FLAGS})
+  add_link_options(${CONFLUENCE_SANITIZE_FLAGS})
+
+  if("thread" IN_LIST CONFLUENCE_SANITIZE_LIST)
+    add_compile_definitions(CWF_SANITIZE_THREAD=1)
+  endif()
+  if("address" IN_LIST CONFLUENCE_SANITIZE_LIST)
+    add_compile_definitions(CWF_SANITIZE_ADDRESS=1)
+  endif()
+
+  message(STATUS "CONFLuEnCE sanitizers enabled: ${_san_csv}")
+endif()

@@ -1,0 +1,20 @@
+#include "common/check.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cwf {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::cerr << "CWF_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) {
+    std::cerr << " — " << extra;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cwf

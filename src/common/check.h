@@ -1,0 +1,75 @@
+// Engine invariant checks: the CWF_ASSERT / CWF_DCHECK macro family.
+//
+// CONFLuEnCE's continuous-execution semantics rest on invariants that no
+// Status return can express — wave-tag monotonicity at windowed receivers,
+// no put() after channel shutdown, receiver ownership by the initializing
+// director. Violations are programming errors, so they abort with a
+// diagnostic rather than propagate:
+//
+//   CWF_ASSERT(expr)            always-on invariant (release builds too)
+//   CWF_ASSERT_MSG(expr, msg)   ... with a streamed message
+//   CWF_DCHECK(expr)            debug-grade check; compiles to nothing
+//   CWF_DCHECK_MSG(expr, msg)   unless CWF_DCHECK_IS_ON (CMake option
+//                               CONFLUENCE_DCHECKS, default ON)
+//
+// CWF_CHECK / CWF_CHECK_MSG (the historical names) are aliases of the
+// always-on variants; new code should prefer CWF_ASSERT for invariants.
+
+#ifndef CONFLUENCE_COMMON_CHECK_H_
+#define CONFLUENCE_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace cwf {
+namespace internal {
+
+/// \brief Print "<file>:<line>: <expr> — <extra>" to stderr and abort.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+}  // namespace internal
+}  // namespace cwf
+
+#define CWF_ASSERT(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::cwf::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                  \
+  } while (0)
+
+#define CWF_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream cwf_check_oss_;                               \
+      cwf_check_oss_ << msg;                                           \
+      ::cwf::internal::CheckFailed(__FILE__, __LINE__, #expr,          \
+                                   cwf_check_oss_.str());              \
+    }                                                                  \
+  } while (0)
+
+/// \brief Historical aliases; same always-on semantics as CWF_ASSERT.
+#define CWF_CHECK(expr) CWF_ASSERT(expr)
+#define CWF_CHECK_MSG(expr, msg) CWF_ASSERT_MSG(expr, msg)
+
+#if defined(CWF_DCHECK_IS_ON) && CWF_DCHECK_IS_ON
+
+#define CWF_DCHECK(expr) CWF_ASSERT(expr)
+#define CWF_DCHECK_MSG(expr, msg) CWF_ASSERT_MSG(expr, msg)
+
+#else  // !CWF_DCHECK_IS_ON
+
+// Swallow the condition without evaluating it, but keep it syntactically
+// checked so disabled DCHECKs cannot rot.
+#define CWF_DCHECK(expr)         \
+  do {                           \
+    if (false) {                 \
+      static_cast<void>(expr);   \
+    }                            \
+  } while (0)
+
+#define CWF_DCHECK_MSG(expr, msg) CWF_DCHECK(expr)
+
+#endif  // CWF_DCHECK_IS_ON
+
+#endif  // CONFLUENCE_COMMON_CHECK_H_

@@ -1,0 +1,192 @@
+#include "common/lock_registry.h"
+
+#if defined(CWF_LOCK_ORDER_CHECKS) && CWF_LOCK_ORDER_CHECKS
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cwf {
+namespace {
+
+/// One entry of the calling thread's hold stack.
+struct Held {
+  uint64_t id;
+  int depth;  // recursion depth (recursive mutexes)
+};
+
+thread_local std::vector<Held> t_held;
+
+}  // namespace
+
+struct LockRegistry::Impl {
+  std::mutex mu;
+  uint64_t next_id = 1;
+  std::unordered_map<uint64_t, std::string> names;
+  // edges[a] contains b  <=>  some thread acquired b while holding a.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> edges;
+  Report handler;
+
+  /// DFS from `from` looking for `to`; fills `path` (from .. to) on hit.
+  bool FindPath(uint64_t from, uint64_t to, std::vector<uint64_t>* path) {
+    std::unordered_set<uint64_t> visited;
+    path->clear();
+    path->push_back(from);
+    return Dfs(from, to, &visited, path);
+  }
+
+  bool Dfs(uint64_t at, uint64_t to, std::unordered_set<uint64_t>* visited,
+           std::vector<uint64_t>* path) {
+    if (at == to) {
+      return true;
+    }
+    visited->insert(at);
+    auto it = edges.find(at);
+    if (it == edges.end()) {
+      return false;
+    }
+    for (uint64_t next : it->second) {
+      if (visited->count(next)) {
+        continue;
+      }
+      path->push_back(next);
+      if (Dfs(next, to, visited, path)) {
+        return true;
+      }
+      path->pop_back();
+    }
+    return false;
+  }
+
+  std::string Describe(uint64_t id) {
+    std::ostringstream os;
+    auto it = names.find(id);
+    os << '"' << (it == names.end() ? "?" : it->second) << "\" (#" << id
+       << ')';
+    return os.str();
+  }
+};
+
+LockRegistry::LockRegistry() : impl_(new Impl) {}
+
+LockRegistry& LockRegistry::Instance() {
+  static LockRegistry* registry = new LockRegistry;  // never destroyed
+  return *registry;
+}
+
+uint64_t LockRegistry::Register(const char* name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const uint64_t id = impl_->next_id++;
+  impl_->names.emplace(id, name);
+  return id;
+}
+
+void LockRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->names.erase(id);
+  impl_->edges.erase(id);
+  for (auto& [from, targets] : impl_->edges) {
+    targets.erase(id);
+  }
+}
+
+void LockRegistry::OnAcquire(uint64_t id, bool recursive) {
+  for (Held& h : t_held) {
+    if (h.id == id) {
+      if (!recursive) {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        std::ostringstream report;
+        report << "self-deadlock: thread re-enters non-recursive mutex "
+               << impl_->Describe(id) << " it already holds";
+        if (impl_->handler) {
+          impl_->handler(report.str());
+          return;
+        }
+        std::cerr << "LockRegistry: " << report.str() << std::endl;
+        std::abort();
+      }
+      ++h.depth;  // recursive re-acquisition: no new ordering information
+      return;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const Held& h : t_held) {
+      auto& targets = impl_->edges[h.id];
+      if (targets.count(id)) {
+        continue;  // edge already recorded and validated
+      }
+      std::vector<uint64_t> path;
+      if (impl_->FindPath(id, h.id, &path)) {
+        std::ostringstream report;
+        report << "potential deadlock: acquiring " << impl_->Describe(id)
+               << " while holding " << impl_->Describe(h.id)
+               << " closes a lock-order cycle:\n";
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          report << "  " << impl_->Describe(path[i]) << " -> "
+                 << impl_->Describe(path[i + 1]) << " (recorded earlier)\n";
+        }
+        report << "  " << impl_->Describe(h.id) << " -> "
+               << impl_->Describe(id) << " (this acquisition)";
+        if (impl_->handler) {
+          // Test mode: report, keep the graph acyclic, carry on.
+          impl_->handler(report.str());
+          continue;
+        }
+        std::cerr << "LockRegistry: " << report.str() << std::endl;
+        std::abort();
+      }
+      targets.insert(id);
+    }
+  }
+  t_held.push_back({id, 1});
+}
+
+void LockRegistry::OnTryAcquire(uint64_t id) {
+  for (Held& h : t_held) {
+    if (h.id == id) {
+      ++h.depth;
+      return;
+    }
+  }
+  t_held.push_back({id, 1});
+}
+
+void LockRegistry::OnRelease(uint64_t id) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->id == id) {
+      if (--it->depth == 0) {
+        t_held.erase(std::next(it).base());
+      }
+      return;
+    }
+  }
+  // Released a lock this thread never recorded — e.g. locked before the
+  // checks were enabled. Ignore rather than abort: unlock() has already
+  // happened and the graph is unaffected.
+}
+
+size_t LockRegistry::HeldDepthForTest() const {
+  size_t depth = 0;
+  for (const Held& h : t_held) {
+    depth += static_cast<size_t>(h.depth);
+  }
+  return depth;
+}
+
+void LockRegistry::SetReportHandlerForTest(Report handler) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->handler = std::move(handler);
+}
+
+void LockRegistry::ResetGraphForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->edges.clear();
+}
+
+}  // namespace cwf
+
+#endif  // CWF_LOCK_ORDER_CHECKS

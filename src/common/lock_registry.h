@@ -1,0 +1,150 @@
+// Debug lock-order deadlock detector.
+//
+// The PNCWF director is thread-per-actor: actor threads, source threads,
+// the TCP accept/client threads and the multi-workflow control plane all
+// take engine mutexes, and a lock-order inversion between any two of them
+// is a latent deadlock that plain testing almost never triggers. This
+// module provides drop-in mutex wrappers that, when built with
+// CWF_LOCK_ORDER_CHECKS (CMake option CONFLUENCE_LOCK_ORDER_CHECKS), record
+// the global mutex-acquisition graph — an edge A -> B for every "B acquired
+// while A is held" — and abort with a readable cycle report the moment an
+// acquisition would close a cycle, i.e. *before* the schedule that actually
+// deadlocks ever runs. Without the macro the wrappers are zero-cost
+// passthroughs to the underlying std mutex.
+//
+//   cwf::OrderedMutex mu{"PushChannel::mutex"};
+//   cwf::ScopedLock lock(mu);                  // RAII, any lockable
+//
+// Tracking is per mutex *instance* (two different PushChannels may be
+// locked in either order without complaint); recursive re-acquisition of a
+// LockOrdered<std::recursive_mutex> adds no edges. try_lock never blocks,
+// so successful try_locks are recorded as held but add no ordering edges.
+
+#ifndef CONFLUENCE_COMMON_LOCK_REGISTRY_H_
+#define CONFLUENCE_COMMON_LOCK_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <type_traits>
+
+namespace cwf {
+
+#if defined(CWF_LOCK_ORDER_CHECKS) && CWF_LOCK_ORDER_CHECKS
+
+/// \brief Global acquisition-graph bookkeeping behind the OrderedMutex
+/// wrappers. Not used directly outside tests.
+class LockRegistry {
+ public:
+  using Report = std::function<void(const std::string&)>;
+
+  static LockRegistry& Instance();
+
+  /// \brief Register a new tracked mutex; returns its node id.
+  uint64_t Register(const char* name);
+
+  /// \brief Forget a destroyed mutex and every edge touching it.
+  void Unregister(uint64_t id);
+
+  /// \brief Record that the calling thread is about to block on `id`.
+  /// Adds held->id edges and aborts (or calls the test handler) when an
+  /// edge closes a cycle, or when a non-recursive mutex is re-entered by
+  /// its holder (self-deadlock). Call BEFORE the underlying lock().
+  void OnAcquire(uint64_t id, bool recursive);
+
+  /// \brief Record a successful non-blocking acquisition (no edges).
+  void OnTryAcquire(uint64_t id);
+
+  /// \brief Record that the calling thread released `id`.
+  void OnRelease(uint64_t id);
+
+  /// \brief Locks the calling thread currently holds (incl. recursion).
+  size_t HeldDepthForTest() const;
+
+  /// \brief Install a handler invoked with the cycle report instead of
+  /// aborting; pass nullptr to restore the abort behavior. Test-only.
+  void SetReportHandlerForTest(Report handler);
+
+  /// \brief Drop the recorded graph (ids stay valid). Test-only.
+  void ResetGraphForTest();
+
+ private:
+  LockRegistry();
+
+  struct Impl;
+  Impl* const impl_;  // intentionally leaked (outlives static destructors)
+};
+
+#endif  // CWF_LOCK_ORDER_CHECKS
+
+/// \brief A Lockable wrapping `M` that feeds the LockRegistry in checked
+/// builds and is a zero-cost passthrough otherwise.
+template <typename M>
+class LockOrdered {
+ public:
+#if defined(CWF_LOCK_ORDER_CHECKS) && CWF_LOCK_ORDER_CHECKS
+  explicit LockOrdered(const char* name = "mutex")
+      : id_(LockRegistry::Instance().Register(name)) {}
+  ~LockOrdered() { LockRegistry::Instance().Unregister(id_); }
+
+  void lock() {
+    LockRegistry::Instance().OnAcquire(
+        id_, std::is_same_v<M, std::recursive_mutex>);
+    mu_.lock();
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    LockRegistry::Instance().OnTryAcquire(id_);
+    return true;
+  }
+
+  void unlock() {
+    mu_.unlock();
+    LockRegistry::Instance().OnRelease(id_);
+  }
+#else
+  explicit LockOrdered(const char* name = "mutex") { (void)name; }
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+#endif  // CWF_LOCK_ORDER_CHECKS
+
+  LockOrdered(const LockOrdered&) = delete;
+  LockOrdered& operator=(const LockOrdered&) = delete;
+
+ private:
+  M mu_;
+#if defined(CWF_LOCK_ORDER_CHECKS) && CWF_LOCK_ORDER_CHECKS
+  const uint64_t id_;
+#endif
+};
+
+/// \brief The engine's default mutex type.
+using OrderedMutex = LockOrdered<std::mutex>;
+
+/// \brief Recursive variant (the PNCWF per-actor synchronization domain
+/// re-enters receiver methods under its own lock).
+using OrderedRecursiveMutex = LockOrdered<std::recursive_mutex>;
+
+/// \brief Minimal RAII guard over any Lockable (CTAD: `ScopedLock l(mu);`).
+template <typename Mutex>
+class ScopedLock {
+ public:
+  explicit ScopedLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~ScopedLock() { mu_.unlock(); }
+
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace cwf
+
+#endif  // CONFLUENCE_COMMON_LOCK_REGISTRY_H_

@@ -37,18 +37,4 @@ std::string Status::ToString() const {
   out += message_;
   return out;
 }
-
-namespace internal {
-
-void CheckFailed(const char* file, int line, const char* expr,
-                 const std::string& extra) {
-  std::cerr << "CWF_CHECK failed at " << file << ":" << line << ": " << expr;
-  if (!extra.empty()) {
-    std::cerr << " — " << extra;
-  }
-  std::cerr << std::endl;
-  std::abort();
-}
-
-}  // namespace internal
 }  // namespace cwf

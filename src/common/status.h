@@ -13,6 +13,8 @@
 #include <string>
 #include <utility>
 
+#include "common/check.h"
+
 namespace cwf {
 
 /// \brief Result category of an engine operation.
@@ -129,30 +131,10 @@ class Result {
   T value_{};
 };
 
-namespace internal {
-[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
-                              const std::string& extra);
-}  // namespace internal
-
 }  // namespace cwf
 
-/// \brief Abort with a diagnostic if `expr` is false. For invariants only.
-#define CWF_CHECK(expr)                                                \
-  do {                                                                 \
-    if (!(expr)) {                                                     \
-      ::cwf::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
-    }                                                                  \
-  } while (0)
-
-#define CWF_CHECK_MSG(expr, msg)                                       \
-  do {                                                                 \
-    if (!(expr)) {                                                     \
-      std::ostringstream cwf_check_oss_;                               \
-      cwf_check_oss_ << msg;                                           \
-      ::cwf::internal::CheckFailed(__FILE__, __LINE__, #expr,          \
-                                   cwf_check_oss_.str());              \
-    }                                                                  \
-  } while (0)
+// CWF_CHECK / CWF_CHECK_MSG and the rest of the invariant macro family live
+// in common/check.h (included above).
 
 /// \brief Propagate a non-OK Status to the caller.
 #define CWF_RETURN_NOT_OK(expr)          \

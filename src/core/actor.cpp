@@ -88,14 +88,21 @@ int64_t Actor::ProductionRate(const OutputPort*) const { return 1; }
 void Actor::Send(OutputPort* port, Token token) {
   CWF_CHECK_MSG(port != nullptr && port->actor() == this,
                 "Send() on a port not owned by actor " << name_);
-  pending_outputs_.push_back({port, std::move(token), std::nullopt});
+  PendingOutput po;
+  po.port = port;
+  po.token = std::move(token);
+  pending_outputs_.push_back(std::move(po));
 }
 
 void Actor::SendStamped(OutputPort* port, Token token,
                         Timestamp external_ts) {
   CWF_CHECK_MSG(port != nullptr && port->actor() == this,
                 "SendStamped() on a port not owned by actor " << name_);
-  pending_outputs_.push_back({port, std::move(token), external_ts});
+  PendingOutput po;
+  po.port = port;
+  po.token = std::move(token);
+  po.external_timestamp = external_ts;
+  pending_outputs_.push_back(std::move(po));
 }
 
 void Actor::SendPreserved(OutputPort* port, const CWEvent& original) {

@@ -58,6 +58,7 @@ Status CompositeActor::Initialize(ExecutionContext* ctx) {
     binding.inner_receiver =
         binding.inner->SetReceiver(binding.inner->ChannelCount(),
                                    std::move(receiver));
+    binding.inner_receiver->set_owner(inner_director_.get());
   }
 
   // Wire boundary outputs: the exposed inner port broadcasts into a

@@ -46,8 +46,19 @@ Status Director::BuildReceivers() {
     }
   }
   for (const ChannelSpec& ch : workflow_->channels()) {
+    // Receiver-ownership invariant: a director only wires channels between
+    // ports of the workflow it was bound to.
+    CWF_DCHECK_MSG(
+        workflow_->FindActor(ch.to->actor()->name()) == ch.to->actor(),
+        "channel into " << ch.to->FullName()
+                        << " targets an actor outside this workflow");
+    CWF_DCHECK_MSG(
+        workflow_->FindActor(ch.from->actor()->name()) == ch.from->actor(),
+        "channel out of " << ch.from->FullName()
+                          << " leaves an actor outside this workflow");
     std::unique_ptr<Receiver> receiver = CreateReceiver(ch.to);
     Receiver* raw = ch.to->SetReceiver(ch.to_channel, std::move(receiver));
+    raw->set_owner(this);
     ch.from->AddRemoteReceiver(raw);
   }
   return Status::OK();
@@ -72,6 +83,16 @@ Status Director::FlushActorOutputs(Actor* actor, size_t* emitted) {
   }
   uint32_t serial = 0;
   for (PendingOutput& po : outputs) {
+    // Receiver-ownership invariant: everything this flush broadcasts into
+    // must be a receiver this director built (or a directorless boundary
+    // collector) — a foreign owner means a stale wiring from a previous
+    // initialization is still attached.
+    for (Receiver* r : po.port->remote_receivers()) {
+      CWF_DCHECK_MSG(r->owner() == nullptr || r->owner() == this,
+                     "port " << po.port->FullName()
+                             << " still feeds a receiver built by a "
+                                "different director");
+    }
     CWEvent event;
     event.token = std::move(po.token);
     event.seq = ctx_->NextSeq();

@@ -18,6 +18,7 @@
 
 namespace cwf {
 
+class Director;
 class InputPort;
 
 /// \brief Abstract channel endpoint. Producers call Put(); the consuming
@@ -61,8 +62,17 @@ class Receiver {
   /// \brief The input port this receiver feeds.
   InputPort* port() const { return port_; }
 
+  /// \brief The director whose initialization installed this receiver
+  /// (receiver-ownership invariant; nullptr for boundary collectors built
+  /// outside a director).
+  const Director* owner() const { return owner_; }
+  void set_owner(const Director* director) { owner_ = director; }
+
  protected:
   InputPort* port_;
+
+ private:
+  const Director* owner_ = nullptr;
 };
 
 /// \brief The plain FIFO receiver: every event is delivered alone, in arrival

@@ -14,14 +14,14 @@ namespace {
 class BlockingWindowedReceiver : public WindowedReceiver {
  public:
   BlockingWindowedReceiver(InputPort* port, WindowSpec spec,
-                           std::recursive_mutex* mutex,
+                           OrderedRecursiveMutex* mutex,
                            std::condition_variable_any* cv)
       : WindowedReceiver(port, std::move(spec)), mutex_(mutex), cv_(cv) {}
 
   Status Put(const CWEvent& event) override {
     Status st;
     {
-      std::lock_guard<std::recursive_mutex> lock(*mutex_);
+      ScopedLock lock(*mutex_);
       st = WindowedReceiver::Put(event);
     }
     cv_->notify_all();
@@ -29,38 +29,38 @@ class BlockingWindowedReceiver : public WindowedReceiver {
   }
 
   bool HasWindow() const override {
-    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    ScopedLock lock(*mutex_);
     return WindowedReceiver::HasWindow();
   }
 
   std::optional<Window> Get() override {
-    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    ScopedLock lock(*mutex_);
     return WindowedReceiver::Get();
   }
 
   size_t ReadyWindowCount() const override {
-    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    ScopedLock lock(*mutex_);
     return WindowedReceiver::ReadyWindowCount();
   }
 
   size_t PendingEventCount() const override {
-    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    ScopedLock lock(*mutex_);
     return WindowedReceiver::PendingEventCount();
   }
 
   std::vector<CWEvent> DrainExpired() override {
-    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    ScopedLock lock(*mutex_);
     return WindowedReceiver::DrainExpired();
   }
 
   Timestamp NextDeadline() const override {
-    std::lock_guard<std::recursive_mutex> lock(*mutex_);
+    ScopedLock lock(*mutex_);
     return WindowedReceiver::NextDeadline();
   }
 
   void OnTimeout(Timestamp now) override {
     {
-      std::lock_guard<std::recursive_mutex> lock(*mutex_);
+      ScopedLock lock(*mutex_);
       WindowedReceiver::OnTimeout(now);
     }
     cv_->notify_all();
@@ -68,14 +68,14 @@ class BlockingWindowedReceiver : public WindowedReceiver {
 
   void Flush() override {
     {
-      std::lock_guard<std::recursive_mutex> lock(*mutex_);
+      ScopedLock lock(*mutex_);
       WindowedReceiver::Flush();
     }
     cv_->notify_all();
   }
 
  private:
-  std::recursive_mutex* mutex_;
+  OrderedRecursiveMutex* mutex_;
   std::condition_variable_any* cv_;
 };
 
@@ -160,7 +160,7 @@ Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
     return cont.status();
   }
   if (!cont.value()) {
-    std::lock_guard<std::mutex> lock(halted_mutex_);
+    ScopedLock lock(halted_mutex_);
     MarkHalted(actor);
   }
   return cost;
@@ -259,7 +259,7 @@ void PNCWFDirector::ActorThreadBody(Actor* actor) {
   ActorSync* sync = syncs_.at(actor).get();
   for (;;) {
     {
-      std::unique_lock<std::recursive_mutex> lock(sync->mutex);
+      std::unique_lock<OrderedRecursiveMutex> lock(sync->mutex);
       for (;;) {
         if (stop_.load()) {
           // Drain what is ready, then exit.
@@ -318,7 +318,7 @@ void PNCWFDirector::ActorThreadBody(Actor* actor) {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(halted_mutex_);
+      ScopedLock lock(halted_mutex_);
       if (IsHalted(actor)) {
         return;
       }
@@ -359,7 +359,7 @@ void PNCWFDirector::SourceThreadBody(Actor* actor) {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(halted_mutex_);
+      ScopedLock lock(halted_mutex_);
       if (IsHalted(actor)) {
         return;
       }

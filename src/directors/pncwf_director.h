@@ -23,10 +23,10 @@
 #include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/lock_registry.h"
 #include "core/director.h"
 #include "window/windowed_receiver.h"
 
@@ -71,7 +71,7 @@ class PNCWFDirector : public Director {
   /// Per-actor synchronization domain for OS-thread mode (recursive: the
   /// prefire predicate re-enters receiver methods under the lock).
   struct ActorSync {
-    std::recursive_mutex mutex;
+    OrderedRecursiveMutex mutex{"PNCWFDirector::ActorSync::mutex"};
     std::condition_variable_any cv;
   };
 
@@ -95,7 +95,7 @@ class PNCWFDirector : public Director {
   std::atomic<int> busy_{0};
   std::atomic<uint64_t> total_firings_{0};
   uint64_t context_switches_ = 0;
-  std::mutex halted_mutex_;
+  OrderedMutex halted_mutex_{"PNCWFDirector::halted_mutex"};
 };
 
 }  // namespace cwf

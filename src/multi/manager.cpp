@@ -1,5 +1,7 @@
 #include "multi/manager.h"
 
+#include "common/check.h"
+
 namespace cwf {
 
 const char* ManagerStateName(ManagerState state) {
@@ -21,42 +23,56 @@ Manager::Manager(std::string name, std::unique_ptr<Workflow> workflow,
     : name_(std::move(name)),
       workflow_(std::move(workflow)),
       director_(std::move(director)) {
-  CWF_CHECK(workflow_ != nullptr && director_ != nullptr);
+  CWF_ASSERT(workflow_ != nullptr && director_ != nullptr);
 }
 
 Status Manager::Initialize(Clock* clock, const CostModel* cost_model) {
-  if (state_ != ManagerState::kCreated) {
-    return Status::FailedPrecondition("manager '" + name_ +
-                                      "' already initialized");
+  {
+    ScopedLock lock(mutex_);
+    if (state_ != ManagerState::kCreated) {
+      return Status::FailedPrecondition("manager '" + name_ +
+                                        "' already initialized");
+    }
+    clock_ = clock;
   }
-  clock_ = clock;
   CWF_RETURN_NOT_OK(director_->Initialize(workflow_.get(), clock, cost_model));
+  ScopedLock lock(mutex_);
   state_ = ManagerState::kRunning;
   return Status::OK();
 }
 
 Status Manager::RunSlice(Duration quantum) {
-  if (state_ != ManagerState::kRunning) {
-    return Status::OK();
+  Timestamp start;
+  {
+    ScopedLock lock(mutex_);
+    if (state_ != ManagerState::kRunning) {
+      return Status::OK();
+    }
+    CWF_ASSERT_MSG(clock_ != nullptr,
+                   "manager '" << name_ << "' running without a clock");
+    start = clock_->Now();
   }
-  const Timestamp start = clock_->Now();
+  // The slice itself runs unlocked: a Pause()/Stop() issued concurrently
+  // takes effect at the next slice boundary.
   CWF_RETURN_NOT_OK(director_->Run(start + quantum));
+  ScopedLock lock(mutex_);
   cpu_used_ += clock_->Now() - start;
   return Status::OK();
 }
 
 bool Manager::HasPendingWork() const {
-  return state_ == ManagerState::kRunning && director_->HasPendingWork();
+  return state() == ManagerState::kRunning && director_->HasPendingWork();
 }
 
 Timestamp Manager::NextWakeup() const {
-  if (state_ != ManagerState::kRunning) {
+  if (state() != ManagerState::kRunning) {
     return Timestamp::Max();
   }
   return director_->NextWakeup();
 }
 
 Status Manager::Pause() {
+  ScopedLock lock(mutex_);
   if (state_ != ManagerState::kRunning) {
     return Status::FailedPrecondition("manager '" + name_ + "' is not running");
   }
@@ -65,6 +81,7 @@ Status Manager::Pause() {
 }
 
 Status Manager::Resume() {
+  ScopedLock lock(mutex_);
   if (state_ != ManagerState::kPaused) {
     return Status::FailedPrecondition("manager '" + name_ + "' is not paused");
   }
@@ -73,12 +90,18 @@ Status Manager::Resume() {
 }
 
 Status Manager::Stop() {
-  if (state_ == ManagerState::kStopped) {
-    return Status::OK();
+  {
+    ScopedLock lock(mutex_);
+    if (state_ == ManagerState::kStopped) {
+      return Status::OK();
+    }
+    if (state_ == ManagerState::kCreated) {
+      state_ = ManagerState::kStopped;
+      return Status::OK();
+    }
   }
-  if (state_ != ManagerState::kCreated) {
-    CWF_RETURN_NOT_OK(director_->Wrapup());
-  }
+  CWF_RETURN_NOT_OK(director_->Wrapup());
+  ScopedLock lock(mutex_);
   state_ = ManagerState::kStopped;
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "common/lock_registry.h"
 #include "core/director.h"
 
 namespace cwf {
@@ -30,7 +31,10 @@ class Manager {
   const std::string& name() const { return name_; }
   Workflow* workflow() { return workflow_.get(); }
   Director* director() { return director_.get(); }
-  ManagerState state() const { return state_; }
+  ManagerState state() const {
+    ScopedLock lock(mutex_);
+    return state_;
+  }
 
   /// \brief Initialize the director; transitions kCreated -> kRunning.
   Status Initialize(Clock* clock, const CostModel* cost_model);
@@ -50,12 +54,20 @@ class Manager {
   Status Stop();
 
   /// \brief Total virtual CPU time this workflow has been allocated.
-  Duration cpu_time_used() const { return cpu_used_; }
+  Duration cpu_time_used() const {
+    ScopedLock lock(mutex_);
+    return cpu_used_;
+  }
 
  private:
   std::string name_;
   std::unique_ptr<Workflow> workflow_;
   std::unique_ptr<Director> director_;
+  /// Guards state_/clock_/cpu_used_: lifecycle transitions may come from a
+  /// control thread (connection controller) while the global scheduler
+  /// drives slices. Never held across director_->Run(), so a transition
+  /// requested mid-slice takes effect at the next slice boundary.
+  mutable OrderedMutex mutex_{"Manager::mutex"};
   ManagerState state_ = ManagerState::kCreated;
   Clock* clock_ = nullptr;
   Duration cpu_used_ = 0;

@@ -1,20 +1,34 @@
 #include "stream/push_channel.h"
 
+#include "common/check.h"
+
 namespace cwf {
 
 void PushChannel::Push(Token token, Timestamp arrival) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    CWF_CHECK_MSG(!closed_, "Push() on a closed channel");
+    ScopedLock lock(mutex_);
+    CWF_ASSERT_MSG(!closed_, "Push() on a closed channel");
     queue_.push_back({arrival, std::move(token)});
   }
   cv_.notify_all();
 }
 
+bool PushChannel::TryPush(Token token, Timestamp arrival) {
+  {
+    ScopedLock lock(mutex_);
+    if (closed_) {
+      return false;
+    }
+    queue_.push_back({arrival, std::move(token)});
+  }
+  cv_.notify_all();
+  return true;
+}
+
 void PushChannel::PushTrace(const Trace& trace) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    CWF_CHECK_MSG(!closed_, "PushTrace() on a closed channel");
+    ScopedLock lock(mutex_);
+    CWF_ASSERT_MSG(!closed_, "PushTrace() on a closed channel");
     for (const TraceEntry& e : trace.entries()) {
       queue_.push_back(e);
     }
@@ -24,20 +38,20 @@ void PushChannel::PushTrace(const Trace& trace) {
 
 void PushChannel::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ScopedLock lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool PushChannel::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return closed_;
 }
 
 std::vector<TraceEntry> PushChannel::PopArrived(Timestamp now,
                                                 size_t max_batch) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::vector<TraceEntry> out;
   while (!queue_.empty() && queue_.front().arrival <= now &&
          (max_batch == 0 || out.size() < max_batch)) {
@@ -48,17 +62,17 @@ std::vector<TraceEntry> PushChannel::PopArrived(Timestamp now,
 }
 
 Timestamp PushChannel::NextArrival() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return queue_.empty() ? Timestamp::Max() : queue_.front().arrival;
 }
 
 size_t PushChannel::Pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return queue_.size();
 }
 
 void PushChannel::WaitForData() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<OrderedMutex> lock(mutex_);
   cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
 }
 

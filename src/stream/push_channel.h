@@ -13,8 +13,8 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 
+#include "common/lock_registry.h"
 #include "stream/trace.h"
 
 namespace cwf {
@@ -25,7 +25,15 @@ class PushChannel {
   PushChannel() = default;
 
   /// \brief Producer side: deposit a tuple arriving at `arrival`.
+  /// Pushing into a closed channel violates the engine's shutdown
+  /// invariant and aborts; racy producers should use TryPush().
   void Push(Token token, Timestamp arrival);
+
+  /// \brief Producer side, shutdown-tolerant: deposit the tuple unless the
+  /// channel has been closed. Returns false (dropping the tuple) when
+  /// closed — the natural semantics for network producers that race with
+  /// engine shutdown.
+  bool TryPush(Token token, Timestamp arrival);
 
   /// \brief Pre-load every entry of a trace (producer side, bulk).
   void PushTrace(const Trace& trace);
@@ -51,8 +59,8 @@ class PushChannel {
   void WaitForData() const;
 
  private:
-  mutable std::mutex mutex_;
-  mutable std::condition_variable cv_;
+  mutable OrderedMutex mutex_{"PushChannel::mutex"};
+  mutable std::condition_variable_any cv_;
   std::deque<TraceEntry> queue_;
   bool closed_ = false;
 };

@@ -69,7 +69,7 @@ void TcpLineListener::AcceptLoop() {
       }
       continue;
     }
-    std::lock_guard<std::mutex> lock(clients_mutex_);
+    ScopedLock lock(clients_mutex_);
     if (stopping_.load()) {
       ::close(client);
       return;
@@ -105,10 +105,11 @@ void TcpLineListener::ClientLoop(int client_fd) {
                        << token.status().ToString();
         continue;
       }
-      if (channel_->closed()) {
+      // TryPush: a closed()-then-Push() pair would race with a concurrent
+      // Close() and trip the channel's shutdown invariant.
+      if (!channel_->TryPush(std::move(token).value(), clock_->Now())) {
         return;
       }
-      channel_->Push(std::move(token).value(), clock_->Now());
       tuples_received_.fetch_add(1);
     }
   }
@@ -128,7 +129,7 @@ void TcpLineListener::Stop() {
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(clients_mutex_);
+    ScopedLock lock(clients_mutex_);
     for (int fd : client_fds_) {
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_registry.h"
 #include "core/clock.h"
 #include "stream/push_channel.h"
 
@@ -70,7 +71,7 @@ class TcpLineListener {
   std::atomic<uint64_t> tuples_received_{0};
   std::atomic<uint64_t> parse_errors_{0};
   std::thread accept_thread_;
-  std::mutex clients_mutex_;
+  OrderedMutex clients_mutex_{"TcpLineListener::clients_mutex"};
   std::vector<std::thread> client_threads_;
   std::vector<int> client_fds_;
 };

@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "common/check.h"
 #include "window/windowed_receiver.h"
 
 namespace cwf {
@@ -29,7 +30,21 @@ class TMWindowedReceiver : public WindowedReceiver {
 
   /// \brief Director-side: deposit a scheduler-dequeued window into the
   /// buffer read by the actor's next get().
-  void DeliverBuffered(Window w) { buffer_.push_back(std::move(w)); }
+  ///
+  /// Only windows this receiver itself produced (routed out through the
+  /// ready callback) may come back: more deliveries than productions means
+  /// the director misrouted another receiver's window. Schedulers may
+  /// legally reorder deliveries (STAFiLOS pops timestamp-earliest) and may
+  /// shed some windows entirely, so only the count is checked.
+  void DeliverBuffered(Window w) {
+    CWF_DCHECK_MSG(delivered_ < produced_,
+                   "window delivered to a receiver that has no outstanding "
+                   "produced window (misrouted delivery; "
+                       << delivered_ << " delivered, " << produced_
+                       << " produced)");
+    ++delivered_;
+    buffer_.push_back(std::move(w));
+  }
 
   bool HasWindow() const override { return !buffer_.empty(); }
 
@@ -45,11 +60,16 @@ class TMWindowedReceiver : public WindowedReceiver {
   size_t ReadyWindowCount() const override { return buffer_.size(); }
 
  protected:
-  void OnWindowProduced(Window w) override { callback_(this, std::move(w)); }
+  void OnWindowProduced(Window w) override {
+    ++produced_;
+    callback_(this, std::move(w));
+  }
 
  private:
   ReadyCallback callback_;
   std::deque<Window> buffer_;
+  uint64_t produced_ = 0;
+  uint64_t delivered_ = 0;
 };
 
 }  // namespace cwf

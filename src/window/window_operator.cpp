@@ -180,6 +180,18 @@ void WindowOperator::PutWave(GroupState* g, const CWEvent& event,
   // singleton wave by itself.
   WaveTag wave_id =
       event.wave.depth() == 0 ? event.wave : event.wave.Parent();
+  // Wave-tag monotonicity: an event may not arrive for a wave that was
+  // already consumed into a produced window — it could never be
+  // synchronized, and its resurrected buffer would strand forever. Pending
+  // (buffered or completed-but-unwindowed) waves legitimately interleave.
+  CWF_DCHECK_MSG(
+      !g->has_consumed_frontier || g->consumed_wave_frontier < wave_id ||
+          g->wave_buffers.count(wave_id) > 0 ||
+          std::find(g->completed_waves.begin(), g->completed_waves.end(),
+                    wave_id) != g->completed_waves.end(),
+      "wave-tag monotonicity violated: event "
+          << event.wave.ToString() << " regresses behind consumed wave "
+          << g->consumed_wave_frontier.ToString());
   auto& buffer = g->wave_buffers[wave_id];
   buffer.push_back(event);
   if (event.last_in_wave) {
@@ -209,6 +221,10 @@ void WindowOperator::PutWave(GroupState* g, const CWEvent& event,
                                  : std::min(step, g->completed_waves.size());
     for (size_t i = 0; i < drop; ++i) {
       const WaveTag& dropped = g->completed_waves.front();
+      if (!g->has_consumed_frontier || g->consumed_wave_frontier < dropped) {
+        g->consumed_wave_frontier = dropped;
+        g->has_consumed_frontier = true;
+      }
       if (!spec_.delete_used_events) {
         auto& events = g->wave_buffers[dropped];
         expired_.insert(expired_.end(), events.begin(), events.end());

@@ -83,6 +83,10 @@ class WindowOperator {
     std::map<WaveTag, std::vector<CWEvent>> wave_buffers;
     std::map<WaveTag, uint32_t> wave_last_serial;
     std::deque<WaveTag> completed_waves;
+    /// Greatest wave already consumed into a produced window; arrivals at
+    /// or behind it (wave-tag monotonicity invariant) abort via CWF_DCHECK.
+    WaveTag consumed_wave_frontier;
+    bool has_consumed_frontier = false;
     Token group_key_token;
     /// Deadline currently registered in deadline_index_ (Max = none).
     Timestamp registered_deadline = Timestamp::Max();

@@ -1,0 +1,53 @@
+// Semantics of the CWF_ASSERT / CWF_DCHECK invariant macro family.
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace cwf {
+namespace {
+
+TEST(CheckTest, PassingAssertIsSideEffectFree) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  CWF_ASSERT(touch());
+  CWF_ASSERT_MSG(touch(), "never shown");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(CheckDeathTest, FailingAssertAbortsWithExpressionAndMessage) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const int answer = 41;
+  EXPECT_DEATH(CWF_ASSERT_MSG(answer == 42, "got " << answer),
+               "answer == 42.*got 41");
+  EXPECT_DEATH(CWF_ASSERT(1 + 1 == 3), "1 \\+ 1 == 3");
+}
+
+#if defined(CWF_DCHECK_IS_ON) && CWF_DCHECK_IS_ON
+
+TEST(CheckDeathTest, DcheckFiresWhenEnabled) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(CWF_DCHECK_MSG(false, "debug-only invariant"),
+               "debug-only invariant");
+}
+
+#else
+
+TEST(CheckTest, DisabledDcheckDoesNotEvaluateItsExpression) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  CWF_DCHECK(touch());
+  CWF_DCHECK_MSG(touch(), "never shown");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // CWF_DCHECK_IS_ON
+
+}  // namespace
+}  // namespace cwf

@@ -1,0 +1,179 @@
+// Tests for the debug lock-order deadlock detector.
+//
+// Built with CWF_LOCK_ORDER_CHECKS (the default); if the detector is
+// compiled out these tests only verify the passthrough still locks.
+
+#include "common/lock_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cwf {
+namespace {
+
+#if defined(CWF_LOCK_ORDER_CHECKS) && CWF_LOCK_ORDER_CHECKS
+
+/// Captures cycle reports instead of aborting, for in-process assertions.
+class LockRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LockRegistry::Instance().ResetGraphForTest();
+    LockRegistry::Instance().SetReportHandlerForTest(
+        [this](const std::string& report) { reports_.push_back(report); });
+  }
+
+  void TearDown() override {
+    LockRegistry::Instance().SetReportHandlerForTest(nullptr);
+    LockRegistry::Instance().ResetGraphForTest();
+  }
+
+  std::vector<std::string> reports_;
+};
+
+TEST_F(LockRegistryTest, ConsistentOrderIsAccepted) {
+  OrderedMutex a("lock-A");
+  OrderedMutex b("lock-B");
+  for (int i = 0; i < 3; ++i) {
+    ScopedLock la(a);
+    ScopedLock lb(b);
+  }
+  std::thread t([&] {
+    ScopedLock la(a);
+    ScopedLock lb(b);
+  });
+  t.join();
+  EXPECT_TRUE(reports_.empty()) << reports_.front();
+}
+
+// The inversion tests drive the registry's graph API directly rather than
+// locking real mutexes in inverted order: under a TSan build the sanitizer's
+// own deadlock detector would (correctly!) flag the intentional inversion.
+// The death tests below cover the integrated OrderedMutex path — they abort
+// before the cycle-closing acquisition ever reaches the underlying mutex.
+TEST_F(LockRegistryTest, DetectsTwoLockInversion) {
+  auto& reg = LockRegistry::Instance();
+  const uint64_t a = reg.Register("lock-A");
+  const uint64_t b = reg.Register("lock-B");
+  reg.OnAcquire(a, false);
+  reg.OnAcquire(b, false);  // records A -> B
+  reg.OnRelease(b);
+  reg.OnRelease(a);
+  reg.OnAcquire(b, false);
+  reg.OnAcquire(a, false);  // B -> A closes the cycle
+  reg.OnRelease(a);
+  reg.OnRelease(b);
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_NE(reports_[0].find("potential deadlock"), std::string::npos);
+  EXPECT_NE(reports_[0].find("lock-A"), std::string::npos);
+  EXPECT_NE(reports_[0].find("lock-B"), std::string::npos);
+  reg.Unregister(a);
+  reg.Unregister(b);
+}
+
+TEST_F(LockRegistryTest, DetectsTransitiveThreeLockCycle) {
+  auto& reg = LockRegistry::Instance();
+  const uint64_t a = reg.Register("lock-A");
+  const uint64_t b = reg.Register("lock-B");
+  const uint64_t c = reg.Register("lock-C");
+  reg.OnAcquire(a, false);
+  reg.OnAcquire(b, false);  // A -> B
+  reg.OnRelease(b);
+  reg.OnRelease(a);
+  reg.OnAcquire(b, false);
+  reg.OnAcquire(c, false);  // B -> C
+  reg.OnRelease(c);
+  reg.OnRelease(b);
+  reg.OnAcquire(c, false);
+  reg.OnAcquire(a, false);  // C -> A: cycle through all three
+  reg.OnRelease(a);
+  reg.OnRelease(c);
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_NE(reports_[0].find("lock-C"), std::string::npos);
+  EXPECT_NE(reports_[0].find("recorded earlier"), std::string::npos);
+  reg.Unregister(a);
+  reg.Unregister(b);
+  reg.Unregister(c);
+}
+
+TEST_F(LockRegistryTest, DistinctInstancePairsAreIndependent) {
+  // Two channels locked in either order by different call paths is legal;
+  // tracking is per instance, not per name.
+  OrderedMutex a1("chan");
+  OrderedMutex a2("chan");
+  OrderedMutex b1("chan");
+  OrderedMutex b2("chan");
+  {
+    ScopedLock l1(a1);
+    ScopedLock l2(a2);
+  }
+  {
+    ScopedLock l1(b2);
+    ScopedLock l2(b1);
+  }
+  EXPECT_TRUE(reports_.empty()) << reports_.front();
+}
+
+TEST_F(LockRegistryTest, RecursiveMutexReentryIsNotACycle) {
+  OrderedRecursiveMutex r("recursive");
+  ScopedLock l1(r);
+  ScopedLock l2(r);
+  EXPECT_TRUE(reports_.empty()) << reports_.front();
+  EXPECT_EQ(LockRegistry::Instance().HeldDepthForTest(), 2u);
+}
+
+TEST_F(LockRegistryTest, ReleaseUnwindsHeldStack) {
+  OrderedMutex a("lock-A");
+  {
+    ScopedLock la(a);
+    EXPECT_EQ(LockRegistry::Instance().HeldDepthForTest(), 1u);
+  }
+  EXPECT_EQ(LockRegistry::Instance().HeldDepthForTest(), 0u);
+}
+
+using LockRegistryDeathTest = LockRegistryTest;
+
+TEST_F(LockRegistryDeathTest, InversionAbortsWithCycleReport) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Without a report handler the detector must abort the process.
+  EXPECT_DEATH(
+      {
+        LockRegistry::Instance().SetReportHandlerForTest(nullptr);
+        OrderedMutex a("death-A");
+        OrderedMutex b("death-B");
+        {
+          ScopedLock la(a);
+          ScopedLock lb(b);
+        }
+        ScopedLock lb(b);
+        ScopedLock la(a);
+      },
+      "potential deadlock.*death-A.*death-B|potential deadlock");
+}
+
+TEST_F(LockRegistryDeathTest, NonRecursiveReentryAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        LockRegistry::Instance().SetReportHandlerForTest(nullptr);
+        OrderedMutex m("death-self");
+        m.lock();
+        m.lock();
+      },
+      "self-deadlock.*death-self");
+}
+
+#else  // !CWF_LOCK_ORDER_CHECKS
+
+TEST(LockRegistryPassthroughTest, StillLocks) {
+  OrderedMutex m;
+  ScopedLock lock(m);
+  SUCCEED();
+}
+
+#endif  // CWF_LOCK_ORDER_CHECKS
+
+}  // namespace
+}  // namespace cwf

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-command pre-merge gate: builds and tests the full correctness matrix.
+#
+#   tools/check.sh            # plain + TSan + ASan/UBSan builds, ctest each
+#   tools/check.sh --fast     # plain build + ctest only
+#
+# Each configuration uses its own build directory (build/, build-tsan/,
+# build-asan/), mirroring the presets in CMakePresets.json, so incremental
+# reruns are cheap. clang-tidy runs over src/ when installed; the gate does
+# not fail merely because the tool is absent (CI images without clang still
+# get the sanitizer matrix).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+GENERATOR_ARGS=()
+if command -v ninja > /dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+JOBS="$(nproc 2> /dev/null || echo 2)"
+
+run_matrix_entry() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==> [${name}] configure"
+  cmake -B "${dir}" -S . "${GENERATOR_ARGS[@]}" "$@"
+  echo "==> [${name}] build"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==> [${name}] ctest"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_matrix_entry plain build
+
+if [[ "${FAST}" == "0" ]]; then
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    run_matrix_entry tsan build-tsan -DCONFLUENCE_SANITIZE=thread
+
+  ASAN_OPTIONS="detect_leaks=1 strict_string_checks=1" \
+    UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1" \
+    run_matrix_entry asan-ubsan build-asan -DCONFLUENCE_SANITIZE=address,undefined
+fi
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "==> [clang-tidy] src/"
+  cmake -B build -S . "${GENERATOR_ARGS[@]}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build --quiet
+else
+  echo "==> [clang-tidy] not installed; skipping (configuration: .clang-tidy)"
+fi
+
+echo "==> all checks passed"
