@@ -20,49 +20,49 @@ TcpLineListener::TcpLineListener(PushChannelPtr channel, Clock* clock)
 TcpLineListener::~TcpLineListener() { Stop(); }
 
 Status TcpLineListener::Start(uint16_t port) {
-  if (listen_fd_ >= 0) {
+  if (listen_fd_.load() >= 0) {
     return Status::FailedPrecondition("listener already started");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     return Status::Internal("socket() failed: " +
                             std::string(std::strerror(errno)));
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
     return Status::Internal("bind() failed: " +
                             std::string(std::strerror(errno)));
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
     return Status::Internal("getsockname() failed");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
     return Status::Internal("listen() failed: " +
                             std::string(std::strerror(errno)));
   }
   stopping_ = false;
+  listen_fd_.store(fd);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void TcpLineListener::AcceptLoop() {
   for (;;) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = listen_fd_.load();
+    if (fd < 0) {
+      return;  // Stop() already detached the listening socket
+    }
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) {
       if (stopping_.load()) {
         return;  // listening socket closed by Stop()
@@ -119,32 +119,39 @@ void TcpLineListener::Stop() {
   if (stopping_.exchange(true)) {
     // Still join if a previous Stop lost a race with thread creation.
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // A file descriptor may not be close()d while another thread is blocked
+  // on it — the kernel may recycle the number into an unrelated resource
+  // under the reader's feet. shutdown() first (wakes any blocked accept/
+  // read with an error), join the thread, and only then destroy the fd.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+  }
   std::vector<std::thread> threads;
+  std::vector<int> client_fds;
   {
     ScopedLock lock(clients_mutex_);
-    for (int fd : client_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
-    }
-    client_fds_.clear();
+    client_fds.swap(client_fds_);
     threads.swap(client_threads_);
+  }
+  for (int fd : client_fds) {
+    ::shutdown(fd, SHUT_RDWR);
   }
   for (std::thread& t : threads) {
     if (t.joinable()) {
       t.join();
     }
   }
-  if (!channel_->closed()) {
-    channel_->Close();
+  for (int fd : client_fds) {
+    ::close(fd);
   }
+  channel_->Close();
 }
 
 }  // namespace cwf

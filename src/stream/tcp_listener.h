@@ -65,7 +65,8 @@ class TcpLineListener {
 
   PushChannelPtr channel_;
   Clock* clock_;
-  int listen_fd_ = -1;
+  // Written by Start()/Stop() while AcceptLoop() reads it concurrently.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> tuples_received_{0};
