@@ -4,6 +4,11 @@
 // sink — and runs it under the scheduled (SCWF) director with the QBS
 // policy. Demonstrates the core public API: Workflow, actors, window
 // semantics on input ports, push channels, directors and schedulers.
+//
+// The graph is mirrored in the static-analyzer catalog ("quickstart" in
+// src/analysis/builtin_graphs.cpp): `build/tools/cwf_analyze quickstart`
+// lints it without running it, and Director::Initialize runs the same
+// analysis before execution.
 
 #include <cstdio>
 

@@ -1,0 +1,70 @@
+// The static workflow analyzer: drives the built-in passes (structural,
+// MoC admission, window, scheduler config — plus any added via AddPass)
+// over a workflow and its composite inner workflows, producing one
+// DiagnosticBag per run.
+//
+// Director::Initialize gates on VerifyForDirector (the error-severity
+// subset mapped back to Status), so every deployment is analyzed unless
+// the designer opts out with set_static_analysis_enabled(false).
+
+#ifndef CONFLUENCE_ANALYSIS_ANALYZER_H_
+#define CONFLUENCE_ANALYSIS_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/pass.h"
+#include "common/status.h"
+
+namespace cwf::analysis {
+
+class Analyzer {
+ public:
+  /// \brief Constructs with the four built-in passes registered.
+  Analyzer();
+
+  /// \brief Append a custom pass; it runs after the built-ins at every
+  /// hierarchy level.
+  void AddPass(std::unique_ptr<AnalysisPass> pass);
+
+  const std::vector<std::unique_ptr<AnalysisPass>>& passes() const {
+    return passes_;
+  }
+
+  /// \brief Run every pass over `workflow`, recursing into composite inner
+  /// workflows (with the inner director's kind as target) unless
+  /// options.recurse_composites is false.
+  DiagnosticBag Analyze(const Workflow& workflow,
+                        const AnalysisOptions& options = {}) const;
+
+ private:
+  void AnalyzeLevel(const Workflow& workflow, const AnalysisOptions& options,
+                    const std::vector<std::string>& outer_names,
+                    DiagnosticBag* diagnostics) const;
+
+  std::vector<std::unique_ptr<AnalysisPass>> passes_;
+};
+
+/// \brief Admissibility of one director kind for a workflow.
+struct DirectorAdmission {
+  std::string director;  ///< "PNCWF", "SCWF", "SDF", "DDF".
+  bool admissible = false;
+  std::string reason;  ///< First blocking finding when inadmissible.
+};
+
+/// \brief Which of the four director kinds can legally run `workflow`
+/// (structural errors block all four; MoC errors block per kind).
+std::vector<DirectorAdmission> ComputeAdmissionMatrix(
+    const Workflow& workflow);
+
+/// \brief The Director::Initialize gate: analyze for `director_kind` and
+/// map the first error-severity finding to InvalidArgument. Warnings and
+/// notes never block.
+Status VerifyForDirector(const Workflow& workflow,
+                         const std::string& director_kind);
+
+}  // namespace cwf::analysis
+
+#endif  // CONFLUENCE_ANALYSIS_ANALYZER_H_

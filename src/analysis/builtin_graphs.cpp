@@ -1,0 +1,220 @@
+#include "analysis/builtin_graphs.h"
+
+#include <utility>
+
+#include "actors/library.h"
+#include "actors/stream_ops.h"
+#include "core/composite_actor.h"
+#include "core/workflow.h"
+#include "directors/ddf_director.h"
+#include "lrb/workflow_builder.h"
+#include "stafilos/qbs_scheduler.h"
+#include "stream/stream_source.h"
+
+namespace cwf::analysis {
+namespace {
+
+Status NoopWindowFn(const Window&, std::vector<Token>*) {
+  return Status::OK();
+}
+
+Token Identity(const Token& t) { return t; }
+
+/// Owns a workflow built locally (push channels are retained by their
+/// StreamSourceActor; actors by the workflow).
+struct WorkflowHolder {
+  std::unique_ptr<Workflow> workflow;
+};
+
+BuiltinGraph Wrap(std::string name, std::string description,
+                  std::string director, std::unique_ptr<Workflow> wf,
+                  std::optional<SchedulerConfig> scheduler = std::nullopt) {
+  auto holder = std::make_shared<WorkflowHolder>();
+  holder->workflow = std::move(wf);
+  BuiltinGraph graph;
+  graph.name = std::move(name);
+  graph.description = std::move(description);
+  graph.director = std::move(director);
+  graph.scheduler = std::move(scheduler);
+  graph.workflow = holder->workflow.get();
+  graph.retained = std::move(holder);
+  return graph;
+}
+
+SchedulerConfig Policy(const char* policy) {
+  SchedulerConfig cfg;
+  cfg.policy = policy;
+  return cfg;
+}
+
+/// examples/quickstart.cpp: source -> tumbling average -> sink, SCWF+QBS.
+BuiltinGraph Quickstart() {
+  auto wf = std::make_unique<Workflow>("quickstart");
+  auto* source = wf->AddActor<StreamSourceActor>(
+      "readings", std::make_shared<PushChannel>());
+  auto* averager = wf->AddActor<WindowFnActor>(
+      "avg5", WindowSpec::Tuples(5, 5).DeleteUsedEvents(true), NoopWindowFn);
+  auto* sink = wf->AddActor<CollectorSink>("sink");
+  CWF_CHECK(wf->Connect(source->out(), averager->in()).ok());
+  CWF_CHECK(wf->Connect(averager->out(), sink->in()).ok());
+  return Wrap("quickstart", "minimal source -> window -> sink pipeline",
+              "SCWF", std::move(wf), Policy("QBS"));
+}
+
+/// examples/realtime_pipeline.cpp: live smoothing pipeline under PNCWF.
+BuiltinGraph RealtimePipeline() {
+  auto wf = std::make_unique<Workflow>("realtime");
+  auto* src = wf->AddActor<StreamSourceActor>(
+      "sensor", std::make_shared<PushChannel>());
+  auto* smooth = wf->AddActor<WindowFnActor>(
+      "smooth", WindowSpec::Tuples(3, 1), NoopWindowFn);
+  auto* sink = wf->AddActor<CollectorSink>("sink");
+  CWF_CHECK(wf->Connect(src->out(), smooth->in()).ok());
+  CWF_CHECK(wf->Connect(smooth->out(), sink->in()).ok());
+  return Wrap("realtime-pipeline", "OS-thread smoothing pipeline", "PNCWF",
+              std::move(wf));
+}
+
+/// examples/supply_chain.cpp: two sources merged into a group-by matcher
+/// and a per-warehouse time window, SCWF+RB.
+BuiltinGraph SupplyChain() {
+  auto wf = std::make_unique<Workflow>("supply_chain");
+  auto* order_src = wf->AddActor<StreamSourceActor>(
+      "orders", std::make_shared<PushChannel>());
+  auto* scan_src = wf->AddActor<StreamSourceActor>(
+      "scans", std::make_shared<PushChannel>());
+  auto* merge = wf->AddActor<MapActor>("merge", Identity);
+  auto* matcher = wf->AddActor<WindowFnActor>(
+      "fulfillment",
+      WindowSpec::Tuples(2, 2).GroupBy({"order"}).DeleteUsedEvents(true),
+      NoopWindowFn);
+  auto* throughput = wf->AddActor<WindowFnActor>(
+      "throughput",
+      WindowSpec::Time(Seconds(60), Seconds(60))
+          .GroupBy({"warehouse"})
+          .DeleteUsedEvents(true),
+      NoopWindowFn);
+  auto* fulfilled = wf->AddActor<CollectorSink>("fulfilled");
+  auto* stats = wf->AddActor<CollectorSink>("stats");
+  CWF_CHECK(wf->Connect(order_src->out(), merge->in()).ok());
+  CWF_CHECK(wf->Connect(scan_src->out(), merge->in()).ok());
+  CWF_CHECK(wf->Connect(merge->out(), matcher->in()).ok());
+  CWF_CHECK(wf->Connect(merge->out(), throughput->in()).ok());
+  CWF_CHECK(wf->Connect(matcher->out(), fulfilled->in()).ok());
+  CWF_CHECK(wf->Connect(throughput->out(), stats->in()).ok());
+  return Wrap("supply-chain", "order/scan join with per-warehouse stats",
+              "SCWF", std::move(wf), Policy("RB"));
+}
+
+/// examples/astro_monitor.cpp: DDF detection composite feeding a wave-
+/// synchronized annotator, SCWF+EDF.
+BuiltinGraph AstroMonitor() {
+  auto wf = std::make_unique<Workflow>("astro");
+  auto* src = wf->AddActor<StreamSourceActor>(
+      "telescope", std::make_shared<PushChannel>());
+  auto* detection = wf->AddActor<CompositeActor>(
+      "detection", std::make_unique<DDFDirector>());
+  auto* spike = detection->inner()->AddActor<WindowFnActor>(
+      "spike_detector", WindowSpec::Tuples(4, 1).GroupBy({"object"}),
+      NoopWindowFn);
+  detection->ExposeInput("in", spike->in());
+  detection->ExposeOutput("out", spike->out());
+  auto* bands = wf->AddActor<FlatMapActor>(
+      "derive_bands",
+      [](const Token& t) { return std::vector<Token>{t}; });
+  auto* annotate = wf->AddActor<WindowFnActor>(
+      "annotate", WindowSpec::Waves(1, 1), NoopWindowFn);
+  auto* alerts = wf->AddActor<CollectorSink>("alerts");
+  CWF_CHECK(wf->Connect(src->out(), detection->GetInputPort("in")).ok());
+  CWF_CHECK(wf->Connect(detection->GetOutputPort("out"), bands->in()).ok());
+  CWF_CHECK(wf->Connect(bands->out(), annotate->in()).ok());
+  CWF_CHECK(wf->Connect(annotate->out(), alerts->in()).ok());
+  return Wrap("astro-monitor",
+              "two-level sky monitoring with wave synchronization", "SCWF",
+              std::move(wf), Policy("EDF"));
+}
+
+/// examples/multi_workflow.cpp: the two time-shared applications.
+BuiltinGraph MultiApp(const char* graph_name, const char* wf_name,
+                      const char* policy) {
+  auto wf = std::make_unique<Workflow>(wf_name);
+  auto* src = wf->AddActor<StreamSourceActor>(
+      "src", std::make_shared<PushChannel>());
+  auto* work = wf->AddActor<MapActor>("work", Identity);
+  auto* sink = wf->AddActor<CollectorSink>("sink");
+  CWF_CHECK(wf->Connect(src->out(), work->in()).ok());
+  CWF_CHECK(wf->Connect(work->out(), sink->in()).ok());
+  return Wrap(graph_name, "multi-workflow tenant application", "SCWF",
+              std::move(wf), Policy(policy));
+}
+
+/// examples/distributed_links.cpp: edge node -> WAN delay -> core node.
+BuiltinGraph DistributedLinks() {
+  auto wf = std::make_unique<Workflow>("edge_to_core");
+  auto* sensor = wf->AddActor<StreamSourceActor>(
+      "edge.sensor", std::make_shared<PushChannel>());
+  auto* prefilter = wf->AddActor<FilterActor>(
+      "edge.prefilter", [](const Token&) { return true; });
+  auto* wan = wf->AddActor<DelayActor>("wan", Millis(50));
+  auto* agg = wf->AddActor<WindowFnActor>(
+      "core.agg", WindowSpec::Tuples(5, 5).DeleteUsedEvents(true),
+      NoopWindowFn);
+  auto* alerts = wf->AddActor<CollectorSink>("core.alerts");
+  CWF_CHECK(wf->Connect(sensor->out(), prefilter->in()).ok());
+  CWF_CHECK(wf->Connect(prefilter->out(), wan->in()).ok());
+  CWF_CHECK(wf->Connect(wan->out(), agg->in()).ok());
+  CWF_CHECK(wf->Connect(agg->out(), alerts->in()).ok());
+  return Wrap("distributed-links", "edge -> WAN -> core placement", "SCWF",
+              std::move(wf), Policy("QBS"));
+}
+
+/// Owns a full LRB application (workflow + database + metric series).
+struct LrbHolder {
+  lrb::LRBApplication app;
+};
+
+BuiltinGraph Lrb(bool hierarchical) {
+  auto holder = std::make_shared<LrbHolder>();
+  auto app = lrb::BuildLRBApplication(std::make_shared<PushChannel>(),
+                                      hierarchical);
+  CWF_CHECK_MSG(app.ok(), "LRB builder failed: " << app.status().ToString());
+  holder->app = std::move(*app);
+
+  SchedulerConfig cfg = Policy("QBS");
+  if (hierarchical) {
+    // The deployed priority table (paper Table 3), read back through the
+    // scheduler so the analyzer validates what actually runs.
+    QBSScheduler scheduler;
+    lrb::ApplyLRBPriorities(&scheduler);
+    cfg.actor_priorities = scheduler.designer_priorities();
+  }
+
+  BuiltinGraph graph;
+  graph.name = hierarchical ? "lrb" : "lrb-flat";
+  graph.description = hierarchical
+                          ? "Linear Road benchmark (DDF detection composite)"
+                          : "Linear Road benchmark (flattened)";
+  graph.director = "SCWF";
+  graph.scheduler = std::move(cfg);
+  graph.workflow = holder->app.workflow.get();
+  graph.retained = std::move(holder);
+  return graph;
+}
+
+}  // namespace
+
+std::vector<BuiltinGraph> BuildBuiltinGraphs() {
+  std::vector<BuiltinGraph> graphs;
+  graphs.push_back(Quickstart());
+  graphs.push_back(RealtimePipeline());
+  graphs.push_back(SupplyChain());
+  graphs.push_back(AstroMonitor());
+  graphs.push_back(MultiApp("multi-trading", "trading", "QBS"));
+  graphs.push_back(MultiApp("multi-logistics", "logistics", "RR"));
+  graphs.push_back(DistributedLinks());
+  graphs.push_back(Lrb(/*hierarchical=*/true));
+  graphs.push_back(Lrb(/*hierarchical=*/false));
+  return graphs;
+}
+
+}  // namespace cwf::analysis

@@ -1,0 +1,44 @@
+// The built-in graph catalog: analyzable mirrors of every example program
+// plus the Linear Road benchmark workflow.
+//
+// The cwf_analyze CLI runs the analyzer over these by default, and the
+// analyzer tests assert they stay clean — so a change to an example's
+// shape (or to LRB) that introduces a diagnostic fails in CI before the
+// example itself misbehaves. Each entry retains whatever side objects its
+// workflow needs (push channels, the LRB database) via a type-erased
+// holder.
+
+#ifndef CONFLUENCE_ANALYSIS_BUILTIN_GRAPHS_H_
+#define CONFLUENCE_ANALYSIS_BUILTIN_GRAPHS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/pass.h"
+
+namespace cwf {
+
+class Workflow;
+
+namespace analysis {
+
+/// \brief One analyzable deployment: a workflow plus its intended
+/// director and scheduler configuration.
+struct BuiltinGraph {
+  std::string name;         ///< CLI identifier, e.g. "supply-chain".
+  std::string description;  ///< One line for `cwf_analyze --list`.
+  std::string director;     ///< Target director kind ("SCWF", "PNCWF", ...).
+  std::optional<SchedulerConfig> scheduler;
+  Workflow* workflow = nullptr;  ///< Owned by `retained`.
+  std::shared_ptr<void> retained;
+};
+
+/// \brief Build every built-in graph (examples + LRB hierarchical/flat).
+std::vector<BuiltinGraph> BuildBuiltinGraphs();
+
+}  // namespace analysis
+}  // namespace cwf
+
+#endif  // CONFLUENCE_ANALYSIS_BUILTIN_GRAPHS_H_

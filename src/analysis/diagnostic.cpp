@@ -1,0 +1,207 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace cwf::analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void DiagnosticBag::Add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticBag::Error(std::string code, std::string location,
+                          std::string message, const Actor* actor) {
+  Add({std::move(code), Severity::kError, std::move(location),
+       std::move(message), actor});
+}
+
+void DiagnosticBag::Warning(std::string code, std::string location,
+                            std::string message, const Actor* actor) {
+  Add({std::move(code), Severity::kWarning, std::move(location),
+       std::move(message), actor});
+}
+
+void DiagnosticBag::Note(std::string code, std::string location,
+                         std::string message, const Actor* actor) {
+  Add({std::move(code), Severity::kNote, std::move(location),
+       std::move(message), actor});
+}
+
+size_t DiagnosticBag::ErrorCount() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    n += d.severity == Severity::kError ? 1 : 0;
+  }
+  return n;
+}
+
+size_t DiagnosticBag::WarningCount() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    n += d.severity == Severity::kWarning ? 1 : 0;
+  }
+  return n;
+}
+
+size_t DiagnosticBag::NoteCount() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    n += d.severity == Severity::kNote ? 1 : 0;
+  }
+  return n;
+}
+
+bool DiagnosticBag::HasCode(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<const Diagnostic*> DiagnosticBag::WithCode(
+    const std::string& code) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticBag::ToText() const {
+  std::ostringstream oss;
+  for (const Diagnostic& d : diagnostics_) {
+    oss << SeverityName(d.severity) << " " << d.code << " at " << d.location
+        << ": " << d.message << "\n";
+  }
+  return oss.str();
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& oss, const std::string& s) {
+  oss << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        oss << "\\\"";
+        break;
+      case '\\':
+        oss << "\\\\";
+        break;
+      case '\n':
+        oss << "\\n";
+        break;
+      case '\t':
+        oss << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          oss << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          oss << c;
+        }
+    }
+  }
+  oss << '"';
+}
+
+}  // namespace
+
+std::string DiagnosticBag::ToJson() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i > 0) {
+      oss << ",";
+    }
+    oss << "{\"code\":";
+    AppendJsonString(oss, d.code);
+    oss << ",\"severity\":";
+    AppendJsonString(oss, SeverityName(d.severity));
+    oss << ",\"location\":";
+    AppendJsonString(oss, d.location);
+    oss << ",\"message\":";
+    AppendJsonString(oss, d.message);
+    oss << "}";
+  }
+  oss << "]";
+  return oss.str();
+}
+
+const std::vector<DiagnosticCodeInfo>& DiagnosticCodes() {
+  static const std::vector<DiagnosticCodeInfo> kCodes = {
+      // Structural.
+      {"CWF1001", Severity::kWarning,
+       "duplicate actor name (error within one workflow level; warning when "
+       "an inner composite actor shadows an outer name)"},
+      {"CWF1002", Severity::kError, "invalid window spec on an input port"},
+      {"CWF1003", Severity::kError, "self-loop channel on an actor"},
+      {"CWF1004", Severity::kError,
+       "two channels wired into the same input-channel slot"},
+      {"CWF1005", Severity::kWarning,
+       "actor has both connected and unconnected input ports (the "
+       "unconnected port can never receive data and never gates firing)"},
+      {"CWF1006", Severity::kWarning,
+       "actor unreachable from any source actor (dead subgraph)"},
+      {"CWF1007", Severity::kWarning,
+       "workflow has no source actor (no external data can enter)"},
+      {"CWF1008", Severity::kWarning,
+       "workflow has no sink actor (no terminal output)"},
+      {"CWF1009", Severity::kWarning, "workflow is empty"},
+      // MoC admission.
+      {"CWF2001", Severity::kError,
+       "SDF inadmissible: data-dependent-rate (time/wave) window"},
+      {"CWF2002", Severity::kError,
+       "SDF inadmissible: balance equations are inconsistent"},
+      {"CWF2003", Severity::kError,
+       "SDF inadmissible: static schedule deadlocks (cycle without delay)"},
+      {"CWF2004", Severity::kError,
+       "PN/DDF inadmissible: directed cycle without delay deadlocks blocking "
+       "reads"},
+      // Window / wave compatibility.
+      {"CWF3001", Severity::kWarning,
+       "actor mixes wave-based and non-wave windows across its input ports"},
+      {"CWF3002", Severity::kWarning,
+       "wave window combined with group-by can strand waves split across "
+       "groups"},
+      {"CWF3003", Severity::kWarning,
+       "wave window on a fan-in port synchronizes each channel independently"},
+      {"CWF3004", Severity::kWarning,
+       "time window with negative formation timeout may never close under "
+       "the SCWF director"},
+      {"CWF3005", Severity::kNote,
+       "window step exceeds size: events in the gap silently expire"},
+      // Scheduler configuration.
+      {"CWF4001", Severity::kError, "QBS basic quantum must be positive"},
+      {"CWF4002", Severity::kError,
+       "designer priority outside [0, 39] breaks the QBS quantum formula"},
+      {"CWF4003", Severity::kWarning,
+       "designer priority names an actor absent from the workflow"},
+      {"CWF4004", Severity::kError, "QBS max banked epochs must be >= 1"},
+      {"CWF4005", Severity::kError, "RR slice must be positive"},
+      {"CWF4006", Severity::kError, "source interval must be non-negative"},
+      {"CWF4007", Severity::kWarning,
+       "EDF scheduling without any sink actor has no deadline-bearing "
+       "output"},
+  };
+  return kCodes;
+}
+
+}  // namespace cwf::analysis

@@ -1,0 +1,101 @@
+// The diagnostics engine of the static workflow analyzer.
+//
+// Every finding is a Diagnostic with a stable code (CWFnnnn), a severity,
+// a graph location ("wf/Actor.port[ch]") and a human-readable message.
+// Passes append diagnostics to a DiagnosticBag; consumers render it as text
+// or JSON, or gate on the error-severity subset (Director::Initialize does).
+//
+// Code ranges mirror the pass structure:
+//   CWF10xx  structural        (graph shape, wiring, window-spec validity)
+//   CWF20xx  MoC admission     (which directors can legally run the graph)
+//   CWF30xx  window/wave       (cross-port window compatibility, liveness)
+//   CWF40xx  scheduler config  (QBS/RR/RB/EDF parameter sanity)
+
+#ifndef CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_
+#define CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace cwf {
+
+class Actor;
+
+namespace analysis {
+
+/// \brief How bad a finding is. Errors gate Director::Initialize and make
+/// cwf_analyze exit non-zero; warnings and notes are advisory.
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+/// \brief "note", "warning" or "error".
+const char* SeverityName(Severity severity);
+
+/// \brief One finding of one analysis pass.
+struct Diagnostic {
+  std::string code;      ///< Stable identifier, e.g. "CWF1003".
+  Severity severity = Severity::kError;
+  std::string location;  ///< Graph location, e.g. "lrb/Avgs.in[0]".
+  std::string message;   ///< Human-readable explanation.
+  /// The actor the finding attaches to (for DOT highlighting); may be null
+  /// for workflow-level findings. Not owned; valid while the analyzed
+  /// workflow lives.
+  const Actor* actor = nullptr;
+};
+
+/// \brief An ordered collection of diagnostics with rendering helpers.
+class DiagnosticBag {
+ public:
+  void Add(Diagnostic diagnostic);
+
+  void Error(std::string code, std::string location, std::string message,
+             const Actor* actor = nullptr);
+  void Warning(std::string code, std::string location, std::string message,
+               const Actor* actor = nullptr);
+  void Note(std::string code, std::string location, std::string message,
+            const Actor* actor = nullptr);
+
+  const std::vector<Diagnostic>& all() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  size_t ErrorCount() const;
+  size_t WarningCount() const;
+  size_t NoteCount() const;
+  bool HasErrors() const { return ErrorCount() > 0; }
+
+  /// \brief Whether any diagnostic carries `code` (test helper).
+  bool HasCode(const std::string& code) const;
+
+  /// \brief All diagnostics carrying `code`.
+  std::vector<const Diagnostic*> WithCode(const std::string& code) const;
+
+  /// \brief One line per diagnostic:
+  /// "error CWF1003 at w/A: self-loop channel ...".
+  std::string ToText() const;
+
+  /// \brief JSON array of {code, severity, location, message} objects.
+  std::string ToJson() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// \brief Registry entry describing one diagnostic code.
+struct DiagnosticCodeInfo {
+  const char* code;
+  Severity default_severity;
+  const char* summary;
+};
+
+/// \brief Every code the built-in passes can emit, in code order. The
+/// docs table (docs/STATIC_ANALYSIS.md) and `cwf_analyze --codes` render
+/// from this registry.
+const std::vector<DiagnosticCodeInfo>& DiagnosticCodes();
+
+}  // namespace analysis
+}  // namespace cwf
+
+#endif  // CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_

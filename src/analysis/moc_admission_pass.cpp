@@ -1,0 +1,130 @@
+#include "analysis/moc_admission_pass.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/sdf_balance.h"
+#include "core/workflow.h"
+
+namespace cwf::analysis {
+namespace {
+
+enum class Mark { kUnseen, kOnStack, kDone };
+
+bool CycleDfs(const Workflow& wf, const Actor* node,
+              std::map<const Actor*, Mark>* marks,
+              std::vector<const Actor*>* stack) {
+  (*marks)[node] = Mark::kOnStack;
+  stack->push_back(node);
+  for (const Actor* next : wf.DownstreamOf(node)) {
+    const Mark m = (*marks)[next];
+    if (m == Mark::kOnStack) {
+      // Trim the stack down to the cycle entry point.
+      auto it = std::find(stack->begin(), stack->end(), next);
+      stack->erase(stack->begin(), it);
+      return true;
+    }
+    if (m == Mark::kUnseen && CycleDfs(wf, next, marks, stack)) {
+      return true;
+    }
+  }
+  stack->pop_back();
+  (*marks)[node] = Mark::kDone;
+  return false;
+}
+
+std::string CyclePath(const std::vector<const Actor*>& cycle) {
+  std::string path;
+  for (const Actor* a : cycle) {
+    path += a->name();
+    path += " -> ";
+  }
+  path += cycle.front()->name();
+  return path;
+}
+
+}  // namespace
+
+std::vector<const Actor*> FindCycle(const Workflow& workflow) {
+  std::map<const Actor*, Mark> marks;
+  std::vector<const Actor*> stack;
+  for (const auto& actor : workflow.actors()) {
+    if (marks[actor.get()] == Mark::kUnseen &&
+        CycleDfs(workflow, actor.get(), &marks, &stack)) {
+      return stack;
+    }
+  }
+  return {};
+}
+
+void MocAdmissionPass::Run(const Workflow& wf, const AnalysisOptions& original,
+                           DiagnosticBag* diags) const {
+  AnalysisOptions options = original;
+  if (options.location_prefix.empty()) {
+    options.location_prefix = wf.name();
+  }
+  const std::string& target = options.target_director;
+  if (target.empty()) {
+    return;  // no deployment intent — nothing to admit against
+  }
+
+  if (target == "SDF") {
+    // CWF2001: time/wave windows make consumption rates data-dependent, so
+    // the balance equations do not even exist. Report every offending port
+    // before giving up on the solver stages.
+    const std::vector<const InputPort*> bad = DataDependentRatePorts(wf);
+    for (const InputPort* port : bad) {
+      diags->Error("CWF2001",
+                   ActorLocation(options, port->actor()->name()) + "." +
+                       port->name(),
+                   "SDF requires tuple-based (constant-rate) windows; port " +
+                       port->FullName() + " uses " + port->spec().ToString() +
+                       " — use DDF for data-dependent rates",
+                   port->actor());
+    }
+    if (!bad.empty()) {
+      return;
+    }
+
+    Result<std::map<const Actor*, int64_t>> reps = SolveSdfRepetitions(wf);
+    if (!reps.ok()) {
+      diags->Error("CWF2002", options.location_prefix,
+                   "SDF balance equations have no solution: " +
+                       reps.status().message());
+      return;
+    }
+    Result<std::vector<Actor*>> schedule = CompileSdfSchedule(wf, *reps);
+    if (!schedule.ok()) {
+      std::string message =
+          "SDF schedule cannot be compiled: " + schedule.status().message();
+      const std::vector<const Actor*> cycle = FindCycle(wf);
+      if (!cycle.empty()) {
+        message += " (cycle: " + CyclePath(cycle) + ")";
+      }
+      diags->Error("CWF2003", options.location_prefix, message,
+                   cycle.empty() ? nullptr : cycle.front());
+    }
+    return;
+  }
+
+  if (target == "PNCWF" || target == "DDF") {
+    // CWF2004: blocking reads around a directed cycle deadlock — every
+    // actor in the cycle waits on its upstream neighbour and none can fire
+    // first, since no CONFLuEnCE actor emits output before consuming input.
+    const std::vector<const Actor*> cycle = FindCycle(wf);
+    if (!cycle.empty()) {
+      diags->Error("CWF2004",
+                   ActorLocation(options, cycle.front()->name()),
+                   "directed cycle without delay deadlocks " + target +
+                       " blocking reads: " + CyclePath(cycle),
+                   cycle.front());
+    }
+    return;
+  }
+
+  // SCWF (and unknown kinds): any structurally valid graph is admissible.
+}
+
+}  // namespace cwf::analysis

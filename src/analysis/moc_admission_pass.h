@@ -1,0 +1,39 @@
+// MoC-admission pass: decides whether the graph can legally run under the
+// director it is deployed to, per the model-of-computation taxonomy.
+//
+//   SDF   needs constant rates (tuple windows), consistent balance
+//         equations, and a compilable static schedule (CWF2001-CWF2003).
+//   PNCWF blocking reads deadlock on any directed cycle, because no
+//   /DDF  CONFLuEnCE actor produces output before consuming input
+//         (CWF2004).
+//   SCWF  admits any structurally valid graph.
+//
+// Findings are emitted only when AnalysisOptions::target_director names
+// the director being deployed; Analyzer::ComputeAdmissionMatrix gives the
+// full per-director picture without attaching diagnostics.
+
+#ifndef CONFLUENCE_ANALYSIS_MOC_ADMISSION_PASS_H_
+#define CONFLUENCE_ANALYSIS_MOC_ADMISSION_PASS_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/pass.h"
+
+namespace cwf::analysis {
+
+/// \brief One directed cycle of the actor graph, in traversal order
+/// (first element repeats implicitly). Empty when the graph is acyclic.
+std::vector<const Actor*> FindCycle(const Workflow& workflow);
+
+class MocAdmissionPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "moc-admission"; }
+
+  void Run(const Workflow& workflow, const AnalysisOptions& options,
+           DiagnosticBag* diagnostics) const override;
+};
+
+}  // namespace cwf::analysis
+
+#endif  // CONFLUENCE_ANALYSIS_MOC_ADMISSION_PASS_H_

@@ -1,0 +1,83 @@
+// The pass interface of the static workflow analyzer.
+//
+// A pass inspects one Workflow (the Analyzer drives recursion into
+// composite inner workflows) and appends findings to a DiagnosticBag. The
+// AnalysisOptions carry deployment intent that changes severities: a graph
+// that merely *cannot* run under SDF is unremarkable until someone tries to
+// deploy it under an SDF director.
+
+#ifndef CONFLUENCE_ANALYSIS_PASS_H_
+#define CONFLUENCE_ANALYSIS_PASS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "stafilos/edf_scheduler.h"
+#include "stafilos/qbs_scheduler.h"
+#include "stafilos/rb_scheduler.h"
+#include "stafilos/rr_scheduler.h"
+
+namespace cwf {
+
+class Workflow;
+
+namespace analysis {
+
+class DiagnosticBag;
+
+/// \brief The scheduling deployment the workflow is being validated for
+/// (the options normally handed to the policy constructor, plus the
+/// designer priority map).
+struct SchedulerConfig {
+  /// Policy name: "QBS", "RR", "RB", "EDF" or "FIFO".
+  std::string policy;
+  QBSOptions qbs;
+  RROptions rr;
+  RBOptions rb;
+  EDFOptions edf;
+  /// Designer priorities by actor name (SetActorPriority calls).
+  std::map<std::string, int> actor_priorities;
+};
+
+/// \brief Deployment intent the passes analyze against.
+struct AnalysisOptions {
+  /// Director kind the graph is meant to run under ("PNCWF", "SCWF",
+  /// "SDF", "DDF"); empty means "unknown" — MoC admission findings are
+  /// then omitted (query ComputeAdmissionMatrix for the full picture).
+  std::string target_director;
+
+  /// Scheduler deployment to validate (SCWF only); nullopt skips the
+  /// scheduler-config pass.
+  std::optional<SchedulerConfig> scheduler;
+
+  /// Whether the Analyzer descends into CompositeActor inner workflows
+  /// (with the inner director's kind as target).
+  bool recurse_composites = true;
+
+  /// Location prefix for diagnostics ("outer/Composite" when recursing);
+  /// the Analyzer maintains this, callers normally leave it empty.
+  std::string location_prefix;
+};
+
+/// \brief One analysis over one workflow level.
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  /// \brief Short pass identifier ("structural", "moc-admission", ...).
+  virtual const char* name() const = 0;
+
+  /// \brief Append findings for `workflow` to `diagnostics`.
+  virtual void Run(const Workflow& workflow, const AnalysisOptions& options,
+                   DiagnosticBag* diagnostics) const = 0;
+};
+
+/// \brief "prefix/Actor" (or "Actor" with an empty prefix).
+std::string ActorLocation(const AnalysisOptions& options,
+                          const std::string& actor_name);
+
+}  // namespace analysis
+}  // namespace cwf
+
+#endif  // CONFLUENCE_ANALYSIS_PASS_H_

@@ -1,0 +1,124 @@
+#include "analysis/scheduler_config_pass.h"
+
+#include <set>
+#include <string>
+
+#include "core/composite_actor.h"
+#include "core/workflow.h"
+
+namespace cwf::analysis {
+namespace {
+
+/// Actor names at every hierarchy level: SetActorPriority targets inner
+/// composite actors too (the LRB builder prioritizes DetectStoppedCars,
+/// which lives inside the segstats composite).
+void CollectActorNames(const Workflow& wf, std::set<std::string>* names) {
+  for (const auto& actor : wf.actors()) {
+    names->insert(actor->name());
+    if (const auto* composite =
+            dynamic_cast<const CompositeActor*>(actor.get())) {
+      CollectActorNames(*composite->inner(), names);
+    }
+  }
+}
+
+}  // namespace
+
+void SchedulerConfigPass::Run(const Workflow& wf,
+                              const AnalysisOptions& original,
+                              DiagnosticBag* diags) const {
+  if (!original.scheduler.has_value()) {
+    return;
+  }
+  AnalysisOptions options = original;
+  if (options.location_prefix.empty()) {
+    options.location_prefix = wf.name();
+  }
+  const SchedulerConfig& cfg = *options.scheduler;
+  const std::string loc = options.location_prefix + " [" + cfg.policy + "]";
+
+  int source_interval = -1;
+  bool has_source_interval = false;
+  if (cfg.policy == "QBS") {
+    if (cfg.qbs.basic_quantum <= 0) {
+      diags->Error("CWF4001", loc,
+                   "QBS basic quantum must be positive, got " +
+                       std::to_string(cfg.qbs.basic_quantum));
+    }
+    if (cfg.qbs.max_banked_epochs < 1) {
+      diags->Error("CWF4004", loc,
+                   "QBS max banked epochs must be >= 1, got " +
+                       std::to_string(cfg.qbs.max_banked_epochs));
+    }
+    source_interval = cfg.qbs.source_interval;
+    has_source_interval = true;
+  } else if (cfg.policy == "RR") {
+    if (cfg.rr.slice <= 0) {
+      diags->Error("CWF4005", loc,
+                   "RR slice must be positive, got " +
+                       std::to_string(cfg.rr.slice));
+    }
+    source_interval = cfg.rr.source_interval;
+    has_source_interval = true;
+  } else if (cfg.policy == "RB") {
+    source_interval = cfg.rb.source_interval;
+    has_source_interval = true;
+  } else if (cfg.policy == "EDF") {
+    source_interval = cfg.edf.source_interval;
+    has_source_interval = true;
+
+    // CWF4007: EDF orders actors by output-deadline urgency; with no sink
+    // there is no terminal output whose deadline the policy could serve.
+    bool has_sink = false;
+    for (const auto& actor : wf.actors()) {
+      bool has_output = false;
+      for (const ChannelSpec& ch : wf.channels()) {
+        if (ch.from->actor() == actor.get()) {
+          has_output = true;
+          break;
+        }
+      }
+      if (!has_output) {
+        has_sink = true;
+        break;
+      }
+    }
+    if (!has_sink && !wf.actors().empty()) {
+      diags->Warning("CWF4007", loc,
+                     "EDF scheduling a workflow with no sink actor: no "
+                     "deadline-bearing output exists for the policy to "
+                     "prioritize");
+    }
+  }
+
+  if (has_source_interval && source_interval < 0) {
+    diags->Error("CWF4006", loc,
+                 "source interval must be non-negative, got " +
+                     std::to_string(source_interval));
+  }
+
+  // Designer priorities: range check (QBS quantum formula goes to zero or
+  // negative at p >= 40) and existence check against all hierarchy levels.
+  std::set<std::string> names;
+  CollectActorNames(wf, &names);
+  for (const auto& [actor_name, priority] : cfg.actor_priorities) {
+    if (cfg.policy == "QBS" && (priority < 0 || priority > 39)) {
+      diags->Error("CWF4002",
+                   ActorLocation(options, actor_name) + " [" + cfg.policy +
+                       "]",
+                   "designer priority " + std::to_string(priority) +
+                       " for actor '" + actor_name +
+                       "' is outside [0, 39]; Eq. 1 yields a non-positive "
+                       "quantum");
+    }
+    if (names.count(actor_name) == 0) {
+      diags->Warning("CWF4003",
+                     ActorLocation(options, actor_name) + " [" + cfg.policy +
+                         "]",
+                     "designer priority names actor '" + actor_name +
+                         "' which does not exist at any workflow level");
+    }
+  }
+}
+
+}  // namespace cwf::analysis

@@ -1,0 +1,32 @@
+// Scheduler-configuration pass: validates the STAFiLOS deployment
+// parameters (AnalysisOptions::scheduler) against the graph.
+//
+//   CWF4001  QBS basic quantum must be positive
+//   CWF4002  designer priority outside [0, 39] breaks Eq. 1 (q <= 0)
+//   CWF4003  designer priority names an actor absent from the workflow
+//   CWF4004  QBS max banked epochs must be >= 1
+//   CWF4005  RR slice must be positive
+//   CWF4006  source interval must be non-negative
+//   CWF4007  EDF with no sink actor has no deadline-bearing output
+//
+// The pass is a no-op when no SchedulerConfig is supplied.
+
+#ifndef CONFLUENCE_ANALYSIS_SCHEDULER_CONFIG_PASS_H_
+#define CONFLUENCE_ANALYSIS_SCHEDULER_CONFIG_PASS_H_
+
+#include "analysis/diagnostic.h"
+#include "analysis/pass.h"
+
+namespace cwf::analysis {
+
+class SchedulerConfigPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "scheduler-config"; }
+
+  void Run(const Workflow& workflow, const AnalysisOptions& options,
+           DiagnosticBag* diagnostics) const override;
+};
+
+}  // namespace cwf::analysis
+
+#endif  // CONFLUENCE_ANALYSIS_SCHEDULER_CONFIG_PASS_H_

@@ -1,0 +1,57 @@
+// SDF balance-equation solving and static scheduling, as a standalone
+// analysis — THE single home of this logic. The SDF director consumes it at
+// Initialize; the MoC-admission pass runs it without constructing a
+// director, so schedulability is a deployment-time property.
+//
+// Rates: a producer emits ProductionRate(port) events per firing on each
+// channel of that port; a consumer with a tuple-based window of step S on an
+// input port absorbs S events per window in steady state, so its per-firing
+// demand on that channel is ConsumptionRate(port) * S (consumption-mode
+// windows absorb `size` per window instead). Time- and wave-based windows
+// have data-dependent rates and are not SDF-admissible.
+
+#ifndef CONFLUENCE_ANALYSIS_SDF_BALANCE_H_
+#define CONFLUENCE_ANALYSIS_SDF_BALANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/workflow.h"
+
+namespace cwf::analysis {
+
+/// \brief Repetition vector plus a sequential firing order realizing it.
+struct SdfSolution {
+  /// Firings of each actor per schedule iteration.
+  std::map<const Actor*, int64_t> repetitions;
+  /// Firing order (length = sum of repetitions).
+  std::vector<Actor*> schedule;
+};
+
+/// \brief Per-firing event demand of the consumer side of a channel.
+int64_t SdfChannelDemand(const ChannelSpec& channel);
+
+/// \brief Input ports whose window unit is not tuple-based — i.e. whose
+/// consumption rate is data-dependent, making the graph SDF-inadmissible.
+std::vector<const InputPort*> DataDependentRatePorts(const Workflow& workflow);
+
+/// \brief Solve the balance equations into the smallest integer repetition
+/// vector. InvalidArgument on non-positive or inconsistent rates.
+Result<std::map<const Actor*, int64_t>> SolveSdfRepetitions(
+    const Workflow& workflow);
+
+/// \brief Order `repetitions` into a sequential schedule via symbolic token
+/// simulation. FailedPrecondition when the graph deadlocks (a cycle with no
+/// initial tokens cannot be scheduled).
+Result<std::vector<Actor*>> CompileSdfSchedule(
+    const Workflow& workflow,
+    const std::map<const Actor*, int64_t>& repetitions);
+
+/// \brief Full admission: window-rate check, balance equations, schedule.
+Result<SdfSolution> SolveSdf(const Workflow& workflow);
+
+}  // namespace cwf::analysis
+
+#endif  // CONFLUENCE_ANALYSIS_SDF_BALANCE_H_

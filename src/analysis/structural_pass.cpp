@@ -1,0 +1,178 @@
+#include "analysis/structural_pass.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/workflow.h"
+
+namespace cwf::analysis {
+namespace {
+
+/// Actors with at least one incoming channel.
+std::set<const Actor*> ActorsWithConnectedInputs(const Workflow& wf) {
+  std::set<const Actor*> out;
+  for (const ChannelSpec& ch : wf.channels()) {
+    out.insert(ch.to->actor());
+  }
+  return out;
+}
+
+/// Input ports with at least one incoming channel.
+std::set<const InputPort*> ConnectedInputPorts(const Workflow& wf) {
+  std::set<const InputPort*> out;
+  for (const ChannelSpec& ch : wf.channels()) {
+    out.insert(ch.to);
+  }
+  return out;
+}
+
+}  // namespace
+
+void StructuralPass::Run(const Workflow& wf, const AnalysisOptions& original,
+                         DiagnosticBag* diags) const {
+  AnalysisOptions options = original;
+  if (options.location_prefix.empty()) {
+    options.location_prefix = wf.name();
+  }
+  const std::string& wf_loc = options.location_prefix;
+
+  if (wf.actors().empty()) {
+    diags->Warning("CWF1009", wf_loc, "workflow has no actors");
+    return;
+  }
+
+  // CWF1001: unique actor names within this level. Unreachable through the
+  // public API (AdoptActor aborts on duplicates) but kept so Validate() can
+  // never silently regress if construction paths change.
+  std::set<std::string> names;
+  for (const auto& actor : wf.actors()) {
+    if (!names.insert(actor->name()).second) {
+      diags->Error("CWF1001", ActorLocation(options, actor->name()),
+                   "duplicate actor name '" + actor->name() + "'",
+                   actor.get());
+    }
+
+    // CWF1002: every input port's window spec must validate, connected or
+    // not (a receiver is built from it the moment a channel is wired).
+    for (const auto& port : actor->input_ports()) {
+      const Status spec_status = port->spec().Validate();
+      if (!spec_status.ok()) {
+        diags->Error("CWF1002",
+                     ActorLocation(options, actor->name()) + "." +
+                         port->name(),
+                     "invalid window spec: " + spec_status.message(),
+                     actor.get());
+      }
+    }
+  }
+
+  // Channel-level checks.
+  std::map<std::pair<const InputPort*, size_t>, const ChannelSpec*> slots;
+  for (const ChannelSpec& ch : wf.channels()) {
+    CWF_CHECK_MSG(ch.from != nullptr && ch.to != nullptr,
+                  "null port in channel list of workflow " << wf.name());
+
+    // CWF1003: self-loops deadlock every director (the actor waits on its
+    // own output).
+    if (ch.from->actor() == ch.to->actor()) {
+      diags->Error("CWF1003",
+                   ActorLocation(options, ch.from->actor()->name()),
+                   "self-loop channel " + ch.from->FullName() + " -> " +
+                       ch.to->FullName(),
+                   ch.from->actor());
+    }
+
+    // CWF1004: at most one channel per (input port, slot); a second wiring
+    // would silently replace the first receiver at initialization.
+    const auto key = std::make_pair(ch.to, ch.to_channel);
+    auto [it, inserted] = slots.emplace(key, &ch);
+    if (!inserted) {
+      diags->Error(
+          "CWF1004",
+          ActorLocation(options, ch.to->actor()->name()) + "." +
+              ch.to->name() + "[" + std::to_string(ch.to_channel) + "]",
+          "channel slot wired twice: " + it->second->from->FullName() +
+              " and " + ch.from->FullName() + " both feed " +
+              ch.to->FullName() + " channel " +
+              std::to_string(ch.to_channel),
+          ch.to->actor());
+    }
+  }
+
+  // CWF1005: an actor with some inputs connected and others not — the
+  // unconnected port never gates firing and can never receive data.
+  const std::set<const InputPort*> connected_ports = ConnectedInputPorts(wf);
+  const std::set<const Actor*> fed_actors = ActorsWithConnectedInputs(wf);
+  for (const auto& actor : wf.actors()) {
+    if (fed_actors.count(actor.get()) == 0) {
+      continue;  // pure source (or isolated): no partially-wired inputs
+    }
+    for (const auto& port : actor->input_ports()) {
+      if (connected_ports.count(port.get()) == 0) {
+        diags->Warning(
+            "CWF1005",
+            ActorLocation(options, actor->name()) + "." + port->name(),
+            "input port '" + port->name() +
+                "' is unconnected while other inputs of '" + actor->name() +
+                "' are wired; it will never receive data and never gates "
+                "firing",
+            actor.get());
+      }
+    }
+  }
+
+  // CWF1006: reachability from sources. A source is an actor with no
+  // connected inputs; actors only fed from within a cycle are dead.
+  std::set<const Actor*> reachable;
+  std::vector<const Actor*> frontier;
+  for (const auto& actor : wf.actors()) {
+    if (fed_actors.count(actor.get()) == 0) {
+      reachable.insert(actor.get());
+      frontier.push_back(actor.get());
+    }
+  }
+  while (!frontier.empty()) {
+    const Actor* a = frontier.back();
+    frontier.pop_back();
+    for (const Actor* next : wf.DownstreamOf(a)) {
+      if (reachable.insert(next).second) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  for (const auto& actor : wf.actors()) {
+    if (reachable.count(actor.get()) == 0) {
+      diags->Warning("CWF1006", ActorLocation(options, actor->name()),
+                     "actor '" + actor->name() +
+                         "' is unreachable from every source actor",
+                     actor.get());
+    }
+  }
+
+  // CWF1007 / CWF1008: source/sink sanity.
+  if (fed_actors.size() == wf.actors().size()) {
+    diags->Warning("CWF1007", wf_loc,
+                   "workflow has no source actor: every actor has connected "
+                   "inputs, so no external data can enter");
+  }
+  bool has_sink = false;
+  for (const auto& actor : wf.actors()) {
+    const bool has_output = std::any_of(
+        wf.channels().begin(), wf.channels().end(),
+        [&](const ChannelSpec& ch) { return ch.from->actor() == actor.get(); });
+    if (!has_output) {
+      has_sink = true;
+      break;
+    }
+  }
+  if (!has_sink) {
+    diags->Warning("CWF1008", wf_loc,
+                   "workflow has no sink actor: every actor feeds another "
+                   "actor, so no result ever leaves the graph");
+  }
+}
+
+}  // namespace cwf::analysis

@@ -1,0 +1,26 @@
+// Structural analysis pass: a strict superset of Workflow::Validate().
+//
+// Errors (CWF1001-CWF1004) are graph states no director can execute and
+// gate Director::Initialize; warnings (CWF1005-CWF1009) are shape smells —
+// dead subgraphs, unconnected inputs, missing sources/sinks — that run but
+// almost never mean what the author intended.
+
+#ifndef CONFLUENCE_ANALYSIS_STRUCTURAL_PASS_H_
+#define CONFLUENCE_ANALYSIS_STRUCTURAL_PASS_H_
+
+#include "analysis/diagnostic.h"
+#include "analysis/pass.h"
+
+namespace cwf::analysis {
+
+class StructuralPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "structural"; }
+
+  void Run(const Workflow& workflow, const AnalysisOptions& options,
+           DiagnosticBag* diagnostics) const override;
+};
+
+}  // namespace cwf::analysis
+
+#endif  // CONFLUENCE_ANALYSIS_STRUCTURAL_PASS_H_

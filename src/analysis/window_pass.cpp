@@ -1,0 +1,107 @@
+#include "analysis/window_pass.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/workflow.h"
+#include "window/window_spec.h"
+
+namespace cwf::analysis {
+
+void WindowPass::Run(const Workflow& wf, const AnalysisOptions& original,
+                     DiagnosticBag* diags) const {
+  AnalysisOptions options = original;
+  if (options.location_prefix.empty()) {
+    options.location_prefix = wf.name();
+  }
+
+  // Channels per input port: windows only matter on wired ports, and
+  // fan-in (CWF3003) is a property of the channel list.
+  std::map<const InputPort*, size_t> fan_in;
+  for (const ChannelSpec& ch : wf.channels()) {
+    ++fan_in[ch.to];
+  }
+
+  for (const auto& actor : wf.actors()) {
+    bool has_wave = false;
+    bool has_non_wave = false;
+
+    for (const auto& port : actor->input_ports()) {
+      auto wired = fan_in.find(port.get());
+      if (wired == fan_in.end()) {
+        continue;  // unconnected: receiver is never built
+      }
+      const WindowSpec& spec = port->spec();
+      const std::string port_loc =
+          ActorLocation(options, actor->name()) + "." + port->name();
+
+      (spec.unit == WindowUnit::kWaves ? has_wave : has_non_wave) = true;
+
+      if (spec.unit == WindowUnit::kWaves) {
+        // CWF3002: wave completion needs the last_in_wave event to land in
+        // the same group queue as the rest of the wave; a group-by on
+        // anything but the wave tag splits waves across queues and each
+        // fragment waits forever for a closer it will never see.
+        if (!spec.group_by.empty()) {
+          diags->Warning(
+              "CWF3002", port_loc,
+              "wave window with group-by {" + spec.group_by.front() +
+                  (spec.group_by.size() > 1 ? ", ..." : "") +
+                  "}: waves whose events span groups are split across "
+                  "per-key queues and may never complete",
+              actor.get());
+        }
+        // CWF3003: wave receivers track completion per channel; a fan-in
+        // port does not merge the channels into one wave timeline.
+        if (wired->second > 1) {
+          diags->Warning(
+              "CWF3003", port_loc,
+              "wave window on fan-in port ('" + port->name() + "' has " +
+                  std::to_string(wired->second) +
+                  " incoming channels): each channel synchronizes its own "
+                  "waves independently; cross-channel waves never align",
+              actor.get());
+        }
+      }
+
+      // CWF3004: SCWF receivers have no autonomous thread; a time window
+      // with formation_timeout < 0 only closes when a later event arrives,
+      // so the final window of a pausing stream is held open forever.
+      if (options.target_director == "SCWF" &&
+          spec.unit == WindowUnit::kTime && spec.formation_timeout < 0) {
+        diags->Warning(
+            "CWF3004", port_loc,
+            "time window with no formation timeout under SCWF: the window "
+            "only closes when a later event arrives, so a pausing stream "
+            "holds its last window open forever (set FormationTimeout >= 0)",
+            actor.get());
+      }
+
+      // CWF3005: a step wider than the window leaves gaps no window ever
+      // covers; events landing there expire without being delivered.
+      if (spec.step > spec.size) {
+        diags->Note("CWF3005", port_loc,
+                    "window step " + std::to_string(spec.step) +
+                        " exceeds size " + std::to_string(spec.size) +
+                        ": events in the gap are never delivered and "
+                        "silently expire",
+                    actor.get());
+      }
+    }
+
+    // CWF3001: one actor firing on both wave-aligned and count/time-aligned
+    // inputs — the non-wave ports do not wait for wave completion, so the
+    // actor observes misaligned slices of the same upstream wave.
+    if (has_wave && has_non_wave) {
+      diags->Warning(
+          "CWF3001", ActorLocation(options, actor->name()),
+          "actor '" + actor->name() +
+              "' mixes wave-based and non-wave windows across its input "
+              "ports; non-wave inputs do not wait for wave completion",
+          actor.get());
+    }
+  }
+}
+
+}  // namespace cwf::analysis

@@ -1,0 +1,30 @@
+// Window/wave-compatibility pass: cross-port window findings that are legal
+// per WindowSpec::Validate() but interact badly with wave provenance or a
+// director's timing model.
+//
+//   CWF3001  actor mixes wave and non-wave windows across its inputs
+//   CWF3002  wave window + group-by strands waves split across groups
+//   CWF3003  wave window on a fan-in port syncs each channel independently
+//   CWF3004  time window with no formation timeout under SCWF (timer-less
+//            receivers only close windows on later-event arrival)
+//   CWF3005  step > size: events in the gap silently expire
+
+#ifndef CONFLUENCE_ANALYSIS_WINDOW_PASS_H_
+#define CONFLUENCE_ANALYSIS_WINDOW_PASS_H_
+
+#include "analysis/diagnostic.h"
+#include "analysis/pass.h"
+
+namespace cwf::analysis {
+
+class WindowPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "window"; }
+
+  void Run(const Workflow& workflow, const AnalysisOptions& options,
+           DiagnosticBag* diagnostics) const override;
+};
+
+}  // namespace cwf::analysis
+
+#endif  // CONFLUENCE_ANALYSIS_WINDOW_PASS_H_

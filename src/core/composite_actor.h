@@ -57,8 +57,10 @@ class CompositeActor : public Actor {
 
   /// \brief The inner workflow to populate before initialization.
   Workflow* inner() { return &inner_workflow_; }
+  const Workflow* inner() const { return &inner_workflow_; }
 
   Director* inner_director() { return inner_director_.get(); }
+  const Director* inner_director() const { return inner_director_.get(); }
 
   /// \brief Declare an outer input port relaying into `inner_port` of an
   /// inner actor. `outer_spec` is the window semantics applied at the outer

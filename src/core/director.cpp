@@ -1,5 +1,6 @@
 #include "core/director.h"
 
+#include "analysis/analyzer.h"
 #include "stream/stream_source.h"
 
 namespace cwf {
@@ -19,7 +20,13 @@ Status Director::Initialize(Workflow* workflow, Clock* clock,
     own_ctx_.clock = clock_;
     own_ctx_.director = this;
   }
-  CWF_RETURN_NOT_OK(workflow_->Validate());
+  if (static_analysis_enabled_) {
+    // Full MoC-aware gate: structural errors plus admission errors for this
+    // director's model of computation (analysis/analyzer.h).
+    CWF_RETURN_NOT_OK(analysis::VerifyForDirector(*workflow_, kind()));
+  } else {
+    CWF_RETURN_NOT_OK(workflow_->Validate());
+  }
   CWF_RETURN_NOT_OK(BuildReceivers());
   for (const auto& actor : workflow_->actors()) {
     CWF_RETURN_NOT_OK(actor->Initialize(ctx_));

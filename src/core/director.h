@@ -72,6 +72,14 @@ class Director {
     return halted_.count(actor) > 0;
   }
 
+  /// \brief Opt out of the MoC-aware static analysis gate in Initialize()
+  /// (analysis::VerifyForDirector); plain Workflow::Validate() still runs.
+  /// For experiments that deliberately construct inadmissible graphs.
+  void set_static_analysis_enabled(bool enabled) {
+    static_analysis_enabled_ = enabled;
+  }
+  bool static_analysis_enabled() const { return static_analysis_enabled_; }
+
   /// \brief Earliest future instant at which new work appears with no new
   /// firing: a pending source arrival, a window-formation deadline on any
   /// receiver, or an actor-internal deadline. Max() when none.
@@ -103,6 +111,7 @@ class Director {
   ExecutionContext own_ctx_;
   ExecutionContext* ctx_ = &own_ctx_;
   bool initialized_ = false;
+  bool static_analysis_enabled_ = true;
   std::set<const Actor*> halted_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/workflow.h"
 
+#include "analysis/diagnostic.h"
+#include "analysis/structural_pass.h"
 #include "core/composite_actor.h"
 
 #include <algorithm>
@@ -36,6 +38,19 @@ Status Workflow::Connect(OutputPort* from, InputPort* to) {
     }
   }
   channels_.push_back({from, to, slot});
+  return Status::OK();
+}
+
+Status Workflow::Connect(OutputPort* from, InputPort* to, size_t to_channel) {
+  if (from == nullptr || to == nullptr) {
+    return Status::InvalidArgument("Connect() requires non-null ports");
+  }
+  if (FindActor(from->actor()->name()) != from->actor() ||
+      FindActor(to->actor()->name()) != to->actor()) {
+    return Status::InvalidArgument(
+        "Connect() ports must belong to actors of this workflow");
+  }
+  channels_.push_back({from, to, to_channel});
   return Status::OK();
 }
 
@@ -162,23 +177,13 @@ bool Workflow::HasCycle() const {
 }
 
 Status Workflow::Validate() const {
-  std::set<std::string> names;
-  for (const auto& actor : actors_) {
-    if (!names.insert(actor->name()).second) {
-      return Status::InvalidArgument("duplicate actor name '" + actor->name() +
-                                     "'");
-    }
-    for (const auto& port : actor->input_ports()) {
-      CWF_RETURN_NOT_OK(port->spec().Validate());
-    }
-  }
-  for (const ChannelSpec& ch : channels_) {
-    if (ch.from == nullptr || ch.to == nullptr) {
-      return Status::Internal("null port in channel list");
-    }
-    if (ch.from->actor() == ch.to->actor()) {
-      return Status::InvalidArgument("self-loop channel on actor '" +
-                                     ch.from->actor()->name() + "'");
+  const analysis::StructuralPass pass;
+  analysis::DiagnosticBag diags;
+  pass.Run(*this, {}, &diags);
+  for (const analysis::Diagnostic& d : diags.all()) {
+    if (d.severity == analysis::Severity::kError) {
+      return Status::InvalidArgument("[" + d.code + "] at " + d.location +
+                                     ": " + d.message);
     }
   }
   return Status::OK();
@@ -203,15 +208,22 @@ std::string EscapeDot(const std::string& s) {
   return out;
 }
 
-void EmitActors(std::ostringstream& oss, const Workflow& wf, int depth);
+void EmitActors(std::ostringstream& oss, const Workflow& wf,
+                const Workflow::DotOptions& options, int depth);
 
-void EmitActorNode(std::ostringstream& oss, const Actor* actor, int depth) {
+void EmitActorNode(std::ostringstream& oss, const Actor* actor,
+                   const Workflow::DotOptions& options, int depth) {
   const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  const auto fill = options.node_fill.find(actor);
   // Composites render as clusters containing their inner workflow.
   if (const auto* composite = dynamic_cast<const CompositeActor*>(actor)) {
     oss << indent << "subgraph cluster_" << DotId(actor) << " {\n"
         << indent << "  label=\"" << EscapeDot(actor->name()) << "\";\n";
-    EmitActors(oss, *const_cast<CompositeActor*>(composite)->inner(),
+    if (fill != options.node_fill.end()) {
+      oss << indent << "  style=filled;\n"
+          << indent << "  bgcolor=\"" << EscapeDot(fill->second) << "\";\n";
+    }
+    EmitActors(oss, *const_cast<CompositeActor*>(composite)->inner(), options,
                depth + 1);
     oss << indent << "}\n";
     return;
@@ -221,12 +233,16 @@ void EmitActorNode(std::ostringstream& oss, const Actor* actor, int depth) {
   if (actor->IsSource()) {
     oss << ", shape=invhouse";
   }
+  if (fill != options.node_fill.end()) {
+    oss << ", style=filled, fillcolor=\"" << EscapeDot(fill->second) << "\"";
+  }
   oss << "];\n";
 }
 
-void EmitActors(std::ostringstream& oss, const Workflow& wf, int depth) {
+void EmitActors(std::ostringstream& oss, const Workflow& wf,
+                const Workflow::DotOptions& options, int depth) {
   for (const auto& actor : wf.actors()) {
-    EmitActorNode(oss, actor.get(), depth);
+    EmitActorNode(oss, actor.get(), options, depth);
   }
   const std::string indent(static_cast<size_t>(depth) * 2, ' ');
   for (const ChannelSpec& ch : wf.channels()) {
@@ -241,12 +257,14 @@ void EmitActors(std::ostringstream& oss, const Workflow& wf, int depth) {
 
 }  // namespace
 
-std::string Workflow::ToDot() const {
+std::string Workflow::ToDot() const { return ToDot(DotOptions{}); }
+
+std::string Workflow::ToDot(const DotOptions& options) const {
   std::ostringstream oss;
   oss << "digraph \"" << EscapeDot(name_) << "\" {\n"
       << "  rankdir=LR;\n"
       << "  node [shape=box];\n";
-  EmitActors(oss, *this, 1);
+  EmitActors(oss, *this, options, 1);
   oss << "}\n";
   return oss.str();
 }

@@ -9,6 +9,7 @@
 #ifndef CONFLUENCE_CORE_WORKFLOW_H_
 #define CONFLUENCE_CORE_WORKFLOW_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -51,6 +52,12 @@ class Workflow {
   /// \brief Wire `from` to the next free channel slot of `to`.
   Status Connect(OutputPort* from, InputPort* to);
 
+  /// \brief Wire `from` into an explicit channel slot of `to`. Like the
+  /// Ptolemy composition API this does not reject duplicate wirings
+  /// eagerly — construct freely, then Validate() (or the analyzer) flags
+  /// a slot wired twice as CWF1004.
+  Status Connect(OutputPort* from, InputPort* to, size_t to_channel);
+
   /// \brief Convenience overload: look ports up by actor/port name.
   Status Connect(const std::string& from_actor, const std::string& from_port,
                  const std::string& to_actor, const std::string& to_port);
@@ -77,14 +84,25 @@ class Workflow {
   /// \brief Whether the channel graph contains a directed cycle.
   bool HasCycle() const;
 
-  /// \brief Structural checks: unique actor names, ports owned by member
-  /// actors, valid window specs, no self-loop channels.
+  /// \brief Structural checks — a thin wrapper over the analyzer's
+  /// structural pass (analysis/structural_pass.h): unique actor names,
+  /// valid window specs, no self-loop channels, no channel slot wired
+  /// twice. The first error-severity finding maps to InvalidArgument;
+  /// warnings (dead subgraphs, missing sources/sinks) never fail it.
   Status Validate() const;
+
+  /// \brief Rendering knobs for ToDot().
+  struct DotOptions {
+    /// Fill color per actor ("red", "#ffcccc", ...); actors absent from
+    /// the map render unfilled. Composite actors tint their cluster.
+    std::map<const Actor*, std::string> node_fill;
+  };
 
   /// \brief Render the graph in Graphviz DOT format (actors as nodes —
   /// composites shown as clusters with their inner workflow — channels as
   /// edges labelled with the consuming port's window semantics).
   std::string ToDot() const;
+  std::string ToDot(const DotOptions& options) const;
 
  private:
   std::string name_;

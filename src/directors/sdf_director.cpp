@@ -1,174 +1,23 @@
 #include "directors/sdf_director.h"
 
-#include <numeric>
+#include <utility>
+
+#include "analysis/sdf_balance.h"
 
 namespace cwf {
-namespace {
-
-/// Exact rational for balance-equation solving.
-struct Rational {
-  int64_t num = 0;
-  int64_t den = 1;
-
-  static Rational Of(int64_t n, int64_t d) {
-    CWF_CHECK(d != 0);
-    if (d < 0) {
-      n = -n;
-      d = -d;
-    }
-    const int64_t g = std::gcd(n < 0 ? -n : n, d);
-    return g == 0 ? Rational{0, 1} : Rational{n / g, d / g};
-  }
-
-  Rational Times(int64_t n, int64_t d) const {
-    return Of(num * n, den * d);
-  }
-
-  bool Equals(const Rational& o) const {
-    return num == o.num && den == o.den;
-  }
-};
-
-}  // namespace
-
-int64_t SDFDirector::ChannelDemand(const ChannelSpec& ch) {
-  const WindowSpec& spec = ch.to->spec();
-  const int64_t windows = ch.to->actor()->ConsumptionRate(ch.to);
-  // One tuple-window of step S absorbs S fresh events in steady state
-  // (consumption mode absorbs `size` per window instead).
-  const int64_t per_window = spec.delete_used_events ? spec.size : spec.step;
-  return windows * per_window;
-}
 
 Status SDFDirector::Initialize(Workflow* workflow, Clock* clock,
                                const CostModel* cost_model) {
   CWF_RETURN_NOT_OK(Director::Initialize(workflow, clock, cost_model));
-  for (const ChannelSpec& ch : workflow->channels()) {
-    if (ch.to->spec().unit != WindowUnit::kTuples) {
-      return Status::InvalidArgument(
-          "SDF requires tuple-based (constant-rate) windows; port " +
-          ch.to->FullName() + " uses " + ch.to->spec().ToString() +
-          " — use DDF for data-dependent rates");
-    }
-  }
-  CWF_RETURN_NOT_OK(SolveBalanceEquations());
-  return CompileSchedule();
+  CWF_ASSIGN_OR_RETURN(analysis::SdfSolution solution,
+                       analysis::SolveSdf(*workflow));
+  repetitions_ = std::move(solution.repetitions);
+  schedule_ = std::move(solution.schedule);
+  return Status::OK();
 }
 
 std::unique_ptr<Receiver> SDFDirector::CreateReceiver(InputPort* port) {
   return std::make_unique<WindowedReceiver>(port, port->spec());
-}
-
-Status SDFDirector::SolveBalanceEquations() {
-  repetitions_.clear();
-  std::map<const Actor*, Rational> rates;
-
-  // Propagate firing-rate ratios across each connected component.
-  for (const auto& seed : workflow_->actors()) {
-    if (rates.count(seed.get())) {
-      continue;
-    }
-    rates[seed.get()] = Rational{1, 1};
-    std::vector<const Actor*> frontier{seed.get()};
-    while (!frontier.empty()) {
-      const Actor* a = frontier.back();
-      frontier.pop_back();
-      for (const ChannelSpec& ch : workflow_->channels()) {
-        const Actor* from = ch.from->actor();
-        const Actor* to = ch.to->actor();
-        if (from != a && to != a) {
-          continue;
-        }
-        const int64_t produce = from->ProductionRate(ch.from);
-        const int64_t consume = ChannelDemand(ch);
-        if (produce <= 0 || consume <= 0) {
-          return Status::InvalidArgument(
-              "SDF rates must be positive on channel " +
-              ch.from->FullName() + " -> " + ch.to->FullName());
-        }
-        // rate(from) * produce == rate(to) * consume
-        const Actor* known = rates.count(from) ? from : to;
-        const Actor* other = known == from ? to : from;
-        Rational derived =
-            known == from
-                ? rates[from].Times(produce, consume)
-                : rates[to].Times(consume, produce);
-        auto it = rates.find(other);
-        if (it == rates.end()) {
-          rates[other] = derived;
-          frontier.push_back(other);
-        } else if (!it->second.Equals(derived)) {
-          return Status::InvalidArgument(
-              "inconsistent SDF rates around actor '" + other->name() + "'");
-        }
-      }
-    }
-  }
-
-  // Scale each component to the smallest integer repetition vector.
-  int64_t lcm_den = 1;
-  for (const auto& [actor, r] : rates) {
-    lcm_den = std::lcm(lcm_den, r.den);
-  }
-  int64_t gcd_num = 0;
-  for (const auto& [actor, r] : rates) {
-    gcd_num = std::gcd(gcd_num, r.num * (lcm_den / r.den));
-  }
-  if (gcd_num == 0) {
-    gcd_num = 1;
-  }
-  for (const auto& [actor, r] : rates) {
-    repetitions_[actor] = (r.num * (lcm_den / r.den)) / gcd_num;
-  }
-  return Status::OK();
-}
-
-Status SDFDirector::CompileSchedule() {
-  schedule_.clear();
-  // Symbolic token counts per channel.
-  std::map<const ChannelSpec*, int64_t> tokens;
-  std::map<const Actor*, int64_t> remaining;
-  size_t total = 0;
-  for (const auto& actor : workflow_->actors()) {
-    const int64_t reps = repetitions_[actor.get()];
-    remaining[actor.get()] = reps;
-    total += static_cast<size_t>(reps);
-  }
-  while (schedule_.size() < total) {
-    bool progressed = false;
-    for (const auto& actor : workflow_->actors()) {
-      Actor* a = actor.get();
-      if (remaining[a] <= 0) {
-        continue;
-      }
-      bool ready = true;
-      for (const ChannelSpec& ch : workflow_->channels()) {
-        if (ch.to->actor() == a && tokens[&ch] < ChannelDemand(ch)) {
-          ready = false;
-          break;
-        }
-      }
-      if (!ready) {
-        continue;
-      }
-      for (const ChannelSpec& ch : workflow_->channels()) {
-        if (ch.to->actor() == a) {
-          tokens[&ch] -= ChannelDemand(ch);
-        }
-        if (ch.from->actor() == a) {
-          tokens[&ch] += a->ProductionRate(ch.from);
-        }
-      }
-      schedule_.push_back(a);
-      --remaining[a];
-      progressed = true;
-    }
-    if (!progressed) {
-      return Status::FailedPrecondition(
-          "SDF schedule deadlocked while compiling (insufficient tokens)");
-    }
-  }
-  return Status::OK();
 }
 
 Result<int64_t> SDFDirector::Repetitions(const Actor* actor) const {

@@ -1,15 +1,11 @@
 // Synchronous Dataflow (SDF) director.
 //
-// Solves the balance equations of the dataflow graph at initialization time
-// to obtain a repetition vector and a pre-compiled firing schedule — the
-// model of computation the paper assigns to sub-workflows whose consumption
-// and production rates are constant.
-//
-// Rates: a producer emits ProductionRate(port) events per firing on each
-// channel of that port; a consumer with a tuple-based window of step S on an
-// input port absorbs S events per window in steady state, so its per-firing
-// demand on that channel is ConsumptionRate(port) * S. Time- and wave-based
-// windows have data-dependent rates and are rejected (use DDF for those).
+// Consumes the balance-equation solver of analysis/sdf_balance.h — the
+// single home of SDF rate logic — at initialization time to obtain a
+// repetition vector and a pre-compiled firing schedule. The model of
+// computation the paper assigns to sub-workflows whose consumption and
+// production rates are constant; time- and wave-based windows have
+// data-dependent rates and are rejected (use DDF for those).
 
 #ifndef CONFLUENCE_DIRECTORS_SDF_DIRECTOR_H_
 #define CONFLUENCE_DIRECTORS_SDF_DIRECTOR_H_
@@ -44,16 +40,6 @@ class SDFDirector : public Director {
   const std::vector<Actor*>& schedule() const { return schedule_; }
 
  private:
-  /// Solve the balance equations; fails on rate-inconsistent graphs.
-  Status SolveBalanceEquations();
-
-  /// Order the repetition vector into a sequential schedule via symbolic
-  /// token simulation; fails on deadlocked graphs.
-  Status CompileSchedule();
-
-  /// Per-firing event demand of the consumer side of a channel.
-  static int64_t ChannelDemand(const ChannelSpec& ch);
-
   std::map<const Actor*, int64_t> repetitions_;
   std::vector<Actor*> schedule_;
 };

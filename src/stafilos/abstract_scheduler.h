@@ -130,6 +130,12 @@ class AbstractScheduler {
     designer_priorities_[actor_name] = priority;
   }
 
+  /// \brief The designer priority map as assigned so far (the static
+  /// analyzer validates it via analysis::SchedulerConfig).
+  const std::map<std::string, int>& designer_priorities() const {
+    return designer_priorities_;
+  }
+
   /// \brief Turn on (or off, with a zero cap) queue-cap load shedding.
   void SetLoadShedding(LoadSheddingOptions options) {
     shedding_ = options;

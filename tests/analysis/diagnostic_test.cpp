@@ -1,0 +1,86 @@
+#include "analysis/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace cwf::analysis {
+namespace {
+
+TEST(DiagnosticBagTest, CountsBySeverity) {
+  DiagnosticBag bag;
+  EXPECT_TRUE(bag.empty());
+  bag.Error("CWF1003", "w/A", "self loop");
+  bag.Warning("CWF1006", "w/B", "dead actor");
+  bag.Warning("CWF1006", "w/C", "dead actor");
+  bag.Note("CWF3005", "w/D.in", "gap");
+  EXPECT_EQ(bag.ErrorCount(), 1u);
+  EXPECT_EQ(bag.WarningCount(), 2u);
+  EXPECT_EQ(bag.NoteCount(), 1u);
+  EXPECT_TRUE(bag.HasErrors());
+  EXPECT_EQ(bag.all().size(), 4u);
+}
+
+TEST(DiagnosticBagTest, HasCodeAndWithCode) {
+  DiagnosticBag bag;
+  bag.Warning("CWF1006", "w/B", "dead actor");
+  bag.Warning("CWF1006", "w/C", "dead actor");
+  EXPECT_TRUE(bag.HasCode("CWF1006"));
+  EXPECT_FALSE(bag.HasCode("CWF1003"));
+  EXPECT_EQ(bag.WithCode("CWF1006").size(), 2u);
+  EXPECT_EQ(bag.WithCode("CWF1006")[1]->location, "w/C");
+}
+
+TEST(DiagnosticBagTest, ToTextFormat) {
+  DiagnosticBag bag;
+  bag.Error("CWF1003", "w/A", "self-loop channel");
+  EXPECT_EQ(bag.ToText(), "error CWF1003 at w/A: self-loop channel\n");
+}
+
+TEST(DiagnosticBagTest, ToJsonEscapesSpecials) {
+  DiagnosticBag bag;
+  bag.Error("CWF1002", "w/A.in", "bad \"spec\" \\ here\nline2");
+  const std::string json = bag.ToJson();
+  EXPECT_NE(json.find("\\\"spec\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\ here"), std::string::npos);
+  EXPECT_NE(json.find("\\nline2"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(DiagnosticBagTest, EmptyBagRendersEmptyJsonArray) {
+  DiagnosticBag bag;
+  EXPECT_EQ(bag.ToJson(), "[]");
+  EXPECT_EQ(bag.ToText(), "");
+}
+
+TEST(DiagnosticRegistryTest, CodesAreUniqueOrderedAndDocumented) {
+  const auto& codes = DiagnosticCodes();
+  ASSERT_FALSE(codes.empty());
+  std::set<std::string> seen;
+  std::string prev;
+  for (const DiagnosticCodeInfo& info : codes) {
+    EXPECT_TRUE(seen.insert(info.code).second) << info.code << " duplicated";
+    EXPECT_LT(prev, info.code) << "registry must stay in code order";
+    prev = info.code;
+    EXPECT_GT(std::string(info.summary).size(), 10u)
+        << info.code << " needs a real summary";
+  }
+}
+
+TEST(DiagnosticRegistryTest, CoversAllFourPassRanges) {
+  const auto& codes = DiagnosticCodes();
+  bool r1 = false, r2 = false, r3 = false, r4 = false;
+  for (const DiagnosticCodeInfo& info : codes) {
+    const std::string code = info.code;
+    r1 |= code.rfind("CWF1", 0) == 0;
+    r2 |= code.rfind("CWF2", 0) == 0;
+    r3 |= code.rfind("CWF3", 0) == 0;
+    r4 |= code.rfind("CWF4", 0) == 0;
+  }
+  EXPECT_TRUE(r1 && r2 && r3 && r4);
+}
+
+}  // namespace
+}  // namespace cwf::analysis

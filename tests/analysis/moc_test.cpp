@@ -1,0 +1,186 @@
+#include "analysis/moc_admission_pass.h"
+
+#include <gtest/gtest.h>
+
+#include "actors/library.h"
+#include "analysis/sdf_balance.h"
+#include "directors/sdf_director.h"
+#include "test_actors.h"
+
+namespace cwf::analysis {
+namespace {
+
+using analysis_test::Node;
+using analysis_test::RateSource;
+
+DiagnosticBag RunMoc(const Workflow& wf, const std::string& target) {
+  MocAdmissionPass pass;
+  AnalysisOptions options;
+  options.target_director = target;
+  DiagnosticBag diags;
+  pass.Run(wf, options, &diags);
+  return diags;
+}
+
+/// src(2/firing) -> consumer of 3-tuple tumbling windows -> sink.
+void BuildSdfGraph(Workflow* wf) {
+  auto* src = wf->AddActor<RateSource>("src", 2);
+  auto* sum = wf->AddActor<Node>(
+      "sum", 1, 1, WindowSpec::Tuples(3, 3).DeleteUsedEvents(true));
+  auto* sink = wf->AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf->Connect(src->out(), sum->in()).ok());
+  ASSERT_TRUE(wf->Connect(sum->out(), sink->in()).ok());
+}
+
+TEST(MocAdmissionTest, NoTargetEmitsNothing) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<Node>("a", 0, 1);
+  auto* agg = wf.AddActor<Node>("agg", 1, 0,
+                                WindowSpec::Time(Seconds(60), Seconds(60)));
+  ASSERT_TRUE(wf.Connect(a->out(), agg->in()).ok());
+  EXPECT_TRUE(RunMoc(wf, "").empty());
+}
+
+TEST(MocAdmissionTest, Cwf2001TimeWindowUnderSdf) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<Node>("a", 0, 1);
+  auto* agg = wf.AddActor<Node>("agg", 1, 0,
+                                WindowSpec::Time(Seconds(60), Seconds(60)));
+  ASSERT_TRUE(wf.Connect(a->out(), agg->in()).ok());
+  const DiagnosticBag diags = RunMoc(wf, "SDF");
+  ASSERT_TRUE(diags.HasCode("CWF2001"));
+  EXPECT_EQ(diags.WithCode("CWF2001")[0]->location, "w/agg.in");
+  EXPECT_EQ(diags.WithCode("CWF2001")[0]->severity, Severity::kError);
+  // The same window is fine under every other director.
+  EXPECT_TRUE(RunMoc(wf, "SCWF").empty());
+  EXPECT_TRUE(RunMoc(wf, "DDF").empty());
+  EXPECT_TRUE(RunMoc(wf, "PNCWF").empty());
+}
+
+TEST(MocAdmissionTest, Cwf2002InconsistentRates) {
+  // Diamond with mismatched rates: src -(1)-> a and src -(2-window)-> b
+  // both feed sink's single port.
+  Workflow wf("bad");
+  auto* src = wf.AddActor<RateSource>("src", 1);
+  auto* a = wf.AddActor<Node>("a", 1, 1);
+  auto* b = wf.AddActor<Node>(
+      "b", 1, 1, WindowSpec::Tuples(2, 2).DeleteUsedEvents(true));
+  auto* sink = wf.AddActor<Node>(
+      "sink", 1, 0, WindowSpec::Tuples(1, 1).DeleteUsedEvents(true));
+  ASSERT_TRUE(wf.Connect(src->out(), a->in()).ok());
+  ASSERT_TRUE(wf.Connect(src->out(), b->in()).ok());
+  ASSERT_TRUE(wf.Connect(a->out(), sink->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), sink->in()).ok());
+  const DiagnosticBag diags = RunMoc(wf, "SDF");
+  ASSERT_TRUE(diags.HasCode("CWF2002"));
+  EXPECT_EQ(diags.WithCode("CWF2002")[0]->severity, Severity::kError);
+}
+
+TEST(MocAdmissionTest, Cwf2003ScheduleDeadlockOnCycle) {
+  Workflow wf("cyc");
+  auto* a = wf.AddActor<Node>("a", 1, 1);
+  auto* b = wf.AddActor<Node>("b", 1, 1);
+  ASSERT_TRUE(wf.Connect(a->out(), b->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), a->in()).ok());
+  const DiagnosticBag diags = RunMoc(wf, "SDF");
+  ASSERT_TRUE(diags.HasCode("CWF2003"));
+  EXPECT_NE(diags.WithCode("CWF2003")[0]->message.find("cycle"),
+            std::string::npos);
+}
+
+TEST(MocAdmissionTest, Cwf2004CycleUnderPnAndDdf) {
+  Workflow wf("cyc");
+  auto* a = wf.AddActor<Node>("a", 1, 1);
+  auto* b = wf.AddActor<Node>("b", 1, 1);
+  auto* c = wf.AddActor<Node>("c", 1, 1);
+  ASSERT_TRUE(wf.Connect(a->out(), b->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), c->in()).ok());
+  ASSERT_TRUE(wf.Connect(c->out(), a->in()).ok());
+  for (const char* target : {"PNCWF", "DDF"}) {
+    const DiagnosticBag diags = RunMoc(wf, target);
+    ASSERT_TRUE(diags.HasCode("CWF2004")) << target;
+    const Diagnostic* d = diags.WithCode("CWF2004")[0];
+    EXPECT_EQ(d->severity, Severity::kError);
+    EXPECT_NE(d->message.find(" -> "), std::string::npos);
+  }
+  // SCWF admits the graph (the scheduler just never finds them ready).
+  EXPECT_TRUE(RunMoc(wf, "SCWF").empty());
+}
+
+TEST(MocAdmissionTest, AcyclicGraphAdmittedEverywhere) {
+  Workflow wf("w");
+  BuildSdfGraph(&wf);
+  for (const char* target : {"PNCWF", "SCWF", "SDF", "DDF"}) {
+    EXPECT_TRUE(RunMoc(wf, target).empty()) << target;
+  }
+}
+
+TEST(FindCycleTest, ReturnsCycleMembersInOrder) {
+  Workflow wf("w");
+  auto* pre = wf.AddActor<Node>("pre", 0, 1);
+  auto* a = wf.AddActor<Node>("a", 1, 1);
+  auto* b = wf.AddActor<Node>("b", 1, 1);
+  ASSERT_TRUE(wf.Connect(pre->out(), a->in()).ok());
+  ASSERT_TRUE(wf.Connect(a->out(), b->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), a->in()).ok());
+  const auto cycle = FindCycle(wf);
+  ASSERT_EQ(cycle.size(), 2u);  // pre is NOT part of the cycle
+  EXPECT_EQ(cycle[0]->name(), "a");
+  EXPECT_EQ(cycle[1]->name(), "b");
+  Workflow acyclic("ok");
+  auto* s = acyclic.AddActor<Node>("s", 0, 1);
+  auto* t = acyclic.AddActor<Node>("t", 1, 0);
+  ASSERT_TRUE(acyclic.Connect(s->out(), t->in()).ok());
+  EXPECT_TRUE(FindCycle(acyclic).empty());
+}
+
+// ---- sdf_balance: the single home of the SDF solver ----
+
+TEST(SdfBalanceTest, SolutionMatchesDirector) {
+  Workflow wf("w");
+  BuildSdfGraph(&wf);
+  auto solution = SolveSdf(wf);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(solution->repetitions.at(wf.FindActor("src")), 3);
+  EXPECT_EQ(solution->repetitions.at(wf.FindActor("sum")), 2);
+  EXPECT_EQ(solution->repetitions.at(wf.FindActor("sink")), 2);
+  EXPECT_EQ(solution->schedule.size(), 7u);
+
+  // The director consumes the same solver, so Initialize must agree.
+  VirtualClock clock;
+  SDFDirector d;
+  ASSERT_TRUE(d.Initialize(&wf, &clock, nullptr).ok());
+  EXPECT_EQ(d.Repetitions(wf.FindActor("src")).value(), 3);
+  EXPECT_EQ(d.Repetitions(wf.FindActor("sum")).value(), 2);
+  EXPECT_EQ(d.schedule().size(), 7u);
+}
+
+TEST(SdfBalanceTest, ChannelDemandHonorsConsumptionMode) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<RateSource>("src", 1);
+  auto* sliding = wf.AddActor<Node>("sliding", 1, 1,
+                                    WindowSpec::Tuples(4, 2));
+  auto* tumbling = wf.AddActor<Node>(
+      "tumbling", 1, 0, WindowSpec::Tuples(4, 2).DeleteUsedEvents(true));
+  ASSERT_TRUE(wf.Connect(src->out(), sliding->in()).ok());
+  ASSERT_TRUE(wf.Connect(sliding->out(), tumbling->in()).ok());
+  // Sliding absorbs step=2 per window; consuming absorbs size=4.
+  EXPECT_EQ(SdfChannelDemand(wf.channels()[0]), 2);
+  EXPECT_EQ(SdfChannelDemand(wf.channels()[1]), 4);
+}
+
+TEST(SdfBalanceTest, DataDependentRatePortsListsTimeAndWaveWindows) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* timed = wf.AddActor<Node>("timed", 1, 1,
+                                  WindowSpec::Time(Seconds(1), Seconds(1)));
+  auto* waved = wf.AddActor<Node>("waved", 1, 0, WindowSpec::Waves(1, 1));
+  ASSERT_TRUE(wf.Connect(src->out(), timed->in()).ok());
+  ASSERT_TRUE(wf.Connect(timed->out(), waved->in()).ok());
+  EXPECT_EQ(DataDependentRatePorts(wf).size(), 2u);
+  const auto status = SolveSdf(wf).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cwf::analysis

@@ -1,0 +1,161 @@
+#include "analysis/scheduler_config_pass.h"
+
+#include <gtest/gtest.h>
+
+#include "lrb/workflow_builder.h"
+#include "stafilos/qbs_scheduler.h"
+#include "test_actors.h"
+
+namespace cwf::analysis {
+namespace {
+
+using analysis_test::Node;
+
+DiagnosticBag RunScheduler(const Workflow& wf,
+                           std::optional<SchedulerConfig> cfg) {
+  SchedulerConfigPass pass;
+  AnalysisOptions options;
+  options.target_director = "SCWF";
+  options.scheduler = std::move(cfg);
+  DiagnosticBag diags;
+  pass.Run(wf, options, &diags);
+  return diags;
+}
+
+SchedulerConfig Policy(const char* policy) {
+  SchedulerConfig cfg;
+  cfg.policy = policy;
+  return cfg;
+}
+
+void BuildPipeline(Workflow* wf) {
+  auto* src = wf->AddActor<Node>("src", 0, 1);
+  auto* sink = wf->AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf->Connect(src->out(), sink->in()).ok());
+}
+
+TEST(SchedulerConfigPassTest, NoSchedulerIsNoOp) {
+  Workflow wf("w");
+  BuildPipeline(&wf);
+  EXPECT_TRUE(RunScheduler(wf, std::nullopt).empty());
+}
+
+TEST(SchedulerConfigPassTest, DefaultOptionsAreCleanForEveryPolicy) {
+  Workflow wf("w");
+  BuildPipeline(&wf);
+  for (const char* policy : {"QBS", "RR", "RB", "EDF", "FIFO"}) {
+    const DiagnosticBag diags = RunScheduler(wf, Policy(policy));
+    EXPECT_TRUE(diags.empty()) << policy << ": " << diags.ToText();
+  }
+}
+
+TEST(SchedulerConfigPassTest, Cwf4001NonPositiveQuantum) {
+  Workflow wf("w");
+  BuildPipeline(&wf);
+  SchedulerConfig cfg = Policy("QBS");
+  cfg.qbs.basic_quantum = 0;
+  const DiagnosticBag diags = RunScheduler(wf, cfg);
+  ASSERT_TRUE(diags.HasCode("CWF4001"));
+  EXPECT_EQ(diags.WithCode("CWF4001")[0]->severity, Severity::kError);
+}
+
+TEST(SchedulerConfigPassTest, Cwf4002PriorityOutsideQuantumRange) {
+  Workflow wf("w");
+  BuildPipeline(&wf);
+  SchedulerConfig cfg = Policy("QBS");
+  cfg.actor_priorities = {{"src", 40}, {"sink", -1}};
+  const DiagnosticBag diags = RunScheduler(wf, cfg);
+  EXPECT_EQ(diags.WithCode("CWF4002").size(), 2u);
+  // Only QBS derives quanta from priorities (Eq. 1); RR ignores them.
+  SchedulerConfig rr = Policy("RR");
+  rr.actor_priorities = {{"src", 40}};
+  EXPECT_FALSE(RunScheduler(wf, rr).HasCode("CWF4002"));
+  // In-range priorities are clean.
+  SchedulerConfig ok = Policy("QBS");
+  ok.actor_priorities = {{"src", 0}, {"sink", 39}};
+  EXPECT_TRUE(RunScheduler(wf, ok).empty());
+}
+
+TEST(SchedulerConfigPassTest, Cwf4003PriorityForMissingActor) {
+  Workflow wf("w");
+  BuildPipeline(&wf);
+  SchedulerConfig cfg = Policy("QBS");
+  cfg.actor_priorities = {{"ghost", 5}};
+  const DiagnosticBag diags = RunScheduler(wf, cfg);
+  ASSERT_TRUE(diags.HasCode("CWF4003"));
+  EXPECT_NE(diags.WithCode("CWF4003")[0]->message.find("ghost"),
+            std::string::npos);
+}
+
+TEST(SchedulerConfigPassTest, Cwf4003CatchesFlatLrbWithTable3Priorities) {
+  // The paper's Table-3 priorities target AccidentDetection — the composite
+  // that only exists in the hierarchical build. Applying them to the
+  // flattened ablation build silently priorities a non-existent actor; the
+  // analyzer makes that visible.
+  SchedulerConfig cfg = Policy("QBS");
+  {
+    QBSScheduler scheduler;
+    lrb::ApplyLRBPriorities(&scheduler);
+    cfg.actor_priorities = scheduler.designer_priorities();
+  }
+
+  auto flat = lrb::BuildLRBApplication(std::make_shared<PushChannel>(),
+                                       /*hierarchical=*/false);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  const DiagnosticBag flat_diags = RunScheduler(*flat->workflow, cfg);
+  ASSERT_TRUE(flat_diags.HasCode("CWF4003"));
+  EXPECT_NE(flat_diags.WithCode("CWF4003")[0]->message.find(
+                "AccidentDetection"),
+            std::string::npos);
+
+  // Hierarchical build: the name resolution descends into composites, so
+  // the same priority table is clean.
+  auto hier = lrb::BuildLRBApplication(std::make_shared<PushChannel>(),
+                                       /*hierarchical=*/true);
+  ASSERT_TRUE(hier.ok()) << hier.status().ToString();
+  EXPECT_FALSE(RunScheduler(*hier->workflow, cfg).HasCode("CWF4003"));
+}
+
+TEST(SchedulerConfigPassTest, Cwf4004BankedEpochsBelowOne) {
+  Workflow wf("w");
+  BuildPipeline(&wf);
+  SchedulerConfig cfg = Policy("QBS");
+  cfg.qbs.max_banked_epochs = 0;
+  EXPECT_TRUE(RunScheduler(wf, cfg).HasCode("CWF4004"));
+  cfg.qbs.max_banked_epochs = 1;
+  EXPECT_FALSE(RunScheduler(wf, cfg).HasCode("CWF4004"));
+}
+
+TEST(SchedulerConfigPassTest, Cwf4005NonPositiveSlice) {
+  Workflow wf("w");
+  BuildPipeline(&wf);
+  SchedulerConfig cfg = Policy("RR");
+  cfg.rr.slice = 0;
+  EXPECT_TRUE(RunScheduler(wf, cfg).HasCode("CWF4005"));
+}
+
+TEST(SchedulerConfigPassTest, Cwf4006NegativeSourceInterval) {
+  Workflow wf("w");
+  BuildPipeline(&wf);
+  SchedulerConfig cfg = Policy("RB");
+  cfg.rb.source_interval = -1;
+  const DiagnosticBag diags = RunScheduler(wf, cfg);
+  ASSERT_TRUE(diags.HasCode("CWF4006"));
+  EXPECT_EQ(diags.WithCode("CWF4006")[0]->severity, Severity::kError);
+}
+
+TEST(SchedulerConfigPassTest, Cwf4007EdfWithoutSink) {
+  Workflow wf("ring");
+  auto* a = wf.AddActor<Node>("a", 1, 1);
+  auto* b = wf.AddActor<Node>("b", 1, 1);
+  ASSERT_TRUE(wf.Connect(a->out(), b->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), a->in()).ok());
+  const DiagnosticBag diags = RunScheduler(wf, Policy("EDF"));
+  ASSERT_TRUE(diags.HasCode("CWF4007"));
+  EXPECT_EQ(diags.WithCode("CWF4007")[0]->severity, Severity::kWarning);
+  // Same ring under QBS: quantum accounting does not need a sink.
+  EXPECT_FALSE(RunScheduler(wf, Policy("QBS")).HasCode("CWF4007"));
+}
+
+}  // namespace
+}  // namespace cwf::analysis

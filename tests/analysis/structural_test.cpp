@@ -1,0 +1,162 @@
+#include "analysis/structural_pass.h"
+
+#include <gtest/gtest.h>
+
+#include "actors/library.h"
+#include "test_actors.h"
+
+namespace cwf::analysis {
+namespace {
+
+using analysis_test::Node;
+
+DiagnosticBag RunStructural(const Workflow& wf) {
+  StructuralPass pass;
+  DiagnosticBag diags;
+  pass.Run(wf, {}, &diags);
+  return diags;
+}
+
+/// src -> mid -> sink: triggers nothing.
+void BuildClean(Workflow* wf) {
+  auto* src = wf->AddActor<Node>("src", 0, 1);
+  auto* mid = wf->AddActor<Node>("mid", 1, 1);
+  auto* sink = wf->AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf->Connect(src->out(), mid->in()).ok());
+  ASSERT_TRUE(wf->Connect(mid->out(), sink->in()).ok());
+}
+
+TEST(StructuralPassTest, CleanGraphHasNoDiagnostics) {
+  Workflow wf("clean");
+  BuildClean(&wf);
+  const DiagnosticBag diags = RunStructural(wf);
+  EXPECT_TRUE(diags.empty()) << diags.ToText();
+  EXPECT_TRUE(wf.Validate().ok());
+}
+
+TEST(StructuralPassTest, Cwf1002InvalidWindowSpec) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* bad = wf.AddActor<Node>("bad", 1, 0, WindowSpec::Tuples(0, 1));
+  ASSERT_TRUE(wf.Connect(src->out(), bad->in()).ok());
+  const DiagnosticBag diags = RunStructural(wf);
+  ASSERT_TRUE(diags.HasCode("CWF1002"));
+  EXPECT_EQ(diags.WithCode("CWF1002")[0]->location, "w/bad.in");
+  EXPECT_EQ(diags.WithCode("CWF1002")[0]->severity, Severity::kError);
+  EXPECT_FALSE(wf.Validate().ok());
+}
+
+TEST(StructuralPassTest, Cwf1003SelfLoop) {
+  Workflow wf("w");
+  auto* loop = wf.AddActor<Node>("loop", 1, 1);
+  ASSERT_TRUE(wf.Connect(loop->out(), loop->in()).ok());
+  const DiagnosticBag diags = RunStructural(wf);
+  ASSERT_TRUE(diags.HasCode("CWF1003"));
+  EXPECT_EQ(diags.WithCode("CWF1003")[0]->severity, Severity::kError);
+  EXPECT_EQ(diags.WithCode("CWF1003")[0]->actor->name(), "loop");
+  EXPECT_EQ(wf.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StructuralPassTest, Cwf1004DuplicateChannelSlot) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<Node>("a", 0, 1);
+  auto* b = wf.AddActor<Node>("b", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(a->out(), sink->in(), 0).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), sink->in(), 0).ok());
+  const DiagnosticBag diags = RunStructural(wf);
+  ASSERT_TRUE(diags.HasCode("CWF1004"));
+  EXPECT_EQ(diags.WithCode("CWF1004")[0]->location, "w/sink.in[0]");
+  EXPECT_EQ(wf.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StructuralPassTest, ExplicitDistinctSlotsAreLegal) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<Node>("a", 0, 1);
+  auto* b = wf.AddActor<Node>("b", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(a->out(), sink->in(), 0).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), sink->in(), 1).ok());
+  EXPECT_FALSE(RunStructural(wf).HasCode("CWF1004"));
+  EXPECT_TRUE(wf.Validate().ok());
+}
+
+TEST(StructuralPassTest, Cwf1005PartiallyConnectedInputs) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* join = wf.AddActor<Node>("join", 2, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), join->in(0)).ok());
+  ASSERT_TRUE(wf.Connect(join->out(), sink->in()).ok());
+  const DiagnosticBag diags = RunStructural(wf);
+  ASSERT_TRUE(diags.HasCode("CWF1005"));
+  EXPECT_EQ(diags.WithCode("CWF1005")[0]->location, "w/join.in1");
+  EXPECT_EQ(diags.WithCode("CWF1005")[0]->severity, Severity::kWarning);
+  // Warnings never fail Validate().
+  EXPECT_TRUE(wf.Validate().ok());
+}
+
+TEST(StructuralPassTest, SourceWithUnusedInputsIsNotPartiallyConnected) {
+  // An actor with NO connected inputs is a source; its unconnected ports
+  // are its interface, not a wiring mistake.
+  Workflow wf("w");
+  auto* lonely = wf.AddActor<Node>("lonely", 2, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(lonely->out(), sink->in()).ok());
+  EXPECT_FALSE(RunStructural(wf).HasCode("CWF1005"));
+}
+
+TEST(StructuralPassTest, Cwf1006UnreachableCycleActors) {
+  Workflow wf("w");
+  BuildClean(&wf);
+  auto* a = wf.AddActor<Node>("orbit_a", 1, 1);
+  auto* b = wf.AddActor<Node>("orbit_b", 1, 1);
+  ASSERT_TRUE(wf.Connect(a->out(), b->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), a->in()).ok());
+  const DiagnosticBag diags = RunStructural(wf);
+  EXPECT_EQ(diags.WithCode("CWF1006").size(), 2u);
+  EXPECT_FALSE(diags.HasCode("CWF1007"));  // src still exists
+}
+
+TEST(StructuralPassTest, Cwf1007And1008PureRing) {
+  Workflow wf("ring");
+  auto* a = wf.AddActor<Node>("a", 1, 1);
+  auto* b = wf.AddActor<Node>("b", 1, 1);
+  ASSERT_TRUE(wf.Connect(a->out(), b->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), a->in()).ok());
+  const DiagnosticBag diags = RunStructural(wf);
+  EXPECT_TRUE(diags.HasCode("CWF1007"));
+  EXPECT_TRUE(diags.HasCode("CWF1008"));
+  EXPECT_EQ(diags.ErrorCount(), 0u);  // shape smells, not errors
+}
+
+TEST(StructuralPassTest, CleanGraphHasSourceAndSink) {
+  Workflow wf("clean");
+  BuildClean(&wf);
+  const DiagnosticBag diags = RunStructural(wf);
+  EXPECT_FALSE(diags.HasCode("CWF1007"));
+  EXPECT_FALSE(diags.HasCode("CWF1008"));
+  EXPECT_FALSE(diags.HasCode("CWF1009"));
+}
+
+TEST(StructuralPassTest, Cwf1009EmptyWorkflow) {
+  Workflow wf("empty");
+  const DiagnosticBag diags = RunStructural(wf);
+  ASSERT_TRUE(diags.HasCode("CWF1009"));
+  EXPECT_EQ(diags.all().size(), 1u);  // early return: nothing else piles on
+}
+
+TEST(StructuralPassTest, LocationsUseExplicitPrefix) {
+  Workflow wf("w");
+  auto* loop = wf.AddActor<Node>("loop", 1, 1);
+  ASSERT_TRUE(wf.Connect(loop->out(), loop->in()).ok());
+  StructuralPass pass;
+  AnalysisOptions options;
+  options.location_prefix = "outer/comp";
+  DiagnosticBag diags;
+  pass.Run(wf, options, &diags);
+  EXPECT_EQ(diags.WithCode("CWF1003")[0]->location, "outer/comp/loop");
+}
+
+}  // namespace
+}  // namespace cwf::analysis

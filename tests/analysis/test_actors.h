@@ -1,0 +1,86 @@
+// Shared inert actors for the analyzer tests: configurable port structure
+// and SDF rates, no behavior.
+
+#ifndef CONFLUENCE_TESTS_ANALYSIS_TEST_ACTORS_H_
+#define CONFLUENCE_TESTS_ANALYSIS_TEST_ACTORS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/actor.h"
+#include "core/workflow.h"
+
+namespace cwf::analysis_test {
+
+/// Inert actor: `inputs` input ports sharing one window spec, `outputs`
+/// output ports. Single ports are named "in"/"out"; multiple ports are
+/// "in0", "in1", ... to keep diagnostics readable.
+class Node : public Actor {
+ public:
+  Node(std::string name, int inputs, int outputs,
+       WindowSpec spec = WindowSpec::SingleEvent())
+      : Actor(std::move(name)) {
+    for (int i = 0; i < inputs; ++i) {
+      in_.push_back(AddInputPort(
+          inputs == 1 ? "in" : "in" + std::to_string(i), spec));
+    }
+    for (int i = 0; i < outputs; ++i) {
+      out_.push_back(AddOutputPort(
+          outputs == 1 ? "out" : "out" + std::to_string(i)));
+    }
+  }
+
+  Status Fire() override { return Status::OK(); }
+
+  InputPort* in(size_t i = 0) { return in_[i]; }
+  OutputPort* out(size_t i = 0) { return out_[i]; }
+
+ private:
+  std::vector<InputPort*> in_;
+  std::vector<OutputPort*> out_;
+};
+
+/// Node with a second input port carrying its own window spec (for
+/// mixed-window checks).
+class TwoSpecNode : public Actor {
+ public:
+  TwoSpecNode(std::string name, WindowSpec first, WindowSpec second)
+      : Actor(std::move(name)) {
+    a_ = AddInputPort("a", std::move(first));
+    b_ = AddInputPort("b", std::move(second));
+    out_ = AddOutputPort("out");
+  }
+
+  Status Fire() override { return Status::OK(); }
+
+  InputPort* a() { return a_; }
+  InputPort* b() { return b_; }
+  OutputPort* out() { return out_; }
+
+ private:
+  InputPort* a_;
+  InputPort* b_;
+  OutputPort* out_;
+};
+
+/// Source with a declared SDF production rate.
+class RateSource : public Actor {
+ public:
+  RateSource(std::string name, int64_t rate) : Actor(std::move(name)),
+                                               rate_(rate) {
+    out_ = AddOutputPort("out");
+  }
+
+  Status Fire() override { return Status::OK(); }
+  int64_t ProductionRate(const OutputPort*) const override { return rate_; }
+
+  OutputPort* out() { return out_; }
+
+ private:
+  int64_t rate_;
+  OutputPort* out_;
+};
+
+}  // namespace cwf::analysis_test
+
+#endif  // CONFLUENCE_TESTS_ANALYSIS_TEST_ACTORS_H_

@@ -1,0 +1,137 @@
+#include "analysis/window_pass.h"
+
+#include <gtest/gtest.h>
+
+#include "test_actors.h"
+
+namespace cwf::analysis {
+namespace {
+
+using analysis_test::Node;
+using analysis_test::TwoSpecNode;
+
+DiagnosticBag RunWindow(const Workflow& wf, const std::string& target = "") {
+  WindowPass pass;
+  AnalysisOptions options;
+  options.target_director = target;
+  DiagnosticBag diags;
+  pass.Run(wf, options, &diags);
+  return diags;
+}
+
+TEST(WindowPassTest, CleanSpecsEmitNothing) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>(
+      "agg", 1, 1,
+      WindowSpec::Time(Seconds(60), Seconds(60)).FormationTimeout(Seconds(5)));
+  auto* sink = wf.AddActor<Node>("sink", 1, 0, WindowSpec::Waves(1, 1));
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  ASSERT_TRUE(wf.Connect(agg->out(), sink->in()).ok());
+  const DiagnosticBag diags = RunWindow(wf, "SCWF");
+  EXPECT_TRUE(diags.empty()) << diags.ToText();
+}
+
+TEST(WindowPassTest, Cwf3001MixedWaveAndNonWaveInputs) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<Node>("a", 0, 1);
+  auto* b = wf.AddActor<Node>("b", 0, 1);
+  auto* mix = wf.AddActor<TwoSpecNode>("mix", WindowSpec::Waves(1, 1),
+                                       WindowSpec::Tuples(4, 4));
+  ASSERT_TRUE(wf.Connect(a->out(), mix->a()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), mix->b()).ok());
+  const DiagnosticBag diags = RunWindow(wf);
+  ASSERT_TRUE(diags.HasCode("CWF3001"));
+  EXPECT_EQ(diags.WithCode("CWF3001")[0]->location, "w/mix");
+  EXPECT_EQ(diags.WithCode("CWF3001")[0]->severity, Severity::kWarning);
+}
+
+TEST(WindowPassTest, Cwf3001NotFiredWhenWavePortIsUnwired) {
+  // The tuple port is wired but the wave port is not: receivers are only
+  // built for wired ports, so there is no mixed firing to warn about.
+  Workflow wf("w");
+  auto* b = wf.AddActor<Node>("b", 0, 1);
+  auto* mix = wf.AddActor<TwoSpecNode>("mix", WindowSpec::Waves(1, 1),
+                                       WindowSpec::Tuples(4, 4));
+  ASSERT_TRUE(wf.Connect(b->out(), mix->b()).ok());
+  EXPECT_FALSE(RunWindow(wf).HasCode("CWF3001"));
+}
+
+TEST(WindowPassTest, Cwf3002WaveWindowWithGroupBy) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0,
+                                 WindowSpec::Waves(1, 1).GroupBy({"object"}));
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const DiagnosticBag diags = RunWindow(wf);
+  ASSERT_TRUE(diags.HasCode("CWF3002"));
+  EXPECT_EQ(diags.WithCode("CWF3002")[0]->location, "w/sink.in");
+  // GroupBy on a tuple window is ordinary partitioning — no warning.
+  Workflow ok("ok");
+  auto* s = ok.AddActor<Node>("s", 0, 1);
+  auto* t = ok.AddActor<Node>(
+      "t", 1, 0, WindowSpec::Tuples(2, 2).GroupBy({"object"}));
+  ASSERT_TRUE(ok.Connect(s->out(), t->in()).ok());
+  EXPECT_TRUE(RunWindow(ok).empty());
+}
+
+TEST(WindowPassTest, Cwf3003WaveWindowOnFanInPort) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<Node>("a", 0, 1);
+  auto* b = wf.AddActor<Node>("b", 0, 1);
+  auto* merge = wf.AddActor<Node>("merge", 1, 0, WindowSpec::Waves(1, 1));
+  ASSERT_TRUE(wf.Connect(a->out(), merge->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), merge->in()).ok());
+  const DiagnosticBag diags = RunWindow(wf);
+  ASSERT_TRUE(diags.HasCode("CWF3003"));
+  EXPECT_NE(diags.WithCode("CWF3003")[0]->message.find("2 incoming"),
+            std::string::npos);
+  // Fan-in on a non-wave port is plain merging — no warning.
+  Workflow ok("ok");
+  auto* s1 = ok.AddActor<Node>("s1", 0, 1);
+  auto* s2 = ok.AddActor<Node>("s2", 0, 1);
+  auto* t = ok.AddActor<Node>("t", 1, 0);
+  ASSERT_TRUE(ok.Connect(s1->out(), t->in()).ok());
+  ASSERT_TRUE(ok.Connect(s2->out(), t->in()).ok());
+  EXPECT_TRUE(RunWindow(ok).empty());
+}
+
+TEST(WindowPassTest, Cwf3004UnclosableTimeWindowUnderScwf) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>(
+      "agg", 1, 0,
+      WindowSpec::Time(Seconds(60), Seconds(60)).FormationTimeout(-1));
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  const DiagnosticBag scwf = RunWindow(wf, "SCWF");
+  ASSERT_TRUE(scwf.HasCode("CWF3004"));
+  EXPECT_EQ(scwf.WithCode("CWF3004")[0]->location, "w/agg.in");
+  // PNCWF receivers block in their own thread; the pattern is fine there.
+  EXPECT_FALSE(RunWindow(wf, "PNCWF").HasCode("CWF3004"));
+  // With a timeout the SCWF timer wheel closes the window.
+  Workflow ok("ok");
+  auto* s = ok.AddActor<Node>("s", 0, 1);
+  auto* t = ok.AddActor<Node>(
+      "t", 1, 0, WindowSpec::Time(Seconds(60), Seconds(60)));
+  ASSERT_TRUE(ok.Connect(s->out(), t->in()).ok());
+  EXPECT_FALSE(RunWindow(ok, "SCWF").HasCode("CWF3004"));
+}
+
+TEST(WindowPassTest, Cwf3005StepExceedsSize) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* gap = wf.AddActor<Node>("gap", 1, 0, WindowSpec::Tuples(1, 5));
+  ASSERT_TRUE(wf.Connect(src->out(), gap->in()).ok());
+  const DiagnosticBag diags = RunWindow(wf);
+  ASSERT_TRUE(diags.HasCode("CWF3005"));
+  EXPECT_EQ(diags.WithCode("CWF3005")[0]->severity, Severity::kNote);
+  // size == step (tumbling) is the common clean case.
+  Workflow ok("ok");
+  auto* s = ok.AddActor<Node>("s", 0, 1);
+  auto* t = ok.AddActor<Node>("t", 1, 0, WindowSpec::Tuples(5, 5));
+  ASSERT_TRUE(ok.Connect(s->out(), t->in()).ok());
+  EXPECT_FALSE(RunWindow(ok).HasCode("CWF3005"));
+}
+
+}  // namespace
+}  // namespace cwf::analysis

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "actors/library.h"
+#include "core/composite_actor.h"
 #include "core/workflow.h"
+#include "directors/ddf_director.h"
 
 namespace cwf {
 namespace {
@@ -131,6 +133,67 @@ TEST(WorkflowTest, ConnectRejectsForeignActorPorts) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(WorkflowTest, ExplicitSlotConnectRecordsTheRequestedSlot) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<MapActor>("A", Identity);
+  auto* b = wf.AddActor<MapActor>("B", Identity);
+  auto* c = wf.AddActor<MapActor>("C", Identity);
+  // Out-of-order wiring is allowed: slots describe intent, not sequence.
+  ASSERT_TRUE(wf.Connect(a->out(), c->in(), 1).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), c->in(), 0).ok());
+  EXPECT_EQ(wf.channels()[0].to_channel, 1u);
+  EXPECT_EQ(wf.channels()[1].to_channel, 0u);
+  EXPECT_TRUE(wf.Validate().ok());
+  EXPECT_EQ(wf.Connect(nullptr, c->in(), 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkflowTest, ValidateRejectsDuplicateChannelSlot) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<MapActor>("A", Identity);
+  auto* b = wf.AddActor<MapActor>("B", Identity);
+  auto* c = wf.AddActor<MapActor>("C", Identity);
+  // Both producers claim slot 0 of C.in: construction succeeds (Ptolemy
+  // style — build freely, validate once), Validate rejects.
+  ASSERT_TRUE(wf.Connect(a->out(), c->in(), 0).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), c->in(), 0).ok());
+  const Status status = wf.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("CWF1004"), std::string::npos);
+}
+
+TEST(WorkflowTest, HasCycleWithFanInAndFanOut) {
+  Workflow wf("diamond");
+  wf.AdoptActor(Node("A"));
+  wf.AdoptActor(Node("B"));
+  wf.AdoptActor(Node("C"));
+  wf.AdoptActor(Node("D"));
+  ASSERT_TRUE(wf.Connect("A", "out", "B", "in").ok());
+  ASSERT_TRUE(wf.Connect("A", "out", "C", "in").ok());
+  ASSERT_TRUE(wf.Connect("B", "out", "D", "in").ok());
+  ASSERT_TRUE(wf.Connect("C", "out", "D", "in").ok());
+  // Reconvergent fan-in is NOT a cycle.
+  EXPECT_FALSE(wf.HasCycle());
+  ASSERT_TRUE(wf.Connect("D", "out", "A", "in").ok());
+  EXPECT_TRUE(wf.HasCycle());
+}
+
+TEST(WorkflowTest, CycleThroughCompositeBoundary) {
+  // comp -> post -> comp: the composite participates in the outer cycle as
+  // one node regardless of its inner structure.
+  Workflow wf("outer");
+  auto* comp =
+      wf.AddActor<CompositeActor>("comp", std::make_unique<DDFDirector>());
+  auto* inner_map = comp->inner()->AddActor<MapActor>("inner_map", Identity);
+  InputPort* comp_in = comp->ExposeInput("in", inner_map->in());
+  OutputPort* comp_out = comp->ExposeOutput("out", inner_map->out());
+  auto* post = wf.AddActor<MapActor>("post", Identity);
+  ASSERT_TRUE(wf.Connect(comp_out, post->in()).ok());
+  EXPECT_FALSE(wf.HasCycle());
+  ASSERT_TRUE(wf.Connect(post->out(), comp_in).ok());
+  EXPECT_TRUE(wf.HasCycle());
+}
+
 }  // namespace
 }  // namespace cwf
 
@@ -153,6 +216,41 @@ TEST(WorkflowDotTest, RendersNodesEdgesAndWindowLabels) {
   EXPECT_NE(dot.find("size=4"), std::string::npos);
   // Sources are drawn distinctly.
   EXPECT_NE(dot.find("invhouse"), std::string::npos);
+}
+
+TEST(WorkflowDotTest, CompositeRendersAsCluster) {
+  Workflow wf("outer");
+  auto* comp =
+      wf.AddActor<CompositeActor>("stage", std::make_unique<DDFDirector>());
+  auto* inner_map = comp->inner()->AddActor<MapActor>("inner_map", Identity);
+  auto* inner_sink = comp->inner()->AddActor<MapActor>("inner_sink", Identity);
+  ASSERT_TRUE(comp->inner()->Connect(inner_map->out(), inner_sink->in()).ok());
+  comp->ExposeInput("in", inner_map->in());
+  const std::string dot = wf.ToDot();
+  EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"stage\""), std::string::npos);
+  // Inner actors and channels render inside the cluster.
+  EXPECT_NE(dot.find("label=\"inner_map\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"inner_sink\""), std::string::npos);
+}
+
+TEST(WorkflowDotTest, DotOptionsFillNodesAndTintClusters) {
+  Workflow wf("outer");
+  auto* plain = wf.AddActor<MapActor>("plain", Identity);
+  auto* comp =
+      wf.AddActor<CompositeActor>("stage", std::make_unique<DDFDirector>());
+  auto* inner_map = comp->inner()->AddActor<MapActor>("inner_map", Identity);
+  comp->ExposeInput("in", inner_map->in());
+  Workflow::DotOptions options;
+  options.node_fill[plain] = "red";
+  options.node_fill[comp] = "#ffe0b0";
+  const std::string dot = wf.ToDot(options);
+  EXPECT_NE(dot.find("fillcolor=\"red\""), std::string::npos);
+  EXPECT_NE(dot.find("bgcolor=\"#ffe0b0\""), std::string::npos);
+  // The default rendering stays unstyled.
+  const std::string bare = wf.ToDot();
+  EXPECT_EQ(bare.find("fillcolor"), std::string::npos);
+  EXPECT_EQ(bare.find("bgcolor"), std::string::npos);
 }
 
 }  // namespace

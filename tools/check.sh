@@ -36,6 +36,9 @@ run_matrix_entry() {
 
 run_matrix_entry plain build
 
+echo "==> [cwf-analyze] built-in graph catalog (--strict)"
+./build/tools/cwf_analyze --strict
+
 if [[ "${FAST}" == "0" ]]; then
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     run_matrix_entry tsan build-tsan -DCONFLUENCE_SANITIZE=thread
@@ -46,11 +49,10 @@ if [[ "${FAST}" == "0" ]]; then
 fi
 
 if command -v clang-tidy > /dev/null 2>&1; then
-  echo "==> [clang-tidy] src/"
-  cmake -B build -S . "${GENERATOR_ARGS[@]}" \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  echo "==> [clang-tidy] src/ (preset: lint)"
+  cmake --preset lint > /dev/null
   find src -name '*.cpp' -print0 |
-    xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build --quiet
+    xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build-lint --quiet
 else
   echo "==> [clang-tidy] not installed; skipping (configuration: .clang-tidy)"
 fi

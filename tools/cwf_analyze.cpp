@@ -1,0 +1,204 @@
+// cwf_analyze: the MoC-aware static workflow linter.
+//
+// Runs every analysis pass (structural, MoC admission, window/wave,
+// scheduler config) over the built-in graph catalog — analyzable mirrors
+// of the example programs plus the Linear Road benchmark — and reports
+// diagnostics as text or JSON. Exits non-zero when any error-severity
+// finding exists (or any warning, with --strict), so tools/check.sh can
+// gate on it.
+//
+// Usage:
+//   cwf_analyze                   analyze every built-in graph
+//   cwf_analyze lrb quickstart    analyze a subset by name
+//   cwf_analyze --list            list the built-in graphs
+//   cwf_analyze --codes           print the diagnostic-code registry
+//   cwf_analyze --json            machine-readable diagnostics
+//   cwf_analyze --dot             emit Graphviz DOT per graph, actors
+//                                 carrying errors filled red (warnings
+//                                 orange)
+//   cwf_analyze --matrix          per-director admission matrix
+//   cwf_analyze --strict          treat warnings as errors for the exit
+//                                 code
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/builtin_graphs.h"
+#include "core/workflow.h"
+
+namespace {
+
+using cwf::Workflow;
+using cwf::analysis::AnalysisOptions;
+using cwf::analysis::Analyzer;
+using cwf::analysis::BuildBuiltinGraphs;
+using cwf::analysis::BuiltinGraph;
+using cwf::analysis::ComputeAdmissionMatrix;
+using cwf::analysis::Diagnostic;
+using cwf::analysis::DiagnosticBag;
+using cwf::analysis::DiagnosticCodes;
+using cwf::analysis::Severity;
+using cwf::analysis::SeverityName;
+
+struct CliOptions {
+  bool list = false;
+  bool codes = false;
+  bool json = false;
+  bool dot = false;
+  bool matrix = false;
+  bool strict = false;
+  std::vector<std::string> graphs;  // empty = all
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list|--codes] [--json] [--dot] [--matrix] "
+               "[--strict] [graph...]\n",
+               argv0);
+  return 2;
+}
+
+std::string DotWithFindings(const BuiltinGraph& graph,
+                            const DiagnosticBag& diags) {
+  Workflow::DotOptions options;
+  for (const Diagnostic& d : diags.all()) {
+    if (d.actor == nullptr) {
+      continue;
+    }
+    if (d.severity == Severity::kError) {
+      options.node_fill[d.actor] = "red";
+    } else if (d.severity == Severity::kWarning &&
+               options.node_fill.count(d.actor) == 0) {
+      options.node_fill[d.actor] = "orange";
+    }
+  }
+  return graph.workflow->ToDot(options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--list")) {
+      cli.list = true;
+    } else if (!std::strcmp(arg, "--codes")) {
+      cli.codes = true;
+    } else if (!std::strcmp(arg, "--json")) {
+      cli.json = true;
+    } else if (!std::strcmp(arg, "--dot")) {
+      cli.dot = true;
+    } else if (!std::strcmp(arg, "--matrix")) {
+      cli.matrix = true;
+    } else if (!std::strcmp(arg, "--strict")) {
+      cli.strict = true;
+    } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      cli.graphs.push_back(arg);
+    }
+  }
+
+  if (cli.codes) {
+    std::printf("%-9s %-8s %s\n", "code", "default", "summary");
+    for (const auto& info : DiagnosticCodes()) {
+      std::printf("%-9s %-8s %s\n", info.code,
+                  SeverityName(info.default_severity), info.summary);
+    }
+    return 0;
+  }
+
+  std::vector<BuiltinGraph> graphs = BuildBuiltinGraphs();
+
+  if (cli.list) {
+    for (const BuiltinGraph& g : graphs) {
+      std::printf("%-16s %-6s %-5s %s\n", g.name.c_str(), g.director.c_str(),
+                  g.scheduler ? g.scheduler->policy.c_str() : "-",
+                  g.description.c_str());
+    }
+    return 0;
+  }
+
+  if (!cli.graphs.empty()) {
+    std::vector<BuiltinGraph> selected;
+    for (const std::string& want : cli.graphs) {
+      bool found = false;
+      for (BuiltinGraph& g : graphs) {
+        if (g.name == want) {
+          selected.push_back(std::move(g));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown graph '%s' (try --list)\n",
+                     want.c_str());
+        return 2;
+      }
+    }
+    graphs = std::move(selected);
+  }
+
+  const Analyzer analyzer;
+  size_t errors = 0;
+  size_t warnings = 0;
+  bool first_json = true;
+  if (cli.json) {
+    std::printf("[");
+  }
+  for (const BuiltinGraph& graph : graphs) {
+    AnalysisOptions options;
+    options.target_director = graph.director;
+    options.scheduler = graph.scheduler;
+    const DiagnosticBag diags = analyzer.Analyze(*graph.workflow, options);
+    errors += diags.ErrorCount();
+    warnings += diags.WarningCount();
+
+    if (cli.json) {
+      std::printf("%s{\"graph\":\"%s\",\"director\":\"%s\","
+                  "\"diagnostics\":%s}",
+                  first_json ? "" : ",", graph.name.c_str(),
+                  graph.director.c_str(), diags.ToJson().c_str());
+      first_json = false;
+      continue;
+    }
+
+    std::printf("%s (%s%s%s): %zu error(s), %zu warning(s), %zu note(s)\n",
+                graph.name.c_str(), graph.director.c_str(),
+                graph.scheduler ? " + " : "",
+                graph.scheduler ? graph.scheduler->policy.c_str() : "",
+                diags.ErrorCount(), diags.WarningCount(), diags.NoteCount());
+    if (!diags.empty()) {
+      std::printf("%s", diags.ToText().c_str());
+    }
+    if (cli.matrix) {
+      for (const auto& entry : ComputeAdmissionMatrix(*graph.workflow)) {
+        std::printf("  %-6s %s%s\n", entry.director.c_str(),
+                    entry.admissible ? "admissible" : "inadmissible: ",
+                    entry.admissible ? "" : entry.reason.c_str());
+      }
+    }
+    if (cli.dot) {
+      std::printf("%s", DotWithFindings(graph, diags).c_str());
+    }
+  }
+  if (cli.json) {
+    std::printf("]\n");
+  }
+
+  if (errors > 0) {
+    return 1;
+  }
+  if (cli.strict && warnings > 0) {
+    return 1;
+  }
+  return 0;
+}
