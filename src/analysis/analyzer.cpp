@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "analysis/boundedness_pass.h"
 #include "analysis/moc_admission_pass.h"
+#include "analysis/rate_pass.h"
 #include "analysis/scheduler_config_pass.h"
 #include "analysis/structural_pass.h"
 #include "analysis/window_pass.h"
@@ -25,6 +27,8 @@ Analyzer::Analyzer() {
   passes_.push_back(std::make_unique<MocAdmissionPass>());
   passes_.push_back(std::make_unique<WindowPass>());
   passes_.push_back(std::make_unique<SchedulerConfigPass>());
+  passes_.push_back(std::make_unique<RatePass>());
+  passes_.push_back(std::make_unique<BoundednessPass>());
 }
 
 void Analyzer::AddPass(std::unique_ptr<AnalysisPass> pass) {

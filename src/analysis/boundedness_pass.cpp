@@ -1,0 +1,117 @@
+#include "analysis/boundedness_pass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "analysis/cost_estimates.h"
+#include "analysis/diagnostic.h"
+#include "analysis/rate_pass.h"
+#include "core/cost_model.h"
+#include "core/workflow.h"
+
+namespace cwf::analysis {
+
+namespace {
+
+std::string FormatNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+}  // namespace
+
+void BoundednessPass::Run(const Workflow& wf, const AnalysisOptions& original,
+                          DiagnosticBag* diags) const {
+  AnalysisOptions options = original;
+  if (options.location_prefix.empty()) {
+    options.location_prefix = wf.name();
+  }
+  // Boundedness is a property of the deployment: thread-per-actor queues
+  // grow, scheduled executors saturate. Without a declared target there is
+  // nothing to check against.
+  const std::string& director = options.target_director;
+  if (director != "PNCWF" && director != "SCWF") {
+    return;
+  }
+
+  const RateModel model = ComputeRateModel(wf, options);
+  const CostModel fallback_costs;
+  const CostModel& costs =
+      options.cost_model != nullptr ? *options.cost_model : fallback_costs;
+
+  if (director == "PNCWF") {
+    // Per consuming port: total window inflow (fan-in channels add) vs the
+    // consumer thread's service rate. A bounded inflow that can outpace the
+    // service rate grows the queue without bound.
+    std::map<const InputPort*, RateInterval> port_windows;
+    const std::vector<ChannelSpec>& channels = wf.channels();
+    for (size_t i = 0; i < channels.size(); ++i) {
+      auto [it, inserted] =
+          port_windows.try_emplace(channels[i].to, model.channels[i].windows);
+      if (!inserted) {
+        it->second = it->second.Plus(model.channels[i].windows);
+      }
+    }
+    for (const auto& [port, windows] : port_windows) {
+      if (!windows.bounded()) {
+        continue;  // unknown inflow is CWF5001's finding, not ours
+      }
+      const Actor* consumer = port->actor();
+      const double demand = static_cast<double>(
+          std::max<int64_t>(1, consumer->ConsumptionRate(port)));
+      const double firing_demand = windows.max / demand;
+      const double service = ServiceRatePerSecond(wf, consumer, model, costs,
+                                                  options.target_director);
+      if (firing_demand > service) {
+        diags->Warning(
+            "CWF5002",
+            ActorLocation(options, consumer->name()) + "." + port->name(),
+            "steady-state inflow can exceed service rate under PNCWF: up to " +
+                FormatNumber(firing_demand) + " firings/s demanded vs ~" +
+                FormatNumber(service) +
+                "/s sustainable; the unbounded queue grows without limit "
+                "(raise capacity via the planner or rebalance rates/costs)",
+            consumer);
+      }
+    }
+    return;
+  }
+
+  // SCWF: the scheduled executor is one logical processor.
+  double total = 0.0;
+  bool total_bounded = true;
+  for (const auto& actor : wf.actors()) {
+    const double u = Utilization(wf, actor.get(), model, costs,
+                                 options.target_director);
+    if (!std::isfinite(u)) {
+      total_bounded = false;  // unknown rate: already noted as CWF5001
+      continue;
+    }
+    total += u;
+    if (u > 1.0) {
+      diags->Warning(
+          "CWF5004", ActorLocation(options, actor->name()),
+          "actor '" + actor->name() + "' alone demands " +
+              FormatNumber(u * 100.0) +
+              "% of the scheduled executor; no scheduling policy can keep "
+              "up (reduce its firing rate or cost)",
+          actor.get());
+    }
+  }
+  if (total > 1.0) {
+    diags->Warning(
+        "CWF5003", options.location_prefix,
+        std::string("workload is overload-infeasible under SCWF: total "
+                    "utilization ") +
+            FormatNumber(total * 100.0) +
+            (total_bounded ? "%" : "% (lower bound; some rates unknown)") +
+            " exceeds the single scheduled executor; queues grow regardless "
+            "of policy");
+  }
+}
+
+}  // namespace cwf::analysis

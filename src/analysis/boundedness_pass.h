@@ -1,0 +1,39 @@
+// Boundedness: can the steady-state inflow of a channel exceed the rate at
+// which its consumer drains it?
+//
+// Under PNCWF every actor is a free-running thread over an unbounded queue,
+// so a persistent rate mismatch grows a std::deque without bound — the
+// overload regime the STAFiLOS Linear Road evaluation provokes. Under SCWF
+// the scheduled executor is a single logical processor: the workload is
+// infeasible when the utilization sum exceeds 1 even though no single queue
+// is the culprit.
+//
+// The pass combines the rate model (rate_pass.h) with the CostModel's
+// firing costs into service-rate estimates and emits:
+//
+//   CWF5002  PNCWF channel whose window inflow can exceed the consumer's
+//            service rate (unbounded queue growth risk)
+//   CWF5003  SCWF workload with total utilization > 1 (overload-infeasible)
+//   CWF5004  SCWF actor whose lone utilization exceeds 1
+//
+// All findings are warnings: the engine still runs such graphs (that is the
+// point of the STAFiLOS overload experiments), the analyzer just refuses to
+// let it be a surprise.
+
+#ifndef CONFLUENCE_ANALYSIS_BOUNDEDNESS_PASS_H_
+#define CONFLUENCE_ANALYSIS_BOUNDEDNESS_PASS_H_
+
+#include "analysis/pass.h"
+
+namespace cwf::analysis {
+
+class BoundednessPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "boundedness"; }
+  void Run(const Workflow& workflow, const AnalysisOptions& options,
+           DiagnosticBag* diagnostics) const override;
+};
+
+}  // namespace cwf::analysis
+
+#endif  // CONFLUENCE_ANALYSIS_BOUNDEDNESS_PASS_H_

@@ -5,8 +5,10 @@
 #include "actors/library.h"
 #include "actors/stream_ops.h"
 #include "core/composite_actor.h"
+#include "core/cost_model.h"
 #include "core/workflow.h"
 #include "directors/ddf_director.h"
+#include "lrb/harness.h"
 #include "lrb/workflow_builder.h"
 #include "stafilos/qbs_scheduler.h"
 #include "stream/stream_source.h"
@@ -57,8 +59,11 @@ BuiltinGraph Quickstart() {
   auto* sink = wf->AddActor<CollectorSink>("sink");
   CWF_CHECK(wf->Connect(source->out(), averager->in()).ok());
   CWF_CHECK(wf->Connect(averager->out(), sink->in()).ok());
-  return Wrap("quickstart", "minimal source -> window -> sink pipeline",
-              "SCWF", std::move(wf), Policy("QBS"));
+  BuiltinGraph graph =
+      Wrap("quickstart", "minimal source -> window -> sink pipeline", "SCWF",
+           std::move(wf), Policy("QBS"));
+  graph.source_rates["readings"] = RateInterval::Exact(100.0);
+  return graph;
 }
 
 /// examples/realtime_pipeline.cpp: live smoothing pipeline under PNCWF.
@@ -71,8 +76,10 @@ BuiltinGraph RealtimePipeline() {
   auto* sink = wf->AddActor<CollectorSink>("sink");
   CWF_CHECK(wf->Connect(src->out(), smooth->in()).ok());
   CWF_CHECK(wf->Connect(smooth->out(), sink->in()).ok());
-  return Wrap("realtime-pipeline", "OS-thread smoothing pipeline", "PNCWF",
-              std::move(wf));
+  BuiltinGraph graph = Wrap("realtime-pipeline", "OS-thread smoothing pipeline",
+                            "PNCWF", std::move(wf));
+  graph.source_rates["sensor"] = RateInterval::Exact(50.0);
+  return graph;
 }
 
 /// examples/supply_chain.cpp: two sources merged into a group-by matcher
@@ -102,8 +109,12 @@ BuiltinGraph SupplyChain() {
   CWF_CHECK(wf->Connect(merge->out(), throughput->in()).ok());
   CWF_CHECK(wf->Connect(matcher->out(), fulfilled->in()).ok());
   CWF_CHECK(wf->Connect(throughput->out(), stats->in()).ok());
-  return Wrap("supply-chain", "order/scan join with per-warehouse stats",
-              "SCWF", std::move(wf), Policy("RB"));
+  BuiltinGraph graph =
+      Wrap("supply-chain", "order/scan join with per-warehouse stats", "SCWF",
+           std::move(wf), Policy("RB"));
+  graph.source_rates["orders"] = RateInterval::Exact(20.0);
+  graph.source_rates["scans"] = RateInterval::Exact(20.0);
+  return graph;
 }
 
 /// examples/astro_monitor.cpp: DDF detection composite feeding a wave-
@@ -129,9 +140,12 @@ BuiltinGraph AstroMonitor() {
   CWF_CHECK(wf->Connect(detection->GetOutputPort("out"), bands->in()).ok());
   CWF_CHECK(wf->Connect(bands->out(), annotate->in()).ok());
   CWF_CHECK(wf->Connect(annotate->out(), alerts->in()).ok());
-  return Wrap("astro-monitor",
-              "two-level sky monitoring with wave synchronization", "SCWF",
-              std::move(wf), Policy("EDF"));
+  BuiltinGraph graph =
+      Wrap("astro-monitor",
+           "two-level sky monitoring with wave synchronization", "SCWF",
+           std::move(wf), Policy("EDF"));
+  graph.source_rates["telescope"] = RateInterval::Exact(25.0);
+  return graph;
 }
 
 /// examples/multi_workflow.cpp: the two time-shared applications.
@@ -144,8 +158,10 @@ BuiltinGraph MultiApp(const char* graph_name, const char* wf_name,
   auto* sink = wf->AddActor<CollectorSink>("sink");
   CWF_CHECK(wf->Connect(src->out(), work->in()).ok());
   CWF_CHECK(wf->Connect(work->out(), sink->in()).ok());
-  return Wrap(graph_name, "multi-workflow tenant application", "SCWF",
-              std::move(wf), Policy(policy));
+  BuiltinGraph graph = Wrap(graph_name, "multi-workflow tenant application",
+                            "SCWF", std::move(wf), Policy(policy));
+  graph.source_rates["src"] = RateInterval::Exact(200.0);
+  return graph;
 }
 
 /// examples/distributed_links.cpp: edge node -> WAN delay -> core node.
@@ -164,8 +180,10 @@ BuiltinGraph DistributedLinks() {
   CWF_CHECK(wf->Connect(prefilter->out(), wan->in()).ok());
   CWF_CHECK(wf->Connect(wan->out(), agg->in()).ok());
   CWF_CHECK(wf->Connect(agg->out(), alerts->in()).ok());
-  return Wrap("distributed-links", "edge -> WAN -> core placement", "SCWF",
-              std::move(wf), Policy("QBS"));
+  BuiltinGraph graph = Wrap("distributed-links", "edge -> WAN -> core placement",
+                            "SCWF", std::move(wf), Policy("QBS"));
+  graph.source_rates["edge.sensor"] = RateInterval::Exact(40.0);
+  return graph;
 }
 
 /// Owns a full LRB application (workflow + database + metric series).
@@ -196,6 +214,13 @@ BuiltinGraph Lrb(bool hierarchical) {
                           : "Linear Road benchmark (flattened)";
   graph.director = "SCWF";
   graph.scheduler = std::move(cfg);
+  // The calibrated LRB cost model plus a feed rate well inside the
+  // schedulers' saturation point (~160 reports/s in the paper's Figure 8)
+  // keep the catalog boundedness-clean while exercising the full
+  // quantitative pipeline.
+  graph.source_rates["Source"] = RateInterval::Exact(25.0);
+  graph.cost_model =
+      std::make_shared<const CostModel>(lrb::DefaultLRBCostModel());
   graph.workflow = holder->app.workflow.get();
   graph.retained = std::move(holder);
   return graph;
@@ -215,6 +240,15 @@ std::vector<BuiltinGraph> BuildBuiltinGraphs() {
   graphs.push_back(Lrb(/*hierarchical=*/true));
   graphs.push_back(Lrb(/*hierarchical=*/false));
   return graphs;
+}
+
+AnalysisOptions AnalysisOptionsFor(const BuiltinGraph& graph) {
+  AnalysisOptions options;
+  options.target_director = graph.director;
+  options.scheduler = graph.scheduler;
+  options.source_rates = graph.source_rates;
+  options.cost_model = graph.cost_model.get();
+  return options;
 }
 
 }  // namespace cwf::analysis

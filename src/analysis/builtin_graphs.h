@@ -11,6 +11,7 @@
 #ifndef CONFLUENCE_ANALYSIS_BUILTIN_GRAPHS_H_
 #define CONFLUENCE_ANALYSIS_BUILTIN_GRAPHS_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,23 +21,36 @@
 
 namespace cwf {
 
+class CostModel;
 class Workflow;
 
 namespace analysis {
 
 /// \brief One analyzable deployment: a workflow plus its intended
-/// director and scheduler configuration.
+/// director, scheduler configuration and quantitative context (declared
+/// source rates, cost model).
 struct BuiltinGraph {
   std::string name;         ///< CLI identifier, e.g. "supply-chain".
   std::string description;  ///< One line for `cwf_analyze --list`.
   std::string director;     ///< Target director kind ("SCWF", "PNCWF", ...).
   std::optional<SchedulerConfig> scheduler;
+  /// Declared external arrival rates by source-actor name; feeds the
+  /// quantitative passes and the capacity planner.
+  std::map<std::string, RateInterval> source_rates;
+  /// Firing-cost model of the deployment (LRB uses its calibrated model);
+  /// nullptr means the default-constructed CostModel.
+  std::shared_ptr<const CostModel> cost_model;
   Workflow* workflow = nullptr;  ///< Owned by `retained`.
   std::shared_ptr<void> retained;
 };
 
 /// \brief Build every built-in graph (examples + LRB hierarchical/flat).
 std::vector<BuiltinGraph> BuildBuiltinGraphs();
+
+/// \brief The AnalysisOptions matching a catalog entry's deployment
+/// (director, scheduler, source rates, cost model) — what the CLI and the
+/// catalog tests analyze/plan with.
+AnalysisOptions AnalysisOptionsFor(const BuiltinGraph& graph);
 
 }  // namespace analysis
 }  // namespace cwf

@@ -1,0 +1,275 @@
+#include "analysis/capacity_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "analysis/cost_estimates.h"
+#include "core/cost_model.h"
+#include "core/workflow.h"
+
+namespace cwf::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string FormatNumber(double value) {
+  if (value == kInf) {
+    return "inf";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void AppendJsonString(std::ostringstream& oss, const std::string& s) {
+  oss << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      oss << '\\' << c;
+    } else {
+      oss << c;
+    }
+  }
+  oss << '"';
+}
+
+void AppendJsonNumber(std::ostringstream& oss, double value) {
+  // JSON has no infinity literal; mirror the text renderer with a string.
+  if (value == kInf) {
+    oss << "\"inf\"";
+  } else {
+    oss << FormatNumber(value);
+  }
+}
+
+}  // namespace
+
+size_t CapacityPlan::CapacityFor(const std::string& consumer_port_full_name,
+                                 size_t to_channel) const {
+  for (const ChannelCapacity& ch : channels) {
+    if (ch.consumer == consumer_port_full_name &&
+        ch.to_channel == to_channel) {
+      return ch.bounded ? ch.capacity : 0;
+    }
+  }
+  return 0;
+}
+
+CapacityPlan PlanCapacity(const Workflow& workflow,
+                          const AnalysisOptions& options,
+                          const PlanningOptions& planning) {
+  CapacityPlan plan;
+  plan.workflow = workflow.name();
+  plan.director = options.target_director;
+
+  const RateModel model = ComputeRateModel(workflow, options);
+  plan.exact_rates = model.exact_sdf;
+  const CostModel fallback_costs;
+  const CostModel& costs =
+      options.cost_model != nullptr ? *options.cost_model : fallback_costs;
+
+  const std::vector<ChannelSpec>& channels = workflow.channels();
+  plan.channels.reserve(channels.size());
+  for (size_t i = 0; i < channels.size(); ++i) {
+    const ChannelRateInfo& rates = model.channels[i];
+    ChannelCapacity cap;
+    cap.producer = channels[i].from->FullName();
+    cap.consumer = channels[i].to->FullName();
+    cap.to_channel = channels[i].to_channel;
+    cap.inflow_events_max = rates.events.max;
+    cap.resident_events_max = rates.resident_events_max;
+    if (rates.events.bounded()) {
+      double resident = rates.resident_events_max;
+      if (!std::isfinite(resident)) {
+        // Group-by keys / wave extents are runtime properties: hold a full
+        // horizon of arrivals instead of claiming a steady-state bound.
+        resident = rates.events.max * planning.horizon_seconds;
+      }
+      const double backlog =
+          rates.windows.max * planning.queueing_delay_budget_seconds;
+      cap.capacity =
+          planning.burst_slack +
+          static_cast<size_t>(
+              std::ceil(planning.safety_factor * (resident + backlog)));
+      cap.bounded = true;
+    }
+    plan.channels.push_back(std::move(cap));
+  }
+
+  double total = 0.0;
+  for (const auto& actor : workflow.actors()) {
+    ActorLoad load;
+    load.actor = actor->name();
+    auto rates = model.actors.find(actor.get());
+    load.firings_per_second_max =
+        rates == model.actors.end() || !rates->second.firings.bounded()
+            ? kInf
+            : rates->second.firings.max;
+    load.firing_cost_micros = EstimatedFiringCostMicros(
+        workflow, actor.get(), model, costs, options.target_director);
+    load.utilization = Utilization(workflow, actor.get(), model, costs,
+                                   options.target_director);
+    if (std::isfinite(load.utilization)) {
+      total += load.utilization;
+    }
+    plan.actors.push_back(std::move(load));
+  }
+  plan.total_utilization = total;
+
+  // Critical path: longest chain of modeled firing costs through the DAG
+  // part of the graph (Kahn order; cycle members are unreachable from it).
+  std::map<const Actor*, std::vector<const Actor*>> downstream;
+  std::map<const Actor*, size_t> indegree;
+  for (const auto& actor : workflow.actors()) {
+    indegree[actor.get()] = 0;
+  }
+  for (const ChannelSpec& channel : channels) {
+    downstream[channel.from->actor()].push_back(channel.to->actor());
+    ++indegree[channel.to->actor()];
+  }
+  std::deque<const Actor*> ready;
+  for (const auto& [actor, degree] : indegree) {
+    if (degree == 0) {
+      ready.push_back(actor);
+    }
+  }
+  std::map<const Actor*, double> distance;
+  std::map<const Actor*, const Actor*> predecessor;
+  const Actor* farthest = nullptr;
+  while (!ready.empty()) {
+    const Actor* actor = ready.front();
+    ready.pop_front();
+    double cost = 0.0;
+    for (const ActorLoad& load : plan.actors) {
+      if (load.actor == actor->name()) {
+        cost = load.firing_cost_micros;
+        break;
+      }
+    }
+    distance[actor] += cost;
+    if (farthest == nullptr || distance[actor] > distance[farthest]) {
+      farthest = actor;
+    }
+    for (const Actor* next : downstream[actor]) {
+      if (distance[actor] > distance[next]) {
+        distance[next] = distance[actor];
+        predecessor[next] = actor;
+      }
+      if (--indegree[next] == 0) {
+        ready.push_back(next);
+      }
+    }
+  }
+  if (farthest != nullptr) {
+    plan.critical_path_latency_micros = distance[farthest];
+    for (const Actor* a = farthest; a != nullptr;) {
+      plan.critical_path.push_back(a->name());
+      auto prev = predecessor.find(a);
+      a = prev == predecessor.end() ? nullptr : prev->second;
+    }
+    std::reverse(plan.critical_path.begin(), plan.critical_path.end());
+  }
+
+  return plan;
+}
+
+std::string CapacityPlan::ToText() const {
+  std::ostringstream oss;
+  oss << "capacity plan for '" << workflow << "'";
+  if (!director.empty()) {
+    oss << " under " << director;
+  }
+  oss << (exact_rates ? " (exact SDF rates)" : "") << "\n";
+  oss << "  channels:\n";
+  for (const ChannelCapacity& ch : channels) {
+    oss << "    " << ch.producer << " -> " << ch.consumer << "[" << ch.to_channel
+        << "]: ";
+    if (ch.bounded) {
+      oss << "capacity " << ch.capacity << " (inflow <= "
+          << FormatNumber(ch.inflow_events_max) << " ev/s, resident <= "
+          << FormatNumber(ch.resident_events_max) << ")";
+    } else {
+      oss << "unbounded (inflow unknown)";
+    }
+    oss << "\n";
+  }
+  oss << "  actors:\n";
+  for (const ActorLoad& load : actors) {
+    oss << "    " << load.actor << ": "
+        << FormatNumber(load.firings_per_second_max) << " firings/s x "
+        << FormatNumber(load.firing_cost_micros) << "us = utilization "
+        << FormatNumber(load.utilization) << "\n";
+  }
+  oss << "  total utilization: " << FormatNumber(total_utilization) << "\n";
+  oss << "  critical path (" << FormatNumber(critical_path_latency_micros)
+      << "us):";
+  for (const std::string& name : critical_path) {
+    oss << " " << name;
+  }
+  oss << "\n";
+  return oss.str();
+}
+
+std::string CapacityPlan::ToJson() const {
+  std::ostringstream oss;
+  oss << "{\"workflow\":";
+  AppendJsonString(oss, workflow);
+  oss << ",\"director\":";
+  AppendJsonString(oss, director);
+  oss << ",\"exact_rates\":" << (exact_rates ? "true" : "false");
+  oss << ",\"channels\":[";
+  for (size_t i = 0; i < channels.size(); ++i) {
+    const ChannelCapacity& ch = channels[i];
+    if (i > 0) {
+      oss << ",";
+    }
+    oss << "{\"producer\":";
+    AppendJsonString(oss, ch.producer);
+    oss << ",\"consumer\":";
+    AppendJsonString(oss, ch.consumer);
+    oss << ",\"to_channel\":" << ch.to_channel;
+    oss << ",\"bounded\":" << (ch.bounded ? "true" : "false");
+    oss << ",\"capacity\":" << ch.capacity;
+    oss << ",\"inflow_events_max\":";
+    AppendJsonNumber(oss, ch.inflow_events_max);
+    oss << ",\"resident_events_max\":";
+    AppendJsonNumber(oss, ch.resident_events_max);
+    oss << "}";
+  }
+  oss << "],\"actors\":[";
+  for (size_t i = 0; i < actors.size(); ++i) {
+    const ActorLoad& load = actors[i];
+    if (i > 0) {
+      oss << ",";
+    }
+    oss << "{\"actor\":";
+    AppendJsonString(oss, load.actor);
+    oss << ",\"firings_per_second_max\":";
+    AppendJsonNumber(oss, load.firings_per_second_max);
+    oss << ",\"firing_cost_micros\":";
+    AppendJsonNumber(oss, load.firing_cost_micros);
+    oss << ",\"utilization\":";
+    AppendJsonNumber(oss, load.utilization);
+    oss << "}";
+  }
+  oss << "],\"total_utilization\":";
+  AppendJsonNumber(oss, total_utilization);
+  oss << ",\"critical_path\":[";
+  for (size_t i = 0; i < critical_path.size(); ++i) {
+    if (i > 0) {
+      oss << ",";
+    }
+    AppendJsonString(oss, critical_path[i]);
+  }
+  oss << "],\"critical_path_latency_micros\":";
+  AppendJsonNumber(oss, critical_path_latency_micros);
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace cwf::analysis

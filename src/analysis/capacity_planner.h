@@ -1,0 +1,113 @@
+// The static capacity planner: rate intervals + CostModel -> CapacityPlan.
+//
+// The plan is the first analysis→runtime feedback edge in the engine: it is
+// computed once (cwf_analyze --plan, or any caller of PlanCapacity), then
+// consumed by the directors at Initialize — receivers are pre-sized to the
+// per-channel bounds, and the PNCWF director switches bounded receivers into
+// blocking-put/backpressure mode. Floe-style buffer sizing, Execution
+// Templates-style validate-once/reuse.
+//
+// Capacity is measured in *queued units*: pending (buffered-but-unwindowed)
+// events plus ready windows, i.e. exactly what Receiver::QueueDepth()
+// reports and the high-water-mark counter tracks, so the planner's bound is
+// directly comparable to runtime observations.
+//
+// For a channel with bounded inflow the bound is
+//
+//   burst_slack + ceil(safety_factor * (resident + windows_max * delay))
+//
+// where `resident` is the window operator's steady-state residency (a
+// 2-minute time window at 10 ev/s holds ~1200 events with a keeping-up
+// consumer) and `windows_max * delay` covers ready windows awaiting a
+// consumer within the queueing-delay budget. Statically unbounded residency
+// (group-by keys, wave windows) falls back to inflow * horizon_seconds;
+// unknown inflow leaves the channel unbounded (capacity 0).
+
+#ifndef CONFLUENCE_ANALYSIS_CAPACITY_PLANNER_H_
+#define CONFLUENCE_ANALYSIS_CAPACITY_PLANNER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/pass.h"
+#include "analysis/rate_pass.h"
+
+namespace cwf {
+
+class Workflow;
+
+namespace analysis {
+
+/// \brief Planner tuning knobs.
+struct PlanningOptions {
+  /// Fallback bound horizon for statically unbounded residency: a channel
+  /// with known inflow but unknown retention is sized to hold this many
+  /// seconds of arrivals.
+  double horizon_seconds = 60.0;
+
+  /// How long a produced window may wait for its consumer before the plan
+  /// considers the queue out of spec.
+  double queueing_delay_budget_seconds = 1.0;
+
+  /// Additive slack absorbing startup transients and scheduling jitter.
+  size_t burst_slack = 64;
+
+  /// Multiplicative headroom over the steady-state estimate.
+  double safety_factor = 2.0;
+};
+
+/// \brief Planned bound for one channel (parallel to Workflow::channels()).
+struct ChannelCapacity {
+  std::string producer;       ///< "Actor.port" of the emitting end.
+  std::string consumer;       ///< "Actor.port" of the receiving end.
+  size_t to_channel = 0;      ///< Channel slot on the consuming port.
+  /// Queued-units bound (pending events + ready windows); 0 = unbounded.
+  size_t capacity = 0;
+  bool bounded = false;
+  /// Steady-state inflow upper bound, events/sec (+inf when unknown).
+  double inflow_events_max = 0.0;
+  /// Window-operator residency estimate the bound was derived from.
+  double resident_events_max = 0.0;
+};
+
+/// \brief Steady-state load of one actor.
+struct ActorLoad {
+  std::string actor;
+  double firings_per_second_max = 0.0;  ///< +inf when unknown.
+  double firing_cost_micros = 0.0;      ///< Modeled cost incl. overheads.
+  double utilization = 0.0;             ///< firings * cost; +inf unknown.
+};
+
+/// \brief The full plan over one workflow.
+struct CapacityPlan {
+  std::string workflow;
+  std::string director;  ///< Deployment the plan was computed for.
+  bool exact_rates = false;  ///< Rates pinned by SDF balance equations.
+  std::vector<ChannelCapacity> channels;
+  std::vector<ActorLoad> actors;
+  /// Longest source→sink chain of modeled firing costs (one-event latency
+  /// floor through the pipeline, ignoring queueing).
+  std::vector<std::string> critical_path;
+  double critical_path_latency_micros = 0.0;
+  double total_utilization = 0.0;
+
+  /// \brief Bound of the channel feeding `consumer_port_full_name`
+  /// ("Actor.port") slot `to_channel`; 0 (unbounded) when absent.
+  size_t CapacityFor(const std::string& consumer_port_full_name,
+                     size_t to_channel) const;
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// \brief Compute the plan for one workflow level under the deployment in
+/// `options` (target director, source rates, cost model).
+CapacityPlan PlanCapacity(const Workflow& workflow,
+                          const AnalysisOptions& options,
+                          const PlanningOptions& planning = {});
+
+}  // namespace analysis
+}  // namespace cwf
+
+#endif  // CONFLUENCE_ANALYSIS_CAPACITY_PLANNER_H_

@@ -1,0 +1,76 @@
+#include "analysis/cost_estimates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "core/cost_model.h"
+#include "core/workflow.h"
+
+namespace cwf::analysis {
+
+double OutputEventsPerFiring(const Workflow& workflow, const Actor* actor) {
+  std::set<const OutputPort*> connected;
+  for (const ChannelSpec& channel : workflow.channels()) {
+    if (channel.from->actor() == actor) {
+      connected.insert(channel.from);
+    }
+  }
+  double events = 0.0;
+  for (const OutputPort* port : connected) {
+    events += static_cast<double>(
+        std::max<int64_t>(0, actor->ProductionRate(port)));
+  }
+  return events;
+}
+
+double EstimatedFiringCostMicros(const Workflow& workflow, const Actor* actor,
+                                 const RateModel& model,
+                                 const CostModel& costs,
+                                 const std::string& target_director) {
+  auto rates = model.actors.find(actor);
+  const double in_events =
+      rates == model.actors.end() || !std::isfinite(
+                                         rates->second.events_per_firing_max)
+          ? 1.0
+          : rates->second.events_per_firing_max;
+  const double out_events = OutputEventsPerFiring(workflow, actor);
+
+  const CostParams& params = costs.ParamsFor(actor->name());
+  double micros = static_cast<double>(params.base) +
+                  in_events * static_cast<double>(params.per_input_event) +
+                  out_events * static_cast<double>(params.per_output_event);
+  if (target_director == "SCWF") {
+    micros += static_cast<double>(costs.scheduled_dispatch_overhead);
+  } else if (target_director == "PNCWF") {
+    micros += (in_events + out_events) *
+              static_cast<double>(costs.sync_per_event_overhead);
+  }
+  return std::max(micros, 1e-3);  // never claim an infinite service rate
+}
+
+double ServiceRatePerSecond(const Workflow& workflow, const Actor* actor,
+                            const RateModel& model, const CostModel& costs,
+                            const std::string& target_director) {
+  return 1e6 / EstimatedFiringCostMicros(workflow, actor, model, costs,
+                                         target_director);
+}
+
+double Utilization(const Workflow& workflow, const Actor* actor,
+                   const RateModel& model, const CostModel& costs,
+                   const std::string& target_director) {
+  auto rates = model.actors.find(actor);
+  if (rates == model.actors.end()) {
+    return 0.0;
+  }
+  if (!rates->second.firings.bounded()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return rates->second.firings.max *
+         EstimatedFiringCostMicros(workflow, actor, model, costs,
+                                   target_director) /
+         1e6;
+}
+
+}  // namespace cwf::analysis

@@ -1,0 +1,48 @@
+// Shared cost/service estimates of the quantitative passes.
+//
+// Bridges the rate model (how often things happen) and the CostModel (how
+// long they take) into the per-actor quantities the boundedness pass and the
+// capacity planner agree on: modeled firing cost, service rate, utilization.
+
+#ifndef CONFLUENCE_ANALYSIS_COST_ESTIMATES_H_
+#define CONFLUENCE_ANALYSIS_COST_ESTIMATES_H_
+
+#include <cstddef>
+
+#include "analysis/rate_pass.h"
+
+namespace cwf {
+
+class Actor;
+class CostModel;
+class Workflow;
+
+namespace analysis {
+
+/// \brief Events produced per firing: the sum of ProductionRate over the
+/// actor's *connected* output ports.
+double OutputEventsPerFiring(const Workflow& workflow, const Actor* actor);
+
+/// \brief Modeled duration of one firing in microseconds, including the
+/// director-specific per-firing overhead (scheduled dispatch for "SCWF",
+/// per-event synchronization for "PNCWF").
+double EstimatedFiringCostMicros(const Workflow& workflow, const Actor* actor,
+                                 const RateModel& model,
+                                 const CostModel& costs,
+                                 const std::string& target_director);
+
+/// \brief Upper bound on sustainable firings per second (1e6 / firing cost).
+double ServiceRatePerSecond(const Workflow& workflow, const Actor* actor,
+                            const RateModel& model, const CostModel& costs,
+                            const std::string& target_director);
+
+/// \brief Fraction of one processor the actor demands in steady state:
+/// firings.max * firing cost. +inf when the firing rate is unbounded.
+double Utilization(const Workflow& workflow, const Actor* actor,
+                   const RateModel& model, const CostModel& costs,
+                   const std::string& target_director);
+
+}  // namespace analysis
+}  // namespace cwf
+
+#endif  // CONFLUENCE_ANALYSIS_COST_ESTIMATES_H_

@@ -200,8 +200,45 @@ const std::vector<DiagnosticCodeInfo>& DiagnosticCodes() {
       {"CWF4007", Severity::kWarning,
        "EDF scheduling without any sink actor has no deadline-bearing "
        "output"},
+      // Quantitative (rates, boundedness, capacity).
+      {"CWF5001", Severity::kNote,
+       "source has no declared arrival rate; downstream rates degrade to "
+       "[0, inf]/s"},
+      {"CWF5002", Severity::kWarning,
+       "PNCWF channel whose steady-state inflow can exceed the consumer's "
+       "service rate (unbounded queue growth risk)"},
+      {"CWF5003", Severity::kWarning,
+       "SCWF workload overload-infeasible: total utilization exceeds the "
+       "single scheduled executor"},
+      {"CWF5004", Severity::kWarning,
+       "SCWF actor whose lone utilization exceeds 1 (no policy can keep "
+       "up)"},
+      {"CWF5005", Severity::kNote,
+       "wave window rate is data-dependent; capacity planning falls back "
+       "to horizon bounds"},
   };
   return kCodes;
+}
+
+std::string DiagnosticCodesJson() {
+  std::ostringstream oss;
+  oss << "[";
+  bool first = true;
+  for (const DiagnosticCodeInfo& info : DiagnosticCodes()) {
+    if (!first) {
+      oss << ",";
+    }
+    first = false;
+    oss << "{\"code\":";
+    AppendJsonString(oss, info.code);
+    oss << ",\"severity\":";
+    AppendJsonString(oss, SeverityName(info.default_severity));
+    oss << ",\"summary\":";
+    AppendJsonString(oss, info.summary);
+    oss << "}";
+  }
+  oss << "]";
+  return oss.str();
 }
 
 }  // namespace cwf::analysis

@@ -10,6 +10,7 @@
 //   CWF20xx  MoC admission     (which directors can legally run the graph)
 //   CWF30xx  window/wave       (cross-port window compatibility, liveness)
 //   CWF40xx  scheduler config  (QBS/RR/RB/EDF parameter sanity)
+//   CWF50xx  quantitative      (rate propagation, boundedness, utilization)
 
 #ifndef CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_
 #define CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_
@@ -94,6 +95,12 @@ struct DiagnosticCodeInfo {
 /// docs table (docs/STATIC_ANALYSIS.md) and `cwf_analyze --codes` render
 /// from this registry.
 const std::vector<DiagnosticCodeInfo>& DiagnosticCodes();
+
+/// \brief JSON array of {code, severity, summary} objects over the full
+/// registry — the `cwf_analyze --codes --json` payload. Codes are documented
+/// as stable; a golden test snapshots this string so renumbering or severity
+/// drift is an explicit, reviewed change.
+std::string DiagnosticCodesJson();
 
 }  // namespace analysis
 }  // namespace cwf

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/rate_interval.h"
 #include "stafilos/edf_scheduler.h"
 #include "stafilos/qbs_scheduler.h"
 #include "stafilos/rb_scheduler.h"
@@ -20,6 +21,7 @@
 
 namespace cwf {
 
+class CostModel;
 class Workflow;
 
 namespace analysis {
@@ -50,6 +52,17 @@ struct AnalysisOptions {
   /// Scheduler deployment to validate (SCWF only); nullopt skips the
   /// scheduler-config pass.
   std::optional<SchedulerConfig> scheduler;
+
+  /// Declared/estimated external arrival rates by source-actor name
+  /// (tuples per second injected on each of the source's output channels).
+  /// Sources absent from the map are treated as rate-unknown ([0, +inf))
+  /// and noted as CWF5001 by the rate pass.
+  std::map<std::string, RateInterval> source_rates;
+
+  /// Firing-cost model for the quantitative passes (boundedness, capacity
+  /// planning). nullptr means "use a default-constructed CostModel" — the
+  /// passes never dereference it without a fallback.
+  const CostModel* cost_model = nullptr;
 
   /// Whether the Analyzer descends into CompositeActor inner workflows
   /// (with the inner director's kind as target).

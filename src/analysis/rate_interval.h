@@ -1,0 +1,63 @@
+// The interval lattice of the quantitative dataflow passes.
+//
+// Every per-channel token rate, per-port window rate and per-actor firing
+// rate is abstracted as a closed interval [min, max] in events (or windows,
+// or firings) per second. Unknown quantities are the top element [0, +inf):
+// abstract interpretation over intervals keeps every derived bound sound —
+// a finite maximum is a guarantee, an infinite one an honest "don't know".
+
+#ifndef CONFLUENCE_ANALYSIS_RATE_INTERVAL_H_
+#define CONFLUENCE_ANALYSIS_RATE_INTERVAL_H_
+
+#include <limits>
+#include <string>
+
+namespace cwf::analysis {
+
+/// \brief A non-negative rate interval in units-per-second.
+struct RateInterval {
+  double min = 0.0;
+  double max = std::numeric_limits<double>::infinity();
+
+  /// \brief The top element [0, +inf): nothing is known about the rate.
+  static RateInterval Unknown() { return {}; }
+
+  /// \brief A degenerate (exactly known) rate.
+  static RateInterval Exact(double rate) { return {rate, rate}; }
+
+  /// \brief An interval [lo, hi]; callers guarantee 0 <= lo <= hi.
+  static RateInterval Of(double lo, double hi) { return {lo, hi}; }
+
+  /// \brief Whether the upper bound is finite (the interval carries
+  /// actionable information).
+  bool bounded() const {
+    return max < std::numeric_limits<double>::infinity();
+  }
+
+  /// \brief Whether nothing is known (the top element).
+  bool unknown() const { return min == 0.0 && !bounded(); }
+
+  /// \brief Scale both endpoints by a non-negative factor.
+  RateInterval Scaled(double factor) const {
+    return {min * factor, max * factor};
+  }
+
+  /// \brief Pointwise sum (rates of merged/fan-in flows add).
+  RateInterval Plus(const RateInterval& other) const {
+    return {min + other.min, max + other.max};
+  }
+
+  /// \brief Pointwise minimum (a join fires no faster than its slowest
+  /// input delivers windows).
+  RateInterval Meet(const RateInterval& other) const {
+    return {min < other.min ? min : other.min,
+            max < other.max ? max : other.max};
+  }
+
+  /// \brief "[min, max]/s" with "inf" for the unbounded top.
+  std::string ToString() const;
+};
+
+}  // namespace cwf::analysis
+
+#endif  // CONFLUENCE_ANALYSIS_RATE_INTERVAL_H_

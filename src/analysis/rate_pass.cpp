@@ -1,0 +1,313 @@
+#include "analysis/rate_pass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/sdf_balance.h"
+#include "core/workflow.h"
+#include "window/window_spec.h"
+
+namespace cwf::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string FormatRate(double rate) {
+  if (rate == kInf) {
+    return "inf";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", rate);
+  return buf;
+}
+
+/// Map the event-rate interval of one channel through the consuming port's
+/// window operator into a window-rate interval plus residency estimates.
+void ApplyWindowSemantics(const ChannelSpec& channel, ChannelRateInfo* info) {
+  const WindowSpec& spec = channel.to->spec();
+  const RateInterval& events = info->events;
+  switch (spec.unit) {
+    case WindowUnit::kTuples: {
+      const double step = static_cast<double>(spec.step);
+      info->windows = events.Scaled(1.0 / step);
+      info->events_per_window_max = static_cast<double>(spec.size);
+      // Events persist until they slide out of every future window, so at
+      // most ~size (+ one in-formation step) live in the queue per group.
+      info->resident_events_max =
+          spec.group_by.empty()
+              ? static_cast<double>(spec.size + spec.step)
+              : kInf;  // one queue per key; key count is a runtime property
+      break;
+    }
+    case WindowUnit::kTime: {
+      // One window per `step` microseconds at most, regardless of arrivals.
+      const double cap = 1e6 / static_cast<double>(spec.step);
+      info->windows = RateInterval::Of(std::min(events.min, cap),
+                                       std::min(events.max, cap));
+      if (events.bounded()) {
+        const double per_window =
+            std::max(1.0, events.max * static_cast<double>(spec.size) / 1e6);
+        info->events_per_window_max = per_window;
+        info->resident_events_max =
+            spec.group_by.empty()
+                ? events.max *
+                      static_cast<double>(spec.size + spec.step) / 1e6
+                : kInf;
+      } else {
+        info->events_per_window_max = 1.0;
+        info->resident_events_max = kInf;
+      }
+      break;
+    }
+    case WindowUnit::kWaves: {
+      // Wave extents are data-dependent: a wave may be one event or a
+      // thousand. Envelope: at most one window per `step` waves, and a wave
+      // holds at least one event.
+      info->windows =
+          RateInterval::Of(0.0, events.max / static_cast<double>(spec.step));
+      info->events_per_window_max = 1.0;
+      info->resident_events_max = kInf;
+      info->data_dependent = true;
+      break;
+    }
+  }
+}
+
+/// Production rate of the source port feeding channel `index`, >= 1.
+double ChannelProduction(const ChannelSpec& channel) {
+  const int64_t rate =
+      channel.from->actor()->ProductionRate(channel.from);
+  return static_cast<double>(std::max<int64_t>(1, rate));
+}
+
+}  // namespace
+
+std::string RateInterval::ToString() const {
+  return "[" + FormatRate(min) + ", " + FormatRate(max) + "]/s";
+}
+
+RateModel ComputeRateModel(const Workflow& workflow,
+                           const AnalysisOptions& options) {
+  RateModel model;
+  const std::vector<ChannelSpec>& channels = workflow.channels();
+  model.channels.resize(channels.size());
+
+  // Adjacency by channel index.
+  std::map<const Actor*, std::vector<size_t>> out_channels;
+  std::map<const Actor*, std::vector<size_t>> in_channels;
+  for (size_t i = 0; i < channels.size(); ++i) {
+    out_channels[channels[i].from->actor()].push_back(i);
+    in_channels[channels[i].to->actor()].push_back(i);
+  }
+
+  // Exact relative rates from the balance equations when the deployment is
+  // SDF-admissible; the declared source rates then pin the absolute scale.
+  std::map<const Actor*, int64_t> repetitions;
+  RateInterval iteration = RateInterval::Unknown();
+  bool iteration_known = false;
+  if (options.target_director == "SDF") {
+    Result<std::map<const Actor*, int64_t>> solved =
+        SolveSdfRepetitions(workflow);
+    if (solved.ok()) {
+      repetitions = std::move(solved).value();
+      model.exact_sdf = true;
+    }
+  }
+
+  // Record sources with no declared rate (every director path notes them).
+  for (const Actor* source : workflow.Sources()) {
+    auto out = out_channels.find(source);
+    if (out == out_channels.end()) {
+      continue;  // nothing downstream to propagate into
+    }
+    auto declared = options.source_rates.find(source->name());
+    if (declared == options.source_rates.end() || declared->second.unknown()) {
+      model.unknown_rate_sources.push_back(source);
+    } else if (model.exact_sdf) {
+      // declared rate is events/sec per output channel; firings/sec is
+      // rate/production, iterations/sec is firings/repetitions.
+      const ChannelSpec& first = channels[out->second.front()];
+      const double prod = ChannelProduction(first);
+      auto reps = repetitions.find(source);
+      const double r =
+          reps == repetitions.end()
+              ? 1.0
+              : static_cast<double>(std::max<int64_t>(1, reps->second));
+      RateInterval it = declared->second.Scaled(1.0 / (prod * r));
+      iteration = iteration_known ? iteration.Meet(it) : it;
+      iteration_known = true;
+    }
+  }
+
+  // Kahn topological order; actors on cycles stay unresolved and keep the
+  // top-element rates they are initialized with below.
+  std::map<const Actor*, size_t> indegree;
+  for (const auto& actor : workflow.actors()) {
+    indegree[actor.get()] = 0;
+  }
+  for (const ChannelSpec& channel : channels) {
+    ++indegree[channel.to->actor()];
+  }
+  std::deque<const Actor*> ready;
+  for (const auto& [actor, degree] : indegree) {
+    if (degree == 0) {
+      ready.push_back(actor);
+    }
+  }
+  std::vector<const Actor*> order;
+  while (!ready.empty()) {
+    const Actor* actor = ready.front();
+    ready.pop_front();
+    order.push_back(actor);
+    auto out = out_channels.find(actor);
+    if (out == out_channels.end()) {
+      continue;
+    }
+    for (size_t index : out->second) {
+      if (--indegree[channels[index].to->actor()] == 0) {
+        ready.push_back(channels[index].to->actor());
+      }
+    }
+  }
+
+  // Everything starts at the top element; the propagation below tightens.
+  for (size_t i = 0; i < channels.size(); ++i) {
+    model.channels[i].events = RateInterval::Unknown();
+    ApplyWindowSemantics(channels[i], &model.channels[i]);
+  }
+  for (const auto& actor : workflow.actors()) {
+    model.actors[actor.get()] = ActorRateInfo{};
+  }
+
+  for (const Actor* actor : order) {
+    ActorRateInfo& info = model.actors[actor];
+    auto in = in_channels.find(actor);
+    if (in == in_channels.end()) {
+      // Source: declared rate applies to every output channel.
+      auto declared = options.source_rates.find(actor->name());
+      RateInterval rate = declared == options.source_rates.end()
+                              ? RateInterval::Unknown()
+                              : declared->second;
+      auto out = out_channels.find(actor);
+      if (out != out_channels.end() && !out->second.empty()) {
+        const double prod = ChannelProduction(channels[out->second.front()]);
+        info.firings = rate.Scaled(1.0 / prod);
+      } else {
+        info.firings = rate;
+      }
+      info.events_per_firing_max = 0.0;
+    } else {
+      // Per-port window rate: fan-in channels into one port add up; the
+      // actor fires no faster than its slowest port delivers, divided by
+      // its per-firing window demand.
+      std::map<const InputPort*, RateInterval> port_windows;
+      std::map<const InputPort*, double> port_events;
+      for (size_t index : in->second) {
+        const ChannelSpec& channel = channels[index];
+        const ChannelRateInfo& ch = model.channels[index];
+        auto [it, inserted] =
+            port_windows.try_emplace(channel.to, ch.windows);
+        if (!inserted) {
+          it->second = it->second.Plus(ch.windows);
+        }
+        double& events = port_events[channel.to];
+        events = std::max(events, ch.events_per_window_max);
+      }
+      RateInterval firings = RateInterval::Unknown();
+      bool first = true;
+      double events_per_firing = 0.0;
+      for (const auto& [port, windows] : port_windows) {
+        const double demand = static_cast<double>(
+            std::max<int64_t>(1, actor->ConsumptionRate(port)));
+        RateInterval f = windows.Scaled(1.0 / demand);
+        firings = first ? f : firings.Meet(f);
+        first = false;
+        events_per_firing += demand * port_events[port];
+      }
+      info.firings = firings;
+      info.events_per_firing_max = events_per_firing;
+    }
+
+    if (model.exact_sdf && iteration_known) {
+      auto reps = repetitions.find(actor);
+      if (reps != repetitions.end()) {
+        info.firings =
+            iteration.Scaled(static_cast<double>(reps->second));
+      }
+    }
+
+    auto out = out_channels.find(actor);
+    if (out == out_channels.end()) {
+      continue;
+    }
+    for (size_t index : out->second) {
+      const ChannelSpec& channel = channels[index];
+      ChannelRateInfo& ch = model.channels[index];
+      if (in == in_channels.end()) {
+        // Source channels carry the declared per-channel rate directly.
+        auto declared = options.source_rates.find(actor->name());
+        ch.events = declared == options.source_rates.end()
+                        ? RateInterval::Unknown()
+                        : declared->second;
+      } else {
+        ch.events = info.firings.Scaled(ChannelProduction(channel));
+      }
+      ApplyWindowSemantics(channel, &ch);
+    }
+  }
+
+  return model;
+}
+
+void RatePass::Run(const Workflow& wf, const AnalysisOptions& original,
+                   DiagnosticBag* diags) const {
+  AnalysisOptions options = original;
+  if (options.location_prefix.empty()) {
+    options.location_prefix = wf.name();
+  }
+
+  RateModel model = ComputeRateModel(wf, options);
+
+  for (const Actor* source : model.unknown_rate_sources) {
+    diags->Note(
+        "CWF5001", ActorLocation(options, source->name()),
+        "source '" + source->name() +
+            "' has no declared arrival rate; downstream rates degrade to "
+            "[0, inf]/s and boundedness cannot be established (declare it "
+            "via AnalysisOptions::source_rates)",
+        source);
+  }
+
+  // One note per wave-windowed port whose upstream rate is actually known —
+  // the interesting case where precision is lost to data-dependence.
+  std::set<const InputPort*> noted;
+  const std::vector<ChannelSpec>& channels = wf.channels();
+  for (size_t i = 0; i < channels.size(); ++i) {
+    const ChannelRateInfo& ch = model.channels[i];
+    if (!ch.data_dependent || !ch.events.bounded()) {
+      continue;
+    }
+    if (!noted.insert(channels[i].to).second) {
+      continue;
+    }
+    const Actor* consumer = channels[i].to->actor();
+    diags->Note(
+        "CWF5005",
+        ActorLocation(options, consumer->name()) + "." +
+            channels[i].to->name(),
+        "wave window rate is data-dependent: inflow " +
+            ch.events.ToString() + " maps to the envelope " +
+            ch.windows.ToString() +
+            " windows; capacity planning falls back to horizon bounds",
+        consumer);
+  }
+}
+
+}  // namespace cwf::analysis

@@ -1,0 +1,95 @@
+// Rate propagation: abstract interpretation of per-channel token rates.
+//
+// Starting from declared source rates (AnalysisOptions::source_rates), the
+// pass pushes RateInterval values through the graph in topological order:
+//
+//   * a source emits its declared interval on every output channel,
+//   * a window operator maps an event-rate interval into a window-rate
+//     interval through its size/step (tuple windows: rate/step; time
+//     windows: at most 1/step_seconds; wave windows: data-dependent),
+//   * an actor fires no faster than its slowest input port delivers
+//     windows (interval Meet over ports; a port's window rate is the sum
+//     over its fan-in channels),
+//   * an output channel carries firing_rate * ProductionRate(port).
+//
+// Under an SDF deployment the relative rates are *exact*: the balance
+// equations (SolveSdf) pin every actor's firings-per-iteration, and the
+// declared source rates fix the absolute iteration rate.
+//
+// ComputeRateModel is the shared engine; the RatePass wrapper only emits
+// the informational diagnostics (CWF5001 rate-unknown source, CWF5005
+// data-dependent wave rate). The boundedness pass and the capacity planner
+// both consume the model.
+
+#ifndef CONFLUENCE_ANALYSIS_RATE_PASS_H_
+#define CONFLUENCE_ANALYSIS_RATE_PASS_H_
+
+#include <map>
+#include <vector>
+
+#include "analysis/pass.h"
+#include "analysis/rate_interval.h"
+
+namespace cwf {
+
+class Actor;
+
+namespace analysis {
+
+/// \brief Derived rates of one channel (indexed like Workflow::channels()).
+struct ChannelRateInfo {
+  /// Events per second entering the channel in steady state.
+  RateInterval events;
+  /// Windows per second the consuming port's window operator produces
+  /// from this channel's events.
+  RateInterval windows;
+  /// Upper estimate of events delivered per produced window (for firing
+  /// cost estimates); 1.0 when unknown.
+  double events_per_window_max = 1.0;
+  /// Upper estimate of events *resident* in the receiver's queue in steady
+  /// state (a 2-minute time window at 10 ev/s holds ~1200 events even with
+  /// a keeping-up consumer). +inf when statically unbounded (group-by keys,
+  /// wave windows, unknown arrival rate) — the planner then falls back to a
+  /// horizon-based bound.
+  double resident_events_max = 1.0;
+  /// Wave-unit window: the window rate is data-dependent and the interval
+  /// above is only a conservative envelope (CWF5005).
+  bool data_dependent = false;
+};
+
+/// \brief Derived rates of one actor.
+struct ActorRateInfo {
+  /// Steady-state firings per second.
+  RateInterval firings;
+  /// Upper estimate of events consumed per firing (cost-model input).
+  double events_per_firing_max = 1.0;
+};
+
+/// \brief The rate solution over one workflow level.
+struct RateModel {
+  /// Parallel to Workflow::channels().
+  std::vector<ChannelRateInfo> channels;
+  std::map<const Actor*, ActorRateInfo> actors;
+  /// Rates were pinned exactly by the SDF balance equations.
+  bool exact_sdf = false;
+  /// Sources with no declared rate (their intervals are the top element).
+  std::vector<const Actor*> unknown_rate_sources;
+};
+
+/// \brief Solve the rate intervals for one workflow level (no recursion;
+/// the Analyzer recurses for passes, and the planner is top-level only).
+RateModel ComputeRateModel(const Workflow& workflow,
+                           const AnalysisOptions& options);
+
+/// \brief Informational diagnostics of the rate solution.
+class RatePass : public AnalysisPass {
+ public:
+  const char* name() const override { return "rate"; }
+  void Run(const Workflow& workflow, const AnalysisOptions& options,
+           DiagnosticBag* diagnostics) const override;
+};
+
+}  // namespace analysis
+}  // namespace cwf
+
+#endif  // CONFLUENCE_ANALYSIS_RATE_PASS_H_

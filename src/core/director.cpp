@@ -1,9 +1,14 @@
 #include "core/director.h"
 
 #include "analysis/analyzer.h"
+#include "analysis/capacity_planner.h"
 #include "stream/stream_source.h"
 
 namespace cwf {
+
+void Director::set_capacity_plan(const analysis::CapacityPlan& plan) {
+  capacity_plan_ = std::make_shared<const analysis::CapacityPlan>(plan);
+}
 
 Status Director::Initialize(Workflow* workflow, Clock* clock,
                             const CostModel* cost_model) {
@@ -66,6 +71,16 @@ Status Director::BuildReceivers() {
     std::unique_ptr<Receiver> receiver = CreateReceiver(ch.to);
     Receiver* raw = ch.to->SetReceiver(ch.to_channel, std::move(receiver));
     raw->set_owner(this);
+    // Analysis→runtime feedback edge: pre-size the queue to the planner's
+    // bound (Floe-style buffer sizing, computed once by cwf_analyze --plan
+    // or PlanCapacity and reused here).
+    if (capacity_plan_ != nullptr) {
+      const size_t bound =
+          capacity_plan_->CapacityFor(ch.to->FullName(), ch.to_channel);
+      if (bound > 0) {
+        raw->SetCapacity(bound, planned_overflow_policy());
+      }
+    }
     ch.from->AddRemoteReceiver(raw);
   }
   return Status::OK();

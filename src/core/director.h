@@ -16,9 +16,14 @@
 #include "common/status.h"
 #include "core/clock.h"
 #include "core/cost_model.h"
+#include "core/receiver.h"
 #include "core/workflow.h"
 
 namespace cwf {
+
+namespace analysis {
+struct CapacityPlan;
+}  // namespace analysis
 
 /// \brief Base class of every model of computation.
 class Director {
@@ -72,6 +77,22 @@ class Director {
     return halted_.count(actor) > 0;
   }
 
+  /// \brief Install a static capacity plan (analysis/capacity_planner.h) to
+  /// be consumed by the next Initialize(): BuildReceivers() pre-sizes every
+  /// planned channel to its bound with this director's overflow policy
+  /// (planned_overflow_policy()). Call before Initialize(); pass-by-value is
+  /// copied, the plan does not need to outlive this call.
+  void set_capacity_plan(const analysis::CapacityPlan& plan);
+
+  /// \brief Remove an installed plan (subsequent initializations build
+  /// unbounded receivers again).
+  void clear_capacity_plan() { capacity_plan_.reset(); }
+
+  /// \brief The installed plan, or nullptr.
+  const analysis::CapacityPlan* capacity_plan() const {
+    return capacity_plan_.get();
+  }
+
   /// \brief Opt out of the MoC-aware static analysis gate in Initialize()
   /// (analysis::VerifyForDirector); plain Workflow::Validate() still runs.
   /// For experiments that deliberately construct inadmissible graphs.
@@ -92,8 +113,16 @@ class Director {
 
  protected:
   /// \brief Create a receiver for every channel and register it with both
-  /// ends; called from Initialize().
+  /// ends; called from Initialize(). With a capacity plan installed, planned
+  /// channels are bounded to their per-channel capacity.
   Status BuildReceivers();
+
+  /// \brief Overflow policy applied to plan-bounded receivers. The default
+  /// keeps capacity advisory (bound + high-water mark only); the PNCWF
+  /// director overrides this with kBlock to get blocking-put backpressure.
+  virtual OverflowPolicy planned_overflow_policy() const {
+    return OverflowPolicy::kUnbounded;
+  }
 
   /// \brief Observation hook: one event was stamped and broadcast.
   virtual void OnEventEmitted(Actor* producer, OutputPort* port,
@@ -113,6 +142,8 @@ class Director {
   bool initialized_ = false;
   bool static_analysis_enabled_ = true;
   std::set<const Actor*> halted_;
+  /// shared_ptr so the header only needs the forward declaration.
+  std::shared_ptr<const analysis::CapacityPlan> capacity_plan_;
 };
 
 }  // namespace cwf

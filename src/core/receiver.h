@@ -21,6 +21,17 @@ namespace cwf {
 class Director;
 class InputPort;
 
+/// \brief What Put() does when a capacity-bounded receiver is full.
+enum class OverflowPolicy {
+  /// Capacity is advisory: deposits always succeed (the bound still drives
+  /// AtCapacity() for director-level backpressure and the high-water mark).
+  kUnbounded,
+  /// Producers must not deposit while AtCapacity(): the PNCWF OS-thread
+  /// receivers block the producing thread until the consumer drains
+  /// (backpressure); the simulated director defers the producer's firing.
+  kBlock,
+};
+
 /// \brief Abstract channel endpoint. Producers call Put(); the consuming
 /// actor's fire() obtains windows via Get().
 class Receiver {
@@ -68,11 +79,54 @@ class Receiver {
   const Director* owner() const { return owner_; }
   void set_owner(const Director* director) { owner_ = director; }
 
+  // ---- Capacity (static capacity planner → runtime feedback edge) ----
+
+  /// \brief Bound the queue to `capacity` queued units (pending events +
+  /// ready windows, i.e. QueueDepth()); 0 restores the unbounded default.
+  /// Directors apply the CapacityPlan's per-channel bounds here at
+  /// Initialize.
+  void SetCapacity(size_t capacity, OverflowPolicy policy) {
+    capacity_ = capacity;
+    overflow_policy_ = capacity == 0 ? OverflowPolicy::kUnbounded : policy;
+  }
+
+  size_t capacity() const { return capacity_; }
+  OverflowPolicy overflow_policy() const { return overflow_policy_; }
+
+  /// \brief Current queued units: buffered-but-unwindowed events plus ready
+  /// windows — the quantity the planner bounds.
+  size_t QueueDepth() const { return PendingEventCount() + ReadyWindowCount(); }
+
+  /// \brief Whether a bounded receiver is full (always false when
+  /// unbounded).
+  bool AtCapacity() const {
+    return capacity_ > 0 && QueueDepth() >= capacity_;
+  }
+
+  /// \brief Highest QueueDepth() ever observed after a deposit. Compared
+  /// against the planner's per-channel bound (tests) and surfaced through
+  /// stafilos::ActorStatistics under the SCWF director.
+  uint64_t high_water_mark() const { return high_water_mark_; }
+  void ResetHighWaterMark() { high_water_mark_ = 0; }
+
  protected:
+  /// \brief Update the high-water mark; subclasses call this after every
+  /// deposit (Put, timeout/flush window production, scheduled delivery).
+  /// Caller provides any locking its Put already uses.
+  void RecordDepth() {
+    const size_t depth = QueueDepth();
+    if (depth > high_water_mark_) {
+      high_water_mark_ = depth;
+    }
+  }
+
   InputPort* port_;
 
  private:
   const Director* owner_ = nullptr;
+  size_t capacity_ = 0;
+  OverflowPolicy overflow_policy_ = OverflowPolicy::kUnbounded;
+  uint64_t high_water_mark_ = 0;
 };
 
 /// \brief The plain FIFO receiver: every event is delivered alone, in arrival
@@ -83,6 +137,7 @@ class QueueReceiver : public Receiver {
 
   Status Put(const CWEvent& event) override {
     queue_.push_back(event);
+    RecordDepth();
     return Status::OK();
   }
 

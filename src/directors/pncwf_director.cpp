@@ -10,18 +10,33 @@ namespace {
 
 /// Receiver for OS-thread mode: every operation locks the *consuming*
 /// actor's synchronization domain and put() wakes its thread — the
-/// "blocking read" of the PNCWF execution model.
+/// "blocking read" of the PNCWF execution model. With a planner-assigned
+/// capacity the put side blocks too: a producer thread at a full queue
+/// waits until the consumer drains (backpressure), turning the paper's
+/// unbounded-deque overload regime into a bounded pipeline.
 class BlockingWindowedReceiver : public WindowedReceiver {
  public:
   BlockingWindowedReceiver(InputPort* port, WindowSpec spec,
                            OrderedRecursiveMutex* mutex,
-                           std::condition_variable_any* cv)
-      : WindowedReceiver(port, std::move(spec)), mutex_(mutex), cv_(cv) {}
+                           std::condition_variable_any* cv,
+                           const std::atomic<bool>* stop)
+      : WindowedReceiver(port, std::move(spec)),
+        mutex_(mutex),
+        cv_(cv),
+        stop_(stop) {}
 
   Status Put(const CWEvent& event) override {
     Status st;
     {
-      ScopedLock lock(*mutex_);
+      std::unique_lock<OrderedRecursiveMutex> lock(*mutex_);
+      // Blocking-put backpressure. Timed waits keep the producer
+      // responsive to shutdown; after stop the deposit proceeds regardless
+      // (an event the producer already committed to must not be lost), so
+      // the capacity invariant is a steady-state property.
+      while (overflow_policy() == OverflowPolicy::kBlock && AtCapacity() &&
+             !stop_->load()) {
+        cv_->wait_for(lock, std::chrono::milliseconds(1));
+      }
       st = WindowedReceiver::Put(event);
     }
     cv_->notify_all();
@@ -34,8 +49,14 @@ class BlockingWindowedReceiver : public WindowedReceiver {
   }
 
   std::optional<Window> Get() override {
-    ScopedLock lock(*mutex_);
-    return WindowedReceiver::Get();
+    std::optional<Window> w;
+    {
+      ScopedLock lock(*mutex_);
+      w = WindowedReceiver::Get();
+    }
+    // A drained slot may unblock a producer waiting in Put().
+    cv_->notify_all();
+    return w;
   }
 
   size_t ReadyWindowCount() const override {
@@ -77,6 +98,7 @@ class BlockingWindowedReceiver : public WindowedReceiver {
  private:
   OrderedRecursiveMutex* mutex_;
   std::condition_variable_any* cv_;
+  const std::atomic<bool>* stop_;
 };
 
 }  // namespace
@@ -133,7 +155,18 @@ std::unique_ptr<Receiver> PNCWFDirector::CreateReceiver(InputPort* port) {
   }
   ActorSync* sync = syncs_.at(port->actor()).get();
   return std::make_unique<BlockingWindowedReceiver>(
-      port, port->spec(), &sync->mutex, &sync->cv);
+      port, port->spec(), &sync->mutex, &sync->cv, &stop_);
+}
+
+bool PNCWFDirector::DownstreamAtCapacity(const Actor* actor) const {
+  for (const auto& port : actor->output_ports()) {
+    for (const Receiver* r : port->remote_receivers()) {
+      if (r->overflow_policy() == OverflowPolicy::kBlock && r->AtCapacity()) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
@@ -194,11 +227,14 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
     }
     FireReceiverTimeouts(clock_->Now());
 
-    // The simulated OS picks the next runnable "thread" round-robin.
+    // The simulated OS picks the next runnable "thread" round-robin. A
+    // "thread" whose downstream queue is at its planned capacity is treated
+    // as blocked in put() — the single-threaded simulation of the OS-mode
+    // blocking-put backpressure.
     Actor* chosen = nullptr;
     for (size_t k = 0; k < n; ++k) {
       Actor* a = actors[(cursor + k) % n].get();
-      if (IsHalted(a)) {
+      if (IsHalted(a) || DownstreamAtCapacity(a)) {
         continue;
       }
       auto pf = a->Prefire();
@@ -227,6 +263,9 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
     ++context_switches_;
     Duration slice = cost_model_->os_time_slice;
     while (slice > 0 && clock_->Now() <= until) {
+      if (DownstreamAtCapacity(chosen)) {
+        break;  // blocks in put() against a full planned queue
+      }
       auto pf = chosen->Prefire();
       if (!pf.ok()) {
         return pf.status();

@@ -67,6 +67,14 @@ class PNCWFDirector : public Director {
   /// \brief Simulated context switches performed (simulation mode).
   uint64_t context_switches() const { return context_switches_; }
 
+ protected:
+  /// Plan-bounded channels get blocking-put backpressure under PNCWF: OS
+  /// mode blocks the producing thread in Put(); simulated mode defers the
+  /// producer's firing while its downstream queue is full.
+  OverflowPolicy planned_overflow_policy() const override {
+    return OverflowPolicy::kBlock;
+  }
+
  private:
   /// Per-actor synchronization domain for OS-thread mode (recursive: the
   /// prefire predicate re-enters receiver methods under the lock).
@@ -85,6 +93,10 @@ class PNCWFDirector : public Director {
   Result<Duration> FireOnce(Actor* actor, size_t* consumed, size_t* emitted);
 
   void FireReceiverTimeouts(Timestamp now);
+
+  /// Whether any plan-bounded queue downstream of `actor` is full — the
+  /// simulated-mode stand-in for a producer thread blocked in Put().
+  bool DownstreamAtCapacity(const Actor* actor) const;
 
   bool AllQuiescent() const;
 

@@ -114,6 +114,19 @@ Status SCWFDirector::DispatchActor(Actor* actor) {
     ++total_firings_;
     fired = true;
     stats_.OnFiring(actor, cost, consumed, emitted, clock_->Now());
+    // Surface the receiver high-water marks (max over input receivers) so
+    // schedulers and tests can compare runtime depth against the planner's
+    // bound without walking the receiver graph themselves.
+    uint64_t high_water = 0;
+    for (const auto& port : actor->input_ports()) {
+      for (size_t c = 0; c < port->ChannelCount(); ++c) {
+        const Receiver* r = port->receiver(c);
+        if (r != nullptr && r->high_water_mark() > high_water) {
+          high_water = r->high_water_mark();
+        }
+      }
+    }
+    stats_.OnQueueDepth(actor, high_water);
     auto cont = actor->Postfire();
     if (!cont.ok()) {
       return cont.status();

@@ -44,6 +44,7 @@ class TMWindowedReceiver : public WindowedReceiver {
                        << " produced)");
     ++delivered_;
     buffer_.push_back(std::move(w));
+    RecordDepth();
   }
 
   bool HasWindow() const override { return !buffer_.empty(); }

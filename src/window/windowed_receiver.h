@@ -31,6 +31,7 @@ class WindowedReceiver : public Receiver {
     for (Window& w : produced_scratch_) {
       OnWindowProduced(std::move(w));
     }
+    RecordDepth();
     return Status::OK();
   }
 
@@ -59,6 +60,7 @@ class WindowedReceiver : public Receiver {
     for (Window& w : produced_scratch_) {
       OnWindowProduced(std::move(w));
     }
+    RecordDepth();
   }
 
   void Flush() override {
@@ -67,6 +69,7 @@ class WindowedReceiver : public Receiver {
     for (Window& w : produced_scratch_) {
       OnWindowProduced(std::move(w));
     }
+    RecordDepth();
   }
 
   const WindowOperator& window_operator() const { return op_; }

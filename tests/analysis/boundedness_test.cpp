@@ -1,0 +1,125 @@
+#include "analysis/boundedness_pass.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/diagnostic.h"
+#include "core/cost_model.h"
+#include "test_actors.h"
+
+namespace cwf::analysis {
+namespace {
+
+using analysis_test::Node;
+
+DiagnosticBag RunBoundedness(const Workflow& wf, const std::string& target,
+                             std::map<std::string, RateInterval> rates,
+                             const CostModel* costs = nullptr) {
+  BoundednessPass pass;
+  AnalysisOptions options;
+  options.target_director = target;
+  options.source_rates = std::move(rates);
+  options.cost_model = costs;
+  DiagnosticBag diags;
+  pass.Run(wf, options, &diags);
+  return diags;
+}
+
+Workflow* Pipeline(Workflow* wf) {
+  auto* src = wf->AddActor<Node>("src", 0, 1);
+  auto* work = wf->AddActor<Node>("work", 1, 1);
+  auto* sink = wf->AddActor<Node>("sink", 1, 0);
+  CWF_CHECK(wf->Connect(src->out(), work->in()).ok());
+  CWF_CHECK(wf->Connect(work->out(), sink->in()).ok());
+  return wf;
+}
+
+TEST(BoundednessPassTest, Cwf5002PncwfInflowExceedsServiceRate) {
+  Workflow wf("w");
+  Pipeline(&wf);
+  // 100 ms per firing -> ~10 firings/s sustainable against 1000 ev/s.
+  CostModel costs;
+  costs.SetActorCost("work", {100000, 0, 0});
+  const DiagnosticBag diags = RunBoundedness(
+      wf, "PNCWF", {{"src", RateInterval::Exact(1000.0)}}, &costs);
+  ASSERT_TRUE(diags.HasCode("CWF5002")) << diags.ToText();
+  EXPECT_EQ(diags.WithCode("CWF5002")[0]->severity, Severity::kWarning);
+  EXPECT_EQ(diags.WithCode("CWF5002")[0]->location, "w/work.in");
+}
+
+TEST(BoundednessPassTest, Cwf5002SilentWhenServiceKeepsUp) {
+  Workflow wf("w");
+  Pipeline(&wf);
+  const DiagnosticBag diags =
+      RunBoundedness(wf, "PNCWF", {{"src", RateInterval::Exact(10.0)}});
+  EXPECT_TRUE(diags.empty()) << diags.ToText();
+}
+
+TEST(BoundednessPassTest, Cwf5002SilentWhenInflowUnknown) {
+  // Unknown inflow is CWF5001 territory; no unfounded overload warning.
+  Workflow wf("w");
+  Pipeline(&wf);
+  CostModel costs;
+  costs.SetActorCost("work", {100000, 0, 0});
+  EXPECT_FALSE(RunBoundedness(wf, "PNCWF", {}, &costs).HasCode("CWF5002"));
+}
+
+TEST(BoundednessPassTest, Cwf5004ScwfSingleActorOverload) {
+  Workflow wf("w");
+  Pipeline(&wf);
+  // 20 ms per firing at 100 firings/s: utilization 2.0 on one actor.
+  CostModel costs;
+  costs.SetActorCost("work", {20000, 0, 0});
+  const DiagnosticBag diags = RunBoundedness(
+      wf, "SCWF", {{"src", RateInterval::Exact(100.0)}}, &costs);
+  ASSERT_TRUE(diags.HasCode("CWF5004")) << diags.ToText();
+  EXPECT_EQ(diags.WithCode("CWF5004")[0]->severity, Severity::kWarning);
+  EXPECT_EQ(diags.WithCode("CWF5004")[0]->location, "w/work");
+  // A single saturated actor also saturates the executor.
+  EXPECT_TRUE(diags.HasCode("CWF5003"));
+}
+
+TEST(BoundednessPassTest, Cwf5003TotalOverloadWithoutSingleCulprit) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* a = wf.AddActor<Node>("a", 1, 0);
+  auto* b = wf.AddActor<Node>("b", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), a->in()).ok());
+  ASSERT_TRUE(wf.Connect(src->out(), b->in()).ok());
+  // Each consumer at utilization ~0.6: no single actor over 1, but the
+  // executor is asked for 1.2+ in total.
+  CostModel costs;
+  costs.SetActorCost("a", {6000, 0, 0});
+  costs.SetActorCost("b", {6000, 0, 0});
+  costs.SetActorCost("src", {1, 0, 0});
+  const DiagnosticBag diags = RunBoundedness(
+      wf, "SCWF", {{"src", RateInterval::Exact(100.0)}}, &costs);
+  ASSERT_TRUE(diags.HasCode("CWF5003")) << diags.ToText();
+  EXPECT_EQ(diags.WithCode("CWF5003")[0]->severity, Severity::kWarning);
+  EXPECT_EQ(diags.WithCode("CWF5003")[0]->location, "w");
+  EXPECT_FALSE(diags.HasCode("CWF5004"));
+}
+
+TEST(BoundednessPassTest, Cwf5003SilentUnderLightLoad) {
+  Workflow wf("w");
+  Pipeline(&wf);
+  const DiagnosticBag diags =
+      RunBoundedness(wf, "SCWF", {{"src", RateInterval::Exact(10.0)}});
+  EXPECT_TRUE(diags.empty()) << diags.ToText();
+}
+
+TEST(BoundednessPassTest, OnlyRunsForPncwfAndScwfTargets) {
+  Workflow wf("w");
+  Pipeline(&wf);
+  CostModel costs;
+  costs.SetActorCost("work", {10000000, 0, 0});
+  for (const char* target : {"", "SDF", "DDF", "PN"}) {
+    const DiagnosticBag diags = RunBoundedness(
+        wf, target, {{"src", RateInterval::Exact(100000.0)}}, &costs);
+    EXPECT_TRUE(diags.empty()) << target << ": " << diags.ToText();
+  }
+}
+
+}  // namespace
+}  // namespace cwf::analysis

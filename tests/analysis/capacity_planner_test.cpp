@@ -1,0 +1,159 @@
+#include "analysis/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/builtin_graphs.h"
+#include "core/cost_model.h"
+#include "test_actors.h"
+
+namespace cwf::analysis {
+namespace {
+
+using analysis_test::Node;
+
+AnalysisOptions Declared(std::map<std::string, RateInterval> rates,
+                         const std::string& target = "SCWF") {
+  AnalysisOptions options;
+  options.target_director = target;
+  options.source_rates = std::move(rates);
+  return options;
+}
+
+TEST(CapacityPlannerTest, BoundedChannelUsesResidencyPlusBacklog) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>("agg", 1, 0, WindowSpec::Tuples(5, 5));
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  const CapacityPlan plan = PlanCapacity(
+      wf, Declared({{"src", RateInterval::Exact(100.0)}}));
+  ASSERT_EQ(plan.channels.size(), 1u);
+  const ChannelCapacity& ch = plan.channels[0];
+  EXPECT_TRUE(ch.bounded);
+  EXPECT_EQ(ch.producer, "src.out");
+  EXPECT_EQ(ch.consumer, "agg.in");
+  // burst_slack + ceil(safety * (resident + windows * delay_budget))
+  //   = 64 + ceil(2 * (10 + 20 * 1)) = 124.
+  EXPECT_EQ(ch.capacity, 124u);
+  EXPECT_EQ(plan.CapacityFor("agg.in", 0), 124u);
+}
+
+TEST(CapacityPlannerTest, PlanningOptionsScaleTheBound) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>("agg", 1, 0, WindowSpec::Tuples(5, 5));
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  PlanningOptions planning;
+  planning.burst_slack = 0;
+  planning.safety_factor = 1.0;
+  planning.queueing_delay_budget_seconds = 0.0;
+  const CapacityPlan plan = PlanCapacity(
+      wf, Declared({{"src", RateInterval::Exact(100.0)}}), planning);
+  // Pure residency: window size + step.
+  EXPECT_EQ(plan.channels[0].capacity, 10u);
+}
+
+TEST(CapacityPlannerTest, UnknownInflowStaysUnbounded) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const CapacityPlan plan = PlanCapacity(wf, Declared({}));
+  ASSERT_EQ(plan.channels.size(), 1u);
+  EXPECT_FALSE(plan.channels[0].bounded);
+  EXPECT_EQ(plan.channels[0].capacity, 0u);
+  EXPECT_EQ(plan.CapacityFor("sink.in", 0), 0u);
+}
+
+TEST(CapacityPlannerTest, GroupByResidencyFallsBackToHorizon) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>(
+      "agg", 1, 0, WindowSpec::Tuples(2, 2).GroupBy({"key"}));
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  const CapacityPlan plan =
+      PlanCapacity(wf, Declared({{"src", RateInterval::Exact(10.0)}}));
+  // Residency is statically unbounded (per-key retention): hold a full
+  // 60-second horizon of arrivals instead.
+  //   64 + ceil(2 * (10 * 60 + 5 * 1)) = 64 + 1210 = 1274.
+  EXPECT_TRUE(plan.channels[0].bounded);
+  EXPECT_EQ(plan.channels[0].capacity, 1274u);
+}
+
+TEST(CapacityPlannerTest, CapacityForMatchesConsumerAndSlot) {
+  Workflow wf("w");
+  auto* a = wf.AddActor<Node>("a", 0, 1);
+  auto* b = wf.AddActor<Node>("b", 0, 1);
+  auto* join = wf.AddActor<Node>("join", 1, 0);
+  ASSERT_TRUE(wf.Connect(a->out(), join->in()).ok());
+  ASSERT_TRUE(wf.Connect(b->out(), join->in()).ok());
+  const CapacityPlan plan =
+      PlanCapacity(wf, Declared({{"a", RateInterval::Exact(10.0)},
+                                 {"b", RateInterval::Exact(10.0)}}));
+  ASSERT_EQ(plan.channels.size(), 2u);
+  EXPECT_GT(plan.CapacityFor("join.in", 0), 0u);
+  EXPECT_GT(plan.CapacityFor("join.in", 1), 0u);
+  EXPECT_EQ(plan.CapacityFor("join.in", 7), 0u);
+  EXPECT_EQ(plan.CapacityFor("absent.in", 0), 0u);
+}
+
+TEST(CapacityPlannerTest, CriticalPathFollowsModeledCosts) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* cheap = wf.AddActor<Node>("cheap", 1, 0);
+  auto* costly = wf.AddActor<Node>("costly", 1, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), cheap->in()).ok());
+  ASSERT_TRUE(wf.Connect(src->out(), costly->in()).ok());
+  ASSERT_TRUE(wf.Connect(costly->out(), sink->in()).ok());
+  CostModel costs;
+  costs.SetDefault({100, 0, 0});
+  costs.SetActorCost("costly", {5000, 0, 0});
+  AnalysisOptions options = Declared({{"src", RateInterval::Exact(10.0)}});
+  options.cost_model = &costs;
+  const CapacityPlan plan = PlanCapacity(wf, options);
+  ASSERT_EQ(plan.critical_path.size(), 3u);
+  EXPECT_EQ(plan.critical_path[0], "src");
+  EXPECT_EQ(plan.critical_path[1], "costly");
+  EXPECT_EQ(plan.critical_path[2], "sink");
+  // Each node carries base + scheduled dispatch overhead (5 us).
+  EXPECT_DOUBLE_EQ(plan.critical_path_latency_micros, 105 + 5005 + 105);
+  EXPECT_NEAR(plan.total_utilization,
+              10.0 * (105 + 105 + 5005 + 105) / 1e6, 1e-9);
+}
+
+TEST(CapacityPlannerTest, JsonRendersInfinityAsString) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const CapacityPlan plan = PlanCapacity(wf, Declared({}));
+  const std::string json = plan.ToJson();
+  EXPECT_NE(json.find("\"inflow_events_max\":\"inf\""), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("inf,"), std::string::npos) << json;  // never bare
+}
+
+TEST(CapacityPlannerTest, BuiltinCatalogPlansAreFullyBounded) {
+  // Every catalog deployment declares its source rates, so the planner
+  // must bound every channel — the invariant the runtime tests then check
+  // against observed high-water marks.
+  for (const BuiltinGraph& graph : BuildBuiltinGraphs()) {
+    const CapacityPlan plan =
+        PlanCapacity(*graph.workflow, AnalysisOptionsFor(graph));
+    EXPECT_FALSE(plan.channels.empty()) << graph.name;
+    for (const ChannelCapacity& ch : plan.channels) {
+      EXPECT_TRUE(ch.bounded)
+          << graph.name << ": " << ch.producer << " -> " << ch.consumer;
+      EXPECT_GT(ch.capacity, 0u) << graph.name;
+    }
+    EXPECT_FALSE(plan.critical_path.empty()) << graph.name;
+    EXPECT_GT(plan.total_utilization, 0.0) << graph.name;
+    EXPECT_LT(plan.total_utilization, 1.0)
+        << graph.name << " is overloaded as declared";
+  }
+}
+
+}  // namespace
+}  // namespace cwf::analysis

@@ -1,0 +1,197 @@
+#include "analysis/rate_pass.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "analysis/diagnostic.h"
+#include "test_actors.h"
+
+namespace cwf::analysis {
+namespace {
+
+using analysis_test::Node;
+using analysis_test::RateSource;
+
+AnalysisOptions Declared(std::map<std::string, RateInterval> rates,
+                         const std::string& target = "SCWF") {
+  AnalysisOptions options;
+  options.target_director = target;
+  options.source_rates = std::move(rates);
+  return options;
+}
+
+TEST(RateIntervalTest, LatticeOperations) {
+  const RateInterval top;
+  EXPECT_FALSE(top.bounded());
+  const RateInterval exact = RateInterval::Exact(10.0);
+  EXPECT_TRUE(exact.bounded());
+  EXPECT_DOUBLE_EQ(exact.min, 10.0);
+  EXPECT_DOUBLE_EQ(exact.max, 10.0);
+  const RateInterval scaled = exact.Scaled(0.5);
+  EXPECT_DOUBLE_EQ(scaled.max, 5.0);
+  const RateInterval sum = exact.Plus(RateInterval::Of(1.0, 2.0));
+  EXPECT_DOUBLE_EQ(sum.min, 11.0);
+  EXPECT_DOUBLE_EQ(sum.max, 12.0);
+  const RateInterval met = top.Meet(exact);
+  EXPECT_DOUBLE_EQ(met.max, 10.0);
+  EXPECT_EQ(exact.ToString(), "[10, 10]/s");
+}
+
+TEST(RatePassTest, UnknownSourceRateDegradesToTop) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const RateModel model = ComputeRateModel(wf, Declared({}));
+  ASSERT_EQ(model.channels.size(), 1u);
+  EXPECT_FALSE(model.channels[0].events.bounded());
+  ASSERT_EQ(model.unknown_rate_sources.size(), 1u);
+  EXPECT_EQ(model.unknown_rate_sources[0]->name(), "src");
+}
+
+TEST(RatePassTest, DeclaredRatePropagatesThroughPipeline) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* map = wf.AddActor<Node>("map", 1, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), map->in()).ok());
+  ASSERT_TRUE(wf.Connect(map->out(), sink->in()).ok());
+  const RateModel model =
+      ComputeRateModel(wf, Declared({{"src", RateInterval::Exact(100.0)}}));
+  ASSERT_EQ(model.channels.size(), 2u);
+  EXPECT_DOUBLE_EQ(model.channels[0].events.max, 100.0);
+  EXPECT_DOUBLE_EQ(model.channels[1].events.max, 100.0);
+  EXPECT_TRUE(model.unknown_rate_sources.empty());
+}
+
+TEST(RatePassTest, TumblingTupleWindowDividesByStep) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>("agg", 1, 1, WindowSpec::Tuples(5, 5));
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  ASSERT_TRUE(wf.Connect(agg->out(), sink->in()).ok());
+  const RateModel model =
+      ComputeRateModel(wf, Declared({{"src", RateInterval::Exact(100.0)}}));
+  // 100 ev/s through a 5-step tumbling window: 20 windows/s, 5 events
+  // each, residency bounded by size + step.
+  EXPECT_DOUBLE_EQ(model.channels[0].windows.max, 20.0);
+  EXPECT_DOUBLE_EQ(model.channels[0].events_per_window_max, 5.0);
+  EXPECT_DOUBLE_EQ(model.channels[0].resident_events_max, 10.0);
+  // agg fires once per window and re-emits one token per firing.
+  const auto agg_rates = model.actors.find(agg);
+  ASSERT_NE(agg_rates, model.actors.end());
+  EXPECT_DOUBLE_EQ(agg_rates->second.firings.max, 20.0);
+  EXPECT_DOUBLE_EQ(model.channels[1].events.max, 20.0);
+}
+
+TEST(RatePassTest, SlidingTupleWindowKeepsPerEventRate) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>("agg", 1, 0, WindowSpec::Tuples(3, 1));
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  const RateModel model =
+      ComputeRateModel(wf, Declared({{"src", RateInterval::Exact(50.0)}}));
+  EXPECT_DOUBLE_EQ(model.channels[0].windows.max, 50.0);
+  EXPECT_DOUBLE_EQ(model.channels[0].events_per_window_max, 3.0);
+}
+
+TEST(RatePassTest, TimeWindowRateIsCappedByStep) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>("agg", 1, 0,
+                                WindowSpec::Time(Seconds(60), Seconds(60)));
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  const RateModel model =
+      ComputeRateModel(wf, Declared({{"src", RateInterval::Exact(25.0)}}));
+  // At most one window per 60-second step regardless of the arrival rate.
+  EXPECT_DOUBLE_EQ(model.channels[0].windows.max, 1.0 / 60.0);
+  // A keeping-up consumer still holds a full window span of events.
+  EXPECT_DOUBLE_EQ(model.channels[0].resident_events_max, 25.0 * 120.0);
+}
+
+TEST(RatePassTest, GroupByResidencyIsStaticallyUnbounded) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* agg = wf.AddActor<Node>(
+      "agg", 1, 0, WindowSpec::Tuples(2, 2).GroupBy({"key"}));
+  ASSERT_TRUE(wf.Connect(src->out(), agg->in()).ok());
+  const RateModel model =
+      ComputeRateModel(wf, Declared({{"src", RateInterval::Exact(10.0)}}));
+  EXPECT_TRUE(model.channels[0].windows.bounded());
+  EXPECT_TRUE(std::isinf(model.channels[0].resident_events_max));
+}
+
+TEST(RatePassTest, SdfBalanceEquationsPinExactRates) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<RateSource>("src", 2);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const RateModel model = ComputeRateModel(
+      wf, Declared({{"src", RateInterval::Exact(10.0)}}, "SDF"));
+  EXPECT_TRUE(model.exact_sdf);
+  // 10 ev/s from a produce-2 source: 5 firings/s; the consume-1 sink
+  // fires once per event.
+  const auto src_rates = model.actors.find(src);
+  ASSERT_NE(src_rates, model.actors.end());
+  EXPECT_DOUBLE_EQ(src_rates->second.firings.max, 5.0);
+  const auto sink_rates = model.actors.find(sink);
+  ASSERT_NE(sink_rates, model.actors.end());
+  EXPECT_DOUBLE_EQ(sink_rates->second.firings.max, 10.0);
+}
+
+DiagnosticBag RunRatePass(const Workflow& wf, AnalysisOptions options) {
+  RatePass pass;
+  DiagnosticBag diags;
+  pass.Run(wf, options, &diags);
+  return diags;
+}
+
+TEST(RatePassTest, Cwf5001UndeclaredSourceRate) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const DiagnosticBag diags = RunRatePass(wf, Declared({}));
+  ASSERT_TRUE(diags.HasCode("CWF5001"));
+  EXPECT_EQ(diags.WithCode("CWF5001")[0]->severity, Severity::kNote);
+  EXPECT_EQ(diags.WithCode("CWF5001")[0]->location, "w/src");
+}
+
+TEST(RatePassTest, Cwf5001SilentWhenRateDeclared) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0);
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const DiagnosticBag diags =
+      RunRatePass(wf, Declared({{"src", RateInterval::Exact(10.0)}}));
+  EXPECT_FALSE(diags.HasCode("CWF5001")) << diags.ToText();
+}
+
+TEST(RatePassTest, Cwf5005WaveWindowWithBoundedInflow) {
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0, WindowSpec::Waves(1, 1));
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const DiagnosticBag diags =
+      RunRatePass(wf, Declared({{"src", RateInterval::Exact(10.0)}}));
+  ASSERT_TRUE(diags.HasCode("CWF5005"));
+  EXPECT_EQ(diags.WithCode("CWF5005")[0]->severity, Severity::kNote);
+  EXPECT_EQ(diags.WithCode("CWF5005")[0]->location, "w/sink.in");
+}
+
+TEST(RatePassTest, Cwf5005SilentWithoutRateInformation) {
+  // With no inflow bound there is nothing quantitative to degrade — the
+  // CWF5001 note already covers the unknown source.
+  Workflow wf("w");
+  auto* src = wf.AddActor<Node>("src", 0, 1);
+  auto* sink = wf.AddActor<Node>("sink", 1, 0, WindowSpec::Waves(1, 1));
+  ASSERT_TRUE(wf.Connect(src->out(), sink->in()).ok());
+  const DiagnosticBag diags = RunRatePass(wf, Declared({}));
+  EXPECT_FALSE(diags.HasCode("CWF5005")) << diags.ToText();
+}
+
+}  // namespace
+}  // namespace cwf::analysis

@@ -1,25 +1,31 @@
-// cwf_analyze: the MoC-aware static workflow linter.
+// cwf_analyze: the MoC-aware static workflow linter and capacity planner.
 //
 // Runs every analysis pass (structural, MoC admission, window/wave,
-// scheduler config) over the built-in graph catalog — analyzable mirrors
-// of the example programs plus the Linear Road benchmark — and reports
-// diagnostics as text or JSON. Exits non-zero when any error-severity
-// finding exists (or any warning, with --strict), so tools/check.sh can
-// gate on it.
+// scheduler config, quantitative rate/boundedness) over the built-in graph
+// catalog — analyzable mirrors of the example programs plus the Linear
+// Road benchmark — and reports diagnostics as text or JSON. Exits non-zero
+// when any error-severity finding exists (or any warning, with --strict),
+// so tools/check.sh can gate on it.
 //
 // Usage:
 //   cwf_analyze                   analyze every built-in graph
 //   cwf_analyze lrb quickstart    analyze a subset by name
 //   cwf_analyze --list            list the built-in graphs
 //   cwf_analyze --codes           print the diagnostic-code registry
+//                                 (with --json: machine-readable)
 //   cwf_analyze --json            machine-readable diagnostics
 //   cwf_analyze --dot             emit Graphviz DOT per graph, actors
 //                                 carrying errors filled red (warnings
 //                                 orange)
 //   cwf_analyze --matrix          per-director admission matrix
+//   cwf_analyze --plan            static capacity plan per graph
+//                                 (per-channel buffer bounds)
+//   cwf_analyze --critical-path   longest modeled source->sink cost chain
+//   cwf_analyze --utilization     per-actor and total utilization
 //   cwf_analyze --strict          treat warnings as errors for the exit
 //                                 code
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -28,6 +34,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/builtin_graphs.h"
+#include "analysis/capacity_planner.h"
 #include "core/workflow.h"
 
 namespace {
@@ -37,10 +44,14 @@ using cwf::analysis::AnalysisOptions;
 using cwf::analysis::Analyzer;
 using cwf::analysis::BuildBuiltinGraphs;
 using cwf::analysis::BuiltinGraph;
+using cwf::analysis::AnalysisOptionsFor;
+using cwf::analysis::CapacityPlan;
 using cwf::analysis::ComputeAdmissionMatrix;
 using cwf::analysis::Diagnostic;
 using cwf::analysis::DiagnosticBag;
 using cwf::analysis::DiagnosticCodes;
+using cwf::analysis::DiagnosticCodesJson;
+using cwf::analysis::PlanCapacity;
 using cwf::analysis::Severity;
 using cwf::analysis::SeverityName;
 
@@ -50,6 +61,9 @@ struct CliOptions {
   bool json = false;
   bool dot = false;
   bool matrix = false;
+  bool plan = false;
+  bool critical_path = false;
+  bool utilization = false;
   bool strict = false;
   std::vector<std::string> graphs;  // empty = all
 };
@@ -57,9 +71,32 @@ struct CliOptions {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list|--codes] [--json] [--dot] [--matrix] "
-               "[--strict] [graph...]\n",
+               "[--plan] [--critical-path] [--utilization] [--strict] "
+               "[graph...]\n",
                argv0);
   return 2;
+}
+
+/// Renders a possibly-infinite double as a JSON value (inf has no JSON
+/// literal, so it becomes the string "inf").
+std::string JsonNumber(double v) {
+  if (std::isinf(v)) {
+    return "\"inf\"";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JoinPath(const std::vector<std::string>& path) {
+  std::string out;
+  for (const std::string& node : path) {
+    if (!out.empty()) {
+      out += " -> ";
+    }
+    out += node;
+  }
+  return out;
 }
 
 std::string DotWithFindings(const BuiltinGraph& graph,
@@ -95,6 +132,12 @@ int main(int argc, char** argv) {
       cli.dot = true;
     } else if (!std::strcmp(arg, "--matrix")) {
       cli.matrix = true;
+    } else if (!std::strcmp(arg, "--plan")) {
+      cli.plan = true;
+    } else if (!std::strcmp(arg, "--critical-path")) {
+      cli.critical_path = true;
+    } else if (!std::strcmp(arg, "--utilization")) {
+      cli.utilization = true;
     } else if (!std::strcmp(arg, "--strict")) {
       cli.strict = true;
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
@@ -108,6 +151,10 @@ int main(int argc, char** argv) {
   }
 
   if (cli.codes) {
+    if (cli.json) {
+      std::printf("%s\n", DiagnosticCodesJson().c_str());
+      return 0;
+    }
     std::printf("%-9s %-8s %s\n", "code", "default", "summary");
     for (const auto& info : DiagnosticCodes()) {
       std::printf("%-9s %-8s %s\n", info.code,
@@ -148,6 +195,7 @@ int main(int argc, char** argv) {
   }
 
   const Analyzer analyzer;
+  const bool want_plan = cli.plan || cli.critical_path || cli.utilization;
   size_t errors = 0;
   size_t warnings = 0;
   bool first_json = true;
@@ -155,18 +203,44 @@ int main(int argc, char** argv) {
     std::printf("[");
   }
   for (const BuiltinGraph& graph : graphs) {
-    AnalysisOptions options;
-    options.target_director = graph.director;
-    options.scheduler = graph.scheduler;
+    const AnalysisOptions options = AnalysisOptionsFor(graph);
     const DiagnosticBag diags = analyzer.Analyze(*graph.workflow, options);
     errors += diags.ErrorCount();
     warnings += diags.WarningCount();
 
+    CapacityPlan plan;
+    if (want_plan) {
+      plan = PlanCapacity(*graph.workflow, options);
+    }
+
     if (cli.json) {
       std::printf("%s{\"graph\":\"%s\",\"director\":\"%s\","
-                  "\"diagnostics\":%s}",
+                  "\"diagnostics\":%s",
                   first_json ? "" : ",", graph.name.c_str(),
                   graph.director.c_str(), diags.ToJson().c_str());
+      if (cli.plan) {
+        std::printf(",\"plan\":%s", plan.ToJson().c_str());
+      }
+      if (cli.critical_path && !cli.plan) {
+        std::printf(",\"critical_path\":[");
+        for (size_t i = 0; i < plan.critical_path.size(); ++i) {
+          std::printf("%s\"%s\"", i == 0 ? "" : ",",
+                      plan.critical_path[i].c_str());
+        }
+        std::printf("],\"critical_path_latency_micros\":%s",
+                    JsonNumber(plan.critical_path_latency_micros).c_str());
+      }
+      if (cli.utilization && !cli.plan) {
+        std::printf(",\"utilization\":{\"actors\":[");
+        for (size_t i = 0; i < plan.actors.size(); ++i) {
+          std::printf("%s{\"actor\":\"%s\",\"utilization\":%s}",
+                      i == 0 ? "" : ",", plan.actors[i].actor.c_str(),
+                      JsonNumber(plan.actors[i].utilization).c_str());
+        }
+        std::printf("],\"total\":%s}",
+                    JsonNumber(plan.total_utilization).c_str());
+      }
+      std::printf("}");
       first_json = false;
       continue;
     }
@@ -185,6 +259,22 @@ int main(int argc, char** argv) {
                     entry.admissible ? "admissible" : "inadmissible: ",
                     entry.admissible ? "" : entry.reason.c_str());
       }
+    }
+    if (cli.plan) {
+      std::printf("%s", plan.ToText().c_str());
+    }
+    if (cli.critical_path && !cli.plan) {
+      std::printf("  critical path: %s (%.0f us)\n",
+                  JoinPath(plan.critical_path).c_str(),
+                  plan.critical_path_latency_micros);
+    }
+    if (cli.utilization && !cli.plan) {
+      for (const auto& load : plan.actors) {
+        std::printf("  util %-24s %6.3f (%.0f us/firing)\n",
+                    load.actor.c_str(), load.utilization,
+                    load.firing_cost_micros);
+      }
+      std::printf("  total utilization: %.3f\n", plan.total_utilization);
     }
     if (cli.dot) {
       std::printf("%s", DotWithFindings(graph, diags).c_str());
