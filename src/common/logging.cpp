@@ -1,16 +1,24 @@
 #include "common/logging.h"
 
+#include <cstdio>
 #include <iostream>
+#include <map>
 #include <mutex>
+
+#include "obs/metrics.h"
 
 namespace cwf {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
 std::function<void(LogLevel, const std::string&)> g_sink;
+std::function<void(const LogRecord&)> g_record_sink;
+std::map<std::string, LogLevel> g_component_levels;
 std::mutex g_mutex;
 
-const char* LevelName(LogLevel level) {
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -26,25 +34,67 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
+
+void SetComponentLogLevel(const std::string& component, LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_component_levels[component] = level;
+}
+
+void ClearComponentLogLevels() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_component_levels.clear();
+}
+
+LogLevel EffectiveLogLevel(const std::string& component) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = g_component_levels.find(component);
+  return it != g_component_levels.end() ? it->second : g_level;
+}
 
 void SetLogSink(std::function<void(LogLevel, const std::string&)> sink) {
   std::lock_guard<std::mutex> lock(g_mutex);
   g_sink = std::move(sink);
 }
 
+void SetLogRecordSink(std::function<void(const LogRecord&)> sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_record_sink = std::move(sink);
+}
+
 namespace internal {
 
-void Emit(LogLevel level, const std::string& message) {
+bool Enabled(LogLevel level, const char* component) {
+  return static_cast<int>(level) >=
+         static_cast<int>(EffectiveLogLevel(component));
+}
+
+void Emit(LogLevel level, const char* component, const std::string& message) {
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.ts_us = obs::HostMonotonicMicros();
+  record.message = message;
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  if (g_sink) {
-    g_sink(level, message);
+  if (g_record_sink) {
+    g_record_sink(record);
     return;
   }
-  std::cerr << "[" << LevelName(level) << "] " << message << std::endl;
+  if (g_sink) {
+    g_sink(level, record.component.empty()
+                      ? message
+                      : "[" + record.component + "] " + message);
+    return;
+  }
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%10.6f", record.ts_us / 1e6);
+  std::cerr << "[" << stamp << "] [" << LogLevelName(level) << "]";
+  if (!record.component.empty()) {
+    std::cerr << " [" << record.component << "]";
+  }
+  std::cerr << " " << message << std::endl;
 }
 
 }  // namespace internal

@@ -1,12 +1,17 @@
-// Minimal leveled logging.
+// Minimal leveled logging with per-component tags.
 //
 // The engine logs through a global sink so tests can silence or capture
 // output. Levels follow the usual severity ladder; the default threshold is
-// kWarn so benchmark output stays clean.
+// kWarn so benchmark output stays clean. Components ("stream", "pncwf",
+// "obs", ...) can override the global threshold individually, and every
+// record carries a host-monotonic timestamp on the same time base as the
+// observability trace spans (obs::HostMonotonicMicros), so log lines can be
+// correlated with Perfetto tracks.
 
 #ifndef CONFLUENCE_COMMON_LOGGING_H_
 #define CONFLUENCE_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -15,20 +20,51 @@ namespace cwf {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+const char* LogLevelName(LogLevel level);
+
+/// \brief One log statement, as handed to a structured sink.
+struct LogRecord {
+  LogLevel level;
+  std::string component;  ///< "" for untagged CWF_LOG statements
+  int64_t ts_us;          ///< host-monotonic µs; same base as trace spans
+  std::string message;
+};
+
 /// \brief Global log threshold; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// \brief Replace the sink (default writes to stderr). Pass nullptr to restore.
+/// \brief Override the threshold for one component (e.g. silence "stream"
+/// while debugging "pncwf"). An override wins over the global threshold.
+void SetComponentLogLevel(const std::string& component, LogLevel level);
+
+/// \brief Drop every per-component override.
+void ClearComponentLogLevels();
+
+/// \brief The threshold that applies to `component` (its override if set,
+/// the global level otherwise).
+LogLevel EffectiveLogLevel(const std::string& component);
+
+/// \brief Replace the sink (default writes to stderr). Pass nullptr to
+/// restore. The plain sink receives the component folded into the message
+/// text; prefer SetLogRecordSink for structured capture.
 void SetLogSink(std::function<void(LogLevel, const std::string&)> sink);
 
+/// \brief Structured sink receiving full LogRecords (wins over the plain
+/// sink when both are set). Pass nullptr to remove.
+void SetLogRecordSink(std::function<void(const LogRecord&)> sink);
+
 namespace internal {
-void Emit(LogLevel level, const std::string& message);
+void Emit(LogLevel level, const char* component, const std::string& message);
+
+/// \brief The macro fast-path check for tagged statements.
+bool Enabled(LogLevel level, const char* component);
 
 class LogMessage {
  public:
-  LogMessage(LogLevel level) : level_(level) {}  // NOLINT
-  ~LogMessage() { Emit(level_, oss_.str()); }
+  explicit LogMessage(LogLevel level, const char* component = "")
+      : level_(level), component_(component) {}
+  ~LogMessage() { Emit(level_, component_, oss_.str()); }
 
   template <typename T>
   LogMessage& operator<<(const T& v) {
@@ -38,6 +74,7 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* component_;
   std::ostringstream oss_;
 };
 }  // namespace internal
@@ -49,5 +86,12 @@ class LogMessage {
       static_cast<int>(::cwf::GetLogLevel())) {             \
   } else                                                    \
     ::cwf::internal::LogMessage(::cwf::LogLevel::level)
+
+/// \brief Component-tagged log statement: CWF_CLOG(kWarn, "stream") << ...;
+/// honors per-component threshold overrides.
+#define CWF_CLOG(level, component)                                   \
+  if (!::cwf::internal::Enabled(::cwf::LogLevel::level, component)) { \
+  } else                                                             \
+    ::cwf::internal::LogMessage(::cwf::LogLevel::level, component)
 
 #endif  // CONFLUENCE_COMMON_LOGGING_H_

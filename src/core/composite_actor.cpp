@@ -108,6 +108,7 @@ Status CompositeActor::Fire() {
       }
       for (const CWEvent& event : w->events) {
         CWF_RETURN_NOT_OK(binding.inner_receiver->Put(event));
+        binding.inner_receiver->NotePut();
       }
     }
   }

@@ -33,6 +33,20 @@ Status Director::Initialize(Workflow* workflow, Clock* clock,
     CWF_RETURN_NOT_OK(workflow_->Validate());
   }
   CWF_RETURN_NOT_OK(BuildReceivers());
+  // Initialize re-entry starts a fresh run: receiver high-water marks must
+  // not leak across runs. Channel receivers are rebuilt above, but
+  // subclasses and tests may install receivers outside BuildReceivers(), so
+  // sweep everything attached to the workflow.
+  for (const auto& actor : workflow_->actors()) {
+    for (const auto& port : actor->input_ports()) {
+      for (size_t c = 0; c < port->ChannelCount(); ++c) {
+        if (Receiver* r = port->receiver(c)) {
+          r->ResetHighWaterMark();
+        }
+      }
+    }
+  }
+  telemetry_.Bind(*workflow_, kind());
   for (const auto& actor : workflow_->actors()) {
     CWF_RETURN_NOT_OK(actor->Initialize(ctx_));
   }
@@ -71,6 +85,8 @@ Status Director::BuildReceivers() {
     std::unique_ptr<Receiver> receiver = CreateReceiver(ch.to);
     Receiver* raw = ch.to->SetReceiver(ch.to_channel, std::move(receiver));
     raw->set_owner(this);
+    raw->set_probe(
+        telemetry_.CreateReceiverProbe(ch.to->FullName(), ch.to_channel));
     // Analysis→runtime feedback edge: pre-size the queue to the planner's
     // bound (Floe-style buffer sizing, computed once by cwf_analyze --plan
     // or PlanCapacity and reused here).
@@ -138,6 +154,8 @@ Status Director::FlushActorOutputs(Actor* actor, size_t* emitted) {
     }
     CWF_RETURN_NOT_OK(po.port->Broadcast(event));
     OnEventEmitted(actor, po.port, event);
+    telemetry_.RecordEmit(event, po.port->remote_receivers().size(),
+                          clock_->Now());
   }
   return Status::OK();
 }

@@ -18,6 +18,7 @@
 #include "core/cost_model.h"
 #include "core/receiver.h"
 #include "core/workflow.h"
+#include "obs/telemetry.h"
 
 namespace cwf {
 
@@ -111,6 +112,10 @@ class Director {
   /// scheduler of the multi-workflow framework.
   virtual bool HasPendingWork() const;
 
+  /// \brief This director's telemetry frontend (observers can be added
+  /// after Initialize; instruments rebind on every Initialize).
+  obs::WorkflowTelemetry* telemetry() { return &telemetry_; }
+
  protected:
   /// \brief Create a receiver for every channel and register it with both
   /// ends; called from Initialize(). With a capacity plan installed, planned
@@ -134,6 +139,7 @@ class Director {
 
   void MarkHalted(const Actor* actor) { halted_.insert(actor); }
 
+  obs::WorkflowTelemetry telemetry_;
   Workflow* workflow_ = nullptr;
   Clock* clock_ = nullptr;
   const CostModel* cost_model_ = nullptr;

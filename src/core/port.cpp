@@ -42,8 +42,11 @@ std::optional<Window> InputPort::Get() {
   for (auto& r : receivers_) {
     if (r && r->HasWindow()) {
       std::optional<Window> w = r->Get();
-      if (w.has_value() && actor_ != nullptr) {
-        actor_->NoteConsumedWindow(*w);
+      if (w.has_value()) {
+        if (actor_ != nullptr) {
+          actor_->NoteConsumedWindow(*w);
+        }
+        r->NoteGet();
       }
       return w;
     }
@@ -57,8 +60,11 @@ std::optional<Window> InputPort::GetFrom(size_t channel) {
     return std::nullopt;
   }
   std::optional<Window> w = r->Get();
-  if (w.has_value() && actor_ != nullptr) {
-    actor_->NoteConsumedWindow(*w);
+  if (w.has_value()) {
+    if (actor_ != nullptr) {
+      actor_->NoteConsumedWindow(*w);
+    }
+    r->NoteGet();
   }
   return w;
 }
@@ -98,6 +104,7 @@ std::vector<CWEvent> InputPort::DrainExpired() {
 Status OutputPort::Broadcast(const CWEvent& event) {
   for (Receiver* r : remote_receivers_) {
     CWF_RETURN_NOT_OK(r->Put(event));
+    r->NotePut();
   }
   return Status::OK();
 }

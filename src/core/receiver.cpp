@@ -1,5 +1,42 @@
 #include "core/receiver.h"
 
-// Receiver and QueueReceiver are header-only; this TU anchors the vtable.
+#include "obs/telemetry.h"
 
-namespace cwf {}  // namespace cwf
+// The probe helpers live out of line so core/receiver.h does not pull the
+// obs headers into every translation unit that touches a receiver.
+
+namespace cwf {
+
+void Receiver::ProbeDeposit(size_t depth) {
+  if (!obs::MetricsEnabled()) {
+    return;
+  }
+  probe_->depth->Set(static_cast<int64_t>(depth));
+}
+
+void Receiver::NotePut() {
+  if (probe_ == nullptr || !obs::MetricsEnabled()) {
+    return;
+  }
+  probe_->puts->Add(1);
+}
+
+void Receiver::NoteGet() {
+  if (probe_ == nullptr || !obs::MetricsEnabled()) {
+    return;
+  }
+  probe_->gets->Add(1);
+  // Deliberately no depth refresh here: QueueDepth() walks the window
+  // groups (O(#groups), thousands for keyed LRB windows) and is already
+  // paid on every deposit. The depth gauge is deposit-sampled; a get only
+  // shrinks the queue, so the high-water mark cannot be missed.
+}
+
+void Receiver::NoteBlockedMicros(int64_t micros) {
+  if (probe_ == nullptr || micros <= 0 || !obs::MetricsEnabled()) {
+    return;
+  }
+  probe_->blocked_us->Add(static_cast<uint64_t>(micros));
+}
+
+}  // namespace cwf

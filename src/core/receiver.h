@@ -21,6 +21,10 @@ namespace cwf {
 class Director;
 class InputPort;
 
+namespace obs {
+struct ReceiverProbe;
+}  // namespace obs
+
 /// \brief What Put() does when a capacity-bounded receiver is full.
 enum class OverflowPolicy {
   /// Capacity is advisory: deposits always succeed (the bound still drives
@@ -109,6 +113,27 @@ class Receiver {
   uint64_t high_water_mark() const { return high_water_mark_; }
   void ResetHighWaterMark() { high_water_mark_ = 0; }
 
+  // ---- Telemetry (src/obs) ----
+
+  /// \brief Attach the per-channel instrument handles resolved by the
+  /// director's WorkflowTelemetry (nullptr detaches; boundary collectors
+  /// built outside a director run uninstrumented).
+  void set_probe(const obs::ReceiverProbe* probe) { probe_ = probe; }
+  const obs::ReceiverProbe* probe() const { return probe_; }
+
+  /// \brief Called once per event deposited (by the delivery paths in
+  /// OutputPort::Deliver / composite boundary forwarding), so the puts
+  /// counter is independent of how often subclasses refresh the depth.
+  void NotePut();
+
+  /// \brief Called by InputPort::Get/GetFrom after a successful window pop
+  /// (consumption-side counterpart of NotePut).
+  void NoteGet();
+
+  /// \brief Blocking-put receivers report host microseconds a producer
+  /// spent blocked against this channel's capacity bound.
+  void NoteBlockedMicros(int64_t micros);
+
  protected:
   /// \brief Update the high-water mark; subclasses call this after every
   /// deposit (Put, timeout/flush window production, scheduled delivery).
@@ -118,12 +143,19 @@ class Receiver {
     if (depth > high_water_mark_) {
       high_water_mark_ = depth;
     }
+    if (probe_ != nullptr) {
+      ProbeDeposit(depth);
+    }
   }
 
   InputPort* port_;
 
  private:
+  /// Out-of-line so this header stays free of obs includes.
+  void ProbeDeposit(size_t depth);
+
   const Director* owner_ = nullptr;
+  const obs::ReceiverProbe* probe_ = nullptr;
   size_t capacity_ = 0;
   OverflowPolicy overflow_policy_ = OverflowPolicy::kUnbounded;
   uint64_t high_water_mark_ = 0;

@@ -38,8 +38,12 @@ Result<size_t> DDFDirector::FireReadyOnce() {
       continue;
     }
     a->BeginFiring();
+    const Timestamp fire_start = clock_->Now();
+    const int64_t host_t0 =
+        telemetry_.host_timing_active() ? obs::HostMonotonicMicros() : 0;
     CWF_RETURN_NOT_OK(a->Fire());
-    CWF_RETURN_NOT_OK(FlushActorOutputs(a));
+    size_t emitted = 0;
+    CWF_RETURN_NOT_OK(FlushActorOutputs(a, &emitted));
     a->IncrementFirings();
     ++total_firings_;
     ++fired;
@@ -47,6 +51,18 @@ Result<size_t> DDFDirector::FireReadyOnce() {
     if (!cont.ok()) {
       return cont.status();
     }
+    obs::FiringRecord record;
+    record.actor = a;
+    record.consumed = a->firing_context().events_consumed;
+    record.emitted = emitted;
+    record.fire_host_us =
+        host_t0 != 0 ? obs::HostMonotonicMicros() - host_t0 : 0;
+    record.cost = record.fire_host_us;
+    record.start = fire_start;
+    record.end = clock_->Now();
+    const FiringContext& fc = a->firing_context();
+    record.wave = fc.valid ? &fc.wave : nullptr;
+    telemetry_.RecordFiring(record);
     if (!cont.value()) {
       MarkHalted(a);
     }

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "stream/stream_source.h"
 
 namespace cwf {
@@ -33,9 +34,16 @@ class BlockingWindowedReceiver : public WindowedReceiver {
       // responsive to shutdown; after stop the deposit proceeds regardless
       // (an event the producer already committed to must not be lost), so
       // the capacity invariant is a steady-state property.
-      while (overflow_policy() == OverflowPolicy::kBlock && AtCapacity() &&
-             !stop_->load()) {
-        cv_->wait_for(lock, std::chrono::milliseconds(1));
+      if (overflow_policy() == OverflowPolicy::kBlock && AtCapacity() &&
+          !stop_->load()) {
+        // Charge the wait to the channel's blocked-time counter — the
+        // backpressure share of end-to-end latency.
+        const int64_t blocked_from = obs::HostMonotonicMicros();
+        while (overflow_policy() == OverflowPolicy::kBlock && AtCapacity() &&
+               !stop_->load()) {
+          cv_->wait_for(lock, std::chrono::milliseconds(1));
+        }
+        NoteBlockedMicros(obs::HostMonotonicMicros() - blocked_from);
       }
       st = WindowedReceiver::Put(event);
     }
@@ -171,7 +179,10 @@ bool PNCWFDirector::DownstreamAtCapacity(const Actor* actor) const {
 
 Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
                                          size_t* emitted) {
+  const bool timed = telemetry_.host_timing_active();
   actor->BeginFiring();
+  const Timestamp fire_start = clock_->Now();
+  const int64_t host_t0 = timed ? obs::HostMonotonicMicros() : 0;
   const auto host_start = std::chrono::steady_clock::now();
   CWF_RETURN_NOT_OK(actor->Fire());
   CWF_RETURN_NOT_OK(FlushActorOutputs(actor, emitted));
@@ -188,9 +199,27 @@ Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
                std::chrono::steady_clock::now() - host_start)
                .count();
   }
+  const int64_t host_t1 = timed ? obs::HostMonotonicMicros() : 0;
   auto cont = actor->Postfire();
   if (!cont.ok()) {
     return cont.status();
+  }
+  {
+    obs::FiringRecord record;
+    record.actor = actor;
+    record.cost = cost;
+    record.consumed = *consumed;
+    record.emitted = *emitted;
+    record.fire_host_us = timed ? host_t1 - host_t0 : 0;
+    record.postfire_host_us =
+        timed ? obs::HostMonotonicMicros() - host_t1 : 0;
+    record.start = fire_start;
+    // The simulated caller advances the virtual clock by `cost` after this
+    // returns; stamp the span end where it will land.
+    record.end = clock_->is_virtual() ? fire_start + cost : clock_->Now();
+    const FiringContext& fc = actor->firing_context();
+    record.wave = fc.valid ? &fc.wave : nullptr;
+    telemetry_.RecordFiring(record);
   }
   if (!cont.value()) {
     ScopedLock lock(halted_mutex_);
@@ -234,7 +263,11 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
     Actor* chosen = nullptr;
     for (size_t k = 0; k < n; ++k) {
       Actor* a = actors[(cursor + k) % n].get();
-      if (IsHalted(a) || DownstreamAtCapacity(a)) {
+      if (IsHalted(a)) {
+        continue;
+      }
+      if (DownstreamAtCapacity(a)) {
+        telemetry_.RecordBackpressureDeferral(a);
         continue;
       }
       auto pf = a->Prefire();
@@ -264,6 +297,7 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
     Duration slice = cost_model_->os_time_slice;
     while (slice > 0 && clock_->Now() <= until) {
       if (DownstreamAtCapacity(chosen)) {
+        telemetry_.RecordBackpressureDeferral(chosen);
         break;  // blocks in put() against a full planned queue
       }
       auto pf = chosen->Prefire();
@@ -352,7 +386,7 @@ void PNCWFDirector::ActorThreadBody(Actor* actor) {
     auto cost = FireOnce(actor, &consumed, &emitted);
     busy_.fetch_sub(1);
     if (!cost.ok()) {
-      CWF_LOG(kError) << "actor '" << actor->name()
+      CWF_CLOG(kError, "pncwf") << "actor '" << actor->name()
                       << "' failed: " << cost.status().ToString();
       return;
     }
@@ -393,7 +427,7 @@ void PNCWFDirector::SourceThreadBody(Actor* actor) {
     auto cost = FireOnce(actor, &consumed, &emitted);
     busy_.fetch_sub(1);
     if (!cost.ok()) {
-      CWF_LOG(kError) << "source '" << actor->name()
+      CWF_CLOG(kError, "pncwf") << "source '" << actor->name()
                       << "' failed: " << cost.status().ToString();
       return;
     }

@@ -20,7 +20,11 @@ Status SCWFDirector::Initialize(Workflow* workflow, Clock* clock,
   total_firings_ = 0;
   director_iterations_ = 0;
   CWF_RETURN_NOT_OK(Director::Initialize(workflow, clock, cost_model));
+  // Fresh statistics per initialization (stale cost/selectivity figures
+  // must not steer the scheduler of a relaunched workflow), re-seated as an
+  // observer of the shared telemetry hook points.
   stats_.Initialize(*workflow);
+  telemetry_.AddObserver(&stats_);
   std::vector<Actor*> actors;
   actors.reserve(workflow->actors().size());
   for (const auto& actor : workflow->actors()) {
@@ -73,6 +77,10 @@ Status SCWFDirector::FireTimeouts(Timestamp now) {
 }
 
 Status SCWFDirector::DispatchActor(Actor* actor) {
+  // Per-phase host timing is measured only while metrics are live; the
+  // clock reads vanish entirely when telemetry is compiled out.
+  const bool timed = telemetry_.host_timing_active();
+  const int64_t host_t0 = timed ? obs::HostMonotonicMicros() : 0;
   // Deliver queued windows onto the actor's receiver buffers until its
   // firing precondition holds (one window in the common single-input case).
   auto ready = actor->Prefire();
@@ -97,6 +105,8 @@ Status SCWFDirector::DispatchActor(Actor* actor) {
   bool fired = false;
   if (can_fire) {
     actor->BeginFiring();
+    const Timestamp fire_start = clock_->Now();
+    const int64_t host_t1 = timed ? obs::HostMonotonicMicros() : 0;
     const auto host_start = std::chrono::steady_clock::now();
     CWF_RETURN_NOT_OK(actor->Fire());
     size_t emitted = 0;
@@ -110,10 +120,10 @@ Status SCWFDirector::DispatchActor(Actor* actor) {
                  std::chrono::steady_clock::now() - host_start)
                  .count();
     }
+    const int64_t host_t2 = timed ? obs::HostMonotonicMicros() : 0;
     actor->IncrementFirings();
     ++total_firings_;
     fired = true;
-    stats_.OnFiring(actor, cost, consumed, emitted, clock_->Now());
     // Surface the receiver high-water marks (max over input receivers) so
     // schedulers and tests can compare runtime depth against the planner's
     // bound without walking the receiver graph themselves.
@@ -126,11 +136,24 @@ Status SCWFDirector::DispatchActor(Actor* actor) {
         }
       }
     }
-    stats_.OnQueueDepth(actor, high_water);
+    telemetry_.RecordQueueDepth(actor, high_water);
     auto cont = actor->Postfire();
     if (!cont.ok()) {
       return cont.status();
     }
+    obs::FiringRecord record;
+    record.actor = actor;
+    record.cost = cost;
+    record.consumed = consumed;
+    record.emitted = emitted;
+    record.prefire_host_us = timed ? host_t1 - host_t0 : 0;
+    record.fire_host_us = timed ? host_t2 - host_t1 : 0;
+    record.postfire_host_us = timed ? obs::HostMonotonicMicros() - host_t2 : 0;
+    record.start = fire_start;
+    record.end = clock_->Now();
+    const FiringContext& fc = actor->firing_context();
+    record.wave = fc.valid ? &fc.wave : nullptr;
+    telemetry_.RecordFiring(record);
     if (!cont.value()) {
       MarkHalted(actor);
     }
@@ -154,6 +177,15 @@ Status SCWFDirector::Run(Timestamp until) {
       Actor* next = scheduler_->GetNextActor();
       if (next == nullptr) {
         break;
+      }
+      if (telemetry_.host_timing_active() || obs::TracingEnabled()) {
+        obs::SchedulerDecision decision;
+        decision.policy = scheduler_->name();
+        decision.chosen = next;
+        decision.actor_queued_windows = scheduler_->QueuedWindows(next);
+        decision.total_queued_events = scheduler_->TotalQueuedEvents();
+        decision.now = clock_->Now();
+        telemetry_.RecordDecision(decision);
       }
       if (IsHalted(next)) {
         // Drop its pending work so the scheduler does not spin on it.

@@ -101,6 +101,16 @@ std::vector<ResponseTimeSeries::Point> ResponseTimeSeries::Series(
   return out;
 }
 
+std::vector<int64_t> ResponseTimeSeries::ResponseMicros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int64_t> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    out.push_back(s.completed_at - s.event_ts);
+  }
+  return out;
+}
+
 OutputActor::OutputActor(std::string name, ResponseTimeSeries* series)
     : Actor(std::move(name)), series_(series) {
   CWF_CHECK(series_ != nullptr);

@@ -48,6 +48,10 @@ class ResponseTimeSeries {
   /// time.
   std::vector<Point> Series(Duration bucket) const;
 
+  /// \brief Every recorded response time in microseconds (insertion order).
+  /// Feeds the per-query-type latency histograms of the bench export.
+  std::vector<int64_t> ResponseMicros() const;
+
  private:
   struct Sample {
     Timestamp event_ts;

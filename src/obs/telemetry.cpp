@@ -1,0 +1,240 @@
+#include "obs/telemetry.h"
+
+#include "core/actor.h"
+#include "core/workflow.h"
+
+namespace cwf::obs {
+
+WaveTracer& GlobalTracer() {
+  static WaveTracer* tracer = new WaveTracer();
+  return *tracer;
+}
+
+void ResetGlobalTracer() { GlobalTracer().ResetTopology(/*clear_buffer=*/true); }
+
+namespace {
+
+void RegisterHelp(MetricsRegistry& reg) {
+  reg.SetHelp("cwf_actor_firings_total", "Completed firings per actor");
+  reg.SetHelp("cwf_actor_cost_us",
+              "Engine-time firing cost in microseconds (modeled on a virtual "
+              "clock, measured on a real clock)");
+  reg.SetHelp("cwf_actor_prefire_us",
+              "Host microseconds spent delivering windows and evaluating "
+              "prefire before a firing");
+  reg.SetHelp("cwf_actor_fire_us",
+              "Host microseconds spent in fire() plus output flushing");
+  reg.SetHelp("cwf_actor_postfire_us", "Host microseconds spent in postfire()");
+  reg.SetHelp("cwf_actor_events_consumed_total",
+              "Events consumed by firings, per actor");
+  reg.SetHelp("cwf_actor_events_emitted_total",
+              "Events emitted by firings, per actor");
+  reg.SetHelp("cwf_actor_events_arrived_total",
+              "Events that arrived at the actor's scheduler queues");
+  reg.SetHelp("cwf_actor_queue_hwm",
+              "Highest input-receiver queue depth observed after a dispatch");
+  reg.SetHelp("cwf_sched_decisions_total",
+              "Times the scheduler picked this actor");
+  reg.SetHelp("cwf_backpressure_deferrals_total",
+              "Producer firings deferred against a full plan-bounded queue "
+              "(simulated-thread PNCWF)");
+  reg.SetHelp("cwf_events_emitted_total",
+              "Events stamped and broadcast engine-wide");
+  reg.SetHelp("cwf_sched_ready_events",
+              "Events queued engine-wide at each scheduler decision");
+  reg.SetHelp("cwf_wave_latency_us",
+              "Wave birth-to-closure latency in engine microseconds "
+              "(recorded while tracing is enabled)");
+  reg.SetHelp("cwf_receiver_puts_total", "Events deposited, per channel");
+  reg.SetHelp("cwf_receiver_gets_total", "Windows retrieved, per channel");
+  reg.SetHelp("cwf_receiver_depth",
+              "Queued units (pending events + ready windows) per channel; "
+              "the gauge maximum is the high-water mark");
+  reg.SetHelp("cwf_receiver_blocked_us_total",
+              "Host microseconds producer threads spent blocked in Put() "
+              "against this channel's capacity bound");
+}
+
+}  // namespace
+
+void WorkflowTelemetry::Bind(const Workflow& workflow,
+                             const char* director_kind) {
+  observers_.clear();
+#ifdef CWF_OBS_ENABLED
+  actors_.clear();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  RegisterHelp(reg);
+  events_emitted_ = reg.GetCounter("cwf_events_emitted_total");
+  ready_queue_events_ = reg.GetHistogram("cwf_sched_ready_events");
+  GlobalTracer().set_latency_sink(reg.GetHistogram("cwf_wave_latency_us"));
+  for (const auto& actor : workflow.actors()) {
+    const std::string& name = actor->name();
+    ActorInstruments ai;
+    ai.firings = reg.GetCounter("cwf_actor_firings_total", "actor", name);
+    ai.cost_us = reg.GetHistogram("cwf_actor_cost_us", "actor", name);
+    ai.prefire_host_us = reg.GetHistogram("cwf_actor_prefire_us", "actor", name);
+    ai.fire_host_us = reg.GetHistogram("cwf_actor_fire_us", "actor", name);
+    ai.postfire_host_us =
+        reg.GetHistogram("cwf_actor_postfire_us", "actor", name);
+    ai.consumed =
+        reg.GetCounter("cwf_actor_events_consumed_total", "actor", name);
+    ai.emitted =
+        reg.GetCounter("cwf_actor_events_emitted_total", "actor", name);
+    ai.arrived =
+        reg.GetCounter("cwf_actor_events_arrived_total", "actor", name);
+    ai.queue_hwm = reg.GetGauge("cwf_actor_queue_hwm", "actor", name);
+    ai.decisions = reg.GetCounter("cwf_sched_decisions_total", "actor", name);
+    ai.deferrals =
+        reg.GetCounter("cwf_backpressure_deferrals_total", "actor", name);
+    ai.tid = GlobalTracer().RegisterTrack(std::string(director_kind) + ":" +
+                                          name);
+    actors_.emplace(actor.get(), ai);
+  }
+#else
+  (void)workflow;
+  (void)director_kind;
+#endif
+}
+
+void WorkflowTelemetry::AddObserver(ExecutionObserver* observer) {
+  if (observer == nullptr) {
+    return;
+  }
+  for (ExecutionObserver* o : observers_) {
+    if (o == observer) {
+      return;
+    }
+  }
+  observers_.push_back(observer);
+}
+
+const ReceiverProbe* WorkflowTelemetry::CreateReceiverProbe(
+    const std::string& port_name, size_t channel) {
+#ifdef CWF_OBS_ENABLED
+  std::string label = port_name;
+  if (channel > 0) {
+    label += "#" + std::to_string(channel);
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // Probes are owned by the registry-adjacent static store so receiver
+  // lifetime (director-owned) never outlives them.
+  static std::mutex mutex;
+  static std::map<std::string, ReceiverProbe>* probes =
+      new std::map<std::string, ReceiverProbe>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto [it, inserted] = probes->try_emplace(label);
+  if (inserted) {
+    it->second.puts = reg.GetCounter("cwf_receiver_puts_total", "port", label);
+    it->second.gets = reg.GetCounter("cwf_receiver_gets_total", "port", label);
+    it->second.depth = reg.GetGauge("cwf_receiver_depth", "port", label);
+    it->second.blocked_us =
+        reg.GetCounter("cwf_receiver_blocked_us_total", "port", label);
+  }
+  return &it->second;
+#else
+  (void)port_name;
+  (void)channel;
+  return nullptr;
+#endif
+}
+
+const WorkflowTelemetry::ActorInstruments* WorkflowTelemetry::Find(
+    const Actor* actor) const {
+  auto it = actors_.find(actor);
+  return it == actors_.end() ? nullptr : &it->second;
+}
+
+uint32_t WorkflowTelemetry::TrackFor(const Actor* actor) const {
+  const ActorInstruments* ai = Find(actor);
+  return ai == nullptr ? 0 : ai->tid;
+}
+
+void WorkflowTelemetry::RecordFiring(const FiringRecord& record) {
+  for (ExecutionObserver* o : observers_) {
+    o->OnFiring(record);
+  }
+#ifdef CWF_OBS_ENABLED
+  const ActorInstruments* ai = Find(record.actor);
+  if (ai == nullptr) {
+    return;
+  }
+  if (MetricsEnabled()) {
+    ai->firings->Add(1);
+    ai->cost_us->Record(record.cost);
+    if (record.fire_host_us != 0 || record.prefire_host_us != 0) {
+      ai->prefire_host_us->Record(record.prefire_host_us);
+      ai->fire_host_us->Record(record.fire_host_us);
+      ai->postfire_host_us->Record(record.postfire_host_us);
+    }
+    if (record.consumed > 0) {
+      ai->consumed->Add(record.consumed);
+    }
+    if (record.emitted > 0) {
+      ai->emitted->Add(record.emitted);
+    }
+  }
+  if (TracingEnabled()) {
+    GlobalTracer().OnFiring(ai->tid, record.wave, record.start, record.end,
+                            record.consumed, record.emitted);
+  }
+#endif
+}
+
+void WorkflowTelemetry::RecordArrival(const Actor* actor, size_t n,
+                                      Timestamp now) {
+  for (ExecutionObserver* o : observers_) {
+    o->OnEventsArrived(actor, n, now);
+  }
+#ifdef CWF_OBS_ENABLED
+  const ActorInstruments* ai = Find(actor);
+  if (ai != nullptr && MetricsEnabled()) {
+    ai->arrived->Add(n);
+  }
+#endif
+}
+
+void WorkflowTelemetry::RecordQueueDepth(const Actor* actor,
+                                         uint64_t high_water) {
+  for (ExecutionObserver* o : observers_) {
+    o->OnQueueDepth(actor, high_water);
+  }
+#ifdef CWF_OBS_ENABLED
+  const ActorInstruments* ai = Find(actor);
+  if (ai != nullptr && MetricsEnabled()) {
+    ai->queue_hwm->Set(static_cast<int64_t>(high_water));
+  }
+#endif
+}
+
+void WorkflowTelemetry::RecordDecision(const SchedulerDecision& decision) {
+  for (ExecutionObserver* o : observers_) {
+    o->OnSchedulerDecision(decision);
+  }
+#ifdef CWF_OBS_ENABLED
+  const ActorInstruments* ai = Find(decision.chosen);
+  if (ai == nullptr) {
+    return;
+  }
+  if (MetricsEnabled()) {
+    ai->decisions->Add(1);
+    ready_queue_events_->Record(
+        static_cast<int64_t>(decision.total_queued_events));
+  }
+  if (TracingEnabled()) {
+    GlobalTracer().Instant(ai->tid, decision.now);
+  }
+#endif
+}
+
+void WorkflowTelemetry::RecordBackpressureDeferral(const Actor* actor) {
+#ifdef CWF_OBS_ENABLED
+  const ActorInstruments* ai = Find(actor);
+  if (ai != nullptr && MetricsEnabled()) {
+    ai->deferrals->Add(1);
+  }
+#else
+  (void)actor;
+#endif
+}
+
+}  // namespace cwf::obs

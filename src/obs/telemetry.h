@@ -1,0 +1,217 @@
+// The hook layer between the engine's hot paths and the observability
+// backends (obs/metrics.h, obs/trace_buffer.h) plus any registered
+// ExecutionObserver (stafilos::ActorStatistics is one).
+//
+// Design rules:
+//  * Instruments are resolved ONCE, at Director::Initialize (Bind /
+//    CreateReceiverProbe). The hot-path hooks touch nothing but relaxed
+//    atomics and one read-only map lookup — the registry lock is never
+//    taken while the workflow runs.
+//  * Observer fan-out ALWAYS fires: STAFiLOS schedulers need
+//    ActorStatistics regardless of whether metrics are being collected.
+//    Only the metric/tracer sinks are gated — at compile time by
+//    CWF_OBS_ENABLED (CMake option CONFLUENCE_OBS) and at runtime by
+//    obs::MetricsEnabled() / obs::TracingEnabled().
+//  * All directors share one process-global WaveTracer so composite
+//    actors' inner directors land on the same Perfetto timeline.
+
+#ifndef CONFLUENCE_OBS_TELEMETRY_H_
+#define CONFLUENCE_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/event.h"
+#include "obs/metrics.h"
+#include "obs/trace_buffer.h"
+
+namespace cwf {
+class Actor;
+class Workflow;
+}  // namespace cwf
+
+namespace cwf::obs {
+
+/// \brief The engine-wide wave tracer every director feeds (composite inner
+/// directors included — one timeline).
+WaveTracer& GlobalTracer();
+
+/// \brief Clear the global tracer's tracks, live waves and ring buffer.
+/// Tools and tests call this between runs; directors never do (another
+/// director may still be live).
+void ResetGlobalTracer();
+
+/// \brief Per-channel receiver instruments, resolved when the director
+/// builds the receiver. Receivers hold a const pointer and update through
+/// Receiver::RecordDepth/NoteGet/NoteBlockedMicros; nullptr (telemetry
+/// compiled out, or a boundary collector built outside a director) means no
+/// instrumentation.
+struct ReceiverProbe {
+  Counter* puts = nullptr;        ///< cwf_receiver_puts_total{port}
+  Counter* gets = nullptr;        ///< cwf_receiver_gets_total{port}
+  Gauge* depth = nullptr;         ///< cwf_receiver_depth{port}; Max = HWM
+  Counter* blocked_us = nullptr;  ///< cwf_receiver_blocked_us_total{port}
+};
+
+/// \brief Everything known about one completed firing, handed to
+/// RecordFiring by the director that drove it.
+struct FiringRecord {
+  const Actor* actor = nullptr;
+  /// Engine-time cost: modeled (virtual clock) or measured (real clock).
+  Duration cost = 0;
+  /// Host-side phase durations (µs); zero when host timing is off. The
+  /// prefire figure covers window delivery + prefire evaluation (SCWF).
+  int64_t prefire_host_us = 0;
+  int64_t fire_host_us = 0;
+  int64_t postfire_host_us = 0;
+  size_t consumed = 0;
+  size_t emitted = 0;
+  Timestamp start;  ///< engine time the firing began
+  Timestamp end;    ///< engine time the firing completed
+  /// Wave attribution of the firing (nullptr for source firings, which
+  /// consume nothing).
+  const WaveTag* wave = nullptr;
+};
+
+/// \brief One scheduler pick (SCWF): which actor, under which policy, and
+/// the ready-queue state it was picked out of.
+struct SchedulerDecision {
+  const char* policy = "";
+  const Actor* chosen = nullptr;
+  size_t actor_queued_windows = 0;  ///< windows still queued for `chosen`
+  size_t total_queued_events = 0;   ///< events queued engine-wide
+  Timestamp now;
+};
+
+/// \brief Consumer interface for execution events. ActorStatistics
+/// implements this; the fan-out is unconditional (never gated by the
+/// metrics toggles), so schedulers keep their statistics with telemetry
+/// compiled out.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  virtual void OnFiring(const FiringRecord& record) { (void)record; }
+  virtual void OnEventsArrived(const Actor* actor, size_t n, Timestamp now) {
+    (void)actor;
+    (void)n;
+    (void)now;
+  }
+  virtual void OnQueueDepth(const Actor* actor, uint64_t high_water) {
+    (void)actor;
+    (void)high_water;
+  }
+  virtual void OnSchedulerDecision(const SchedulerDecision& decision) {
+    (void)decision;
+  }
+};
+
+/// \brief One director's telemetry frontend: owns the resolved instrument
+/// handles and the observer list, and routes every hook to (a) observers,
+/// (b) the metrics registry, (c) the global wave tracer.
+class WorkflowTelemetry {
+ public:
+  WorkflowTelemetry() = default;
+  WorkflowTelemetry(const WorkflowTelemetry&) = delete;
+  WorkflowTelemetry& operator=(const WorkflowTelemetry&) = delete;
+
+  /// \brief Resolve per-actor instruments against the global registry and
+  /// register trace tracks for every actor of `workflow`. Clears the
+  /// observer list (Initialize re-entry starts from a clean slate; the
+  /// SCWF director re-adds its statistics module afterwards). No-op when
+  /// telemetry is compiled out.
+  void Bind(const Workflow& workflow, const char* director_kind);
+
+  /// \brief Register an execution-event consumer (not owned).
+  void AddObserver(ExecutionObserver* observer);
+
+  /// \brief Resolve the per-channel receiver instruments for the channel
+  /// into `port_name` (channel > 0 gets a "#<channel>" suffix). Returns
+  /// nullptr when telemetry is compiled out. Stable for the process
+  /// lifetime; independent of Bind().
+  const ReceiverProbe* CreateReceiverProbe(const std::string& port_name,
+                                           size_t channel);
+
+  // ---- Hot-path hooks ----
+
+  /// \brief A firing completed. Observers always; metrics and trace spans
+  /// when the respective toggles are on.
+  void RecordFiring(const FiringRecord& record);
+
+  /// \brief `n` events were queued toward `actor` (scheduler enqueue).
+  void RecordArrival(const Actor* actor, size_t n, Timestamp now);
+
+  /// \brief Max input-receiver high-water mark observed after a dispatch.
+  void RecordQueueDepth(const Actor* actor, uint64_t high_water);
+
+  /// \brief The scheduler picked an actor.
+  void RecordDecision(const SchedulerDecision& decision);
+
+  /// \brief A producer's firing was deferred because a plan-bounded
+  /// downstream queue is full (simulated-thread PNCWF backpressure).
+  void RecordBackpressureDeferral(const Actor* actor);
+
+  /// \brief One event was stamped and broadcast to `fanout` receivers
+  /// (Director::FlushActorOutputs). Births waves in the tracer.
+  void RecordEmit(const CWEvent& event, size_t fanout, Timestamp now) {
+#ifdef CWF_OBS_ENABLED
+    if (events_emitted_ != nullptr && MetricsEnabled()) {
+      events_emitted_->Add(1);
+    }
+    if (TracingEnabled()) {
+      GlobalTracer().OnEventEmitted(event.wave, event.timestamp, now, fanout);
+    }
+#else
+    (void)event;
+    (void)fanout;
+    (void)now;
+#endif
+  }
+
+  /// \brief Whether the director should spend clock reads on per-phase host
+  /// timing this firing (metrics compiled in, enabled, and bound).
+  bool host_timing_active() const {
+#ifdef CWF_OBS_ENABLED
+    return !actors_.empty() && MetricsEnabled();
+#else
+    return false;
+#endif
+  }
+
+  /// \brief Trace track (tid) of `actor`; 0 when unknown / unbound.
+  uint32_t TrackFor(const Actor* actor) const;
+
+  size_t observer_count() const { return observers_.size(); }
+
+ private:
+  /// Instrument handles of one actor, resolved at Bind.
+  struct ActorInstruments {
+    Counter* firings = nullptr;
+    Histogram* cost_us = nullptr;
+    Histogram* prefire_host_us = nullptr;
+    Histogram* fire_host_us = nullptr;
+    Histogram* postfire_host_us = nullptr;
+    Counter* consumed = nullptr;
+    Counter* emitted = nullptr;
+    Counter* arrived = nullptr;
+    Gauge* queue_hwm = nullptr;
+    Counter* decisions = nullptr;
+    Counter* deferrals = nullptr;
+    uint32_t tid = 0;  ///< processing-track id in the global tracer
+  };
+
+  const ActorInstruments* Find(const Actor* actor) const;
+
+  std::vector<ExecutionObserver*> observers_;
+  /// Read-only after Bind (PNCWF actor threads look up concurrently).
+  std::map<const Actor*, ActorInstruments> actors_;
+  Counter* events_emitted_ = nullptr;      ///< cwf_events_emitted_total
+  Histogram* ready_queue_events_ = nullptr;  ///< cwf_sched_ready_events
+};
+
+}  // namespace cwf::obs
+
+#endif  // CONFLUENCE_OBS_TELEMETRY_H_

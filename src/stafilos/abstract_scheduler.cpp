@@ -114,8 +114,8 @@ void AbstractScheduler::Enqueue(Actor* target, ReadyWindow window) {
   window.key_ts = window.window.OldestTimestamp();
   window.key_seq =
       window.window.events.empty() ? 0 : window.window.events.front().seq;
-  host_->statistics()->OnEventsArrived(target, window.window.events.size(),
-                                       window.enqueued_at);
+  host_->NotifyEventsArrived(target, window.window.events.size(),
+                             window.enqueued_at);
   queued_events_ += window.window.events.size();
   if (BufferToNextPeriod()) {
     entry->period_buffer.push_back(std::move(window));

@@ -72,6 +72,15 @@ class SchedulerHost {
 
   /// \brief The runtime statistics module.
   virtual ActorStatistics* statistics() = 0;
+
+  /// \brief `n` events were queued toward `actor` (AbstractScheduler::
+  /// Enqueue). The default feeds the statistics module directly; the SCWF
+  /// director overrides this to fan out through its telemetry layer so
+  /// metrics and statistics observe one stream.
+  virtual void NotifyEventsArrived(const Actor* actor, size_t n,
+                                   Timestamp now) {
+    statistics()->OnEventsArrived(actor, n, now);
+  }
 };
 
 /// \brief Base class of every pluggable CWf scheduling policy.

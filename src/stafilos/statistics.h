@@ -20,6 +20,7 @@
 
 #include "common/time.h"
 #include "core/workflow.h"
+#include "obs/telemetry.h"
 
 namespace cwf {
 
@@ -78,7 +79,13 @@ struct ActorStats {
 };
 
 /// \brief Statistics registry exposed to every STAFiLOS scheduler.
-class ActorStatistics {
+///
+/// Consumes the engine's execution events as an obs::ExecutionObserver
+/// registered with the SCWF director's telemetry layer — the same hook
+/// points that drive the metrics registry and the wave tracer. The fan-out
+/// to this module is unconditional (schedulers need statistics even with
+/// metrics collection off or telemetry compiled out).
+class ActorStatistics : public obs::ExecutionObserver {
  public:
   /// \brief EWMA smoothing factor for costs and rates.
   explicit ActorStatistics(double alpha = 0.2) : alpha_(alpha) {}
@@ -90,13 +97,19 @@ class ActorStatistics {
   void OnFiring(const Actor* actor, Duration cost, size_t consumed,
                 size_t produced, Timestamp now);
 
+  /// \brief ExecutionObserver entry point; delegates to the above.
+  void OnFiring(const obs::FiringRecord& record) override {
+    OnFiring(record.actor, record.cost, record.consumed, record.emitted,
+             record.end);
+  }
+
   /// \brief Record `n` events arriving at `actor`'s input queues.
-  void OnEventsArrived(const Actor* actor, size_t n, Timestamp now);
+  void OnEventsArrived(const Actor* actor, size_t n, Timestamp now) override;
 
   /// \brief Fold a receiver high-water-mark observation into the actor's
   /// queue_high_water (monotone max). The SCWF director reports the max
   /// over the actor's input receivers after each dispatch.
-  void OnQueueDepth(const Actor* actor, uint64_t high_water);
+  void OnQueueDepth(const Actor* actor, uint64_t high_water) override;
 
   /// \brief Stats of one actor (zeroed entry if unknown).
   const ActorStats& Get(const Actor* actor) const;

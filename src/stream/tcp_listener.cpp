@@ -101,7 +101,7 @@ void TcpLineListener::ClientLoop(int client_fd) {
       auto token = ParseTokenBody(line);
       if (!token.ok()) {
         parse_errors_.fetch_add(1);
-        CWF_LOG(kWarn) << "tcp listener dropped malformed line: "
+        CWF_CLOG(kWarn, "stream") << "tcp listener dropped malformed line: "
                        << token.status().ToString();
         continue;
       }

@@ -1,0 +1,176 @@
+// Export-surface integration: a short Linear Road segment runs with the
+// metrics server attached, and the /metrics exposition scraped over real
+// TCP must be well-formed Prometheus 0.0.4 text (the CI obs lane's gate).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "lrb/harness.h"
+#include "obs/export_server.h"
+#include "obs/metrics.h"
+
+namespace cwf::obs {
+namespace {
+
+std::string Fetch(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+/// Validates Prometheus text exposition 0.0.4 structurally: every sample
+/// belongs to an announced TYPE family, TYPE lines are unique, sample
+/// lines parse as `name{labels} value` with a finite numeric value.
+void ValidateExposition(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n') << "exposition must end with a newline";
+  std::set<std::string> typed_families;
+  std::istringstream in(text);
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family;
+      std::string type;
+      fields >> family >> type;
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      EXPECT_TRUE(typed_families.insert(family).second)
+          << "duplicate TYPE for " << family;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("#", 0) == 0) {
+      continue;
+    }
+    // Sample line: <name>[{labels}] <value>
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "non-numeric sample value in: " << line;
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    // Histogram samples use the family name plus a suffix.
+    for (const char* suffix : {"_bucket", "_count", "_sum", ""}) {
+      const std::string stripped =
+          name.size() > std::strlen(suffix)
+              ? name.substr(0, name.size() - std::strlen(suffix))
+              : name;
+      if (name.size() > std::strlen(suffix) &&
+          name.compare(name.size() - std::strlen(suffix), std::string::npos,
+                       suffix) == 0 &&
+          typed_families.count(stripped)) {
+        name = stripped;
+        break;
+      }
+    }
+    EXPECT_TRUE(typed_families.count(name))
+        << "sample without TYPE announcement: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(ExportHttpTest, TracedLRBSegmentServesValidMetrics) {
+#ifndef CWF_OBS_ENABLED
+  GTEST_SKIP() << "built with CONFLUENCE_OBS=OFF";
+#endif
+  MetricsRegistry::Global().Reset();
+  SetTracingEnabled(true);
+
+  MetricsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  lrb::ExperimentOptions options;
+  options.workload.duration = Seconds(30);
+  auto result = lrb::RunLRBExperiment(options);
+  SetTracingEnabled(false);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result.value().status.ok());
+
+  // 1. /metrics must be a valid exposition carrying the engine families.
+  const std::string response = Fetch(server.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string exposition = Body(response);
+  ValidateExposition(exposition);
+  EXPECT_NE(exposition.find("cwf_actor_firings_total{actor=\"Source\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("cwf_wave_latency_us_count"), std::string::npos);
+
+  // 2. JSON snapshot and /top render over the same connection path.
+  const std::string json = Body(Fetch(server.port(), "/metrics.json"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  const std::string top = Body(Fetch(server.port(), "/top"));
+  EXPECT_EQ(top.rfind("# ts_us ", 0), 0u);
+  EXPECT_NE(top.find("TollNotification"), std::string::npos);
+
+  // 3. The trace endpoint serves the wave timeline captured during the run.
+  const std::string trace = Body(Fetch(server.port(), "/trace.json"));
+  EXPECT_EQ(trace.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(trace.find("\"cat\":\"wave\""), std::string::npos);
+
+  // 4. Unknown paths 404 instead of crashing the accept loop.
+  EXPECT_EQ(Fetch(server.port(), "/nope").rfind("HTTP/1.0 404", 0), 0u);
+
+  EXPECT_GE(server.requests_served(), 5u);
+  server.Stop();
+}
+
+TEST(ExportHttpTest, RestartAndEphemeralPorts) {
+  MetricsServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const uint16_t first = server.port();
+  EXPECT_FALSE(server.Start(0).ok());  // double-start refused
+  server.Stop();
+  server.Stop();  // idempotent
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_GT(server.port(), 0);
+  (void)first;
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cwf::obs

@@ -1,0 +1,173 @@
+// Telemetry hook-layer behavior: directors bind instruments into the
+// global registry, receiver probes count traffic, runtime toggles stop the
+// sinks, and Director::Initialize re-entry resets per-run state (receiver
+// high-water marks, actor statistics) without invalidating instruments.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "actors/library.h"
+#include "directors/scwf_director.h"
+#include "obs/export_server.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "stafilos/fifo_scheduler.h"
+#include "stream/stream_source.h"
+
+namespace cwf {
+namespace {
+
+struct Rig {
+  Workflow wf{"w"};
+  std::shared_ptr<PushChannel> feed = std::make_shared<PushChannel>();
+  StreamSourceActor* src;
+  MapActor* map;
+  CollectorSink* sink;
+  VirtualClock clock;
+  CostModel cm;
+
+  Rig() {
+    src = wf.AddActor<StreamSourceActor>("src", feed);
+    map = wf.AddActor<MapActor>(
+        "map", [](const Token& t) { return Token(t.AsInt() + 1); });
+    sink = wf.AddActor<CollectorSink>("sink");
+    CWF_CHECK(wf.Connect(src->out(), map->in()).ok());
+    CWF_CHECK(wf.Connect(map->out(), sink->in()).ok());
+  }
+
+  void Feed(int n) {
+    for (int i = 0; i < n; ++i) {
+      feed->Push(Token(i), Timestamp::Seconds(i));
+    }
+    feed->Close();
+  }
+};
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetMetricsEnabled(true);
+  }
+  void TearDown() override { obs::SetMetricsEnabled(true); }
+};
+
+TEST_F(TelemetryTest, FiringMetricsLandInGlobalRegistry) {
+#ifndef CWF_OBS_ENABLED
+  GTEST_SKIP() << "built with CONFLUENCE_OBS=OFF";
+#endif
+  Rig rig;
+  rig.Feed(12);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetCounter("cwf_actor_firings_total", "actor", "map")->Value(),
+            12u);
+  EXPECT_EQ(
+      reg.GetCounter("cwf_actor_events_consumed_total", "actor", "map")
+          ->Value(),
+      12u);
+  EXPECT_EQ(
+      reg.GetCounter("cwf_actor_events_emitted_total", "actor", "map")
+          ->Value(),
+      12u);
+  // Virtual-clock cost lands in the cost histogram.
+  EXPECT_EQ(reg.GetHistogram("cwf_actor_cost_us", "actor", "map")->Count(),
+            12u);
+  // Scheduler decisions were counted for scheduled dispatch.
+  EXPECT_GT(reg.GetCounter("cwf_sched_decisions_total", "actor", "map")
+                ->Value(),
+            0u);
+}
+
+TEST_F(TelemetryTest, ReceiverProbesCountPutsGetsAndDepth) {
+#ifndef CWF_OBS_ENABLED
+  GTEST_SKIP() << "built with CONFLUENCE_OBS=OFF";
+#endif
+  Rig rig;
+  rig.Feed(7);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  // The map actor's input channel is labeled with the port's full name.
+  EXPECT_EQ(
+      reg.GetCounter("cwf_receiver_puts_total", "port", "map.in")->Value(),
+      7u);
+  EXPECT_EQ(
+      reg.GetCounter("cwf_receiver_gets_total", "port", "map.in")->Value(),
+      7u);
+  EXPECT_GE(reg.GetGauge("cwf_receiver_depth", "port", "map.in")->Max(), 1);
+}
+
+TEST_F(TelemetryTest, DisablingMetricsStopsSinksButNotExecution) {
+  obs::SetMetricsEnabled(false);
+  Rig rig;
+  rig.Feed(5);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetCounter("cwf_actor_firings_total", "actor", "map")->Value(),
+            0u);
+  EXPECT_EQ(
+      reg.GetCounter("cwf_receiver_puts_total", "port", "map.in")->Value(),
+      0u);
+  // The workflow itself ran normally; the stats observer (always on) saw
+  // every firing.
+  EXPECT_EQ(rig.sink->TakeSnapshot().size(), 5u);
+  EXPECT_EQ(d.stats().Get(rig.map).invocations, 5u);
+}
+
+TEST_F(TelemetryTest, InitializeReEntryResetsPerRunState) {
+  Rig rig;
+  rig.Feed(9);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+  EXPECT_EQ(d.stats().Get(rig.map).invocations, 9u);
+
+  // Re-initialize: receivers are rebuilt, every input-port high-water mark
+  // and the statistics module start from zero.
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  EXPECT_EQ(d.stats().Get(rig.map).invocations, 0u);
+  for (const auto& actor : rig.wf.actors()) {
+    for (const auto& port : actor->input_ports()) {
+      for (size_t c = 0; c < port->ChannelCount(); ++c) {
+        if (Receiver* r = port->receiver(c)) {
+          EXPECT_EQ(r->high_water_mark(), 0u)
+              << actor->name() << "." << port->name();
+        }
+      }
+    }
+  }
+  // Instrument pointers stayed valid: a second run keeps counting on the
+  // same instruments (cumulative across runs by design).
+  // The original feed is drained/closed; a fresh run over the same actors
+  // simply observes no new input and fires nothing — Run must still work.
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+}
+
+TEST_F(TelemetryTest, TopTsvRendersBoundActors) {
+#ifndef CWF_OBS_ENABLED
+  GTEST_SKIP() << "built with CONFLUENCE_OBS=OFF";
+#endif
+  Rig rig;
+  rig.Feed(4);
+  SCWFDirector d(std::make_unique<FIFOScheduler>());
+  ASSERT_TRUE(d.Initialize(&rig.wf, &rig.clock, &rig.cm).ok());
+  ASSERT_TRUE(d.Run(Timestamp::Max()).ok());
+
+  const std::string tsv = obs::RenderTopTsv(obs::MetricsRegistry::Global());
+  EXPECT_EQ(tsv.rfind("# ts_us ", 0), 0u);
+  EXPECT_NE(tsv.find("actor\tfirings"), std::string::npos);
+  EXPECT_NE(tsv.find("\nmap\t4\t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwf

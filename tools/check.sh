@@ -39,6 +39,16 @@ run_matrix_entry plain build
 echo "==> [cwf-analyze] built-in graph catalog (--strict)"
 ./build/tools/cwf_analyze --strict
 
+echo "==> [obs] traced LRB segment + exposition scrape"
+OBS_TMP="$(mktemp -d)"
+./build/tools/cwf_lrb_serve --duration-s 60 \
+  --bench "${OBS_TMP}/BENCH_QBS.json" --trace "${OBS_TMP}/trace.json" \
+  --scrape-out "${OBS_TMP}/metrics.txt" > /dev/null
+grep -q '^# TYPE cwf_actor_firings_total counter$' "${OBS_TMP}/metrics.txt"
+grep -q '"response_time_histograms_us"' "${OBS_TMP}/BENCH_QBS.json"
+grep -q '"traceEvents"' "${OBS_TMP}/trace.json"
+rm -rf "${OBS_TMP}"
+
 if [[ "${FAST}" == "0" ]]; then
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     run_matrix_entry tsan build-tsan -DCONFLUENCE_SANITIZE=thread

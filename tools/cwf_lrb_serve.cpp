@@ -1,0 +1,220 @@
+// cwf_lrb_serve: run the Linear Road benchmark with the observability
+// stack attached — metrics server, optional wave tracing, bench JSON.
+//
+// Starts an obs::MetricsServer, prints the bound port, then runs the LRB
+// experiment (repeatedly with --repeat, so cwf_top has changing counters
+// to watch). After the run it can write the per-query-type response-time
+// histograms (--bench BENCH_<sched>.json), the Chrome trace-event JSON for
+// Perfetto (--trace FILE, implies tracing on), and a self-scrape of its
+// own /metrics endpoint (--scrape-out FILE) that exercises the HTTP path
+// end-to-end for CI. --serve-ms keeps the server up after the run for
+// interactive cwf_top sessions.
+//
+// Usage:
+//   cwf_lrb_serve [--port N] [--scheduler QBS|RR|RB|FIFO|EDF|PNCWF]
+//                 [--duration-s S] [--repeat N] [--trace FILE]
+//                 [--bench FILE] [--scrape-out FILE] [--serve-ms MS]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "lrb/harness.h"
+#include "obs/export_server.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace_buffer.h"
+
+namespace {
+
+struct CliOptions {
+  int port = 0;  // 0 = ephemeral
+  std::string scheduler = "QBS";
+  double duration_s = 120;
+  int repeat = 1;
+  std::string trace_path;
+  std::string bench_path;
+  std::string scrape_path;
+  int serve_ms = 0;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--scheduler QBS|RR|RB|FIFO|EDF|PNCWF] "
+               "[--duration-s S] [--repeat N] [--trace FILE] [--bench FILE] "
+               "[--scrape-out FILE] [--serve-ms MS]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseScheduler(const std::string& name, cwf::lrb::SchedulerKind* kind) {
+  using cwf::lrb::SchedulerKind;
+  static const struct {
+    const char* name;
+    SchedulerKind kind;
+  } kTable[] = {
+      {"QBS", SchedulerKind::kQBS},   {"RR", SchedulerKind::kRR},
+      {"RB", SchedulerKind::kRB},     {"FIFO", SchedulerKind::kFIFO},
+      {"EDF", SchedulerKind::kEDF},   {"PNCWF", SchedulerKind::kPNCWF},
+  };
+  for (const auto& entry : kTable) {
+    if (name == entry.name) {
+      *kind = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Fetches this process's own /metrics over loopback and writes the body to
+/// `path` — proves the full TCP exposition path, not just the renderer.
+bool SelfScrape(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (::write(fd, request, sizeof(request) - 1) !=
+      static_cast<ssize_t>(sizeof(request) - 1)) {
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos ||
+      response.rfind("HTTP/1.0 200", 0) != 0) {
+    return false;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << response.substr(header_end + 4);
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--scheduler" && i + 1 < argc) {
+      options.scheduler = argv[++i];
+    } else if (arg == "--duration-s" && i + 1 < argc) {
+      options.duration_s = std::atof(argv[++i]);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      options.repeat = std::atoi(argv[++i]);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else if (arg == "--bench" && i + 1 < argc) {
+      options.bench_path = argv[++i];
+    } else if (arg == "--scrape-out" && i + 1 < argc) {
+      options.scrape_path = argv[++i];
+    } else if (arg == "--serve-ms" && i + 1 < argc) {
+      options.serve_ms = std::atoi(argv[++i]);
+    } else if (arg == "--no-metrics") {
+      // Runtime-disable the metrics sinks (the compiled-out comparison
+      // point for the overhead measurement in docs/OBSERVABILITY.md).
+      cwf::obs::SetMetricsEnabled(false);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  cwf::lrb::ExperimentOptions experiment;
+  if (!ParseScheduler(options.scheduler, &experiment.scheduler) ||
+      options.port < 0 || options.port > 65535 || options.repeat < 1 ||
+      options.duration_s <= 0) {
+    return Usage(argv[0]);
+  }
+  experiment.workload.duration = cwf::Seconds(
+      static_cast<int64_t>(options.duration_s));
+
+  if (!options.trace_path.empty()) {
+    cwf::obs::SetTracingEnabled(true);
+  }
+
+  cwf::obs::MetricsServer server;
+  const cwf::Status started =
+      server.Start(static_cast<uint16_t>(options.port));
+  if (!started.ok()) {
+    std::fprintf(stderr, "cwf_lrb_serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving metrics on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  cwf::lrb::ExperimentResult last;
+  for (int run = 0; run < options.repeat; ++run) {
+    auto result = cwf::lrb::RunLRBExperiment(experiment);
+    if (!result.ok()) {
+      std::fprintf(stderr, "cwf_lrb_serve: run %d failed: %s\n", run,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    last = std::move(result).value();
+    if (!last.status.ok()) {
+      std::fprintf(stderr, "cwf_lrb_serve: director status: %s\n",
+                   last.status.ToString().c_str());
+    }
+    std::printf("run %d/%d: %zu toll notifications, avg response %.3fs\n",
+                run + 1, options.repeat, last.toll_notifications,
+                last.toll_avg_response_s);
+    std::fflush(stdout);
+  }
+
+  int exit_code = 0;
+  if (!options.bench_path.empty()) {
+    const cwf::Status s = cwf::lrb::WriteBenchJson(
+        last, "lrb_" + options.scheduler, options.bench_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cwf_lrb_serve: bench write failed: %s\n",
+                   s.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  if (!options.trace_path.empty()) {
+    const cwf::Status s =
+        cwf::obs::GlobalTracer().WriteChromeJson(options.trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cwf_lrb_serve: trace write failed: %s\n",
+                   s.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  if (!options.scrape_path.empty() &&
+      !SelfScrape(server.port(), options.scrape_path)) {
+    std::fprintf(stderr, "cwf_lrb_serve: self-scrape failed\n");
+    exit_code = 1;
+  }
+  if (options.serve_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.serve_ms));
+  }
+  server.Stop();
+  return exit_code;
+}

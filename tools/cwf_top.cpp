@@ -1,0 +1,279 @@
+// cwf_top: live per-actor statistics viewer for a running workflow.
+//
+// Polls the /top TSV endpoint of an obs::MetricsServer (see
+// src/obs/export_server.h) and renders a refreshing table with the
+// cumulative counters plus poll-to-poll rates: firings/s, mean firing cost,
+// selectivity (events emitted per event consumed), queue high-water mark,
+// and backpressure blocked time. Rates use the server's own monotonic
+// time base (the "# ts_us" first line), so client scheduling jitter does
+// not skew them.
+//
+// Usage:
+//   cwf_top --port N [--host 127.0.0.1] [--interval-ms 1000] [--once]
+//
+// --once fetches a single sample, prints the table without screen control
+// sequences, and exits (CI / scripting mode).
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct CliOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int interval_ms = 1000;
+  bool once = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--host HOST] [--interval-ms MS] [--once]\n",
+               argv0);
+  return 2;
+}
+
+/// One parsed /top row (cumulative counters since the workflow started).
+struct ActorRow {
+  std::string actor;
+  uint64_t firings = 0;
+  double cost_mean_us = 0;
+  uint64_t consumed = 0;
+  uint64_t emitted = 0;
+  uint64_t arrived = 0;
+  int64_t queue_hwm = 0;
+  uint64_t blocked_us = 0;
+  uint64_t decisions = 0;
+  uint64_t deferrals = 0;
+};
+
+struct Sample {
+  int64_t ts_us = 0;
+  std::vector<ActorRow> rows;
+};
+
+/// Issues one HTTP/1.0 GET and returns the response body, or false on any
+/// connection/protocol error.
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             std::string* body, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Fall back to name resolution for non-dotted hosts.
+    hostent* he = ::gethostbyname(host.c_str());
+    if (he == nullptr || he->h_addr_list[0] == nullptr) {
+      ::close(fd);
+      *error = "cannot resolve host '" + host + "'";
+      return false;
+    }
+    std::memcpy(&addr.sin_addr, he->h_addr_list[0], sizeof(addr.sin_addr));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) {
+      *error = "write failed";
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      *error = std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      break;
+    }
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    *error = "malformed HTTP response";
+    return false;
+  }
+  if (response.find("200") == std::string::npos ||
+      response.find("200") > response.find("\r\n")) {
+    *error = "non-200 response: " + response.substr(0, response.find("\r\n"));
+    return false;
+  }
+  *body = response.substr(header_end + 4);
+  return true;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool ParseTop(const std::string& body, Sample* sample, std::string* error) {
+  std::istringstream in(body);
+  std::string line;
+  // "# ts_us <µs>"
+  if (!std::getline(in, line) || line.rfind("# ts_us ", 0) != 0) {
+    *error = "missing '# ts_us' time-base line";
+    return false;
+  }
+  sample->ts_us = std::strtoll(line.c_str() + 8, nullptr, 10);
+  // Header.
+  if (!std::getline(in, line) || line.rfind("actor\t", 0) != 0) {
+    *error = "missing TSV header";
+    return false;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = SplitTabs(line);
+    if (f.size() != 10) {
+      *error = "bad row (want 10 fields): " + line;
+      return false;
+    }
+    ActorRow row;
+    row.actor = f[0];
+    row.firings = std::strtoull(f[1].c_str(), nullptr, 10);
+    row.cost_mean_us = std::strtod(f[2].c_str(), nullptr);
+    row.consumed = std::strtoull(f[3].c_str(), nullptr, 10);
+    row.emitted = std::strtoull(f[4].c_str(), nullptr, 10);
+    row.arrived = std::strtoull(f[5].c_str(), nullptr, 10);
+    row.queue_hwm = std::strtoll(f[6].c_str(), nullptr, 10);
+    row.blocked_us = std::strtoull(f[7].c_str(), nullptr, 10);
+    row.decisions = std::strtoull(f[8].c_str(), nullptr, 10);
+    row.deferrals = std::strtoull(f[9].c_str(), nullptr, 10);
+    sample->rows.push_back(row);
+  }
+  return true;
+}
+
+/// Renders one refresh of the table. `prev` may be empty (first poll);
+/// rates then read as 0.
+std::string RenderTable(const Sample& sample, const Sample& prev) {
+  std::map<std::string, const ActorRow*> prev_rows;
+  for (const ActorRow& row : prev.rows) {
+    prev_rows[row.actor] = &row;
+  }
+  const double dt_s =
+      prev.ts_us > 0 ? (sample.ts_us - prev.ts_us) / 1e6 : 0.0;
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-26s %10s %10s %10s %6s %9s %11s %10s\n", "ACTOR",
+                "FIRINGS", "FIRINGS/S", "COST_US", "SEL", "QUEUE_HWM",
+                "BLOCKED_MS", "DEFERRALS");
+  out << line;
+  for (const ActorRow& row : sample.rows) {
+    double rate = 0;
+    if (dt_s > 0) {
+      auto it = prev_rows.find(row.actor);
+      const uint64_t before = it != prev_rows.end() ? it->second->firings : 0;
+      rate = (row.firings - before) / dt_s;
+    }
+    const double selectivity =
+        row.consumed > 0
+            ? static_cast<double>(row.emitted) / static_cast<double>(row.consumed)
+            : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-26s %10llu %10.1f %10.1f %6.2f %9lld %11.1f %10llu\n",
+                  row.actor.c_str(),
+                  static_cast<unsigned long long>(row.firings), rate,
+                  row.cost_mean_us, selectivity,
+                  static_cast<long long>(row.queue_hwm),
+                  row.blocked_us / 1000.0,
+                  static_cast<unsigned long long>(row.deferrals));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      options.interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--once") {
+      options.once = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.port <= 0 || options.port > 65535 || options.interval_ms <= 0) {
+    return Usage(argv[0]);
+  }
+
+  Sample prev;
+  for (;;) {
+    std::string body;
+    std::string error;
+    if (!HttpGet(options.host, options.port, "/top", &body, &error)) {
+      std::fprintf(stderr, "cwf_top: fetch failed: %s\n", error.c_str());
+      return 1;
+    }
+    Sample sample;
+    if (!ParseTop(body, &sample, &error)) {
+      std::fprintf(stderr, "cwf_top: bad /top payload: %s\n", error.c_str());
+      return 1;
+    }
+    const std::string table = RenderTable(sample, prev);
+    if (options.once) {
+      std::fputs(table.c_str(), stdout);
+      return 0;
+    }
+    // Clear screen + home, then the table and a status line.
+    std::fputs("\x1b[2J\x1b[H", stdout);
+    std::fputs(table.c_str(), stdout);
+    std::printf("\n[%s:%d  every %dms  ctrl-c to quit]\n",
+                options.host.c_str(), options.port, options.interval_ms);
+    std::fflush(stdout);
+    prev = sample;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+}
