@@ -95,7 +95,8 @@ void BM_TimeWindowDeadlineIndex(benchmark::State& state) {
   std::vector<Window> out;
   uint64_t seq = 0;
   for (int64_t k = 0; k < keys; ++k) {
-    CWF_CHECK(op.Put(KeyedEvent(k, 1000, ++seq), &out).ok());
+    ++seq;
+    CWF_CHECK(op.Put(KeyedEvent(k, 1000, seq), &out).ok());
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(op.NextDeadline());

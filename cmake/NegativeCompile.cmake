@@ -1,0 +1,45 @@
+# Negative-compilation test driver (cmake -P script mode).
+#
+# Compiles SOURCE with COMPILER and FLAGS under -fsyntax-only and asserts
+# the outcome named by EXPECT:
+#
+#   EXPECT=fail  the compile must error — the fixture exercises a defect the
+#                static analysis is required to reject (e.g. reading a
+#                GUARDED_BY member without its lock under
+#                -Werror=thread-safety-analysis)
+#   EXPECT=pass  the compile must succeed — the control fixture proving the
+#                flags themselves don't reject correct code
+#
+# Invocation (see tests/CMakeLists.txt):
+#   cmake -DCOMPILER=<cxx> -DSOURCE=<file> -DEXPECT=fail|pass
+#         "-DFLAGS=<flag;flag;...>" -P cmake/NegativeCompile.cmake
+
+foreach(required COMPILER SOURCE EXPECT)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "NegativeCompile.cmake: ${required} not set")
+  endif()
+endforeach()
+
+execute_process(
+    COMMAND ${COMPILER} ${FLAGS} -fsyntax-only ${SOURCE}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "fail")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "expected ${SOURCE} to FAIL to compile, but it succeeded — the "
+        "static analysis did not catch the defect this fixture exercises")
+  endif()
+  message(STATUS "rejected as expected (exit ${rc})")
+elseif(EXPECT STREQUAL "pass")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "expected ${SOURCE} to compile cleanly, but it failed "
+        "(exit ${rc}):\n${out}\n${err}")
+  endif()
+  message(STATUS "compiled cleanly as expected")
+else()
+  message(FATAL_ERROR "NegativeCompile.cmake: EXPECT must be fail or pass")
+endif()

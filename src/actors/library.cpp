@@ -87,7 +87,7 @@ Status CollectorSink::Fire() {
     return Status::OK();
   }
   const Timestamp now = ctx_->clock->Now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   for (const CWEvent& e : w->events) {
     received_.push_back({e.token, e.timestamp, e.wave, now});
   }
@@ -95,12 +95,12 @@ Status CollectorSink::Fire() {
 }
 
 std::vector<CollectorSink::Received> CollectorSink::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return received_;
 }
 
 size_t CollectorSink::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return received_.size();
 }
 

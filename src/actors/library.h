@@ -9,10 +9,10 @@
 #define CONFLUENCE_ACTORS_LIBRARY_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_registry.h"
 #include "core/actor.h"
 
 namespace cwf {
@@ -122,8 +122,8 @@ class CollectorSink : public Actor {
 
  private:
   InputPort* in_;
-  mutable std::mutex mutex_;
-  std::vector<Received> received_;
+  mutable OrderedMutex mutex_{"CollectorSink::mutex"};
+  std::vector<Received> received_ CWF_GUARDED_BY(mutex_);
 };
 
 /// \brief Terminal actor that discards its input (load sink).

@@ -20,6 +20,12 @@
 // LockOrdered<std::recursive_mutex> adds no edges. try_lock never blocks,
 // so successful try_locks are recorded as held but add no ordering edges.
 
+// The wrappers double as the engine's Clang Thread Safety Analysis
+// capabilities (common/thread_annotations.h): LockOrdered is a
+// CWF_CAPABILITY and ScopedLock a CWF_SCOPED_CAPABILITY, so every
+// CWF_GUARDED_BY field access in the engine is proven lock-correct at
+// compile time by the thread-safety lint lane.
+
 #ifndef CONFLUENCE_COMMON_LOCK_REGISTRY_H_
 #define CONFLUENCE_COMMON_LOCK_REGISTRY_H_
 
@@ -28,6 +34,8 @@
 #include <mutex>
 #include <string>
 #include <type_traits>
+
+#include "common/thread_annotations.h"
 
 namespace cwf {
 
@@ -81,20 +89,20 @@ class LockRegistry {
 /// \brief A Lockable wrapping `M` that feeds the LockRegistry in checked
 /// builds and is a zero-cost passthrough otherwise.
 template <typename M>
-class LockOrdered {
+class CWF_CAPABILITY("mutex") LockOrdered {
  public:
 #if defined(CWF_LOCK_ORDER_CHECKS) && CWF_LOCK_ORDER_CHECKS
   explicit LockOrdered(const char* name = "mutex")
       : id_(LockRegistry::Instance().Register(name)) {}
   ~LockOrdered() { LockRegistry::Instance().Unregister(id_); }
 
-  void lock() {
+  void lock() CWF_ACQUIRE() {
     LockRegistry::Instance().OnAcquire(
         id_, std::is_same_v<M, std::recursive_mutex>);
     mu_.lock();
   }
 
-  bool try_lock() {
+  bool try_lock() CWF_TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) {
       return false;
     }
@@ -102,16 +110,16 @@ class LockOrdered {
     return true;
   }
 
-  void unlock() {
+  void unlock() CWF_RELEASE() {
     mu_.unlock();
     LockRegistry::Instance().OnRelease(id_);
   }
 #else
   explicit LockOrdered(const char* name = "mutex") { (void)name; }
 
-  void lock() { mu_.lock(); }
-  bool try_lock() { return mu_.try_lock(); }
-  void unlock() { mu_.unlock(); }
+  void lock() CWF_ACQUIRE() { mu_.lock(); }
+  bool try_lock() CWF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() CWF_RELEASE() { mu_.unlock(); }
 #endif  // CWF_LOCK_ORDER_CHECKS
 
   LockOrdered(const LockOrdered&) = delete;
@@ -133,10 +141,10 @@ using OrderedRecursiveMutex = LockOrdered<std::recursive_mutex>;
 
 /// \brief Minimal RAII guard over any Lockable (CTAD: `ScopedLock l(mu);`).
 template <typename Mutex>
-class ScopedLock {
+class CWF_SCOPED_CAPABILITY ScopedLock {
  public:
-  explicit ScopedLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
-  ~ScopedLock() { mu_.unlock(); }
+  explicit ScopedLock(Mutex& mu) CWF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~ScopedLock() CWF_RELEASE() { mu_.unlock(); }
 
   ScopedLock(const ScopedLock&) = delete;
   ScopedLock& operator=(const ScopedLock&) = delete;

@@ -1,20 +1,30 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 #include <map>
-#include <mutex>
 
+#include "common/lock_registry.h"
 #include "obs/metrics.h"
 
 namespace cwf {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-std::function<void(LogLevel, const std::string&)> g_sink;
-std::function<void(const LogRecord&)> g_record_sink;
-std::map<std::string, LogLevel> g_component_levels;
-std::mutex g_mutex;
+OrderedMutex& GlobalLogMutex() {
+  static OrderedMutex* mutex = new OrderedMutex("logging::g_mutex");
+  return *mutex;
+}
+
+/// The global threshold is read on every CWF_LOG site (possibly from PNCWF
+/// actor threads) while tests flip it concurrently: atomic, not guarded.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::function<void(LogLevel, const std::string&)> g_sink
+    CWF_GUARDED_BY(GlobalLogMutex());
+std::function<void(const LogRecord&)> g_record_sink
+    CWF_GUARDED_BY(GlobalLogMutex());
+std::map<std::string, LogLevel> g_component_levels
+    CWF_GUARDED_BY(GlobalLogMutex());
 
 }  // namespace
 
@@ -34,32 +44,34 @@ const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void SetComponentLogLevel(const std::string& component, LogLevel level) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  ScopedLock lock(GlobalLogMutex());
   g_component_levels[component] = level;
 }
 
 void ClearComponentLogLevels() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  ScopedLock lock(GlobalLogMutex());
   g_component_levels.clear();
 }
 
 LogLevel EffectiveLogLevel(const std::string& component) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  ScopedLock lock(GlobalLogMutex());
   auto it = g_component_levels.find(component);
-  return it != g_component_levels.end() ? it->second : g_level;
+  return it != g_component_levels.end() ? it->second : GetLogLevel();
 }
 
 void SetLogSink(std::function<void(LogLevel, const std::string&)> sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  ScopedLock lock(GlobalLogMutex());
   g_sink = std::move(sink);
 }
 
 void SetLogRecordSink(std::function<void(const LogRecord&)> sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  ScopedLock lock(GlobalLogMutex());
   g_record_sink = std::move(sink);
 }
 
@@ -77,7 +89,7 @@ void Emit(LogLevel level, const char* component, const std::string& message) {
   record.ts_us = obs::HostMonotonicMicros();
   record.message = message;
 
-  std::lock_guard<std::mutex> lock(g_mutex);
+  ScopedLock lock(GlobalLogMutex());
   if (g_record_sink) {
     g_record_sink(record);
     return;

@@ -1,0 +1,96 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// The engine's lock discipline — which mutex guards which field, which
+// private helpers assume the lock is already held — is machine-checked at
+// compile time by Clang's -Wthread-safety analysis. These macros attach the
+// capability annotations the analysis consumes; under compilers without the
+// attribute (GCC, MSVC) they expand to nothing, so the annotated tree builds
+// everywhere while the dedicated lint lane (CMake option
+// CONFLUENCE_THREAD_SAFETY, CI lane "thread-safety", tools/check.sh) builds
+// with clang and -Werror=thread-safety-analysis.
+//
+// Usage pattern (see docs/STATIC_ANALYSIS.md "Compile-time thread safety"):
+//
+//   class Account {
+//    public:
+//     void Deposit(int n) {
+//       ScopedLock lock(mutex_);
+//       balance_ += n;                    // OK: capability held
+//     }
+//    private:
+//     void RebalanceLocked() CWF_REQUIRES(mutex_);  // caller must hold
+//     mutable OrderedMutex mutex_{"Account::mutex"};
+//     int balance_ CWF_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Suppressions (CWF_NO_THREAD_SAFETY_ANALYSIS) are allowed only for the
+// documented allowlist: condition-variable wait loops, which need
+// std::unique_lock (release/reacquire across the wait is a lock pattern the
+// analysis cannot model). Every suppression carries a comment naming the
+// allowlist entry; the cwf-tidy lint checks and code review keep the list
+// from growing silently.
+
+#ifndef CONFLUENCE_COMMON_THREAD_ANNOTATIONS_H_
+#define CONFLUENCE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CWF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CWF_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lockable) type. The string is the
+/// capability kind used in diagnostics ("mutex").
+#define CWF_CAPABILITY(x) CWF_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define CWF_SCOPED_CAPABILITY CWF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be accessed while holding the given capability.
+#define CWF_GUARDED_BY(x) CWF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointed-to* data is protected by the capability
+/// (the pointer itself may be read freely).
+#define CWF_PT_GUARDED_BY(x) CWF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define CWF_ACQUIRE(...) CWF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define CWF_RELEASE(...) CWF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the capability; acquires it iff it returns `ret`.
+#define CWF_TRY_ACQUIRE(ret, ...) \
+  CWF_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must hold the capability to call this function.
+#define CWF_REQUIRES(...) \
+  CWF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself —
+/// a deadlock guard against re-entry on non-recursive mutexes).
+#define CWF_EXCLUDES(...) CWF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a lock-acquisition ordering between two mutexes, checked
+/// statically (complements the runtime lock-order detector).
+#define CWF_ACQUIRED_BEFORE(...) \
+  CWF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CWF_ACQUIRED_AFTER(...) \
+  CWF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to data guarded by the capability.
+#define CWF_RETURN_CAPABILITY(x) CWF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts (at runtime) that the capability is held; teaches the analysis
+/// the capability is held from here on.
+#define CWF_ASSERT_CAPABILITY(x) \
+  CWF_THREAD_ANNOTATION(assert_capability(x))
+
+/// Opt a function out of the analysis. ONLY for documented allowlist
+/// entries (see file comment); every use carries a `// ts-allowlist:`
+/// comment naming the reason.
+#define CWF_NO_THREAD_SAFETY_ANALYSIS \
+  CWF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // CONFLUENCE_COMMON_THREAD_ANNOTATIONS_H_

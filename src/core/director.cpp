@@ -18,7 +18,7 @@ Status Director::Initialize(Workflow* workflow, Clock* clock,
   workflow_ = workflow;
   clock_ = clock;
   cost_model_ = cost_model;
-  halted_.clear();
+  ClearHalted();
   if (ctx_ == &own_ctx_) {
     own_ctx_.seq = 1;
     own_ctx_.external_id = 1;

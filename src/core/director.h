@@ -13,6 +13,7 @@
 #include <set>
 #include <string>
 
+#include "common/lock_registry.h"
 #include "common/status.h"
 #include "core/clock.h"
 #include "core/cost_model.h"
@@ -74,7 +75,9 @@ class Director {
   void AdoptContext(ExecutionContext* ctx) { ctx_ = ctx; }
 
   /// \brief Whether actor halted itself (postfire returned false).
-  bool IsHalted(const Actor* actor) const {
+  /// Thread-safe: PNCWF actor threads consult it concurrently.
+  bool IsHalted(const Actor* actor) const CWF_EXCLUDES(halted_mutex_) {
+    ScopedLock lock(halted_mutex_);
     return halted_.count(actor) > 0;
   }
 
@@ -137,7 +140,17 @@ class Director {
     (void)event;
   }
 
-  void MarkHalted(const Actor* actor) { halted_.insert(actor); }
+  /// Thread-safe (see IsHalted).
+  void MarkHalted(const Actor* actor) CWF_EXCLUDES(halted_mutex_) {
+    ScopedLock lock(halted_mutex_);
+    halted_.insert(actor);
+  }
+
+  /// \brief Drop every halted mark (Initialize re-entry).
+  void ClearHalted() CWF_EXCLUDES(halted_mutex_) {
+    ScopedLock lock(halted_mutex_);
+    halted_.clear();
+  }
 
   obs::WorkflowTelemetry telemetry_;
   Workflow* workflow_ = nullptr;
@@ -147,9 +160,14 @@ class Director {
   ExecutionContext* ctx_ = &own_ctx_;
   bool initialized_ = false;
   bool static_analysis_enabled_ = true;
-  std::set<const Actor*> halted_;
   /// shared_ptr so the header only needs the forward declaration.
   std::shared_ptr<const analysis::CapacityPlan> capacity_plan_;
+
+ private:
+  /// Serializes the halted set: in OS-thread PNCWF, actor threads mark and
+  /// poll halt states concurrently with the drain loop.
+  mutable OrderedMutex halted_mutex_{"Director::halted_mutex"};
+  std::set<const Actor*> halted_ CWF_GUARDED_BY(halted_mutex_);
 };
 
 }  // namespace cwf

@@ -10,7 +10,7 @@ Table::Table(std::string name, Schema schema)
 Status Table::CreateIndex(const std::string& index_name,
                           const std::vector<std::string>& columns,
                           bool unique) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   for (const Index& index : indexes_) {
     if (index.name == index_name) {
       return Status::AlreadyExists("index '" + index_name + "' exists on " +
@@ -102,7 +102,11 @@ Status Table::CheckUnique(const Row& row, std::optional<RowId> ignore) const {
 }
 
 Result<RowId> Table::Insert(Row row) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
+  return InsertLocked(std::move(row));
+}
+
+Result<RowId> Table::InsertLocked(Row row) {
   CWF_RETURN_NOT_OK(schema_.CheckRow(row));
   CWF_RETURN_NOT_OK(CheckUnique(row, std::nullopt));
   RowId id;
@@ -121,7 +125,7 @@ Result<RowId> Table::Insert(Row row) {
 
 Result<bool> Table::Upsert(const std::vector<std::string>& key_columns,
                            Row row) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   CWF_RETURN_NOT_OK(schema_.CheckRow(row));
   auto key_idx = schema_.ColumnIndexes(key_columns);
   if (!key_idx.ok()) {
@@ -143,7 +147,7 @@ Result<bool> Table::Upsert(const std::vector<std::string>& key_columns,
       return true;
     }
   }
-  auto inserted = Insert(std::move(row));
+  auto inserted = InsertLocked(std::move(row));
   if (!inserted.ok()) {
     return inserted.status();
   }
@@ -202,7 +206,7 @@ Status Table::ForEachMatch(const PredicatePtr& predicate, Fn&& fn) const {
 
 Result<size_t> Table::Update(const PredicatePtr& predicate,
                              const std::function<void(Row*)>& mutator) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::vector<RowId> targets;
   CWF_RETURN_NOT_OK(ForEachMatch(
       predicate, [&](RowId id, const Row&) { targets.push_back(id); }));
@@ -219,7 +223,7 @@ Result<size_t> Table::Update(const PredicatePtr& predicate,
 }
 
 Result<size_t> Table::Delete(const PredicatePtr& predicate) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::vector<RowId> targets;
   CWF_RETURN_NOT_OK(ForEachMatch(
       predicate, [&](RowId id, const Row&) { targets.push_back(id); }));
@@ -233,7 +237,7 @@ Result<size_t> Table::Delete(const PredicatePtr& predicate) {
 }
 
 Result<std::vector<Row>> Table::Select(const PredicatePtr& predicate) const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::vector<Row> out;
   CWF_RETURN_NOT_OK(ForEachMatch(
       predicate, [&](RowId, const Row& row) { out.push_back(row); }));
@@ -242,7 +246,7 @@ Result<std::vector<Row>> Table::Select(const PredicatePtr& predicate) const {
 
 Result<std::optional<Row>> Table::SelectOne(
     const PredicatePtr& predicate) const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::optional<Row> out;
   CWF_RETURN_NOT_OK(ForEachMatch(predicate, [&](RowId, const Row& row) {
     if (!out.has_value()) {
@@ -254,7 +258,7 @@ Result<std::optional<Row>> Table::SelectOne(
 
 Result<Value> Table::Aggregate(AggKind kind, const std::string& column,
                                const PredicatePtr& predicate) const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   size_t col_idx = 0;
   if (kind != AggKind::kCount || !column.empty()) {
     auto idx = schema_.ColumnIndex(column);
@@ -302,12 +306,12 @@ Result<Value> Table::Aggregate(AggKind kind, const std::string& column,
 }
 
 size_t Table::RowCount() const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return live_rows_;
 }
 
 void Table::Truncate() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   rows_.clear();
   free_list_.clear();
   live_rows_ = 0;

@@ -10,12 +10,12 @@
 #define CONFLUENCE_DB_TABLE_H_
 
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_registry.h"
 #include "db/query.h"
 #include "db/schema.h"
 
@@ -76,8 +76,14 @@ class Table {
   void Truncate();
 
   /// \brief Access-path statistics for benchmarking.
-  uint64_t index_lookups() const { return index_lookups_; }
-  uint64_t full_scans() const { return full_scans_; }
+  uint64_t index_lookups() const {
+    ScopedLock lock(mutex_);
+    return index_lookups_;
+  }
+  uint64_t full_scans() const {
+    ScopedLock lock(mutex_);
+    return full_scans_;
+  }
 
  private:
   struct Index {
@@ -90,27 +96,34 @@ class Table {
         map;
   };
 
-  std::vector<Value> KeyFor(const Index& index, const Row& row) const;
-  void IndexRow(RowId id, const Row& row);
-  void UnindexRow(RowId id, const Row& row);
-  Status CheckUnique(const Row& row, std::optional<RowId> ignore) const;
+  std::vector<Value> KeyFor(const Index& index, const Row& row) const
+      CWF_REQUIRES(mutex_);
+  void IndexRow(RowId id, const Row& row) CWF_REQUIRES(mutex_);
+  void UnindexRow(RowId id, const Row& row) CWF_REQUIRES(mutex_);
+  Status CheckUnique(const Row& row, std::optional<RowId> ignore) const
+      CWF_REQUIRES(mutex_);
+
+  /// Insert body shared by Insert() and Upsert(); caller holds the lock.
+  Result<RowId> InsertLocked(Row row) CWF_REQUIRES(mutex_);
 
   /// Candidate row ids for a predicate: an index subset when the predicate
   /// pins all columns of some index by equality, otherwise every live row.
-  std::vector<RowId> Candidates(const PredicatePtr& predicate) const;
+  std::vector<RowId> Candidates(const PredicatePtr& predicate) const
+      CWF_REQUIRES(mutex_);
 
   template <typename Fn>
-  Status ForEachMatch(const PredicatePtr& predicate, Fn&& fn) const;
+  Status ForEachMatch(const PredicatePtr& predicate, Fn&& fn) const
+      CWF_REQUIRES(mutex_);
 
   std::string name_;
   Schema schema_;
-  std::vector<std::optional<Row>> rows_;
-  std::vector<RowId> free_list_;
-  std::vector<Index> indexes_;
-  size_t live_rows_ = 0;
-  mutable uint64_t index_lookups_ = 0;
-  mutable uint64_t full_scans_ = 0;
-  mutable std::recursive_mutex mutex_;
+  std::vector<std::optional<Row>> rows_ CWF_GUARDED_BY(mutex_);
+  std::vector<RowId> free_list_ CWF_GUARDED_BY(mutex_);
+  std::vector<Index> indexes_ CWF_GUARDED_BY(mutex_);
+  size_t live_rows_ CWF_GUARDED_BY(mutex_) = 0;
+  mutable uint64_t index_lookups_ CWF_GUARDED_BY(mutex_) = 0;
+  mutable uint64_t full_scans_ CWF_GUARDED_BY(mutex_) = 0;
+  mutable OrderedMutex mutex_{"db::Table::mutex"};
 };
 
 }  // namespace cwf::db

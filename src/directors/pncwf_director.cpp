@@ -26,7 +26,10 @@ class BlockingWindowedReceiver : public WindowedReceiver {
         cv_(cv),
         stop_(stop) {}
 
-  Status Put(const CWEvent& event) override {
+  // ts-allowlist: condition-variable wait — blocking-put backpressure parks
+  // the producer on the consumer domain's cv via std::unique_lock, which
+  // the thread-safety analysis cannot model.
+  Status Put(const CWEvent& event) override CWF_NO_THREAD_SAFETY_ANALYSIS {
     Status st;
     {
       std::unique_lock<OrderedRecursiveMutex> lock(*mutex_);
@@ -222,7 +225,6 @@ Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
     telemetry_.RecordFiring(record);
   }
   if (!cont.value()) {
-    ScopedLock lock(halted_mutex_);
     MarkHalted(actor);
   }
   return cost;
@@ -328,7 +330,11 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
 // OS-thread mode: one thread per actor, blocking windowed receivers.
 // ---------------------------------------------------------------------------
 
-void PNCWFDirector::ActorThreadBody(Actor* actor) {
+// ts-allowlist: condition-variable wait — the blocked-on-empty-input sleep
+// releases/reacquires the actor's sync mutex through cv.wait_for() on a
+// std::unique_lock, which the thread-safety analysis cannot model.
+void PNCWFDirector::ActorThreadBody(Actor* actor)
+    CWF_NO_THREAD_SAFETY_ANALYSIS {
   ActorSync* sync = syncs_.at(actor).get();
   for (;;) {
     {
@@ -390,11 +396,8 @@ void PNCWFDirector::ActorThreadBody(Actor* actor) {
                       << "' failed: " << cost.status().ToString();
       return;
     }
-    {
-      ScopedLock lock(halted_mutex_);
-      if (IsHalted(actor)) {
-        return;
-      }
+    if (IsHalted(actor)) {
+      return;
     }
   }
 }
@@ -431,11 +434,8 @@ void PNCWFDirector::SourceThreadBody(Actor* actor) {
                       << "' failed: " << cost.status().ToString();
       return;
     }
-    {
-      ScopedLock lock(halted_mutex_);
-      if (IsHalted(actor)) {
-        return;
-      }
+    if (IsHalted(actor)) {
+      return;
     }
   }
 }

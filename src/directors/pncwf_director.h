@@ -107,7 +107,6 @@ class PNCWFDirector : public Director {
   std::atomic<int> busy_{0};
   std::atomic<uint64_t> total_firings_{0};
   uint64_t context_switches_ = 0;
-  OrderedMutex halted_mutex_{"PNCWFDirector::halted_mutex"};
 };
 
 }  // namespace cwf

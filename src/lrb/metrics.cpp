@@ -6,17 +6,17 @@
 namespace cwf::lrb {
 
 void ResponseTimeSeries::Record(Timestamp event_ts, Timestamp completed_at) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   samples_.push_back({event_ts, completed_at});
 }
 
 size_t ResponseTimeSeries::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return samples_.size();
 }
 
 double ResponseTimeSeries::OverallAvgSeconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   if (samples_.empty()) {
     return 0;
   }
@@ -28,7 +28,7 @@ double ResponseTimeSeries::OverallAvgSeconds() const {
 }
 
 double ResponseTimeSeries::MaxSeconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   Duration max_d = 0;
   for (const Sample& s : samples_) {
     max_d = std::max(max_d, s.completed_at - s.event_ts);
@@ -37,7 +37,7 @@ double ResponseTimeSeries::MaxSeconds() const {
 }
 
 double ResponseTimeSeries::PercentileSeconds(double p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   if (samples_.empty()) {
     return 0;
   }
@@ -53,7 +53,7 @@ double ResponseTimeSeries::PercentileSeconds(double p) const {
 }
 
 double ResponseTimeSeries::FractionUnder(Duration target) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   if (samples_.empty()) {
     return 1.0;
   }
@@ -68,7 +68,7 @@ double ResponseTimeSeries::FractionUnder(Duration target) const {
 
 std::vector<ResponseTimeSeries::Point> ResponseTimeSeries::Series(
     Duration bucket) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::vector<Point> out;
   if (samples_.empty() || bucket <= 0) {
     return out;
@@ -102,7 +102,7 @@ std::vector<ResponseTimeSeries::Point> ResponseTimeSeries::Series(
 }
 
 std::vector<int64_t> ResponseTimeSeries::ResponseMicros() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::vector<int64_t> out;
   out.reserve(samples_.size());
   for (const Sample& s : samples_) {

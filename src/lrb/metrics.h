@@ -8,9 +8,9 @@
 #ifndef CONFLUENCE_LRB_METRICS_H_
 #define CONFLUENCE_LRB_METRICS_H_
 
-#include <mutex>
 #include <vector>
 
+#include "common/lock_registry.h"
 #include "core/actor.h"
 
 namespace cwf::lrb {
@@ -58,8 +58,8 @@ class ResponseTimeSeries {
     Timestamp completed_at;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Sample> samples_;
+  mutable OrderedMutex mutex_{"lrb::ResponseTimeSeries::mutex"};
+  std::vector<Sample> samples_ CWF_GUARDED_BY(mutex_);
 };
 
 /// \brief Terminal output actor that records response times (the paper's

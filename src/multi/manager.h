@@ -68,9 +68,9 @@ class Manager {
   /// drives slices. Never held across director_->Run(), so a transition
   /// requested mid-slice takes effect at the next slice boundary.
   mutable OrderedMutex mutex_{"Manager::mutex"};
-  ManagerState state_ = ManagerState::kCreated;
-  Clock* clock_ = nullptr;
-  Duration cpu_used_ = 0;
+  ManagerState state_ CWF_GUARDED_BY(mutex_) = ManagerState::kCreated;
+  Clock* clock_ CWF_GUARDED_BY(mutex_) = nullptr;
+  Duration cpu_used_ CWF_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace cwf

@@ -248,7 +248,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& label_key,
                                      const std::string& label_value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   auto& slot = counters_[MetricKey{name, label_key, label_value}];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -259,7 +259,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& label_key,
                                  const std::string& label_value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   auto& slot = gauges_[MetricKey{name, label_key, label_value}];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -270,7 +270,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& label_key,
                                          const std::string& label_value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   auto& slot = histograms_[MetricKey{name, label_key, label_value}];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>();
@@ -280,12 +280,12 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 void MetricsRegistry::SetHelp(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   help_[name] = help;
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::ostringstream out;
   std::string last_name;
   auto header = [&](const std::string& name, const char* type) {
@@ -332,7 +332,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::ostringstream out;
   out << "{";
   out << "\"counters\":{";
@@ -384,7 +384,7 @@ std::string MetricsRegistry::RenderJson() const {
 
 std::vector<std::string> MetricsRegistry::LabelValues(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::vector<std::string> values;
   auto collect = [&](const auto& map) {
     for (const auto& [key, unused] : map) {
@@ -403,7 +403,7 @@ std::vector<std::string> MetricsRegistry::LabelValues(
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   for (auto& [key, counter] : counters_) {
     counter->Reset();
   }
@@ -416,7 +416,7 @@ void MetricsRegistry::Reset() {
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/lock_registry.h"
 
 namespace cwf::obs {
 
@@ -231,11 +232,13 @@ class MetricsRegistry {
   size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<MetricKey, std::unique_ptr<Counter>> counters_;
-  std::map<MetricKey, std::unique_ptr<Gauge>> gauges_;
-  std::map<MetricKey, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::string> help_;
+  mutable OrderedMutex mutex_{"obs::MetricsRegistry::mutex"};
+  std::map<MetricKey, std::unique_ptr<Counter>> counters_
+      CWF_GUARDED_BY(mutex_);
+  std::map<MetricKey, std::unique_ptr<Gauge>> gauges_ CWF_GUARDED_BY(mutex_);
+  std::map<MetricKey, std::unique_ptr<Histogram>> histograms_
+      CWF_GUARDED_BY(mutex_);
+  std::map<std::string, std::string> help_ CWF_GUARDED_BY(mutex_);
 };
 
 }  // namespace cwf::obs

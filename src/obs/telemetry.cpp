@@ -118,10 +118,11 @@ const ReceiverProbe* WorkflowTelemetry::CreateReceiverProbe(
   MetricsRegistry& reg = MetricsRegistry::Global();
   // Probes are owned by the registry-adjacent static store so receiver
   // lifetime (director-owned) never outlives them.
-  static std::mutex mutex;
+  static OrderedMutex* mutex =
+      new OrderedMutex("obs::CreateReceiverProbe::mutex");
   static std::map<std::string, ReceiverProbe>* probes =
       new std::map<std::string, ReceiverProbe>();
-  std::lock_guard<std::mutex> lock(mutex);
+  ScopedLock lock(*mutex);
   auto [it, inserted] = probes->try_emplace(label);
   if (inserted) {
     it->second.puts = reg.GetCounter("cwf_receiver_puts_total", "port", label);

@@ -28,7 +28,7 @@ TraceBuffer::TraceBuffer(size_t capacity)
 }
 
 void TraceBuffer::Append(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {
@@ -39,7 +39,7 @@ void TraceBuffer::Append(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> TraceBuffer::SnapshotEvents() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -54,17 +54,17 @@ std::vector<TraceEvent> TraceBuffer::SnapshotEvents() const {
 }
 
 uint64_t TraceBuffer::total_appended() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return appended_;
 }
 
 uint64_t TraceBuffer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return appended_ > ring_.size() ? appended_ - ring_.size() : 0;
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   ring_.clear();
   next_ = 0;
   appended_ = 0;
@@ -75,14 +75,14 @@ void TraceBuffer::Clear() {
 // ---------------------------------------------------------------------------
 
 uint32_t WaveTracer::RegisterTrack(const std::string& actor_name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   track_names_.push_back(actor_name);
   return 10 + 2 * static_cast<uint32_t>(track_names_.size() - 1);
 }
 
 void WaveTracer::ResetTopology(bool clear_buffer) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ScopedLock lock(mutex_);
     track_names_.clear();
     live_.clear();
   }
@@ -96,7 +96,7 @@ void WaveTracer::OnEventEmitted(const WaveTag& wave, Timestamp event_ts,
   const uint64_t root = wave.root();
   bool born = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ScopedLock lock(mutex_);
     auto [it, inserted] = live_.try_emplace(root);
     if (inserted) {
       if (live_.size() > kMaxLiveWaves) {
@@ -139,7 +139,7 @@ void WaveTracer::OnFiring(uint32_t tid, const WaveTag* wave, Timestamp start,
   Timestamp birth;
   if (wave != nullptr) {
     root = wave->root();
-    std::lock_guard<std::mutex> lock(mutex_);
+    ScopedLock lock(mutex_);
     auto it = live_.find(root);
     if (it != live_.end()) {
       LiveWave& lw = it->second;
@@ -210,17 +210,17 @@ void WaveTracer::Instant(uint32_t tid, Timestamp now) {
 }
 
 size_t WaveTracer::live_waves() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return live_.size();
 }
 
 uint64_t WaveTracer::waves_born() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return waves_born_;
 }
 
 uint64_t WaveTracer::waves_closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return waves_closed_;
 }
 
@@ -228,7 +228,7 @@ std::string WaveTracer::RenderChromeJson() const {
   std::vector<TraceEvent> events = buffer_.SnapshotEvents();
   std::vector<std::string> tracks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ScopedLock lock(mutex_);
     tracks = track_names_;
   }
   // The exported timeline must be ts-ordered (and a stable sort keeps each

@@ -20,10 +20,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_registry.h"
 #include "common/status.h"
 #include "common/time.h"
 
@@ -76,10 +76,10 @@ class TraceBuffer {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  size_t next_ = 0;          ///< ring write cursor
-  uint64_t appended_ = 0;
+  mutable OrderedMutex mutex_{"obs::TraceBuffer::mutex"};
+  std::vector<TraceEvent> ring_ CWF_GUARDED_BY(mutex_);
+  size_t next_ CWF_GUARDED_BY(mutex_) = 0;  ///< ring write cursor
+  uint64_t appended_ CWF_GUARDED_BY(mutex_) = 0;
 };
 
 /// \brief The tracer a director feeds: owns the ring buffer, the live-wave
@@ -147,11 +147,12 @@ class WaveTracer {
 
   TraceBuffer buffer_;
   std::atomic<Histogram*> latency_sink_{nullptr};
-  mutable std::mutex mutex_;  ///< guards tracks_ and live_
-  std::vector<std::string> track_names_;  ///< index = (tid - 10) / 2
-  std::map<uint64_t, LiveWave> live_;
-  uint64_t waves_born_ = 0;
-  uint64_t waves_closed_ = 0;
+  mutable OrderedMutex mutex_{"obs::WaveTracer::mutex"};
+  /// index = (tid - 10) / 2
+  std::vector<std::string> track_names_ CWF_GUARDED_BY(mutex_);
+  std::map<uint64_t, LiveWave> live_ CWF_GUARDED_BY(mutex_);
+  uint64_t waves_born_ CWF_GUARDED_BY(mutex_) = 0;
+  uint64_t waves_closed_ CWF_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace cwf::obs

@@ -71,9 +71,14 @@ size_t PushChannel::Pending() const {
   return queue_.size();
 }
 
-void PushChannel::WaitForData() const {
+// ts-allowlist: condition-variable wait — the release/reacquire cycle of
+// cv_.wait() on a std::unique_lock is a lock pattern the thread-safety
+// analysis cannot model (see common/thread_annotations.h).
+void PushChannel::WaitForData() const CWF_NO_THREAD_SAFETY_ANALYSIS {
   std::unique_lock<OrderedMutex> lock(mutex_);
-  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  while (queue_.empty() && !closed_) {
+    cv_.wait(lock);
+  }
 }
 
 }  // namespace cwf

@@ -56,13 +56,13 @@ class PushChannel {
 
   /// \brief Block (real-time mode) until a tuple is queued or the channel is
   /// closed; returns immediately if either already holds.
-  void WaitForData() const;
+  void WaitForData() const CWF_EXCLUDES(mutex_);
 
  private:
   mutable OrderedMutex mutex_{"PushChannel::mutex"};
   mutable std::condition_variable_any cv_;
-  std::deque<TraceEntry> queue_;
-  bool closed_ = false;
+  std::deque<TraceEntry> queue_ CWF_GUARDED_BY(mutex_);
+  bool closed_ CWF_GUARDED_BY(mutex_) = false;
 };
 
 using PushChannelPtr = std::shared_ptr<PushChannel>;

@@ -73,8 +73,8 @@ class TcpLineListener {
   std::atomic<uint64_t> parse_errors_{0};
   std::thread accept_thread_;
   OrderedMutex clients_mutex_{"TcpLineListener::clients_mutex"};
-  std::vector<std::thread> client_threads_;
-  std::vector<int> client_fds_;
+  std::vector<std::thread> client_threads_ CWF_GUARDED_BY(clients_mutex_);
+  std::vector<int> client_fds_ CWF_GUARDED_BY(clients_mutex_);
 };
 
 }  // namespace cwf

@@ -1,0 +1,48 @@
+// Control fixture (EXPECT=pass): correctly locked code must compile cleanly
+// under the exact flags the failing fixtures use — proving those fixtures
+// fail because of their defects, not because of the flags.
+//
+// Exercises the annotation surface the engine relies on: CWF_GUARDED_BY
+// with ScopedLock, CWF_REQUIRES helpers, CWF_EXCLUDES public entry points,
+// and try_lock via CWF_TRY_ACQUIRE.
+
+#include "common/lock_registry.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) CWF_EXCLUDES(mutex_) {
+    cwf::ScopedLock lock(mutex_);
+    AddLocked(amount);
+  }
+
+  int balance() const CWF_EXCLUDES(mutex_) {
+    cwf::ScopedLock lock(mutex_);
+    return balance_;
+  }
+
+  bool TryDeposit(int amount) CWF_EXCLUDES(mutex_) {
+    if (!mutex_.try_lock()) {
+      return false;
+    }
+    AddLocked(amount);
+    mutex_.unlock();
+    return true;
+  }
+
+ private:
+  void AddLocked(int amount) CWF_REQUIRES(mutex_) { balance_ += amount; }
+
+  mutable cwf::OrderedMutex mutex_{"negcompile::clean::mutex"};
+  int balance_ CWF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(2);
+  account.TryDeposit(3);
+  return account.balance() == 5 ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// Negative-compilation fixture (EXPECT=fail): acquiring a capability that
+// is already held must be rejected under -Wthread-safety
+// -Werror=thread-safety-analysis (ScopedLock is a SCOPED_CAPABILITY, so the
+// analysis tracks both acquisitions).
+//
+// Registered by tests/CMakeLists.txt only when the compiler supports
+// -Wthread-safety (clang); see cmake/NegativeCompile.cmake.
+
+#include "common/lock_registry.h"
+
+int main() {
+  cwf::OrderedMutex mutex{"negcompile::double_acquire"};
+  cwf::ScopedLock first(mutex);
+  cwf::ScopedLock second(mutex);  // BAD: mutex is already held
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Negative-compilation fixture (EXPECT=fail): reading a CWF_GUARDED_BY
+// member without holding its mutex must be rejected under
+// -Wthread-safety -Werror=thread-safety-analysis.
+//
+// Registered by tests/CMakeLists.txt only when the compiler supports
+// -Wthread-safety (clang); see cmake/NegativeCompile.cmake.
+
+#include "common/lock_registry.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    cwf::ScopedLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  // BAD: guarded read with no lock held — the thread-safety analysis must
+  // error out here.
+  int balance() const { return balance_; }
+
+ private:
+  mutable cwf::OrderedMutex mutex_{"negcompile::Account::mutex"};
+  int balance_ CWF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance();
+}

@@ -1,0 +1,25 @@
+// cwf_tidy fixture: side effects inside CWF_ASSERT / CWF_DCHECK conditions
+// must be reported by cwf-assert-side-effects. Expected: nonzero exit.
+
+#include "common/check.h"
+
+namespace fixture {
+
+inline int Increment(int* v) { return ++*v; }
+
+inline void Bad() {
+  int n = 0;
+  CWF_ASSERT(n++ < 3);                     // finding: increment
+  CWF_DCHECK(n = 2);                       // finding: assignment
+  CWF_CHECK_MSG(n += 1, "compound");       // finding: compound assignment
+}
+
+inline void Good() {
+  int n = 1;
+  CWF_ASSERT(n == 1);      // comparison, not assignment
+  CWF_DCHECK(n <= 2);      // <= is not an assignment
+  CWF_CHECK(n >= 0);       // >= is not an assignment
+  CWF_ASSERT(n != 3);      // != is not an assignment
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// cwf_tidy fixture: blocking operations inside a critical section must be
+// reported by cwf-blocking-under-lock. Expected: nonzero exit.
+
+#include <chrono>
+#include <thread>
+
+#include "common/lock_registry.h"
+#include "common/logging.h"
+
+namespace fixture {
+
+inline cwf::OrderedMutex& Mutex() {
+  static cwf::OrderedMutex* mutex = new cwf::OrderedMutex("fixture::mutex");
+  return *mutex;
+}
+
+inline void SleepUnderLock() {
+  cwf::ScopedLock lock(Mutex());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // finding
+}
+
+inline void LogUnderLock() {
+  cwf::ScopedLock lock(Mutex());
+  CWF_CLOG(kWarn, "fixture") << "logging inside a critical section";  // finding
+}
+
+inline void JoinUnderLock(std::thread* worker) {
+  cwf::ScopedLock lock(Mutex());
+  worker->join();  // finding
+}
+
+// Control: the same operations outside the guard's scope are clean.
+inline void SleepOutsideLock() {
+  {
+    cwf::ScopedLock lock(Mutex());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace fixture

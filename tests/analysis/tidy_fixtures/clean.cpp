@@ -1,0 +1,43 @@
+// cwf_tidy control fixture: idiomatic engine code — OrderedMutex,
+// ScopedLock, comparisons in assertions, no blocking under locks — must
+// produce zero findings for every check. Expected: exit 0.
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/lock_registry.h"
+#include "common/logging.h"
+
+namespace fixture {
+
+class Clean {
+ public:
+  void Add(int amount) {
+    cwf::ScopedLock lock(mutex_);
+    total_ += amount;
+  }
+
+  int total() const {
+    cwf::ScopedLock lock(mutex_);
+    return total_;
+  }
+
+  void Report() const {
+    int snapshot = 0;
+    {
+      cwf::ScopedLock lock(mutex_);
+      snapshot = total_;
+    }
+    // Blocking and logging happen after the guard's scope closed.
+    CWF_CLOG(kDebug, "fixture") << "total " << snapshot;
+    std::this_thread::sleep_for(std::chrono::milliseconds(0));
+    CWF_ASSERT(snapshot >= 0);
+  }
+
+ private:
+  mutable cwf::OrderedMutex mutex_{"fixture::Clean::mutex"};
+  int total_ CWF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

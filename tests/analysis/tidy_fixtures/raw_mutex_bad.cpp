@@ -1,0 +1,31 @@
+// cwf_tidy fixture: every banned raw primitive must be reported by
+// cwf-raw-mutex (this file lives under tests/, outside the scanned tree).
+// Expected: nonzero exit, findings on the lines below.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct Stragglers {
+  std::mutex plain;                // finding
+  std::recursive_mutex recursive;  // finding
+  std::condition_variable cv;      // finding
+  // Not a finding: the _any variant waits on OrderedMutex.
+  // (Spelled in a comment so the clean-line assertion below stays honest:
+  // std::condition_variable_any)
+};
+
+inline int Locked(Stragglers* s) {
+  std::lock_guard<std::mutex> lock(s->plain);  // two findings on this line
+  return 0;
+}
+
+// Suppression forms must silence the check:
+inline void Exempt() {
+  static std::mutex allowed_a;  // NOLINT(cwf-raw-mutex)
+  // cwf-tidy-allow(cwf-raw-mutex): fixture exercising the allow directive
+  static std::mutex allowed_b;
+}
+
+}  // namespace fixture

@@ -77,5 +77,40 @@ TEST(TableConcurrencyTest, ParallelInsertDeleteKeepsCountsSane) {
             inserted.load() - deleted.load());
 }
 
+// Regression (thread-safety sweep): index_lookups()/full_scans() read the
+// mutable access-path counters that every Select mutates under the table
+// lock — the accessors themselves must lock too, or TSan flags the read.
+TEST(TableConcurrencyTest, StatsAccessorsRaceFreeAgainstSelects) {
+  Table table("t", Schema({{"k", ColumnType::kInt64}}));
+  ASSERT_TRUE(table.CreateIndex("pk", {"k"}, true).ok());
+  for (int64_t k = 0; k < 16; ++k) {
+    ASSERT_TRUE(table.Insert({Value(k)}).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread scanner([&] {
+    for (int i = 0; i < 4000; ++i) {
+      // Alternate an indexed point select with a predicate-less full scan
+      // so both counters keep moving.
+      (void)table.Select(Eq("k", Value(int64_t{i % 16})));
+      (void)table.Select(Gt("k", Value(int64_t{-1})));
+    }
+    stop.store(true);
+  });
+  uint64_t last_lookups = 0;
+  uint64_t last_scans = 0;
+  while (!stop.load()) {
+    const uint64_t lookups = table.index_lookups();
+    const uint64_t scans = table.full_scans();
+    // Monotone counters: concurrent reads may lag but never go backwards.
+    EXPECT_GE(lookups, last_lookups);
+    EXPECT_GE(scans, last_scans);
+    last_lookups = lookups;
+    last_scans = scans;
+  }
+  scanner.join();
+  EXPECT_GT(table.index_lookups(), 0u);
+  EXPECT_GT(table.full_scans(), 0u);
+}
+
 }  // namespace
 }  // namespace cwf::db

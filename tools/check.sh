@@ -36,6 +36,10 @@ run_matrix_entry() {
 
 run_matrix_entry plain build
 
+echo "==> [cwf-tidy] concurrency lint rules (src/ tools/ bench/ examples/)"
+find src tools bench examples \( -name '*.cpp' -o -name '*.h' \) -print0 |
+  xargs -0 ./build/tools/cwf-tidy/cwf_tidy
+
 echo "==> [cwf-analyze] built-in graph catalog (--strict)"
 ./build/tools/cwf_analyze --strict
 
@@ -56,6 +60,17 @@ if [[ "${FAST}" == "0" ]]; then
   ASAN_OPTIONS="detect_leaks=1 strict_string_checks=1" \
     UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1" \
     run_matrix_entry asan-ubsan build-asan -DCONFLUENCE_SANITIZE=address,undefined
+fi
+
+if [[ "${FAST}" == "0" ]] && command -v clang++ > /dev/null 2>&1; then
+  echo "==> [thread-safety] clang -Werror=thread-safety-analysis (preset: thread-safety)"
+  cmake --preset thread-safety "${GENERATOR_ARGS[@]}"
+  cmake --build build-ts -j "${JOBS}"
+  # The negative-compilation fixtures (tests/analysis/negcompile) register
+  # under this configuration: defective locking must fail to compile.
+  ctest --test-dir build-ts --output-on-failure -L analysis -j "${JOBS}"
+elif [[ "${FAST}" == "0" ]]; then
+  echo "==> [thread-safety] clang not installed; skipping (annotations are no-ops under gcc)"
 fi
 
 if command -v clang-tidy > /dev/null 2>&1; then

@@ -1,0 +1,191 @@
+// The cwf clang-tidy plugin module: AST-accurate versions of the three
+// concurrency lint rules this repository enforces. Load into clang-tidy with
+//
+//   clang-tidy -load /path/to/libcwf_tidy_module.so \
+//       -checks='cwf-raw-mutex,cwf-blocking-under-lock,cwf-assert-side-effects'
+//
+// The portable scanner next door (cwf_tidy.cpp) enforces the same rules on
+// toolchains without clang; this module exists so clang-based CI lanes get
+// the precise, type-aware implementation. The check names and suppression
+// story (NOLINT comments) are identical in both.
+
+#include "clang-tidy/ClangTidy.h"
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::cwf {
+
+namespace {
+
+/// True when `loc` is inside the files allowed to touch raw primitives (the
+/// lock-order registry itself and the annotation header documenting it).
+bool InExemptFile(const SourceManager& sm, SourceLocation loc) {
+  const StringRef file = sm.getFilename(sm.getExpansionLoc(loc));
+  return file.contains("common/lock_registry") ||
+         file.contains("common/thread_annotations");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// cwf-raw-mutex: no std::mutex / std::lock_guard / std::condition_variable
+// outside common/lock_registry. OrderedMutex / ScopedLock /
+// std::condition_variable_any participate in lock-order checking and carry
+// the thread-safety capability annotations; the raw primitives do not.
+// ---------------------------------------------------------------------------
+
+class RawMutexCheck : public ClangTidyCheck {
+ public:
+  RawMutexCheck(StringRef name, ClangTidyContext* context)
+      : ClangTidyCheck(name, context) {}
+
+  void registerMatchers(MatchFinder* finder) override {
+    const auto banned = hasAnyName(
+        "::std::mutex", "::std::recursive_mutex", "::std::timed_mutex",
+        "::std::recursive_timed_mutex", "::std::shared_mutex",
+        "::std::shared_timed_mutex", "::std::lock_guard",
+        "::std::condition_variable");
+    finder->addMatcher(
+        typeLoc(loc(qualType(hasDeclaration(namedDecl(banned)))))
+            .bind("use"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult& result) override {
+    const auto* use = result.Nodes.getNodeAs<TypeLoc>("use");
+    const SourceLocation loc = use->getBeginLoc();
+    if (loc.isInvalid() || InExemptFile(*result.SourceManager, loc)) {
+      return;
+    }
+    diag(loc,
+         "raw standard mutex/guard bypasses lock-order checking and "
+         "thread-safety annotation; use cwf::OrderedMutex / cwf::ScopedLock "
+         "(std::condition_variable_any waits on OrderedMutex)");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// cwf-blocking-under-lock: no sleeping, thread joins, socket I/O or logging
+// while a scoped lock guard is live. Logging acquires the global logging
+// mutex; sockets and joins block unboundedly — neither belongs inside an
+// engine critical section.
+// ---------------------------------------------------------------------------
+
+class BlockingUnderLockCheck : public ClangTidyCheck {
+ public:
+  BlockingUnderLockCheck(StringRef name, ClangTidyContext* context)
+      : ClangTidyCheck(name, context) {}
+
+  void registerMatchers(MatchFinder* finder) override {
+    const auto guard_type = hasDeclaration(namedDecl(hasAnyName(
+        "::cwf::ScopedLock", "::std::unique_lock", "::std::lock_guard",
+        "::std::scoped_lock")));
+    const auto guard_decl =
+        declStmt(containsDeclaration(0, varDecl(hasType(qualType(anyOf(
+                        guard_type, references(qualType(guard_type))))))));
+    const auto blocking_callee = callee(functionDecl(hasAnyName(
+        "::std::this_thread::sleep_for", "::std::this_thread::sleep_until",
+        "::std::thread::join", "accept", "connect", "send", "recv")));
+    // A blocking call lexically after a guard declaration in the same
+    // compound statement (or any enclosing one).
+    finder->addMatcher(
+        callExpr(blocking_callee,
+                 hasAncestor(compoundStmt(has(guard_decl)).bind("scope")))
+            .bind("call"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult& result) override {
+    const auto* call = result.Nodes.getNodeAs<CallExpr>("call");
+    const auto* scope = result.Nodes.getNodeAs<CompoundStmt>("scope");
+    const SourceManager& sm = *result.SourceManager;
+    const SourceLocation loc = call->getBeginLoc();
+    if (loc.isInvalid() || InExemptFile(sm, loc)) {
+      return;
+    }
+    // Only report when the guard is declared before the call (a guard taken
+    // after the blocking call does not cover it).
+    for (const Stmt* child : scope->body()) {
+      if (const auto* decl_stmt = dyn_cast<DeclStmt>(child)) {
+        if (sm.isBeforeInTranslationUnit(decl_stmt->getBeginLoc(), loc)) {
+          diag(loc,
+               "blocking operation while a lock guard is live; move it "
+               "outside the critical section");
+          return;
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// cwf-assert-side-effects: no assignments or ++/-- inside CWF_ASSERT /
+// CWF_CHECK / CWF_DCHECK conditions — the checked family compiles out in
+// release builds, so a side effect there changes behavior between builds.
+// ---------------------------------------------------------------------------
+
+class AssertSideEffectsCheck : public ClangTidyCheck {
+ public:
+  AssertSideEffectsCheck(StringRef name, ClangTidyContext* context)
+      : ClangTidyCheck(name, context) {}
+
+  void registerMatchers(MatchFinder* finder) override {
+    const auto mutation = anyOf(
+        unaryOperator(hasAnyOperatorName("++", "--")),
+        binaryOperator(isAssignmentOperator()),
+        cxxOperatorCallExpr(isAssignmentOperator()));
+    finder->addMatcher(expr(mutation).bind("mutation"), this);
+  }
+
+  void check(const MatchFinder::MatchResult& result) override {
+    const auto* mutation = result.Nodes.getNodeAs<Expr>("mutation");
+    const SourceLocation loc = mutation->getBeginLoc();
+    if (loc.isInvalid() || !loc.isMacroID()) {
+      return;
+    }
+    const SourceManager& sm = *result.SourceManager;
+    SourceLocation at = loc;
+    while (at.isMacroID()) {
+      const StringRef macro = Lexer::getImmediateMacroName(
+          at, sm, result.Context->getLangOpts());
+      if (macro == "CWF_ASSERT" || macro == "CWF_ASSERT_MSG" ||
+          macro == "CWF_CHECK" || macro == "CWF_CHECK_MSG" ||
+          macro == "CWF_DCHECK" || macro == "CWF_DCHECK_MSG") {
+        diag(sm.getExpansionLoc(loc),
+             "side effect inside %0 condition; the checked family compiles "
+             "out in release builds")
+            << macro;
+        return;
+      }
+      at = sm.getImmediateMacroCallerLoc(at);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Module registration
+// ---------------------------------------------------------------------------
+
+class CwfTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& factories) override {
+    factories.registerCheck<RawMutexCheck>("cwf-raw-mutex");
+    factories.registerCheck<BlockingUnderLockCheck>("cwf-blocking-under-lock");
+    factories.registerCheck<AssertSideEffectsCheck>("cwf-assert-side-effects");
+  }
+};
+
+static ClangTidyModuleRegistry::Add<CwfTidyModule> X(
+    "cwf-module", "Concurrency lint rules of the CONFLuEnCE engine.");
+
+}  // namespace clang::tidy::cwf
+
+// Anchor the registry entry so -load keeps the module alive.
+volatile int CwfTidyModuleAnchorSource = 0;
