@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "analysis/boundedness_pass.h"
+#include "analysis/liveness_pass.h"
 #include "analysis/moc_admission_pass.h"
 #include "analysis/rate_pass.h"
 #include "analysis/scheduler_config_pass.h"
@@ -29,6 +30,7 @@ Analyzer::Analyzer() {
   passes_.push_back(std::make_unique<SchedulerConfigPass>());
   passes_.push_back(std::make_unique<RatePass>());
   passes_.push_back(std::make_unique<BoundednessPass>());
+  passes_.push_back(std::make_unique<LivenessPass>());
 }
 
 void Analyzer::AddPass(std::unique_ptr<AnalysisPass> pass) {

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "analysis/cost_estimates.h"
+#include "analysis/liveness_pass.h"
 #include "core/cost_model.h"
 #include "core/workflow.h"
 
@@ -175,6 +176,10 @@ CapacityPlan PlanCapacity(const Workflow& workflow,
     std::reverse(plan.critical_path.begin(), plan.critical_path.end());
   }
 
+  if (planning.ensure_liveness) {
+    SynthesizeLiveCapacities(workflow, options, &plan);
+  }
+
   return plan;
 }
 
@@ -212,6 +217,17 @@ std::string CapacityPlan::ToText() const {
     oss << " " << name;
   }
   oss << "\n";
+  if (!liveness_verdict.empty()) {
+    oss << "  liveness: " << liveness_verdict << " (" << liveness_method
+        << ")\n";
+    if (!liveness_witness.empty()) {
+      oss << "    witness cycle: " << liveness_witness << "\n";
+    }
+    for (const CapacityBump& bump : liveness_bumps) {
+      oss << "    bumped '" << bump.channel << "': " << bump.from_capacity
+          << " -> " << bump.to_capacity << " (" << bump.reason << ")\n";
+    }
+  }
   return oss.str();
 }
 
@@ -268,7 +284,30 @@ std::string CapacityPlan::ToJson() const {
   }
   oss << "],\"critical_path_latency_micros\":";
   AppendJsonNumber(oss, critical_path_latency_micros);
-  oss << "}";
+  oss << ",\"liveness\":{\"verdict\":";
+  AppendJsonString(oss, liveness_verdict);
+  oss << ",\"method\":";
+  AppendJsonString(oss, liveness_method);
+  oss << ",\"witness\":";
+  AppendJsonString(oss, liveness_witness);
+  oss << ",\"bumps\":[";
+  for (size_t i = 0; i < liveness_bumps.size(); ++i) {
+    const CapacityBump& bump = liveness_bumps[i];
+    if (i > 0) {
+      oss << ",";
+    }
+    oss << "{\"channel\":";
+    AppendJsonString(oss, bump.channel);
+    oss << ",\"consumer\":";
+    AppendJsonString(oss, bump.consumer);
+    oss << ",\"to_channel\":" << bump.to_channel;
+    oss << ",\"from_capacity\":" << bump.from_capacity;
+    oss << ",\"to_capacity\":" << bump.to_capacity;
+    oss << ",\"reason\":";
+    AppendJsonString(oss, bump.reason);
+    oss << "}";
+  }
+  oss << "]}}";
   return oss.str();
 }
 

@@ -55,6 +55,12 @@ struct PlanningOptions {
 
   /// Multiplicative headroom over the steady-state estimate.
   double safety_factor = 2.0;
+
+  /// Run the liveness pass over the finished plan and fold in the minimal
+  /// capacity bumps that make it provably deadlock-free under blocking
+  /// backpressure (analysis/liveness_pass.h) — every emitted plan is then
+  /// live by construction. Off restores the raw quantitative bounds.
+  bool ensure_liveness = true;
 };
 
 /// \brief Planned bound for one channel (parallel to Workflow::channels()).
@@ -69,6 +75,16 @@ struct ChannelCapacity {
   double inflow_events_max = 0.0;
   /// Window-operator residency estimate the bound was derived from.
   double resident_events_max = 0.0;
+};
+
+/// \brief One capacity raise applied by deadlock-freedom synthesis.
+struct CapacityBump {
+  std::string channel;        ///< "A.out -> B.in[0]" display name.
+  std::string consumer;       ///< "Actor.port" of the receiving end.
+  size_t to_channel = 0;      ///< Channel slot on the consuming port.
+  size_t from_capacity = 0;
+  size_t to_capacity = 0;
+  std::string reason;         ///< Why this bump was needed.
 };
 
 /// \brief Steady-state load of one actor.
@@ -91,6 +107,18 @@ struct CapacityPlan {
   std::vector<std::string> critical_path;
   double critical_path_latency_micros = 0.0;
   double total_utilization = 0.0;
+
+  // ---- Liveness certification (analysis/liveness_pass.h) ----
+  /// "provably-live", "provably-deadlocking" or "unknown"; empty when the
+  /// plan was produced with ensure_liveness off and never analyzed.
+  std::string liveness_verdict;
+  /// How the verdict was established ("sdf-simulation", "structural", ...).
+  std::string liveness_method;
+  /// Rendered witness cycle when the verdict is provably-deadlocking.
+  std::string liveness_witness;
+  /// Capacity raises synthesis applied to restore liveness (empty when the
+  /// raw quantitative bounds were already live).
+  std::vector<CapacityBump> liveness_bumps;
 
   /// \brief Bound of the channel feeding `consumer_port_full_name`
   /// ("Actor.port") slot `to_channel`; 0 (unbounded) when absent.

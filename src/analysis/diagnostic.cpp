@@ -216,6 +216,23 @@ const std::vector<DiagnosticCodeInfo>& DiagnosticCodes() {
       {"CWF5005", Severity::kNote,
        "wave window rate is data-dependent; capacity planning falls back "
        "to horizon bounds"},
+      // Liveness (artificial deadlock under bounded blocking channels).
+      {"CWF6001", Severity::kError,
+       "capacity plan provably deadlocks: bounded-execution simulation "
+       "reached a state where a cycle of blocked channels can never "
+       "progress"},
+      {"CWF6002", Severity::kError,
+       "channel capacity below the consumer's first-window demand: the "
+       "producer blocks before a window can ever form"},
+      {"CWF6003", Severity::kNote,
+       "liveness unknown: bounded channel on an undirected cycle or with "
+       "data-dependent window formation; blocking deployment may deadlock"},
+      {"CWF6004", Severity::kNote,
+       "capacity plan adjusted by deadlock-freedom synthesis: minimal "
+       "capacity bumps restore provable liveness"},
+      {"CWF6005", Severity::kError,
+       "artificial deadlock detected at runtime: the channel wait-for "
+       "graph contains a cycle of blocked actors (watchdog report)"},
   };
   return kCodes;
 }

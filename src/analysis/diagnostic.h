@@ -11,6 +11,7 @@
 //   CWF30xx  window/wave       (cross-port window compatibility, liveness)
 //   CWF40xx  scheduler config  (QBS/RR/RB/EDF parameter sanity)
 //   CWF50xx  quantitative      (rate propagation, boundedness, utilization)
+//   CWF60xx  liveness          (artificial deadlock under bounded channels)
 
 #ifndef CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_
 #define CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_

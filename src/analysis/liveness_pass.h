@@ -1,0 +1,123 @@
+// Liveness analysis: does a CapacityPlan deadlock under blocking
+// backpressure?
+//
+// Bounded channels with blocking puts (the PNCWF deployment of a
+// CapacityPlan) import the classic artificial-deadlock hazard of Kahn/PN
+// execution with finite buffers: a producer blocked against a full channel
+// whose consumer can never form a window is stuck forever, and no CWF20xx
+// admission diagnostic sees it (those catch token-starvation cycles, not
+// capacity-induced ones). This pass classifies a (workflow, plan) pair as
+//
+//   provably live         — a certificate exists: either the deployment
+//                           never blocks (overflow policy stays advisory),
+//                           a Geilen–Basten style bounded-execution
+//                           simulation of the SDF schedule reached a
+//                           periodic state, or every bounded channel is
+//                           structurally safe (first-window demand met,
+//                           certifiable drain, not on an undirected cycle);
+//   provably deadlocking  — with the witness cycle, from either the
+//                           first-window demand check (CWF6002: capacity
+//                           below what window formation needs) or a stuck
+//                           simulation state (CWF6001);
+//   unknown               — conservative fallback (CWF6003).
+//
+// SynthesizeLiveCapacities computes the minimal capacity bumps that remove
+// every provable deadlock and records them on the plan; PlanCapacity runs
+// it by default (PlanningOptions::ensure_liveness), so emitted plans are
+// live by construction. The runtime counterpart — the channel wait-for
+// graph watchdog in the PNCWF director — shares the witness machinery
+// through core/wait_graph.h, so static and runtime reports render alike.
+
+#ifndef CONFLUENCE_ANALYSIS_LIVENESS_PASS_H_
+#define CONFLUENCE_ANALYSIS_LIVENESS_PASS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/capacity_planner.h"
+#include "analysis/pass.h"
+#include "core/wait_graph.h"
+
+namespace cwf {
+
+class Workflow;
+
+namespace analysis {
+
+enum class LivenessVerdict {
+  kProvablyLive,
+  kProvablyDeadlocking,
+  kUnknown,
+};
+
+/// \brief "provably-live", "provably-deadlocking" or "unknown".
+const char* LivenessVerdictName(LivenessVerdict verdict);
+
+/// \brief Classification of one (workflow, plan) pair.
+struct LivenessReport {
+  std::string workflow;
+  std::string director;
+
+  /// Whether the target deployment actually enforces the plan's bounds
+  /// with blocking puts (PNCWF). Other directors keep bounds advisory, so
+  /// artificial deadlock is impossible there by construction.
+  bool blocking_deployment = false;
+
+  /// Verdict under the target deployment.
+  LivenessVerdict verdict = LivenessVerdict::kUnknown;
+  /// Certificate kind: "non-blocking deployment", "sdf-simulation",
+  /// "structural", "channel-demand", "no bounded channels", ...
+  std::string method;
+
+  /// What-if verdict assuming blocking backpressure regardless of the
+  /// deployment (equals `verdict` when blocking_deployment).
+  LivenessVerdict blocking_verdict = LivenessVerdict::kUnknown;
+  std::string blocking_method;
+
+  /// Witness when a verdict is provably-deadlocking: the blocked cycle and
+  /// the full set of actors unable to progress.
+  DeadlockReport witness;
+
+  /// Per-channel explanations: demand violations, unknown-liveness causes.
+  std::vector<std::string> notes;
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// \brief Classify `plan` against `workflow` under the deployment in
+/// `options` (options.target_director decides blocking_deployment; the
+/// plan's own channel bounds are what is analyzed). Needs no source rates
+/// or cost model.
+LivenessReport AnalyzeLiveness(const Workflow& workflow,
+                               const AnalysisOptions& options,
+                               const CapacityPlan& plan);
+
+/// \brief Raise capacities in `plan` minimally until the blocking
+/// interpretation no longer proves a deadlock, recording the bumps and the
+/// final verdict on the plan. Returns the final report.
+LivenessReport SynthesizeLiveCapacities(const Workflow& workflow,
+                                        const AnalysisOptions& options,
+                                        CapacityPlan* plan);
+
+/// \brief Fold a report into diagnostics: CWF6001/CWF6002 errors for a
+/// deadlocking blocking deployment, CWF6003 note when liveness is unknown
+/// under blocking backpressure. Non-blocking deployments are silent (their
+/// verdict is provably live by construction).
+void ReportLiveness(const LivenessReport& report,
+                    const AnalysisOptions& options,
+                    DiagnosticBag* diagnostics);
+
+/// \brief Analyzer pass: validates the workflow's default synthesized plan
+/// and reports CWF6004 when synthesis had to adjust it.
+class LivenessPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "liveness"; }
+  void Run(const Workflow& workflow, const AnalysisOptions& options,
+           DiagnosticBag* diagnostics) const override;
+};
+
+}  // namespace analysis
+}  // namespace cwf
+
+#endif  // CONFLUENCE_ANALYSIS_LIVENESS_PASS_H_

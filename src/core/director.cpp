@@ -2,6 +2,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/capacity_planner.h"
+#include "analysis/liveness_pass.h"
 #include "stream/stream_source.h"
 
 namespace cwf {
@@ -31,6 +32,25 @@ Status Director::Initialize(Workflow* workflow, Clock* clock,
     CWF_RETURN_NOT_OK(analysis::VerifyForDirector(*workflow_, kind()));
   } else {
     CWF_RETURN_NOT_OK(workflow_->Validate());
+  }
+  installed_plan_liveness_.clear();
+  if (capacity_plan_ != nullptr && static_analysis_enabled_ &&
+      planned_overflow_policy() == OverflowPolicy::kBlock) {
+    // This deployment enforces the plan's bounds with blocking puts:
+    // refuse a plan the liveness pass can prove will artificially
+    // deadlock, and remember the verdict so the runtime watchdog can
+    // cross-validate (analysis/liveness_pass.h).
+    analysis::AnalysisOptions liveness_options;
+    liveness_options.target_director = kind();
+    const analysis::LivenessReport report = analysis::AnalyzeLiveness(
+        *workflow_, liveness_options, *capacity_plan_);
+    if (report.verdict == analysis::LivenessVerdict::kProvablyDeadlocking) {
+      return Status::InvalidArgument(
+          "CWF6001: installed capacity plan provably deadlocks under " +
+          std::string(kind()) + " blocking backpressure\n" +
+          report.witness.ToString());
+    }
+    installed_plan_liveness_ = analysis::LivenessVerdictName(report.verdict);
   }
   CWF_RETURN_NOT_OK(BuildReceivers());
   // Initialize re-entry starts a fresh run: receiver high-water marks must

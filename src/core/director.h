@@ -162,6 +162,12 @@ class Director {
   bool static_analysis_enabled_ = true;
   /// shared_ptr so the header only needs the forward declaration.
   std::shared_ptr<const analysis::CapacityPlan> capacity_plan_;
+  /// Liveness verdict of the installed plan under this deployment, stamped
+  /// by Initialize() when the plan's bounds will actually block
+  /// ("provably-live", "unknown", ...; empty when not analyzed). The PNCWF
+  /// watchdog cross-validates against it: a runtime deadlock on a
+  /// provably-live plan is an engine bug, not a planning error.
+  std::string installed_plan_liveness_;
 
  private:
   /// Serializes the halted set: in OS-thread PNCWF, actor threads mark and

@@ -1,7 +1,11 @@
 #include "directors/pncwf_director.h"
 
+#include <algorithm>
 #include <chrono>
+#include <set>
+#include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "stream/stream_source.h"
@@ -20,11 +24,13 @@ class BlockingWindowedReceiver : public WindowedReceiver {
   BlockingWindowedReceiver(InputPort* port, WindowSpec spec,
                            OrderedRecursiveMutex* mutex,
                            std::condition_variable_any* cv,
-                           const std::atomic<bool>* stop)
+                           const std::atomic<bool>* stop,
+                           ChannelWaitGraph* wait_graph)
       : WindowedReceiver(port, std::move(spec)),
         mutex_(mutex),
         cv_(cv),
-        stop_(stop) {}
+        stop_(stop),
+        wait_graph_(wait_graph) {}
 
   // ts-allowlist: condition-variable wait — blocking-put backpressure parks
   // the producer on the consumer domain's cv via std::unique_lock, which
@@ -39,13 +45,21 @@ class BlockingWindowedReceiver : public WindowedReceiver {
       // the capacity invariant is a steady-state property.
       if (overflow_policy() == OverflowPolicy::kBlock && AtCapacity() &&
           !stop_->load()) {
+        // Register the put edge so the watchdog sees this producer parked
+        // against a full channel (no-op for threads outside a firing).
+        const Actor* waiter = ScopedCurrentActor::Current();
+        wait_graph_->OnPutBlocked(waiter, this);
         // Charge the wait to the channel's blocked-time counter — the
         // backpressure share of end-to-end latency.
         const int64_t blocked_from = obs::HostMonotonicMicros();
         while (overflow_policy() == OverflowPolicy::kBlock && AtCapacity() &&
                !stop_->load()) {
+          // Timed poll: the enclosing while re-checks capacity, the stop
+          // flag and the overflow policy on every tick.
+          // cwf-tidy-allow(cwf-unbounded-wait): deliberate re-checking poll
           cv_->wait_for(lock, std::chrono::milliseconds(1));
         }
+        wait_graph_->OnPutUnblocked(waiter);
         NoteBlockedMicros(obs::HostMonotonicMicros() - blocked_from);
       }
       st = WindowedReceiver::Put(event);
@@ -110,6 +124,7 @@ class BlockingWindowedReceiver : public WindowedReceiver {
   OrderedRecursiveMutex* mutex_;
   std::condition_variable_any* cv_;
   const std::atomic<bool>* stop_;
+  ChannelWaitGraph* wait_graph_;
 };
 
 }  // namespace
@@ -157,7 +172,21 @@ Status PNCWFDirector::Initialize(Workflow* workflow, Clock* clock,
   busy_ = 0;
   total_firings_ = 0;
   context_switches_ = 0;
-  return Director::Initialize(workflow, clock, cost_model);
+  CWF_RETURN_NOT_OK(Director::Initialize(workflow, clock, cost_model));
+  // Teach the wait graph this workflow's channel topology so blocking
+  // receivers (which only know their consumer) resolve to full wait edges.
+  wait_graph_.Reset();
+  for (const ChannelSpec& ch : workflow_->channels()) {
+    const Receiver* r = ch.to->receiver(ch.to_channel);
+    if (r == nullptr) {
+      continue;
+    }
+    std::string name = ch.from->FullName() + " -> " + ch.to->FullName() +
+                       "[" + std::to_string(ch.to_channel) + "]";
+    wait_graph_.RegisterChannel(r, ch.from->actor(), ch.to->actor(),
+                                std::move(name));
+  }
+  return Status::OK();
 }
 
 std::unique_ptr<Receiver> PNCWFDirector::CreateReceiver(InputPort* port) {
@@ -166,7 +195,7 @@ std::unique_ptr<Receiver> PNCWFDirector::CreateReceiver(InputPort* port) {
   }
   ActorSync* sync = syncs_.at(port->actor()).get();
   return std::make_unique<BlockingWindowedReceiver>(
-      port, port->spec(), &sync->mutex, &sync->cv, &stop_);
+      port, port->spec(), &sync->mutex, &sync->cv, &stop_, &wait_graph_);
 }
 
 bool PNCWFDirector::DownstreamAtCapacity(const Actor* actor) const {
@@ -182,6 +211,10 @@ bool PNCWFDirector::DownstreamAtCapacity(const Actor* actor) const {
 
 Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
                                          size_t* emitted) {
+  // Attribute blocking Puts this firing performs to their producer: the
+  // downstream receiver only knows its consumer, the wait graph needs the
+  // producing end of the edge.
+  ScopedCurrentActor current_actor(actor);
   const bool timed = telemetry_.host_timing_active();
   actor->BeginFiring();
   const Timestamp fire_start = clock_->Now();
@@ -284,12 +317,68 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
     }
     if (chosen == nullptr) {
       const Timestamp next = NextWakeup();
-      if (next == Timestamp::Max() || next > until ||
-          next <= clock_->Now()) {
-        break;
+      if (next != Timestamp::Max() && next > until) {
+        break;  // remaining work lies beyond the horizon
       }
-      clock_->AdvanceTo(next);
-      continue;
+      if (next != Timestamp::Max() && next > clock_->Now()) {
+        clock_->AdvanceTo(next);
+        continue;
+      }
+      // Nothing can fire and no future instant changes that: either the
+      // workflow drained, or the blocked "threads" form an artificial
+      // deadlock. Rebuild their wait edges from scheduler state and let
+      // the shared evaluator decide (the simulated twin of the OS-mode
+      // watchdog, deterministic by construction).
+      std::vector<WaitNode> blocked;
+      for (const auto& entry : actors) {
+        Actor* a = entry.get();
+        if (IsHalted(a)) {
+          continue;
+        }
+        auto pf = a->Prefire();
+        if (!pf.ok()) {
+          return pf.status();
+        }
+        WaitNode node;
+        node.actor = a;
+        node.actor_name = a->name();
+        if (pf.value()) {
+          if (!DownstreamAtCapacity(a)) {
+            continue;  // defensive: a fireable actor should have been chosen
+          }
+          // Parked in put() against the first full planned queue.
+          node.put_blocked = true;
+          for (const auto& port : a->output_ports()) {
+            for (Receiver* r : port->remote_receivers()) {
+              if (r->overflow_policy() == OverflowPolicy::kBlock &&
+                  r->AtCapacity()) {
+                WaitTarget target;
+                target.actor = r->port()->actor();
+                target.receiver = r;
+                target.channel = wait_graph_.ChannelName(r);
+                target.capacity = r->capacity();
+                node.put_targets.push_back(std::move(target));
+                break;
+              }
+            }
+            if (!node.put_targets.empty()) {
+              break;
+            }
+          }
+          blocked.push_back(std::move(node));
+          continue;
+        }
+        node.put_blocked = false;
+        node.get_ports = BuildGetWaits(a);
+        if (!node.get_ports.empty()) {
+          blocked.push_back(std::move(node));
+        }
+      }
+      const DeadlockReport report = EvaluateWaitGraph(blocked);
+      if (!report.empty()) {
+        return ConfirmDeadlock(report);
+      }
+      break;
     }
 
     // Context switch to the chosen thread, then let it run until it blocks
@@ -344,12 +433,14 @@ void PNCWFDirector::ActorThreadBody(Actor* actor)
           // Drain what is ready, then exit.
           auto pf = actor->Prefire();
           if (!pf.ok() || !pf.value()) {
+            wait_graph_.OnGetUnblocked(actor);
             return;
           }
           break;
         }
         auto pf = actor->Prefire();
         if (!pf.ok()) {
+          wait_graph_.OnGetUnblocked(actor);
           return;
         }
         if (pf.value()) {
@@ -373,18 +464,28 @@ void PNCWFDirector::ActorThreadBody(Actor* actor)
         }
         auto again = actor->Prefire();
         if (!again.ok()) {
+          wait_graph_.OnGetUnblocked(actor);
           return;
         }
         if (again.value()) {
           break;
         }
+        // Input-starved: publish the get edges (one alternative list per
+        // windowless port) for the watchdog. Re-registration each lap is
+        // an upsert — it refreshes the edges without bumping the unblock
+        // epoch, so a stable candidate stays stable.
+        wait_graph_.OnGetBlocked(actor, BuildGetWaits(actor));
         Duration wait = options_.poll_interval;
         if (deadline != Timestamp::Max()) {
           wait = std::min<Duration>(
               wait * 10, std::max<Duration>(deadline - clock_->Now(), 100));
         }
+        // Timed poll: the enclosing for re-runs the prefire predicate and
+        // the stop flag after every wakeup.
+        // cwf-tidy-allow(cwf-unbounded-wait): deliberate re-checking poll
         sync->cv.wait_for(lock, std::chrono::microseconds(wait));
       }
+      wait_graph_.OnGetUnblocked(actor);
     }
     busy_.fetch_add(1);
     size_t consumed = 0;
@@ -440,6 +541,86 @@ void PNCWFDirector::SourceThreadBody(Actor* actor) {
   }
 }
 
+std::vector<std::vector<WaitTarget>> PNCWFDirector::BuildGetWaits(
+    const Actor* actor) const {
+  std::vector<std::vector<WaitTarget>> ports;
+  for (const auto& port : actor->input_ports()) {
+    if (port->ChannelCount() == 0 || port->HasWindow()) {
+      continue;
+    }
+    bool timer_pending = false;
+    std::vector<WaitTarget> alternatives;
+    for (size_t c = 0; c < port->ChannelCount(); ++c) {
+      const Receiver* r = port->receiver(c);
+      if (r == nullptr) {
+        continue;
+      }
+      if (r->NextDeadline() != Timestamp::Max()) {
+        // A registered window-formation timer will close a window here
+        // without any producer progress: the port is not deadlock-prone.
+        timer_pending = true;
+        break;
+      }
+      WaitTarget target;
+      target.actor = wait_graph_.ProducerOf(r);
+      target.receiver = r;
+      target.channel = wait_graph_.ChannelName(r);
+      target.capacity = r->capacity();
+      if (target.actor != nullptr) {
+        alternatives.push_back(std::move(target));
+      }
+    }
+    if (timer_pending || alternatives.empty()) {
+      continue;  // satisfied without modeled producer progress: treat live
+    }
+    ports.push_back(std::move(alternatives));
+  }
+  return ports;
+}
+
+bool PNCWFDirector::StillBlocked(const WaitNode& node) const {
+  if (node.put_blocked) {
+    if (node.put_targets.empty()) {
+      return false;
+    }
+    for (const WaitTarget& target : node.put_targets) {
+      if (target.receiver == nullptr ||
+          target.receiver->overflow_policy() != OverflowPolicy::kBlock ||
+          !target.receiver->AtCapacity()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (node.get_ports.empty()) {
+    return false;
+  }
+  for (const auto& port : node.get_ports) {
+    for (const WaitTarget& target : port) {
+      if (target.receiver == nullptr || target.receiver->HasWindow() ||
+          target.receiver->NextDeadline() != Timestamp::Max()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status PNCWFDirector::ConfirmDeadlock(const DeadlockReport& report) {
+  const std::string rendered = report.ToString();
+  CWF_CLOG(kError, "pncwf") << "CWF6005: " << rendered;
+  wait_graph_.InvokeReportHandler(rendered);
+  // Cross-validation with the static liveness pass: Initialize() stamped
+  // the installed plan's verdict; a confirmed runtime deadlock under a
+  // provably-live plan means the engine violated the model the proof was
+  // built on — an invariant failure, not a capacity-planning error.
+  CWF_ASSERT_MSG(installed_plan_liveness_ != "provably-live",
+                 "runtime artificial deadlock on a statically provably-live "
+                 "capacity plan: "
+                     << rendered);
+  return Status::FailedPrecondition("CWF6005: " + rendered);
+}
+
 bool PNCWFDirector::AllQuiescent() const {
   if (busy_.load() != 0) {
     return false;
@@ -479,6 +660,12 @@ Status PNCWFDirector::RunThreaded(Timestamp until) {
     }
   }
   int quiet = 0;
+  // Artificial-deadlock watchdog state: a candidate dead set must stay
+  // identical (same actors, same unblock epochs) across this many polls
+  // before it is revalidated against live receiver state and reported.
+  std::vector<std::pair<const Actor*, uint64_t>> candidate;
+  int stable_polls = 0;
+  Status deadlock_status = Status::OK();
   for (;;) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.poll_interval));
@@ -492,6 +679,52 @@ Status PNCWFDirector::RunThreaded(Timestamp until) {
     } else {
       quiet = 0;
     }
+
+    // Watchdog: evaluate the wait graph over a lock-free copy. A cycle of
+    // blocked actors never wakes itself, so an actual deadlock is a stable
+    // candidate; transient backpressure churns epochs and resets it.
+    std::vector<WaitNode> snapshot = wait_graph_.Snapshot();
+    const DeadlockReport report = EvaluateWaitGraph(snapshot);
+    if (report.empty()) {
+      candidate.clear();
+      stable_polls = 0;
+      continue;
+    }
+    std::set<const Actor*> dead(report.dead.begin(), report.dead.end());
+    std::vector<std::pair<const Actor*, uint64_t>> signature;
+    for (const WaitNode& node : snapshot) {
+      if (dead.count(node.actor) > 0) {
+        signature.emplace_back(node.actor, node.epoch);
+      }
+    }
+    std::sort(signature.begin(), signature.end());
+    if (signature == candidate) {
+      ++stable_polls;
+    } else {
+      candidate = std::move(signature);
+      stable_polls = 1;
+    }
+    if (stable_polls < 3) {
+      continue;
+    }
+    // Confirm against the receivers themselves (snapshot state can lag):
+    // every dead actor must still be genuinely unable to progress. No
+    // wait-graph lock is held here — receiver methods take the consumer's
+    // ActorSync mutex, which must stay outermost.
+    bool confirmed = true;
+    for (const WaitNode& node : snapshot) {
+      if (dead.count(node.actor) > 0 && !StillBlocked(node)) {
+        confirmed = false;
+        break;
+      }
+    }
+    if (!confirmed) {
+      candidate.clear();
+      stable_polls = 0;
+      continue;
+    }
+    deadlock_status = ConfirmDeadlock(report);
+    break;  // stop_ below releases the blocked threads
   }
   stop_ = true;
   for (auto& [actor, sync] : syncs_) {
@@ -503,7 +736,7 @@ Status PNCWFDirector::RunThreaded(Timestamp until) {
     }
   }
   threads_.clear();
-  return Status::OK();
+  return deadlock_status;
 }
 
 Status PNCWFDirector::Run(Timestamp until) {

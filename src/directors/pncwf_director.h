@@ -28,6 +28,7 @@
 
 #include "common/lock_registry.h"
 #include "core/director.h"
+#include "core/wait_graph.h"
 #include "window/windowed_receiver.h"
 
 namespace cwf {
@@ -67,6 +68,11 @@ class PNCWFDirector : public Director {
   /// \brief Simulated context switches performed (simulation mode).
   uint64_t context_switches() const { return context_switches_; }
 
+  /// \brief The channel wait-for graph the artificial-deadlock watchdog
+  /// polls (core/wait_graph.h). Exposed for tests (report handler,
+  /// blocked-count assertions).
+  ChannelWaitGraph* wait_graph() { return &wait_graph_; }
+
  protected:
   /// Plan-bounded channels get blocking-put backpressure under PNCWF: OS
   /// mode blocks the producing thread in Put(); simulated mode defers the
@@ -100,8 +106,31 @@ class PNCWFDirector : public Director {
 
   bool AllQuiescent() const;
 
+  /// Wait-graph get edges of an input-starved actor: one alternative list
+  /// per connected, windowless input port (skipping ports a registered
+  /// window-formation timer will eventually satisfy). Empty when the actor
+  /// is not actually waiting on any channel.
+  std::vector<std::vector<WaitTarget>> BuildGetWaits(
+      const Actor* actor) const;
+
+  /// Revalidate a wait-graph snapshot node against live receiver state:
+  /// true when the actor is still genuinely blocked (put: the target
+  /// channel is still full and blocking; get: no awaited channel has a
+  /// ready window). Takes no wait-graph lock — receiver methods acquire
+  /// the consumer's ActorSync mutex, which must stay outermost.
+  bool StillBlocked(const WaitNode& node) const;
+
+  /// The artificial deadlock `report` was confirmed against live receiver
+  /// state: log it, notify the test handler, cross-validate against the
+  /// installed plan's static liveness verdict, and stop all actor threads.
+  /// Returns the CWF6005 FailedPrecondition for Run() to surface.
+  Status ConfirmDeadlock(const DeadlockReport& report);
+
   PNCWFOptions options_;
   std::map<const Actor*, std::unique_ptr<ActorSync>> syncs_;
+  /// Blocked put/get edges between this workflow's actors; fed by the
+  /// blocking receivers and thread bodies, polled by the drain loop.
+  ChannelWaitGraph wait_graph_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
   std::atomic<int> busy_{0};

@@ -77,6 +77,7 @@ size_t PushChannel::Pending() const {
 void PushChannel::WaitForData() const CWF_NO_THREAD_SAFETY_ANALYSIS {
   std::unique_lock<OrderedMutex> lock(mutex_);
   while (queue_.empty() && !closed_) {
+    // cwf-tidy-allow(cwf-unbounded-wait): predicate is the enclosing while
     cv_.wait(lock);
   }
 }

@@ -3,6 +3,8 @@
 // produce zero findings for every check. Expected: exit 0.
 
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "common/check.h"
@@ -38,6 +40,48 @@ class Clean {
  private:
   mutable cwf::OrderedMutex mutex_{"fixture::Clean::mutex"};
   int total_ CWF_GUARDED_BY(mutex_) = 0;
+};
+
+// Condition-variable idioms cwf-unbounded-wait must accept: a predicate
+// overload, a consumed timed-wait result, and a rationale-annotated wait.
+class CleanWaiter {
+ public:
+  void WaitReady() {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    cv_.wait(lock, [this] { return ready_; });
+  }
+
+  bool WaitReadyFor(std::chrono::milliseconds budget) {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    return cv_.wait_for(lock, budget, [this] { return ready_; });
+  }
+
+  bool PollOnce(std::chrono::milliseconds budget) {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    const std::cv_status status = cv_.wait_for(lock, budget);
+    return status == std::cv_status::no_timeout && ready_;
+  }
+
+  void WaitInRecheckLoop() {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    while (!ready_) {
+      // cwf-tidy-allow(cwf-unbounded-wait): predicate is the enclosing while
+      cv_.wait(lock);
+    }
+  }
+
+  void SetReady() {
+    {
+      std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+      ready_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  cwf::OrderedMutex mutex_{"fixture::CleanWaiter::mutex"};
+  std::condition_variable_any cv_;
+  bool ready_ = false;
 };
 
 }  // namespace fixture

@@ -1,0 +1,58 @@
+// cwf_tidy fixture: condition-variable waits without a predicate (or with a
+// discarded timed-wait result) must be reported by cwf-unbounded-wait.
+// Expected: nonzero exit under `--check cwf-unbounded-wait`.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_registry.h"
+
+namespace fixture {
+
+class UnboundedWait {
+ public:
+  void WaitForeverNoPredicate() {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    cv_.wait(lock);  // finding: no predicate, spurious wakeup hangs here
+  }
+
+  void DiscardedTimedWait() {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::milliseconds(5));  // finding: discarded
+  }
+
+  void DiscardedDeadlineWait() {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    cv_.wait_until(  // finding: discarded
+        lock, std::chrono::steady_clock::now() + std::chrono::milliseconds(5));
+  }
+
+  // Control: the same calls with a predicate (or a consumed result) are
+  // clean even in this fixture — the check targets the unbounded forms only.
+  void PredicateWait() {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    cv_.wait(lock, [this] { return ready_; });
+  }
+
+  bool ConsumedTimedWait() {
+    std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+    return cv_.wait_for(lock, std::chrono::milliseconds(5)) ==
+           std::cv_status::no_timeout;
+  }
+
+  void Notify() {
+    {
+      std::unique_lock<cwf::OrderedMutex> lock(mutex_);
+      ready_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  cwf::OrderedMutex mutex_{"fixture::UnboundedWait::mutex"};
+  std::condition_variable_any cv_;
+  bool ready_ = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,236 @@
+#include "core/wait_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/actor.h"
+#include "core/receiver.h"
+
+namespace cwf {
+namespace {
+
+class Inert : public Actor {
+ public:
+  explicit Inert(std::string name) : Actor(std::move(name)) {}
+  Status Fire() override { return Status::OK(); }
+};
+
+class StubReceiver : public Receiver {
+ public:
+  StubReceiver() : Receiver(nullptr) {}
+  Status Put(const CWEvent&) override { return Status::OK(); }
+  bool HasWindow() const override { return false; }
+  std::optional<Window> Get() override { return std::nullopt; }
+  size_t ReadyWindowCount() const override { return 0; }
+};
+
+WaitNode PutNode(const Actor* waiter, const Actor* target,
+                 const std::string& channel, size_t capacity = 2) {
+  WaitNode node;
+  node.actor = waiter;
+  node.actor_name = waiter->name();
+  node.put_blocked = true;
+  node.put_targets.push_back(
+      WaitTarget{target, nullptr, channel, capacity});
+  return node;
+}
+
+WaitNode GetNode(const Actor* waiter,
+                 std::vector<std::vector<const Actor*>> ports) {
+  WaitNode node;
+  node.actor = waiter;
+  node.actor_name = waiter->name();
+  node.put_blocked = false;
+  for (const auto& alternatives : ports) {
+    std::vector<WaitTarget> port;
+    for (const Actor* producer : alternatives) {
+      port.push_back(WaitTarget{
+          producer, nullptr,
+          producer->name() + ".out -> " + waiter->name() + ".in[0]", 0});
+    }
+    node.get_ports.push_back(std::move(port));
+  }
+  return node;
+}
+
+// ---- EvaluateWaitGraph: pure snapshot evaluation ----
+
+TEST(EvaluateWaitGraphTest, PutGetTwoCycleIsDead) {
+  Inert a("A"), b("B");
+  std::vector<WaitNode> blocked;
+  blocked.push_back(PutNode(&a, &b, "A.out -> B.in[0]"));
+  blocked.push_back(GetNode(&b, {{&a}}));
+  const DeadlockReport report = EvaluateWaitGraph(blocked);
+  ASSERT_EQ(report.dead.size(), 2u);
+  ASSERT_FALSE(report.cycle.empty());
+  // The witness cycle closes: last edge's target is the first edge's waiter.
+  EXPECT_EQ(report.cycle.front().waiter,
+            report.cycle.back().waits_on);
+  EXPECT_NE(report.CycleString().find("A"), std::string::npos);
+  EXPECT_NE(report.CycleString().find("B"), std::string::npos);
+}
+
+TEST(EvaluateWaitGraphTest, ChainOntoLiveActorIsLive) {
+  Inert a("A"), b("B"), c("C");
+  // A put-waits on B, B get-waits on C; C is absent (hence live), so the
+  // liveness fixpoint clears the whole chain.
+  std::vector<WaitNode> blocked;
+  blocked.push_back(PutNode(&a, &b, "A.out -> B.in[0]"));
+  blocked.push_back(GetNode(&b, {{&c}}));
+  const DeadlockReport report = EvaluateWaitGraph(blocked);
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.cycle.empty());
+}
+
+TEST(EvaluateWaitGraphTest, FanInLiveAlternativeRescuesThePort) {
+  Inert a("A"), b("B"), c("C");
+  // B's one port can be fed by A (dead: waits back on B) or C (live):
+  // ANY alternative suffices, so B is live, and then so is A.
+  std::vector<WaitNode> blocked;
+  blocked.push_back(PutNode(&a, &b, "A.out -> B.in[0]"));
+  blocked.push_back(GetNode(&b, {{&a, &c}}));
+  EXPECT_TRUE(EvaluateWaitGraph(blocked).empty());
+}
+
+TEST(EvaluateWaitGraphTest, AllPortsMustBeSatisfied) {
+  Inert a("A"), b("B"), c("C");
+  // B needs a window on BOTH ports; the second port's only producer is A,
+  // which put-waits on B — that port can never be satisfied.
+  std::vector<WaitNode> blocked;
+  blocked.push_back(PutNode(&a, &b, "A.out -> B.in[1]"));
+  blocked.push_back(GetNode(&b, {{&c}, {&a}}));
+  const DeadlockReport report = EvaluateWaitGraph(blocked);
+  ASSERT_EQ(report.dead.size(), 2u);
+}
+
+TEST(EvaluateWaitGraphTest, EmptySnapshotIsLive) {
+  EXPECT_TRUE(EvaluateWaitGraph({}).empty());
+}
+
+TEST(EvaluateWaitGraphTest, ReportRendersEdgesAndDeadSet) {
+  Inert a("A"), b("B");
+  std::vector<WaitNode> blocked;
+  blocked.push_back(PutNode(&a, &b, "A.out -> B.in[0]", 2));
+  blocked.push_back(GetNode(&b, {{&a}}));
+  const DeadlockReport report = EvaluateWaitGraph(blocked);
+  const std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find("artificial deadlock"), std::string::npos);
+  EXPECT_NE(rendered.find("unable to progress"), std::string::npos);
+  EXPECT_NE(rendered.find("A.out -> B.in[0]"), std::string::npos);
+  bool saw_put = false;
+  for (const DeadlockEdge& edge : report.cycle) {
+    if (edge.put_blocked) {
+      saw_put = true;
+      EXPECT_NE(edge.ToString().find("blocked put"), std::string::npos);
+      EXPECT_NE(edge.ToString().find("capacity 2"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_put);
+}
+
+// ---- ChannelWaitGraph: registration bookkeeping ----
+
+TEST(ChannelWaitGraphTest, RegistrationAndSnapshotRoundTrip) {
+  Inert producer("P"), consumer("C");
+  StubReceiver receiver;
+  ChannelWaitGraph graph;
+  graph.RegisterChannel(&receiver, &producer, &consumer, "P.out -> C.in[0]");
+  EXPECT_EQ(graph.ProducerOf(&receiver), &producer);
+  EXPECT_EQ(graph.ChannelName(&receiver), "P.out -> C.in[0]");
+
+  EXPECT_EQ(graph.BlockedCount(), 0u);
+  graph.OnPutBlocked(&producer, &receiver);
+  EXPECT_EQ(graph.BlockedCount(), 1u);
+  std::vector<WaitNode> snapshot = graph.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_TRUE(snapshot[0].put_blocked);
+  ASSERT_EQ(snapshot[0].put_targets.size(), 1u);
+  EXPECT_EQ(snapshot[0].put_targets[0].actor, &consumer);
+  EXPECT_EQ(snapshot[0].put_targets[0].channel, "P.out -> C.in[0]");
+
+  graph.OnPutUnblocked(&producer);
+  EXPECT_EQ(graph.BlockedCount(), 0u);
+  EXPECT_TRUE(graph.Snapshot().empty());
+}
+
+TEST(ChannelWaitGraphTest, UnblockBumpsEpochButReregistrationDoesNot) {
+  Inert producer("P"), consumer("C");
+  StubReceiver receiver;
+  ChannelWaitGraph graph;
+  graph.RegisterChannel(&receiver, &producer, &consumer, "P.out -> C.in[0]");
+
+  auto get_ports = [&] {
+    return std::vector<std::vector<WaitTarget>>{
+        {WaitTarget{&producer, &receiver, "P.out -> C.in[0]", 0}}};
+  };
+  graph.OnGetBlocked(&consumer, get_ports());
+  const uint64_t epoch0 = graph.Snapshot()[0].epoch;
+  // Re-registration while still blocked refreshes edges, not the epoch:
+  // the watchdog must see a stable candidate across polls.
+  graph.OnGetBlocked(&consumer, get_ports());
+  EXPECT_EQ(graph.Snapshot()[0].epoch, epoch0);
+  // A genuine unblock/reblock bumps it, discarding the candidate.
+  graph.OnGetUnblocked(&consumer);
+  graph.OnGetBlocked(&consumer, get_ports());
+  EXPECT_GT(graph.Snapshot()[0].epoch, epoch0);
+}
+
+TEST(ChannelWaitGraphTest, EmptyGetPortListUnregisters) {
+  Inert producer("P"), consumer("C");
+  StubReceiver receiver;
+  ChannelWaitGraph graph;
+  graph.RegisterChannel(&receiver, &producer, &consumer, "P.out -> C.in[0]");
+  graph.OnGetBlocked(&consumer,
+                     {{WaitTarget{&producer, &receiver, "ch", 0}}});
+  EXPECT_EQ(graph.BlockedCount(), 1u);
+  graph.OnGetBlocked(&consumer, {});
+  EXPECT_EQ(graph.BlockedCount(), 0u);
+}
+
+TEST(ChannelWaitGraphTest, UnknownReceiverPutIsIgnored) {
+  Inert producer("P");
+  StubReceiver unregistered;
+  ChannelWaitGraph graph;
+  graph.OnPutBlocked(&producer, &unregistered);
+  EXPECT_EQ(graph.BlockedCount(), 0u);
+}
+
+TEST(ChannelWaitGraphTest, ResetForgetsEverything) {
+  Inert producer("P"), consumer("C");
+  StubReceiver receiver;
+  ChannelWaitGraph graph;
+  graph.RegisterChannel(&receiver, &producer, &consumer, "P.out -> C.in[0]");
+  graph.OnPutBlocked(&producer, &receiver);
+  graph.Reset();
+  EXPECT_EQ(graph.BlockedCount(), 0u);
+  EXPECT_EQ(graph.ProducerOf(&receiver), nullptr);
+}
+
+TEST(ChannelWaitGraphTest, ReportHandlerReceivesConfirmedReports) {
+  ChannelWaitGraph graph;
+  std::string seen;
+  graph.SetReportHandlerForTest(
+      [&seen](const std::string& report) { seen = report; });
+  graph.InvokeReportHandler("CWF6005: test report");
+  EXPECT_EQ(seen, "CWF6005: test report");
+}
+
+TEST(ScopedCurrentActorTest, NestsAndRestores) {
+  Inert outer("outer"), inner("inner");
+  EXPECT_EQ(ScopedCurrentActor::Current(), nullptr);
+  {
+    ScopedCurrentActor a(&outer);
+    EXPECT_EQ(ScopedCurrentActor::Current(), &outer);
+    {
+      ScopedCurrentActor b(&inner);
+      EXPECT_EQ(ScopedCurrentActor::Current(), &inner);
+    }
+    EXPECT_EQ(ScopedCurrentActor::Current(), &outer);
+  }
+  EXPECT_EQ(ScopedCurrentActor::Current(), nullptr);
+}
+
+}  // namespace
+}  // namespace cwf

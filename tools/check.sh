@@ -43,6 +43,9 @@ find src tools bench examples \( -name '*.cpp' -o -name '*.h' \) -print0 |
 echo "==> [cwf-analyze] built-in graph catalog (--strict)"
 ./build/tools/cwf_analyze --strict
 
+echo "==> [cwf-analyze] liveness classification (--liveness --strict)"
+./build/tools/cwf_analyze --liveness --strict
+
 echo "==> [obs] traced LRB segment + exposition scrape"
 OBS_TMP="$(mktemp -d)"
 ./build/tools/cwf_lrb_serve --duration-s 60 \

@@ -27,6 +27,15 @@
 //                            side effect in the condition changes behavior
 //                            between build types.
 //
+//   cwf-unbounded-wait       condition-variable waits that can hang on a
+//                            spurious wakeup or missed notification:
+//                            `cv.wait(lock)` with no predicate, and
+//                            `wait_for`/`wait_until` calls whose result is
+//                            discarded with no predicate (nothing observes
+//                            why the wait ended). Deliberate timed polls
+//                            inside re-checking loops carry a
+//                            cwf-tidy-allow rationale.
+//
 // Suppressions, in source:
 //   // NOLINT(cwf-raw-mutex)            this line, named check
 //   // NOLINTNEXTLINE(cwf-raw-mutex)    next line, named check
@@ -453,6 +462,130 @@ void CheckBlockingUnderLock(const std::string& path, const PreparedSource& src,
 }
 
 // ---------------------------------------------------------------------------
+// cwf-unbounded-wait
+// ---------------------------------------------------------------------------
+
+/// Count the top-level comma-separated arguments of the call whose opening
+/// '(' is at `open`. Commas inside nested parens, brackets or braces (e.g.
+/// a predicate lambda's body) do not count. Returns SIZE_MAX when the call
+/// never closes (macro soup): the caller skips it.
+size_t CountCallArgs(const std::string& code, size_t open) {
+  int paren = 0;
+  int other = 0;  // [] and {} nesting
+  size_t args = 0;
+  bool any = false;
+  for (size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      if (--paren == 0) {
+        return any ? args + 1 : 0;
+      }
+    } else if (c == '[' || c == '{') {
+      ++other;
+    } else if (c == ']' || c == '}') {
+      --other;
+    } else if (c == ',' && paren == 1 && other == 0) {
+      ++args;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      any = true;
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+void CheckUnboundedWait(const std::string& path, const PreparedSource& src,
+                        std::vector<Finding>* findings) {
+  static const char kCheck[] = "cwf-unbounded-wait";
+  const std::string& code = src.code;
+  struct Wait {
+    const char* token;
+    bool timed;
+  };
+  static const Wait kWaits[] = {
+      {"wait", false},
+      {"wait_for", true},
+      {"wait_until", true},
+  };
+  for (const Wait& w : kWaits) {
+    for (size_t at : WordOccurrences(code, w.token)) {
+      // Member call only: `cv.wait(` / `cv->wait(`. A `::wait(` is a
+      // definition or qualified mention, not a blocking call site.
+      size_t before = at;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+        --before;
+      }
+      const bool member = (before >= 1 && code[before - 1] == '.') ||
+                          (before >= 2 && code[before - 2] == '-' &&
+                           code[before - 1] == '>');
+      if (!member) {
+        continue;
+      }
+      size_t open = at + std::strlen(w.token);
+      while (open < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[open]))) {
+        ++open;
+      }
+      if (open >= code.size() || code[open] != '(') {
+        continue;
+      }
+      const size_t args = CountCallArgs(code, open);
+      if (args == static_cast<size_t>(-1)) {
+        continue;
+      }
+      // With a predicate (wait: 2 args; timed waits: 3 args) the wakeup
+      // condition is re-checked inside the wait — always safe.
+      const size_t no_predicate_args = w.timed ? 2 : 1;
+      if (args != no_predicate_args) {
+        continue;
+      }
+      if (w.timed) {
+        // A predicate-free timed wait is a poll; it is only unbounded when
+        // the caller also discards the result (nothing re-checks why the
+        // wait ended). Walk left across the object expression: reaching a
+        // statement boundary means the value was dropped.
+        size_t scan = before;
+        while (scan > 0) {
+          const char c = code[scan - 1];
+          if (IsIdentChar(c) || std::isspace(static_cast<unsigned char>(c)) ||
+              c == '.' || c == ':' || c == '>' || c == '-') {
+            --scan;
+            continue;
+          }
+          break;
+        }
+        const char boundary = scan > 0 ? code[scan - 1] : ';';
+        const bool statement_context =
+            boundary == ';' || boundary == '{' || boundary == '}';
+        const std::string walked = code.substr(scan, at - scan);
+        const bool returned =
+            walked.find("return") != std::string::npos;
+        if (!statement_context || returned) {
+          continue;
+        }
+      }
+      const int line = LineOf(code, at);
+      if (Suppressed(src, line, kCheck)) {
+        continue;
+      }
+      findings->push_back(
+          {path, line, kCheck,
+           w.timed
+               ? std::string(w.token) +
+                     " result discarded and no predicate: a stolen wakeup "
+                     "or timeout is indistinguishable from success — check "
+                     "the result or re-test the condition in a loop"
+               : std::string(w.token) +
+                     " without a predicate: spurious wakeups and missed "
+                     "notifications hang the waiter — pass a predicate or "
+                     "re-check the condition in an enclosing loop"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // cwf-assert-side-effects
 // ---------------------------------------------------------------------------
 
@@ -550,7 +683,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: cwf_tidy [--check <name>]... <file>...\n"
                 << "checks: cwf-raw-mutex cwf-blocking-under-lock "
-                   "cwf-assert-side-effects\n";
+                   "cwf-assert-side-effects cwf-unbounded-wait\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "cwf_tidy: unknown flag " << arg << "\n";
@@ -582,6 +715,9 @@ int main(int argc, char** argv) {
     }
     if (on("cwf-blocking-under-lock")) {
       CheckBlockingUnderLock(path, src, &findings);
+    }
+    if (on("cwf-unbounded-wait")) {
+      CheckUnboundedWait(path, src, &findings);
     }
     if (on("cwf-assert-side-effects")) {
       CheckAssertSideEffects(path, src, &findings);

@@ -20,6 +20,16 @@
 //   cwf_analyze --matrix          per-director admission matrix
 //   cwf_analyze --plan            static capacity plan per graph
 //                                 (per-channel buffer bounds)
+//   cwf_analyze --liveness        artificial-deadlock classification of
+//                                 each graph's capacity plan (provably
+//                                 live / provably deadlocking with the
+//                                 witness cycle / unknown); deadlocks are
+//                                 errors for the exit code, --dot fills
+//                                 witness actors red
+//   cwf_analyze --assume-capacity N
+//                                 with --liveness: what-if analysis with
+//                                 every channel bounded to N instead of
+//                                 the synthesized plan
 //   cwf_analyze --critical-path   longest modeled source->sink cost chain
 //   cwf_analyze --utilization     per-actor and total utilization
 //   cwf_analyze --strict          treat warnings as errors for the exit
@@ -27,6 +37,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -35,6 +46,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/builtin_graphs.h"
 #include "analysis/capacity_planner.h"
+#include "analysis/liveness_pass.h"
 #include "core/workflow.h"
 
 namespace {
@@ -49,9 +61,13 @@ using cwf::analysis::CapacityPlan;
 using cwf::analysis::ComputeAdmissionMatrix;
 using cwf::analysis::Diagnostic;
 using cwf::analysis::DiagnosticBag;
+using cwf::analysis::AnalyzeLiveness;
 using cwf::analysis::DiagnosticCodes;
 using cwf::analysis::DiagnosticCodesJson;
+using cwf::analysis::LivenessReport;
 using cwf::analysis::PlanCapacity;
+using cwf::analysis::PlanningOptions;
+using cwf::analysis::ReportLiveness;
 using cwf::analysis::Severity;
 using cwf::analysis::SeverityName;
 
@@ -62,6 +78,8 @@ struct CliOptions {
   bool dot = false;
   bool matrix = false;
   bool plan = false;
+  bool liveness = false;
+  size_t assume_capacity = 0;  // with --liveness: bound every channel to N
   bool critical_path = false;
   bool utilization = false;
   bool strict = false;
@@ -71,7 +89,8 @@ struct CliOptions {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list|--codes] [--json] [--dot] [--matrix] "
-               "[--plan] [--critical-path] [--utilization] [--strict] "
+               "[--plan] [--liveness] [--assume-capacity N] "
+               "[--critical-path] [--utilization] [--strict] "
                "[graph...]\n",
                argv0);
   return 2;
@@ -100,7 +119,8 @@ std::string JoinPath(const std::vector<std::string>& path) {
 }
 
 std::string DotWithFindings(const BuiltinGraph& graph,
-                            const DiagnosticBag& diags) {
+                            const DiagnosticBag& diags,
+                            const LivenessReport* liveness) {
   Workflow::DotOptions options;
   for (const Diagnostic& d : diags.all()) {
     if (d.actor == nullptr) {
@@ -111,6 +131,14 @@ std::string DotWithFindings(const BuiltinGraph& graph,
     } else if (d.severity == Severity::kWarning &&
                options.node_fill.count(d.actor) == 0) {
       options.node_fill[d.actor] = "orange";
+    }
+  }
+  if (liveness != nullptr) {
+    // Deadlock witness: every actor in the blocked cycle is filled red.
+    for (const cwf::DeadlockEdge& edge : liveness->witness.cycle) {
+      if (edge.waiter != nullptr) {
+        options.node_fill[edge.waiter] = "red";
+      }
     }
   }
   return graph.workflow->ToDot(options);
@@ -134,6 +162,17 @@ int main(int argc, char** argv) {
       cli.matrix = true;
     } else if (!std::strcmp(arg, "--plan")) {
       cli.plan = true;
+    } else if (!std::strcmp(arg, "--liveness")) {
+      cli.liveness = true;
+    } else if (!std::strcmp(arg, "--assume-capacity")) {
+      if (i + 1 >= argc) {
+        return Usage(argv[0]);
+      }
+      cli.assume_capacity =
+          static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (cli.assume_capacity == 0) {
+        return Usage(argv[0]);
+      }
     } else if (!std::strcmp(arg, "--critical-path")) {
       cli.critical_path = true;
     } else if (!std::strcmp(arg, "--utilization")) {
@@ -213,6 +252,31 @@ int main(int argc, char** argv) {
       plan = PlanCapacity(*graph.workflow, options);
     }
 
+    LivenessReport liveness;
+    if (cli.liveness) {
+      CapacityPlan analyzed;
+      if (cli.assume_capacity > 0) {
+        // What-if: the raw quantitative plan with every channel clamped to
+        // the assumed bound, deliberately skipping liveness synthesis so
+        // the clamp is what gets analyzed.
+        PlanningOptions planning;
+        planning.ensure_liveness = false;
+        analyzed = PlanCapacity(*graph.workflow, options, planning);
+        for (auto& ch : analyzed.channels) {
+          ch.bounded = true;
+          ch.capacity = cli.assume_capacity;
+        }
+      } else {
+        analyzed =
+            want_plan ? plan : PlanCapacity(*graph.workflow, options);
+      }
+      liveness = AnalyzeLiveness(*graph.workflow, options, analyzed);
+      DiagnosticBag liveness_diags;
+      ReportLiveness(liveness, options, &liveness_diags);
+      errors += liveness_diags.ErrorCount();
+      warnings += liveness_diags.WarningCount();
+    }
+
     if (cli.json) {
       std::printf("%s{\"graph\":\"%s\",\"director\":\"%s\","
                   "\"diagnostics\":%s",
@@ -220,6 +284,9 @@ int main(int argc, char** argv) {
                   graph.director.c_str(), diags.ToJson().c_str());
       if (cli.plan) {
         std::printf(",\"plan\":%s", plan.ToJson().c_str());
+      }
+      if (cli.liveness) {
+        std::printf(",\"liveness\":%s", liveness.ToJson().c_str());
       }
       if (cli.critical_path && !cli.plan) {
         std::printf(",\"critical_path\":[");
@@ -263,6 +330,9 @@ int main(int argc, char** argv) {
     if (cli.plan) {
       std::printf("%s", plan.ToText().c_str());
     }
+    if (cli.liveness) {
+      std::printf("%s", liveness.ToText().c_str());
+    }
     if (cli.critical_path && !cli.plan) {
       std::printf("  critical path: %s (%.0f us)\n",
                   JoinPath(plan.critical_path).c_str(),
@@ -277,7 +347,9 @@ int main(int argc, char** argv) {
       std::printf("  total utilization: %.3f\n", plan.total_utilization);
     }
     if (cli.dot) {
-      std::printf("%s", DotWithFindings(graph, diags).c_str());
+      std::printf("%s", DotWithFindings(graph, diags,
+                                        cli.liveness ? &liveness : nullptr)
+                            .c_str());
     }
   }
   if (cli.json) {
