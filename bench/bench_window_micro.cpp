@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/schema.h"
 #include "window/window_operator.h"
 
 namespace cwf {
@@ -105,6 +106,65 @@ void BM_TimeWindowDeadlineIndex(benchmark::State& state) {
   state.SetLabel(std::to_string(keys) + " groups");
 }
 BENCHMARK(BM_TimeWindowDeadlineIndex)->Arg(10)->Arg(10000);
+
+RecordPtr WideRecord(int64_t width) {
+  auto rec = std::make_shared<Record>();
+  for (int64_t i = 0; i < width; ++i) {
+    rec->Set("field" + std::to_string(i), Value(i));
+  }
+  return rec;
+}
+
+void BM_RecordGetByName(benchmark::State& state) {
+  // Linear scan with string comparison per access; the last field is the
+  // worst case and the one group-by/join key extraction hits for tuples
+  // whose key trails the payload.
+  const int64_t width = state.range(0);
+  RecordPtr rec = WideRecord(width);
+  const std::string last = "field" + std::to_string(width - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec->Get(last));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(width) + " fields");
+}
+BENCHMARK(BM_RecordGetByName)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RecordValueAtByIndex(benchmark::State& state) {
+  // The schema-resolved path: RecordSchema::IndexOf once (off the hot
+  // loop), then O(1) positional access per tuple.
+  const int64_t width = state.range(0);
+  RecordPtr rec = WideRecord(width);
+  RecordSchema schema;
+  for (int64_t i = 0; i < width; ++i) {
+    schema.Int("field" + std::to_string(i));
+  }
+  const int index = schema.IndexOf("field" + std::to_string(width - 1));
+  CWF_CHECK(index >= 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec->ValueAt(static_cast<size_t>(index)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(width) + " fields");
+}
+BENCHMARK(BM_RecordValueAtByIndex)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SchemaIndexOf(benchmark::State& state) {
+  // The resolution step itself (hash lookup in the schema's index map), to
+  // show the by-name cost that moved off the per-tuple path.
+  const int64_t width = state.range(0);
+  RecordSchema schema;
+  for (int64_t i = 0; i < width; ++i) {
+    schema.Int("field" + std::to_string(i));
+  }
+  const std::string last = "field" + std::to_string(width - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schema.IndexOf(last));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(width) + " fields");
+}
+BENCHMARK(BM_SchemaIndexOf)->Arg(4)->Arg(16);
 
 }  // namespace
 }  // namespace cwf

@@ -75,6 +75,15 @@ int main() {
         }
         return Status::OK();
       });
+  // Inner channel schemas, declared before the ports are exposed so the
+  // composite boundary inherits them.
+  RecordSchema reading;
+  reading.Int("object").Double("brightness").Int("t");
+  RecordSchema candidate;
+  candidate.Int("object").Int("t").Double("ratio");
+  src->out()->set_schema(TokenType::Record(reading));
+  spike->in()->set_required_schema(TokenType::Record(reading));
+  spike->out()->set_schema(TokenType::Record(candidate));
   detection->ExposeInput("in", spike->in());
   detection->ExposeOutput("out", spike->out());
 
@@ -113,6 +122,15 @@ int main() {
       });
 
   auto* alerts = wf.AddActor<CollectorSink>("alerts");
+  RecordSchema banded = candidate;
+  banded.Str("band");
+  bands->in()->set_required_schema(TokenType::Record(candidate));
+  bands->out()->set_schema(TokenType::Record(banded));
+  annotate->in()->set_required_schema(TokenType::Record(banded));
+  RecordSchema annotated;
+  annotated.Int("object").Int("bands");
+  annotate->out()->set_schema(TokenType::Record(annotated));
+  alerts->in()->set_required_schema(TokenType::Record(annotated));
   CWF_CHECK(wf.Connect(src->out(), detection->GetInputPort("in")).ok());
   CWF_CHECK(wf.Connect(detection->GetOutputPort("out"), bands->in()).ok());
   CWF_CHECK(wf.Connect(bands->out(), annotate->in()).ok());

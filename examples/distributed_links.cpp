@@ -46,6 +46,14 @@ double RunWithLink(Duration link_latency) {
       });
   auto* alerts = wf.AddActor<CollectorSink>("core.alerts");
 
+  RecordSchema measurement;
+  measurement.Double("v");
+  sensor->out()->set_schema(TokenType::Record(measurement));
+  prefilter->in()->set_required_schema(TokenType::Record(measurement));
+  agg->in()->set_required_schema(TokenType::Record(measurement));
+  agg->out()->set_schema(TokenType::Double());
+  alerts->in()->set_required_schema(TokenType::Double());
+
   CWF_CHECK(wf.Connect(sensor->out(), prefilter->in()).ok());
   CWF_CHECK(wf.Connect(prefilter->out(), wan->in()).ok());
   CWF_CHECK(wf.Connect(wan->out(), agg->in()).ok());

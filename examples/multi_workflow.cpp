@@ -30,6 +30,9 @@ App BuildApp(const std::string& name,
   auto* work = wf->AddActor<MapActor>(
       "work", [](const Token& t) { return Token(t.AsInt() * 2); });
   auto* sink = wf->AddActor<CollectorSink>("sink");
+  src->out()->set_schema(TokenType::Int());
+  work->out()->set_schema(TokenType::Int());
+  sink->in()->set_required_schema(TokenType::Int());
   CWF_CHECK(wf->Connect(src->out(), work->in()).ok());
   CWF_CHECK(wf->Connect(work->out(), sink->in()).ok());
   for (int i = 0; i < tuples; ++i) {

@@ -42,6 +42,12 @@ int main() {
   // A sink that remembers everything (with response-time metadata).
   auto* sink = wf.AddActor<CollectorSink>("sink");
 
+  // Channel schemas: verified statically (cwf_analyze --schemas) and
+  // enforced per-token at runtime in debug builds.
+  source->out()->set_schema(TokenType::Double());
+  averager->out()->set_schema(TokenType::Double());
+  sink->in()->set_required_schema(TokenType::Double());
+
   CWF_CHECK(wf.Connect(source->out(), averager->in()).ok());
   CWF_CHECK(wf.Connect(averager->out(), sink->in()).ok());
 

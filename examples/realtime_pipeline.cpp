@@ -28,6 +28,9 @@ int main() {
         return Status::OK();
       });
   auto* sink = wf.AddActor<CollectorSink>("sink");
+  src->out()->set_schema(TokenType::Double());
+  smooth->out()->set_schema(TokenType::Double());
+  sink->in()->set_required_schema(TokenType::Double());
   CWF_CHECK(wf.Connect(src->out(), smooth->in()).ok());
   CWF_CHECK(wf.Connect(smooth->out(), sink->in()).ok());
 

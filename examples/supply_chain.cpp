@@ -91,6 +91,28 @@ int main() {
   auto* fulfilled = wf.AddActor<CollectorSink>("fulfilled");
   auto* stats = wf.AddActor<CollectorSink>("stats");
 
+  // Channel schemas: "value" only rides on order events, so the merged
+  // stream declares it optional.
+  RecordSchema order_event;
+  order_event.Int("order").Str("warehouse").Double("value").Str("kind");
+  RecordSchema scan_event;
+  scan_event.Int("order").Str("warehouse").Str("kind");
+  order_src->out()->set_schema(TokenType::Record(order_event));
+  scan_src->out()->set_schema(TokenType::Record(scan_event));
+  RecordSchema merged;
+  merged.Int("order").Str("warehouse").Field("value", ScalarType::Double(),
+                                             /*required=*/false);
+  merged.Str("kind");
+  merge->out()->set_schema(TokenType::Record(merged));
+  RecordSchema fulfillment;
+  fulfillment.Int("order").Str("status");
+  matcher->out()->set_schema(TokenType::Record(fulfillment));
+  RecordSchema warehouse_stats;
+  warehouse_stats.Str("warehouse").Int("events_per_min");
+  throughput->out()->set_schema(TokenType::Record(warehouse_stats));
+  fulfilled->in()->set_required_schema(TokenType::Record(fulfillment));
+  stats->in()->set_required_schema(TokenType::Record(warehouse_stats));
+
   CWF_CHECK(wf.Connect(order_src->out(), merge->in()).ok());
   CWF_CHECK(wf.Connect(scan_src->out(), merge->in()).ok());
   CWF_CHECK(wf.Connect(merge->out(), matcher->in()).ok());

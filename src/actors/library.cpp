@@ -38,6 +38,11 @@ Status FilterActor::Fire() {
   return Status::OK();
 }
 
+TokenType FilterActor::OutputTokenType(
+    const OutputPort* port, const std::vector<TokenType>& inputs) const {
+  return IdentityTokenType(port, inputs);
+}
+
 FlatMapActor::FlatMapActor(std::string name, FlatMapFn fn, WindowSpec spec)
     : Actor(std::move(name)), fn_(std::move(fn)) {
   in_ = AddInputPort("in", std::move(spec));

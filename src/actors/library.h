@@ -49,6 +49,10 @@ class FilterActor : public Actor {
 
   Status Fire() override;
 
+  /// A filter forwards tokens unchanged: its output type is its input type.
+  TokenType OutputTokenType(const OutputPort* port,
+                            const std::vector<TokenType>& inputs) const override;
+
  private:
   PredFn pred_;
   InputPort* in_;

@@ -17,6 +17,12 @@ KeyedJoinActor::KeyedJoinActor(std::string name,
   left_ = AddInputPort("left");
   right_ = AddInputPort("right");
   out_ = AddOutputPort("out");
+  RecordSchema keys;
+  for (const std::string& field : key_fields_) {
+    keys.Field(field, ScalarType::Any());
+  }
+  left_->set_required_schema(TokenType::Record(keys));
+  right_->set_required_schema(TokenType::Record(std::move(keys)));
 }
 
 Result<bool> KeyedJoinActor::Prefire() {
@@ -87,6 +93,32 @@ Status KeyedJoinActor::Fire() {
   return Status::OK();
 }
 
+TokenType KeyedJoinActor::OutputTokenType(
+    const OutputPort* port, const std::vector<TokenType>& inputs) const {
+  if (!port->schema().is_unknown()) {
+    return port->schema();
+  }
+  if (inputs.size() < 2 || !inputs[0].allows_record() ||
+      !inputs[1].allows_record()) {
+    return TokenType::Unknown();
+  }
+  const RecordSchemaPtr left = inputs[0].record_schema();
+  const RecordSchemaPtr right = inputs[1].record_schema();
+  if (left == nullptr || right == nullptr) {
+    return TokenType::Unknown();
+  }
+  RecordSchema merged;
+  for (const FieldSpec& f : left->fields()) {
+    merged.Field(f.name, f.type, f.required);
+  }
+  for (const FieldSpec& f : right->fields()) {
+    if (merged.IndexOf(f.name) < 0) {
+      merged.Field(f.name, f.type, f.required);
+    }
+  }
+  return TokenType::Record(std::move(merged));
+}
+
 // ---------------------------------------------------------------------------
 // UnionActor
 // ---------------------------------------------------------------------------
@@ -105,6 +137,11 @@ Status UnionActor::Fire() {
     Send(out_, e.token);
   }
   return Status::OK();
+}
+
+TokenType UnionActor::OutputTokenType(
+    const OutputPort* port, const std::vector<TokenType>& inputs) const {
+  return IdentityTokenType(port, inputs);
 }
 
 // ---------------------------------------------------------------------------
@@ -137,6 +174,11 @@ Status ThrottleActor::Fire() {
     }
   }
   return Status::OK();
+}
+
+TokenType ThrottleActor::OutputTokenType(
+    const OutputPort* port, const std::vector<TokenType>& inputs) const {
+  return IdentityTokenType(port, inputs);
 }
 
 // ---------------------------------------------------------------------------
@@ -179,6 +221,11 @@ Timestamp DelayActor::NextDeadline() const {
   return held_.empty() ? Timestamp::Max() : held_.front().release;
 }
 
+TokenType DelayActor::OutputTokenType(
+    const OutputPort* port, const std::vector<TokenType>& inputs) const {
+  return IdentityTokenType(port, inputs);
+}
+
 // ---------------------------------------------------------------------------
 // CounterSource
 // ---------------------------------------------------------------------------
@@ -188,6 +235,7 @@ CounterSource::CounterSource(std::string name, int64_t count,
     : Actor(std::move(name)), count_(count), per_firing_(per_firing) {
   CWF_CHECK_MSG(per_firing_ > 0, "per_firing must be positive");
   out_ = AddOutputPort("out");
+  out_->set_schema(TokenType::Int());
 }
 
 Result<bool> CounterSource::Prefire() { return next_ < count_; }
@@ -301,6 +349,48 @@ Status DbLookupActor::Fire() {
     ++hits_;
   }
   return Status::OK();
+}
+
+TokenType DbLookupActor::OutputTokenType(
+    const OutputPort* port, const std::vector<TokenType>& inputs) const {
+  if (!port->schema().is_unknown()) {
+    return port->schema();
+  }
+  if (inputs.empty() || !inputs[0].allows_record()) {
+    return TokenType::Unknown();
+  }
+  const RecordSchemaPtr in_layout = inputs[0].record_schema();
+  if (in_layout == nullptr) {
+    return inputs[0];
+  }
+  RecordSchema enriched = *in_layout;
+  auto table = database_->GetTable(table_name_);
+  if (table.ok()) {
+    const db::Schema& schema = (*table)->schema();
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      const db::Column& col = schema.column(c);
+      if (enriched.IndexOf(col.name) >= 0) {
+        continue;  // the record's own field wins the clash
+      }
+      ScalarType type = ScalarType::Null();  // columns are nullable
+      switch (col.type) {
+        case db::ColumnType::kInt64:
+          type = type.Union(ScalarType::Int());
+          break;
+        case db::ColumnType::kDouble:
+          type = type.Union(ScalarType::Double());
+          break;
+        case db::ColumnType::kBool:
+          type = type.Union(ScalarType::Bool());
+          break;
+        case db::ColumnType::kString:
+          type = type.Union(ScalarType::Str());
+          break;
+      }
+      enriched.Field(col.name, type, /*required=*/false);
+    }
+  }
+  return TokenType::Record(std::move(enriched));
 }
 
 }  // namespace cwf

@@ -40,6 +40,11 @@ class KeyedJoinActor : public Actor {
   /// \brief Matches emitted so far.
   uint64_t matches() const { return matches_; }
 
+  /// A join emits the merge of both sides' layouts (left wins clashes);
+  /// unknown when either side's layout is unresolved.
+  TokenType OutputTokenType(const OutputPort* port,
+                            const std::vector<TokenType>& inputs) const override;
+
  private:
   using Key = std::vector<Value>;
 
@@ -70,6 +75,10 @@ class UnionActor : public Actor {
 
   Status Fire() override;
 
+  /// A union forwards tokens unchanged: joined input type.
+  TokenType OutputTokenType(const OutputPort* port,
+                            const std::vector<TokenType>& inputs) const override;
+
  private:
   InputPort* in_;
   OutputPort* out_;
@@ -88,6 +97,10 @@ class ThrottleActor : public Actor {
   Status Fire() override;
 
   uint64_t dropped() const { return dropped_; }
+
+  /// A throttle forwards tokens unchanged: joined input type.
+  TokenType OutputTokenType(const OutputPort* port,
+                            const std::vector<TokenType>& inputs) const override;
 
  private:
   int64_t max_per_second_;
@@ -116,6 +129,10 @@ class DelayActor : public Actor {
 
   /// \brief Events currently in flight across the simulated link.
   size_t in_flight() const { return held_.size(); }
+
+  /// A link forwards events unchanged: joined input type.
+  TokenType OutputTokenType(const OutputPort* port,
+                            const std::vector<TokenType>& inputs) const override;
 
  private:
   struct Held {
@@ -190,6 +207,11 @@ class DbLookupActor : public Actor {
   Status Fire() override;
 
   uint64_t hits() const { return hits_; }
+
+  /// Input layout plus the table's columns as optional fields (unmatched
+  /// records pass through without them).
+  TokenType OutputTokenType(const OutputPort* port,
+                            const std::vector<TokenType>& inputs) const override;
 
  private:
   db::Database* database_;

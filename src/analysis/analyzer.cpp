@@ -8,6 +8,7 @@
 #include "analysis/moc_admission_pass.h"
 #include "analysis/rate_pass.h"
 #include "analysis/scheduler_config_pass.h"
+#include "analysis/schema_pass.h"
 #include "analysis/structural_pass.h"
 #include "analysis/window_pass.h"
 #include "core/composite_actor.h"
@@ -31,6 +32,7 @@ Analyzer::Analyzer() {
   passes_.push_back(std::make_unique<RatePass>());
   passes_.push_back(std::make_unique<BoundednessPass>());
   passes_.push_back(std::make_unique<LivenessPass>());
+  passes_.push_back(std::make_unique<SchemaPass>());
 }
 
 void Analyzer::AddPass(std::unique_ptr<AnalysisPass> pass) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/schema.h"
+
 #include "actors/library.h"
 #include "actors/stream_ops.h"
 #include "core/composite_actor.h"
@@ -57,6 +59,9 @@ BuiltinGraph Quickstart() {
   auto* averager = wf->AddActor<WindowFnActor>(
       "avg5", WindowSpec::Tuples(5, 5).DeleteUsedEvents(true), NoopWindowFn);
   auto* sink = wf->AddActor<CollectorSink>("sink");
+  source->out()->set_schema(TokenType::Double());
+  averager->out()->set_schema(TokenType::Double());
+  sink->in()->set_required_schema(TokenType::Double());
   CWF_CHECK(wf->Connect(source->out(), averager->in()).ok());
   CWF_CHECK(wf->Connect(averager->out(), sink->in()).ok());
   BuiltinGraph graph =
@@ -74,6 +79,9 @@ BuiltinGraph RealtimePipeline() {
   auto* smooth = wf->AddActor<WindowFnActor>(
       "smooth", WindowSpec::Tuples(3, 1), NoopWindowFn);
   auto* sink = wf->AddActor<CollectorSink>("sink");
+  src->out()->set_schema(TokenType::Double());
+  smooth->out()->set_schema(TokenType::Double());
+  sink->in()->set_required_schema(TokenType::Double());
   CWF_CHECK(wf->Connect(src->out(), smooth->in()).ok());
   CWF_CHECK(wf->Connect(smooth->out(), sink->in()).ok());
   BuiltinGraph graph = Wrap("realtime-pipeline", "OS-thread smoothing pipeline",
@@ -103,6 +111,26 @@ BuiltinGraph SupplyChain() {
       NoopWindowFn);
   auto* fulfilled = wf->AddActor<CollectorSink>("fulfilled");
   auto* stats = wf->AddActor<CollectorSink>("stats");
+  RecordSchema order_event;
+  order_event.Int("order").Str("warehouse").Double("value").Str("kind");
+  RecordSchema scan_event;
+  scan_event.Int("order").Str("warehouse").Str("kind");
+  order_src->out()->set_schema(TokenType::Record(order_event));
+  scan_src->out()->set_schema(TokenType::Record(scan_event));
+  // The merged stream carries both kinds: "value" only rides on orders.
+  RecordSchema merged;
+  merged.Int("order").Str("warehouse").Field("value", ScalarType::Double(),
+                                             /*required=*/false);
+  merged.Str("kind");
+  merge->out()->set_schema(TokenType::Record(merged));
+  RecordSchema fulfillment;
+  fulfillment.Int("order").Str("status");
+  matcher->out()->set_schema(TokenType::Record(fulfillment));
+  RecordSchema warehouse_stats;
+  warehouse_stats.Str("warehouse").Int("events_per_min");
+  throughput->out()->set_schema(TokenType::Record(warehouse_stats));
+  fulfilled->in()->set_required_schema(TokenType::Record(fulfillment));
+  stats->in()->set_required_schema(TokenType::Record(warehouse_stats));
   CWF_CHECK(wf->Connect(order_src->out(), merge->in()).ok());
   CWF_CHECK(wf->Connect(scan_src->out(), merge->in()).ok());
   CWF_CHECK(wf->Connect(merge->out(), matcher->in()).ok());
@@ -128,6 +156,14 @@ BuiltinGraph AstroMonitor() {
   auto* spike = detection->inner()->AddActor<WindowFnActor>(
       "spike_detector", WindowSpec::Tuples(4, 1).GroupBy({"object"}),
       NoopWindowFn);
+  RecordSchema reading;
+  reading.Int("object").Double("brightness").Int("t");
+  RecordSchema candidate;
+  candidate.Int("object").Int("t").Double("ratio");
+  src->out()->set_schema(TokenType::Record(reading));
+  spike->in()->set_required_schema(TokenType::Record(reading));
+  spike->out()->set_schema(TokenType::Record(candidate));
+  // Exposed after the inner declarations so the boundary inherits them.
   detection->ExposeInput("in", spike->in());
   detection->ExposeOutput("out", spike->out());
   auto* bands = wf->AddActor<FlatMapActor>(
@@ -136,6 +172,15 @@ BuiltinGraph AstroMonitor() {
   auto* annotate = wf->AddActor<WindowFnActor>(
       "annotate", WindowSpec::Waves(1, 1), NoopWindowFn);
   auto* alerts = wf->AddActor<CollectorSink>("alerts");
+  RecordSchema banded = candidate;
+  banded.Str("band");
+  bands->in()->set_required_schema(TokenType::Record(candidate));
+  bands->out()->set_schema(TokenType::Record(banded));
+  annotate->in()->set_required_schema(TokenType::Record(banded));
+  RecordSchema annotated;
+  annotated.Int("object").Int("bands");
+  annotate->out()->set_schema(TokenType::Record(annotated));
+  alerts->in()->set_required_schema(TokenType::Record(annotated));
   CWF_CHECK(wf->Connect(src->out(), detection->GetInputPort("in")).ok());
   CWF_CHECK(wf->Connect(detection->GetOutputPort("out"), bands->in()).ok());
   CWF_CHECK(wf->Connect(bands->out(), annotate->in()).ok());
@@ -156,6 +201,9 @@ BuiltinGraph MultiApp(const char* graph_name, const char* wf_name,
       "src", std::make_shared<PushChannel>());
   auto* work = wf->AddActor<MapActor>("work", Identity);
   auto* sink = wf->AddActor<CollectorSink>("sink");
+  src->out()->set_schema(TokenType::Int());
+  work->out()->set_schema(TokenType::Int());
+  sink->in()->set_required_schema(TokenType::Int());
   CWF_CHECK(wf->Connect(src->out(), work->in()).ok());
   CWF_CHECK(wf->Connect(work->out(), sink->in()).ok());
   BuiltinGraph graph = Wrap(graph_name, "multi-workflow tenant application",
@@ -176,6 +224,13 @@ BuiltinGraph DistributedLinks() {
       "core.agg", WindowSpec::Tuples(5, 5).DeleteUsedEvents(true),
       NoopWindowFn);
   auto* alerts = wf->AddActor<CollectorSink>("core.alerts");
+  RecordSchema measurement;
+  measurement.Double("v");
+  sensor->out()->set_schema(TokenType::Record(measurement));
+  prefilter->in()->set_required_schema(TokenType::Record(measurement));
+  agg->in()->set_required_schema(TokenType::Record(measurement));
+  agg->out()->set_schema(TokenType::Double());
+  alerts->in()->set_required_schema(TokenType::Double());
   CWF_CHECK(wf->Connect(sensor->out(), prefilter->in()).ok());
   CWF_CHECK(wf->Connect(prefilter->out(), wan->in()).ok());
   CWF_CHECK(wf->Connect(wan->out(), agg->in()).ok());

@@ -233,6 +233,29 @@ const std::vector<DiagnosticCodeInfo>& DiagnosticCodes() {
       {"CWF6005", Severity::kError,
        "artificial deadlock detected at runtime: the channel wait-for "
        "graph contains a cycle of blocked actors (watchdog report)"},
+      // Schema/type-flow (typed channels).
+      {"CWF7001", Severity::kError,
+       "channel token-kind mismatch: producer emits scalar kinds the "
+       "consuming port does not accept"},
+      {"CWF7002", Severity::kError,
+       "record field type mismatch: a field's resolved type is "
+       "incompatible with what the consuming port requires"},
+      {"CWF7003", Severity::kError,
+       "required record field missing from the channel's resolved layout"},
+      {"CWF7004", Severity::kError,
+       "record-vs-scalar shape mismatch: records into a scalar port, or "
+       "scalars into a record-requiring port"},
+      {"CWF7005", Severity::kError,
+       "nil (control) tokens may flow into a port that requires data"},
+      {"CWF7006", Severity::kWarning,
+       "producer schema undeclared but the consuming port is strict: the "
+       "channel cannot be checked statically"},
+      {"CWF7007", Severity::kWarning,
+       "window group-by field absent from the channel's resolved record "
+       "layout"},
+      {"CWF7008", Severity::kError,
+       "runtime schema violation: a deposited token failed the channel's "
+       "resolved schema (CWF_SCHEMA_CHECK report)"},
   };
   return kCodes;
 }

@@ -12,6 +12,7 @@
 //   CWF40xx  scheduler config  (QBS/RR/RB/EDF parameter sanity)
 //   CWF50xx  quantitative      (rate propagation, boundedness, utilization)
 //   CWF60xx  liveness          (artificial deadlock under bounded channels)
+//   CWF70xx  schema/type-flow  (typed channels, record layout compatibility)
 
 #ifndef CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_
 #define CONFLUENCE_ANALYSIS_DIAGNOSTIC_H_

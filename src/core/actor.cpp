@@ -85,6 +85,24 @@ int64_t Actor::ConsumptionRate(const InputPort*) const { return 1; }
 
 int64_t Actor::ProductionRate(const OutputPort*) const { return 1; }
 
+TokenType Actor::OutputTokenType(const OutputPort* port,
+                                 const std::vector<TokenType>& inputs) const {
+  (void)inputs;
+  return port->schema();
+}
+
+TokenType Actor::IdentityTokenType(const OutputPort* port,
+                                   const std::vector<TokenType>& inputs) const {
+  if (!port->schema().is_unknown()) {
+    return port->schema();
+  }
+  TokenType joined;
+  for (const TokenType& in : inputs) {
+    joined = joined.Join(in);
+  }
+  return joined;
+}
+
 void Actor::Send(OutputPort* port, Token token) {
   CWF_CHECK_MSG(port != nullptr && port->actor() == this,
                 "Send() on a port not owned by actor " << name_);

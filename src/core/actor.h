@@ -141,6 +141,21 @@ class Actor {
   /// \brief Tokens produced per firing on `port`.
   virtual int64_t ProductionRate(const OutputPort* port) const;
 
+  // ---- Schema transfer (schema pass) ----
+
+  /// \brief The type of tokens `port` emits, given the resolved types of
+  /// this actor's input ports (`inputs[i]` matches `input_ports()[i]`; an
+  /// entry is Unknown when nothing was declared or inferred upstream).
+  ///
+  /// The default returns the port's declared schema (OutputPort::set_schema)
+  /// untouched. Transforming actors override this to act as a transfer
+  /// function — e.g. identity forwards (filters, delays) return the joined
+  /// input type, a join merges its two input layouts, a projection narrows
+  /// the input layout. The schema pass calls this once per propagation
+  /// round; it must be pure.
+  virtual TokenType OutputTokenType(const OutputPort* port,
+                                    const std::vector<TokenType>& inputs) const;
+
   // ---- Output buffering (called from Fire) ----
 
   /// \brief Buffer a token for emission on `port`; the director stamps and
@@ -175,6 +190,12 @@ class Actor {
   void IncrementFirings() { ++total_firings_; }
 
  protected:
+  /// \brief Transfer-function helper for identity-forwarding actors
+  /// (filters, delays, unions, throttles): the port's declared schema when
+  /// set, else the join of every input type.
+  TokenType IdentityTokenType(const OutputPort* port,
+                              const std::vector<TokenType>& inputs) const;
+
   ExecutionContext* ctx_ = nullptr;
 
  private:

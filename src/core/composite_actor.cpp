@@ -18,6 +18,9 @@ InputPort* CompositeActor::ExposeInput(const std::string& name,
                                        WindowSpec outer_spec) {
   CWF_CHECK_MSG(inner_port != nullptr, "null inner port");
   InputPort* outer = AddInputPort(name, std::move(outer_spec));
+  // The boundary inherits the inner port's schema requirement so outer
+  // channels are checked against it without a separate declaration.
+  outer->set_required_schema(inner_port->required_schema());
   input_bindings_.push_back({outer, inner_port, nullptr});
   return outer;
 }
@@ -26,6 +29,7 @@ OutputPort* CompositeActor::ExposeOutput(const std::string& name,
                                          OutputPort* inner_port) {
   CWF_CHECK_MSG(inner_port != nullptr, "null inner port");
   OutputPort* outer = AddOutputPort(name);
+  outer->set_schema(inner_port->schema());
   OutputBinding binding;
   binding.outer = outer;
   binding.inner = inner_port;
@@ -130,6 +134,24 @@ Status CompositeActor::Fire() {
 Status CompositeActor::Wrapup() {
   CWF_RETURN_NOT_OK(inner_director_->Wrapup());
   return Actor::Wrapup();
+}
+
+InputPort* CompositeActor::BoundInnerInput(const InputPort* outer) const {
+  for (const InputBinding& b : input_bindings_) {
+    if (b.outer == outer) {
+      return b.inner;
+    }
+  }
+  return nullptr;
+}
+
+OutputPort* CompositeActor::BoundInnerOutput(const OutputPort* outer) const {
+  for (const OutputBinding& b : output_bindings_) {
+    if (b.outer == outer) {
+      return b.inner;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace cwf

@@ -90,6 +90,16 @@ class CompositeActor : public Actor {
 
   Status Wrapup() override;
 
+  /// \brief The inner input port an outer input port relays into, or
+  /// nullptr when `outer` is not one of this composite's exposed inputs.
+  /// The schema pass uses the boundary map to propagate types across the
+  /// composite (outer channel type → inner port, inner resolved output
+  /// type → outer port).
+  InputPort* BoundInnerInput(const InputPort* outer) const;
+
+  /// \brief The inner output port feeding an outer output port, or nullptr.
+  OutputPort* BoundInnerOutput(const OutputPort* outer) const;
+
  private:
   struct InputBinding {
     InputPort* outer = nullptr;

@@ -3,6 +3,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/capacity_planner.h"
 #include "analysis/liveness_pass.h"
+#include "analysis/schema_pass.h"
 #include "stream/stream_source.h"
 
 namespace cwf {
@@ -63,6 +64,18 @@ Status Director::Initialize(Workflow* workflow, Clock* clock,
         if (Receiver* r = port->receiver(c)) {
           r->ResetHighWaterMark();
         }
+      }
+    }
+  }
+  if (static_analysis_enabled_) {
+    // Analysis->runtime feedback edge: attach each channel's statically
+    // resolved token type to its receiver so debug builds (CWF_SCHEMA_CHECK)
+    // validate every deposit against the schema the pass verified, turning
+    // deep-in-actor CHECK-fails into CWF7008 errors naming the channel.
+    for (const auto& [key, resolved] : analysis::ResolveChannelTypes(*workflow_)) {
+      if (Receiver* r = key.first->receiver(key.second)) {
+        r->SetExpectedType(std::make_shared<const TokenType>(resolved.type),
+                           resolved.channel_name);
       }
     }
   }

@@ -103,6 +103,13 @@ std::vector<CWEvent> InputPort::DrainExpired() {
 
 Status OutputPort::Broadcast(const CWEvent& event) {
   for (Receiver* r : remote_receivers_) {
+#if CWF_SCHEMA_CHECK_IS_ON
+    // Validate the deposit against the channel's resolved schema before it
+    // crosses into the consumer: a violation surfaces here as an attributed
+    // CWF7008 error instead of a CHECK-fail deep inside the consuming
+    // actor. Compiled out in release builds (CONFLUENCE_DCHECKS=OFF).
+    CWF_RETURN_NOT_OK(r->ValidateDeposit(event.token));
+#endif
     CWF_RETURN_NOT_OK(r->Put(event));
     r->NotePut();
   }

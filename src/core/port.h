@@ -57,6 +57,14 @@ class InputPort : public Port {
   /// (receivers are built from the spec at that point).
   void set_spec(WindowSpec spec) { spec_ = std::move(spec); }
 
+  /// \brief Declare what this port requires of incoming tokens. The schema
+  /// pass (analysis/schema_pass.h) checks every incoming channel's resolved
+  /// producer type against it (CWF70xx); default Unknown = no requirement.
+  void set_required_schema(TokenType type) {
+    required_schema_ = std::move(type);
+  }
+  const TokenType& required_schema() const { return required_schema_; }
+
   /// \brief Install the director-supplied receiver for channel `channel`.
   /// Grows the channel list as needed. Returns the raw receiver.
   Receiver* SetReceiver(size_t channel, std::unique_ptr<Receiver> receiver);
@@ -92,6 +100,7 @@ class InputPort : public Port {
 
  private:
   WindowSpec spec_;
+  TokenType required_schema_;
   std::vector<std::unique_ptr<Receiver>> receivers_;
 };
 
@@ -101,6 +110,13 @@ class InputPort : public Port {
 class OutputPort : public Port {
  public:
   OutputPort(Actor* actor, std::string name) : Port(actor, std::move(name)) {}
+
+  /// \brief Declare the type of every token this port emits. The schema
+  /// pass propagates it downstream; transforming actors may instead
+  /// override Actor::OutputTokenType to derive it from their input types.
+  /// Default Unknown = undeclared (the pass infers what it can).
+  void set_schema(TokenType type) { schema_ = std::move(type); }
+  const TokenType& schema() const { return schema_; }
 
   /// \brief Register the receiving end of one outgoing channel.
   void AddRemoteReceiver(Receiver* receiver) {
@@ -118,6 +134,7 @@ class OutputPort : public Port {
   void ClearRemoteReceivers() { remote_receivers_.clear(); }
 
  private:
+  TokenType schema_;
   std::vector<Receiver*> remote_receivers_;
 };
 

@@ -1,11 +1,46 @@
 #include "core/receiver.h"
 
+#include "core/port.h"
 #include "obs/telemetry.h"
+
+#ifdef CWF_OBS_ENABLED
+#include "obs/metrics.h"
+#endif
 
 // The probe helpers live out of line so core/receiver.h does not pull the
 // obs headers into every translation unit that touches a receiver.
 
 namespace cwf {
+
+namespace {
+
+void BumpSchemaViolationCounter() {
+#ifdef CWF_OBS_ENABLED
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global().SetHelp(
+        "cwf_schema_violations",
+        "Tokens rejected by the runtime channel schema check (CWF7008)");
+    obs::MetricsRegistry::Global().GetCounter("cwf_schema_violations")->Add(1);
+  }
+#endif
+}
+
+}  // namespace
+
+Status Receiver::ValidateDeposit(const Token& token) const {
+  if (expected_type_ == nullptr) {
+    return Status::OK();
+  }
+  Status check = expected_type_->CheckToken(token);
+  if (check.ok()) {
+    return check;
+  }
+  BumpSchemaViolationCounter();
+  return Status::FailedPrecondition(
+      "CWF7008: runtime schema violation on channel '" +
+      (channel_name_.empty() ? port_->FullName() : channel_name_) +
+      "': " + check.message());
+}
 
 void Receiver::ProbeDeposit(size_t depth) {
   if (!obs::MetricsEnabled()) {

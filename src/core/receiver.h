@@ -10,11 +10,14 @@
 #define CONFLUENCE_CORE_RECEIVER_H_
 
 #include <deque>
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "common/status.h"
 #include "common/time.h"
 #include "core/event.h"
+#include "core/schema.h"
 
 namespace cwf {
 
@@ -113,6 +116,28 @@ class Receiver {
   uint64_t high_water_mark() const { return high_water_mark_; }
   void ResetHighWaterMark() { high_water_mark_ = 0; }
 
+  // ---- Schema (static schema pass → runtime feedback edge) ----
+
+  /// \brief Attach the channel's resolved token type and display name
+  /// ("From.out -> To.in[0]"). Director::Initialize installs both from the
+  /// schema pass resolution; the CWF_SCHEMA_CHECK deposit validation in
+  /// OutputPort::Broadcast consults them to attribute a mistyped token to
+  /// its channel. nullptr detaches (no validation).
+  void SetExpectedType(std::shared_ptr<const TokenType> type,
+                       std::string channel_name) {
+    expected_type_ = std::move(type);
+    channel_name_ = std::move(channel_name);
+  }
+
+  const TokenType* expected_type() const { return expected_type_.get(); }
+  const std::string& channel_name() const { return channel_name_; }
+
+  /// \brief Validate one token against the attached expected type. Returns
+  /// a CWF7008 FailedPrecondition naming the channel and offending field on
+  /// mismatch (and bumps the cwf_schema_violations counter when metrics are
+  /// on); OK when no type is attached.
+  Status ValidateDeposit(const Token& token) const;
+
   // ---- Telemetry (src/obs) ----
 
   /// \brief Attach the per-channel instrument handles resolved by the
@@ -156,6 +181,8 @@ class Receiver {
 
   const Director* owner_ = nullptr;
   const obs::ReceiverProbe* probe_ = nullptr;
+  std::shared_ptr<const TokenType> expected_type_;
+  std::string channel_name_;
   size_t capacity_ = 0;
   OverflowPolicy overflow_policy_ = OverflowPolicy::kUnbounded;
   uint64_t high_water_mark_ = 0;

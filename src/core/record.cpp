@@ -3,10 +3,13 @@
 #include <functional>
 #include <sstream>
 
+#include "core/wait_graph.h"
+
 namespace cwf {
 
 int64_t Value::AsInt() const {
-  CWF_CHECK_MSG(is_int(), "Value is not an int: " << ToString());
+  CWF_CHECK_MSG(is_int(), "Value is not an int: " << ToString()
+                                                  << CurrentActorContext());
   return std::get<int64_t>(v_);
 }
 
@@ -14,17 +17,20 @@ double Value::AsDouble() const {
   if (is_int()) {
     return static_cast<double>(std::get<int64_t>(v_));
   }
-  CWF_CHECK_MSG(is_double(), "Value is not numeric: " << ToString());
+  CWF_CHECK_MSG(is_double(), "Value is not numeric: " << ToString()
+                                                      << CurrentActorContext());
   return std::get<double>(v_);
 }
 
 bool Value::AsBool() const {
-  CWF_CHECK_MSG(is_bool(), "Value is not a bool: " << ToString());
+  CWF_CHECK_MSG(is_bool(), "Value is not a bool: " << ToString()
+                                                   << CurrentActorContext());
   return std::get<bool>(v_);
 }
 
 const std::string& Value::AsString() const {
-  CWF_CHECK_MSG(is_string(), "Value is not a string: " << ToString());
+  CWF_CHECK_MSG(is_string(), "Value is not a string: " << ToString()
+                                                       << CurrentActorContext());
   return std::get<std::string>(v_);
 }
 
@@ -107,6 +113,22 @@ Result<Value> Record::Get(const std::string& name) const {
     }
   }
   return Status::NotFound("record has no field '" + name + "'");
+}
+
+const Value& Record::ValueAt(size_t index) const {
+  CWF_CHECK_MSG(index < fields_.size(),
+                "record field index " << index << " out of range (size "
+                                      << fields_.size() << ")"
+                                      << CurrentActorContext());
+  return fields_[index].second;
+}
+
+const std::string& Record::NameAt(size_t index) const {
+  CWF_CHECK_MSG(index < fields_.size(),
+                "record field index " << index << " out of range (size "
+                                      << fields_.size() << ")"
+                                      << CurrentActorContext());
+  return fields_[index].first;
 }
 
 Value Record::GetOr(const std::string& name, Value fallback) const {

@@ -76,6 +76,15 @@ class Record {
   /// \brief Field value, or `fallback` if absent.
   Value GetOr(const std::string& name, Value fallback) const;
 
+  /// \brief Field value by position — O(1), no name comparison. Pair with
+  /// RecordSchema::IndexOf (core/schema.h): resolve the name to an index
+  /// once at schema resolution, then access by index on the hot path.
+  /// CHECK-fails when `index` is out of range.
+  const Value& ValueAt(size_t index) const;
+
+  /// \brief Field name at `index`; CHECK-fails when out of range.
+  const std::string& NameAt(size_t index) const;
+
   /// \brief Field count.
   size_t size() const { return fields_.size(); }
 

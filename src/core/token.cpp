@@ -1,9 +1,12 @@
 #include "core/token.h"
 
+#include "core/wait_graph.h"
+
 namespace cwf {
 
 int64_t Token::AsInt() const {
-  CWF_CHECK_MSG(is_int(), "Token is not an int: " << ToString());
+  CWF_CHECK_MSG(is_int(), "Token is not an int: " << ToString()
+                                                  << CurrentActorContext());
   return std::get<int64_t>(v_);
 }
 
@@ -11,22 +14,26 @@ double Token::AsDouble() const {
   if (is_int()) {
     return static_cast<double>(std::get<int64_t>(v_));
   }
-  CWF_CHECK_MSG(is_double(), "Token is not numeric: " << ToString());
+  CWF_CHECK_MSG(is_double(), "Token is not numeric: " << ToString()
+                                                      << CurrentActorContext());
   return std::get<double>(v_);
 }
 
 bool Token::AsBool() const {
-  CWF_CHECK_MSG(is_bool(), "Token is not a bool: " << ToString());
+  CWF_CHECK_MSG(is_bool(), "Token is not a bool: " << ToString()
+                                                   << CurrentActorContext());
   return std::get<bool>(v_);
 }
 
 const std::string& Token::AsString() const {
-  CWF_CHECK_MSG(is_string(), "Token is not a string: " << ToString());
+  CWF_CHECK_MSG(is_string(), "Token is not a string: " << ToString()
+                                                       << CurrentActorContext());
   return std::get<std::string>(v_);
 }
 
 const RecordPtr& Token::AsRecord() const {
-  CWF_CHECK_MSG(is_record(), "Token is not a record: " << ToString());
+  CWF_CHECK_MSG(is_record(), "Token is not a record: " << ToString()
+                                                       << CurrentActorContext());
   return std::get<RecordPtr>(v_);
 }
 
@@ -35,8 +42,14 @@ Value Token::Field(const std::string& field) const {
   CWF_CHECK(rec != nullptr);
   auto res = rec->Get(field);
   CWF_CHECK_MSG(res.ok(), "record " << rec->ToString() << " lacks field "
-                                    << field);
+                                    << field << CurrentActorContext());
   return std::move(res).value();
+}
+
+const Value& Token::FieldAt(size_t index) const {
+  const RecordPtr& rec = AsRecord();
+  CWF_CHECK(rec != nullptr);
+  return rec->ValueAt(index);
 }
 
 bool Token::operator==(const Token& o) const {

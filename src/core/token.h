@@ -3,6 +3,7 @@
 #ifndef CONFLUENCE_CORE_TOKEN_H_
 #define CONFLUENCE_CORE_TOKEN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -44,6 +45,11 @@ class Token {
 
   /// \brief Record field shortcut: token must be a record holding `field`.
   Value Field(const std::string& field) const;
+
+  /// \brief Record field by position — O(1) counterpart of Field() for hot
+  /// paths where the index was resolved once via RecordSchema::IndexOf.
+  /// CHECK-fails unless the token is a record with `index` in range.
+  const Value& FieldAt(size_t index) const;
 
   bool operator==(const Token& o) const;
 

@@ -362,4 +362,10 @@ ScopedCurrentActor::~ScopedCurrentActor() { t_current_actor = previous_; }
 
 const Actor* ScopedCurrentActor::Current() { return t_current_actor; }
 
+std::string CurrentActorContext() {
+  const Actor* actor = t_current_actor;
+  if (actor == nullptr) return std::string();
+  return " (while firing actor '" + actor->name() + "')";
+}
+
 }  // namespace cwf

@@ -222,6 +222,12 @@ class ScopedCurrentActor {
   const Actor* previous_;
 };
 
+/// \brief " (while firing actor 'X')" when the current thread is inside a
+/// director-managed firing, "" otherwise. Token/Value type-confusion CHECK
+/// messages append it so an abort names the actor whose input channel fed
+/// the mistyped token instead of dying anonymously.
+std::string CurrentActorContext();
+
 }  // namespace cwf
 
 #endif  // CONFLUENCE_CORE_WAIT_GRAPH_H_

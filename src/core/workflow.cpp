@@ -248,8 +248,30 @@ void EmitActors(std::ostringstream& oss, const Workflow& wf,
   for (const ChannelSpec& ch : wf.channels()) {
     oss << indent << DotId(ch.from->actor()) << " -> "
         << DotId(ch.to->actor());
+    const auto style = options.edge_style.find({ch.to, ch.to_channel});
+    std::string label;
     if (!ch.to->spec().IsTrivial()) {
-      oss << " [label=\"" << EscapeDot(ch.to->spec().ToString()) << "\"]";
+      label = EscapeDot(ch.to->spec().ToString());
+    }
+    if (style != options.edge_style.end() && !style->second.label.empty()) {
+      if (!label.empty()) {
+        label += "\\n";
+      }
+      label += EscapeDot(style->second.label);
+    }
+    std::string attrs;
+    if (!label.empty()) {
+      attrs += "label=\"" + label + "\"";
+    }
+    if (style != options.edge_style.end() && !style->second.color.empty()) {
+      if (!attrs.empty()) {
+        attrs += ", ";
+      }
+      attrs += "color=\"" + EscapeDot(style->second.color) + "\", fontcolor=\"" +
+               EscapeDot(style->second.color) + "\", penwidth=2";
+    }
+    if (!attrs.empty()) {
+      oss << " [" << attrs << "]";
     }
     oss << ";\n";
   }

@@ -96,6 +96,15 @@ class Workflow {
     /// Fill color per actor ("red", "#ffcccc", ...); actors absent from
     /// the map render unfilled. Composite actors tint their cluster.
     std::map<const Actor*, std::string> node_fill;
+
+    /// Extra styling for one channel (schema layouts, mismatch highlights).
+    struct EdgeStyle {
+      std::string label;  ///< extra label line under the window semantics
+      std::string color;  ///< edge + font color ("red" for mismatches)
+    };
+    /// Keyed by (consuming port, channel slot) — the same key that names a
+    /// channel uniquely everywhere else in the engine.
+    std::map<std::pair<const InputPort*, size_t>, EdgeStyle> edge_style;
   };
 
   /// \brief Render the graph in Graphviz DOT format (actors as nodes —

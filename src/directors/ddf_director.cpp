@@ -1,5 +1,7 @@
 #include "directors/ddf_director.h"
 
+#include "core/wait_graph.h"
+
 #include "stream/stream_source.h"
 
 namespace cwf {
@@ -38,6 +40,7 @@ Result<size_t> DDFDirector::FireReadyOnce() {
       continue;
     }
     a->BeginFiring();
+    ScopedCurrentActor current_actor(a);
     const Timestamp fire_start = clock_->Now();
     const int64_t host_t0 =
         telemetry_.host_timing_active() ? obs::HostMonotonicMicros() : 0;

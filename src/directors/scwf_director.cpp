@@ -1,5 +1,7 @@
 #include "directors/scwf_director.h"
 
+#include "core/wait_graph.h"
+
 #include <chrono>
 #include <thread>
 
@@ -105,6 +107,8 @@ Status SCWFDirector::DispatchActor(Actor* actor) {
   bool fired = false;
   if (can_fire) {
     actor->BeginFiring();
+    // Attribute CHECK-fail context (token/record accessors) to this actor.
+    ScopedCurrentActor current_actor(actor);
     const Timestamp fire_start = clock_->Now();
     const int64_t host_t1 = timed ? obs::HostMonotonicMicros() : 0;
     const auto host_start = std::chrono::steady_clock::now();

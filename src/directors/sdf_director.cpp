@@ -1,5 +1,7 @@
 #include "directors/sdf_director.h"
 
+#include "core/wait_graph.h"
+
 #include <utility>
 
 #include "analysis/sdf_balance.h"
@@ -52,6 +54,7 @@ Status SDFDirector::Run(Timestamp until) {
         continue;
       }
       a->BeginFiring();
+      ScopedCurrentActor current_actor(a);
       const Timestamp fire_start = clock_->Now();
       const int64_t host_t0 =
           telemetry_.host_timing_active() ? obs::HostMonotonicMicros() : 0;

@@ -22,6 +22,45 @@ Token MakeAccidentToken(const PositionReport& a, const PositionReport& b) {
   return Token(RecordPtr(std::move(rec)));
 }
 
+// Layouts of the records flowing between the LRB actors (schema pass).
+RecordSchema AccidentSchema() {
+  RecordSchema s;
+  s.Int("time").Int("xway").Int("dir").Int("seg").Int("pos").Int("car1").Int(
+      "car2");
+  return s;
+}
+
+RecordSchema NotificationSchema() {
+  RecordSchema s;
+  s.Int("car").Int("time").Int("xway").Int("dir").Int("seg");
+  return s;
+}
+
+RecordSchema AvgsvSchema() {
+  RecordSchema s;
+  s.Int("car").Int("xway").Int("dir").Int("seg").Int("minute").Double(
+      "avg_speed");
+  return s;
+}
+
+RecordSchema AvgsSchema() {
+  RecordSchema s;
+  s.Int("xway").Int("dir").Int("seg").Int("minute").Double("lav");
+  return s;
+}
+
+RecordSchema CarCountSchema() {
+  RecordSchema s;
+  s.Int("xway").Int("dir").Int("seg").Int("minute").Int("cars");
+  return s;
+}
+
+RecordSchema TollSchema() {
+  RecordSchema s;
+  s.Int("car").Int("time").Int("xway").Int("dir").Int("seg").Double("toll");
+  return s;
+}
+
 }  // namespace
 
 Result<std::shared_ptr<db::Database>> CreateLRBDatabase() {
@@ -96,6 +135,8 @@ StoppedCarDetector::StoppedCarDetector(std::string name)
   in_ = AddInputPort(
       "in", WindowSpec::Tuples(kStoppedReportCount, 1).GroupBy({kFieldCar}));
   out_ = AddOutputPort("out");
+  in_->set_required_schema(PositionReportType());
+  out_->set_schema(PositionReportType());  // forwards the first stopped report
 }
 
 Status StoppedCarDetector::Fire() {
@@ -125,6 +166,8 @@ AccidentDetector::AccidentDetector(std::string name) : Actor(std::move(name)) {
                      WindowSpec::Tuples(2, 1).GroupBy(
                          {kFieldXway, kFieldDir, kFieldSeg, kFieldPos}));
   out_ = AddOutputPort("out");
+  in_->set_required_schema(PositionReportType());
+  out_->set_schema(TokenType::Record(AccidentSchema()));
 }
 
 Status AccidentDetector::Fire() {
@@ -145,6 +188,7 @@ InsertAccident::InsertAccident(std::string name, db::Database* database)
     : Actor(std::move(name)), database_(database) {
   CWF_CHECK(database_ != nullptr);
   in_ = AddInputPort("in");
+  in_->set_required_schema(TokenType::Record(AccidentSchema()));
 }
 
 Status InsertAccident::Initialize(ExecutionContext* ctx) {
@@ -188,6 +232,8 @@ AccidentNotifier::AccidentNotifier(std::string name, db::Database* database)
   CWF_CHECK(database_ != nullptr);
   in_ = AddInputPort("in");
   out_ = AddOutputPort("out");
+  in_->set_required_schema(PositionReportType());
+  out_->set_schema(TokenType::Record(NotificationSchema()));
 }
 
 Status AccidentNotifier::Initialize(ExecutionContext* ctx) {
@@ -233,6 +279,8 @@ AvgsvActor::AvgsvActor(std::string name) : Actor(std::move(name)) {
                 .GroupBy({kFieldCar, kFieldXway, kFieldDir, kFieldSeg})
                 .DeleteUsedEvents(true));
   out_ = AddOutputPort("out");
+  in_->set_required_schema(PositionReportType());
+  out_->set_schema(TokenType::Record(AvgsvSchema()));
 }
 
 Status AvgsvActor::Fire() {
@@ -263,6 +311,8 @@ AvgsActor::AvgsActor(std::string name, db::Database* database)
                                .GroupBy({"xway", "dir", "seg"})
                                .DeleteUsedEvents(true));
   out_ = AddOutputPort("out");
+  in_->set_required_schema(TokenType::Record(AvgsvSchema()));
+  out_->set_schema(TokenType::Record(AvgsSchema()));
 }
 
 Status AvgsActor::Initialize(ExecutionContext* ctx) {
@@ -341,6 +391,8 @@ CarCountActor::CarCountActor(std::string name, db::Database* database)
                                .GroupBy({kFieldXway, kFieldDir, kFieldSeg})
                                .DeleteUsedEvents(true));
   out_ = AddOutputPort("out");
+  in_->set_required_schema(PositionReportType());
+  out_->set_schema(TokenType::Record(CarCountSchema()));
 }
 
 Status CarCountActor::Initialize(ExecutionContext* ctx) {
@@ -399,6 +451,8 @@ TollCalculator::TollCalculator(std::string name, db::Database* database)
   CWF_CHECK(database_ != nullptr);
   in_ = AddInputPort("in", WindowSpec::Tuples(2, 1).GroupBy({kFieldCar}));
   out_ = AddOutputPort("out");
+  in_->set_required_schema(PositionReportType());
+  out_->set_schema(TokenType::Record(TollSchema()));
 }
 
 Status TollCalculator::Initialize(ExecutionContext* ctx) {

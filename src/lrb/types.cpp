@@ -30,6 +30,23 @@ PositionReport PositionReport::FromToken(const Token& token) {
   return r;
 }
 
+RecordSchema PositionReportSchema() {
+  RecordSchema s;
+  s.Int(kFieldTime)
+      .Int(kFieldCar)
+      .Double(kFieldSpeed)
+      .Int(kFieldXway)
+      .Int(kFieldLane)
+      .Int(kFieldDir)
+      .Int(kFieldSeg)
+      .Int(kFieldPos);
+  return s;
+}
+
+TokenType PositionReportType() {
+  return TokenType::Record(PositionReportSchema());
+}
+
 std::string PositionReport::ToString() const {
   std::ostringstream oss;
   oss << "PR(t=" << time << " car=" << car << " v=" << speed

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "core/schema.h"
 #include "core/token.h"
 
 namespace cwf::lrb {
@@ -58,6 +59,12 @@ struct PositionReport {
 
   std::string ToString() const;
 };
+
+/// \brief Record layout of a position-report token (for port schemas).
+RecordSchema PositionReportSchema();
+
+/// \brief TokenType wrapping PositionReportSchema().
+TokenType PositionReportType();
 
 /// \brief Toll formula of the benchmark:
 /// 2 * (cars - 50)^2 when LAV < 40 mph, more than 50 cars, and no accident

@@ -16,6 +16,7 @@ Result<LRBApplication> BuildLRBApplication(PushChannelPtr feed,
   db::Database* database = app.database.get();
 
   app.source = wf->AddActor<StreamSourceActor>("Source", std::move(feed));
+  app.source->out()->set_schema(PositionReportType());
 
   // ---- Area 1: accident detection & notification ----
   OutputPort* accident_out = nullptr;

@@ -2,12 +2,54 @@
 
 #include "common/check.h"
 
+#ifdef CWF_OBS_ENABLED
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#endif
+
 namespace cwf {
+
+namespace {
+
+void BumpSchemaViolationCounter() {
+#ifdef CWF_OBS_ENABLED
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global().SetHelp(
+        "cwf_schema_violations",
+        "Tokens rejected by the runtime channel schema check (CWF7008)");
+    obs::MetricsRegistry::Global().GetCounter("cwf_schema_violations")->Add(1);
+  }
+#endif
+}
+
+}  // namespace
+
+void PushChannel::SetExpectedSchema(TokenType type, std::string channel_name) {
+  ScopedLock lock(mutex_);
+  expected_ = std::move(type);
+  channel_name_ = std::move(channel_name);
+}
+
+void PushChannel::ValidateLocked(const Token& token) const {
+  if (expected_.is_unknown()) {
+    return;
+  }
+  Status check = expected_.CheckToken(token);
+  if (check.ok()) {
+    return;
+  }
+  BumpSchemaViolationCounter();
+  CWF_ASSERT_MSG(false, "CWF7008: runtime schema violation on push channel '"
+                            << channel_name_ << "': " << check.message());
+}
 
 void PushChannel::Push(Token token, Timestamp arrival) {
   {
     ScopedLock lock(mutex_);
     CWF_ASSERT_MSG(!closed_, "Push() on a closed channel");
+#if CWF_SCHEMA_CHECK_IS_ON
+    ValidateLocked(token);
+#endif
     queue_.push_back({arrival, std::move(token)});
   }
   cv_.notify_all();
@@ -19,6 +61,9 @@ bool PushChannel::TryPush(Token token, Timestamp arrival) {
     if (closed_) {
       return false;
     }
+#if CWF_SCHEMA_CHECK_IS_ON
+    ValidateLocked(token);
+#endif
     queue_.push_back({arrival, std::move(token)});
   }
   cv_.notify_all();
@@ -30,6 +75,9 @@ void PushChannel::PushTrace(const Trace& trace) {
     ScopedLock lock(mutex_);
     CWF_ASSERT_MSG(!closed_, "PushTrace() on a closed channel");
     for (const TraceEntry& e : trace.entries()) {
+#if CWF_SCHEMA_CHECK_IS_ON
+      ValidateLocked(e.token);
+#endif
       queue_.push_back(e);
     }
   }

@@ -13,8 +13,10 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
+#include <string>
 
 #include "common/lock_registry.h"
+#include "core/schema.h"
 #include "stream/trace.h"
 
 namespace cwf {
@@ -38,6 +40,14 @@ class PushChannel {
   /// \brief Pre-load every entry of a trace (producer side, bulk).
   void PushTrace(const Trace& trace);
 
+  /// \brief Declare the token type this channel carries. Set by the owning
+  /// StreamSourceActor from its declared output schema at Initialize; debug
+  /// builds (CWF_SCHEMA_CHECK) then validate every pushed token against it,
+  /// so a malformed external tuple aborts at the ingestion boundary with a
+  /// CWF7008 message naming the channel and field instead of CHECK-failing
+  /// deep inside a downstream actor.
+  void SetExpectedSchema(TokenType type, std::string channel_name);
+
   /// \brief Mark the stream finished: no further pushes will come.
   void Close();
 
@@ -59,10 +69,16 @@ class PushChannel {
   void WaitForData() const CWF_EXCLUDES(mutex_);
 
  private:
+  /// \brief CHECK-fails (debug builds) when `token` violates the declared
+  /// schema. Caller holds mutex_.
+  void ValidateLocked(const Token& token) const CWF_REQUIRES(mutex_);
+
   mutable OrderedMutex mutex_{"PushChannel::mutex"};
   mutable std::condition_variable_any cv_;
   std::deque<TraceEntry> queue_ CWF_GUARDED_BY(mutex_);
   bool closed_ CWF_GUARDED_BY(mutex_) = false;
+  TokenType expected_ CWF_GUARDED_BY(mutex_);
+  std::string channel_name_ CWF_GUARDED_BY(mutex_);
 };
 
 using PushChannelPtr = std::shared_ptr<PushChannel>;

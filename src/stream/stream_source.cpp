@@ -11,6 +11,14 @@ StreamSourceActor::StreamSourceActor(std::string name, PushChannelPtr channel,
   out_ = AddOutputPort("out");
 }
 
+Status StreamSourceActor::Initialize(ExecutionContext* ctx) {
+  CWF_RETURN_NOT_OK(Actor::Initialize(ctx));
+  if (!out_->schema().is_unknown()) {
+    channel_->SetExpectedSchema(out_->schema(), name() + ".out");
+  }
+  return Status::OK();
+}
+
 Result<bool> StreamSourceActor::Prefire() {
   return channel_->NextArrival() <= ctx_->clock->Now();
 }

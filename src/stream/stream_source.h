@@ -43,6 +43,11 @@ class StreamSourceActor : public Actor, public TimedSource {
 
   PushChannel* channel() const { return channel_.get(); }
 
+  /// \brief Propagates the declared output schema (OutputPort::set_schema)
+  /// onto the push channel so debug builds validate external tuples at the
+  /// ingestion boundary.
+  Status Initialize(ExecutionContext* ctx) override;
+
   Result<bool> Prefire() override;
   Status Fire() override;
 

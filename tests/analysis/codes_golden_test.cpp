@@ -13,7 +13,7 @@ namespace cwf::analysis {
 namespace {
 
 constexpr const char* kGoldenCodesJson =
-    R"json([{"code":"CWF1001","severity":"warning","summary":"duplicate actor name (error within one workflow level; warning when an inner composite actor shadows an outer name)"},{"code":"CWF1002","severity":"error","summary":"invalid window spec on an input port"},{"code":"CWF1003","severity":"error","summary":"self-loop channel on an actor"},{"code":"CWF1004","severity":"error","summary":"two channels wired into the same input-channel slot"},{"code":"CWF1005","severity":"warning","summary":"actor has both connected and unconnected input ports (the unconnected port can never receive data and never gates firing)"},{"code":"CWF1006","severity":"warning","summary":"actor unreachable from any source actor (dead subgraph)"},{"code":"CWF1007","severity":"warning","summary":"workflow has no source actor (no external data can enter)"},{"code":"CWF1008","severity":"warning","summary":"workflow has no sink actor (no terminal output)"},{"code":"CWF1009","severity":"warning","summary":"workflow is empty"},{"code":"CWF2001","severity":"error","summary":"SDF inadmissible: data-dependent-rate (time/wave) window"},{"code":"CWF2002","severity":"error","summary":"SDF inadmissible: balance equations are inconsistent"},{"code":"CWF2003","severity":"error","summary":"SDF inadmissible: static schedule deadlocks (cycle without delay)"},{"code":"CWF2004","severity":"error","summary":"PN/DDF inadmissible: directed cycle without delay deadlocks blocking reads"},{"code":"CWF3001","severity":"warning","summary":"actor mixes wave-based and non-wave windows across its input ports"},{"code":"CWF3002","severity":"warning","summary":"wave window combined with group-by can strand waves split across groups"},{"code":"CWF3003","severity":"warning","summary":"wave window on a fan-in port synchronizes each channel independently"},{"code":"CWF3004","severity":"warning","summary":"time window with negative formation timeout may never close under the SCWF director"},{"code":"CWF3005","severity":"note","summary":"window step exceeds size: events in the gap silently expire"},{"code":"CWF4001","severity":"error","summary":"QBS basic quantum must be positive"},{"code":"CWF4002","severity":"error","summary":"designer priority outside [0, 39] breaks the QBS quantum formula"},{"code":"CWF4003","severity":"warning","summary":"designer priority names an actor absent from the workflow"},{"code":"CWF4004","severity":"error","summary":"QBS max banked epochs must be >= 1"},{"code":"CWF4005","severity":"error","summary":"RR slice must be positive"},{"code":"CWF4006","severity":"error","summary":"source interval must be non-negative"},{"code":"CWF4007","severity":"warning","summary":"EDF scheduling without any sink actor has no deadline-bearing output"},{"code":"CWF5001","severity":"note","summary":"source has no declared arrival rate; downstream rates degrade to [0, inf]/s"},{"code":"CWF5002","severity":"warning","summary":"PNCWF channel whose steady-state inflow can exceed the consumer's service rate (unbounded queue growth risk)"},{"code":"CWF5003","severity":"warning","summary":"SCWF workload overload-infeasible: total utilization exceeds the single scheduled executor"},{"code":"CWF5004","severity":"warning","summary":"SCWF actor whose lone utilization exceeds 1 (no policy can keep up)"},{"code":"CWF5005","severity":"note","summary":"wave window rate is data-dependent; capacity planning falls back to horizon bounds"},{"code":"CWF6001","severity":"error","summary":"capacity plan provably deadlocks: bounded-execution simulation reached a state where a cycle of blocked channels can never progress"},{"code":"CWF6002","severity":"error","summary":"channel capacity below the consumer's first-window demand: the producer blocks before a window can ever form"},{"code":"CWF6003","severity":"note","summary":"liveness unknown: bounded channel on an undirected cycle or with data-dependent window formation; blocking deployment may deadlock"},{"code":"CWF6004","severity":"note","summary":"capacity plan adjusted by deadlock-freedom synthesis: minimal capacity bumps restore provable liveness"},{"code":"CWF6005","severity":"error","summary":"artificial deadlock detected at runtime: the channel wait-for graph contains a cycle of blocked actors (watchdog report)"}])json";
+    R"json([{"code":"CWF1001","severity":"warning","summary":"duplicate actor name (error within one workflow level; warning when an inner composite actor shadows an outer name)"},{"code":"CWF1002","severity":"error","summary":"invalid window spec on an input port"},{"code":"CWF1003","severity":"error","summary":"self-loop channel on an actor"},{"code":"CWF1004","severity":"error","summary":"two channels wired into the same input-channel slot"},{"code":"CWF1005","severity":"warning","summary":"actor has both connected and unconnected input ports (the unconnected port can never receive data and never gates firing)"},{"code":"CWF1006","severity":"warning","summary":"actor unreachable from any source actor (dead subgraph)"},{"code":"CWF1007","severity":"warning","summary":"workflow has no source actor (no external data can enter)"},{"code":"CWF1008","severity":"warning","summary":"workflow has no sink actor (no terminal output)"},{"code":"CWF1009","severity":"warning","summary":"workflow is empty"},{"code":"CWF2001","severity":"error","summary":"SDF inadmissible: data-dependent-rate (time/wave) window"},{"code":"CWF2002","severity":"error","summary":"SDF inadmissible: balance equations are inconsistent"},{"code":"CWF2003","severity":"error","summary":"SDF inadmissible: static schedule deadlocks (cycle without delay)"},{"code":"CWF2004","severity":"error","summary":"PN/DDF inadmissible: directed cycle without delay deadlocks blocking reads"},{"code":"CWF3001","severity":"warning","summary":"actor mixes wave-based and non-wave windows across its input ports"},{"code":"CWF3002","severity":"warning","summary":"wave window combined with group-by can strand waves split across groups"},{"code":"CWF3003","severity":"warning","summary":"wave window on a fan-in port synchronizes each channel independently"},{"code":"CWF3004","severity":"warning","summary":"time window with negative formation timeout may never close under the SCWF director"},{"code":"CWF3005","severity":"note","summary":"window step exceeds size: events in the gap silently expire"},{"code":"CWF4001","severity":"error","summary":"QBS basic quantum must be positive"},{"code":"CWF4002","severity":"error","summary":"designer priority outside [0, 39] breaks the QBS quantum formula"},{"code":"CWF4003","severity":"warning","summary":"designer priority names an actor absent from the workflow"},{"code":"CWF4004","severity":"error","summary":"QBS max banked epochs must be >= 1"},{"code":"CWF4005","severity":"error","summary":"RR slice must be positive"},{"code":"CWF4006","severity":"error","summary":"source interval must be non-negative"},{"code":"CWF4007","severity":"warning","summary":"EDF scheduling without any sink actor has no deadline-bearing output"},{"code":"CWF5001","severity":"note","summary":"source has no declared arrival rate; downstream rates degrade to [0, inf]/s"},{"code":"CWF5002","severity":"warning","summary":"PNCWF channel whose steady-state inflow can exceed the consumer's service rate (unbounded queue growth risk)"},{"code":"CWF5003","severity":"warning","summary":"SCWF workload overload-infeasible: total utilization exceeds the single scheduled executor"},{"code":"CWF5004","severity":"warning","summary":"SCWF actor whose lone utilization exceeds 1 (no policy can keep up)"},{"code":"CWF5005","severity":"note","summary":"wave window rate is data-dependent; capacity planning falls back to horizon bounds"},{"code":"CWF6001","severity":"error","summary":"capacity plan provably deadlocks: bounded-execution simulation reached a state where a cycle of blocked channels can never progress"},{"code":"CWF6002","severity":"error","summary":"channel capacity below the consumer's first-window demand: the producer blocks before a window can ever form"},{"code":"CWF6003","severity":"note","summary":"liveness unknown: bounded channel on an undirected cycle or with data-dependent window formation; blocking deployment may deadlock"},{"code":"CWF6004","severity":"note","summary":"capacity plan adjusted by deadlock-freedom synthesis: minimal capacity bumps restore provable liveness"},{"code":"CWF6005","severity":"error","summary":"artificial deadlock detected at runtime: the channel wait-for graph contains a cycle of blocked actors (watchdog report)"},{"code":"CWF7001","severity":"error","summary":"channel token-kind mismatch: producer emits scalar kinds the consuming port does not accept"},{"code":"CWF7002","severity":"error","summary":"record field type mismatch: a field's resolved type is incompatible with what the consuming port requires"},{"code":"CWF7003","severity":"error","summary":"required record field missing from the channel's resolved layout"},{"code":"CWF7004","severity":"error","summary":"record-vs-scalar shape mismatch: records into a scalar port, or scalars into a record-requiring port"},{"code":"CWF7005","severity":"error","summary":"nil (control) tokens may flow into a port that requires data"},{"code":"CWF7006","severity":"warning","summary":"producer schema undeclared but the consuming port is strict: the channel cannot be checked statically"},{"code":"CWF7007","severity":"warning","summary":"window group-by field absent from the channel's resolved record layout"},{"code":"CWF7008","severity":"error","summary":"runtime schema violation: a deposited token failed the channel's resolved schema (CWF_SCHEMA_CHECK report)"}])json";
 
 TEST(DiagnosticCodesGoldenTest, JsonRegistryMatchesSnapshot) {
   EXPECT_EQ(DiagnosticCodesJson(), kGoldenCodesJson);

@@ -10,8 +10,22 @@
 #include "common/check.h"
 #include "common/lock_registry.h"
 #include "common/logging.h"
+#include "core/schema.h"
+#include "core/token.h"
 
 namespace fixture {
+
+// Stringly field access paired with its schema declaration: the
+// cwf-stringly-field check must stay silent.
+inline cwf::RecordSchema ReportSchema() {
+  cwf::RecordSchema s;
+  s.Int("time").Double("speed");
+  return s;
+}
+
+inline double Speed(const cwf::Token& token) {
+  return token.Field("speed").AsDouble();
+}
 
 class Clean {
  public:

@@ -1,0 +1,22 @@
+// cwf_tidy fixture: a Field("...") accessor whose literal matches no
+// declared schema field — the typo class the static schema pass cannot see
+// because the access never flows through a declared port. Expected: exit 1
+// under --check cwf-stringly-field.
+
+#include "core/schema.h"
+#include "core/token.h"
+
+namespace fixture {
+
+inline cwf::RecordSchema ReportSchema() {
+  cwf::RecordSchema s;
+  s.Int("time").Double("speed");
+  return s;
+}
+
+inline double Speed(const cwf::Token& token) {
+  // Typo: the schema above declares "speed".
+  return token.Field("speeed").AsDouble();
+}
+
+}  // namespace fixture

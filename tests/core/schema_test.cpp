@@ -1,0 +1,187 @@
+// The channel type lattice (core/schema.h): scalar-kind sets, record
+// layouts with O(1) field lookup, TokenType join/subtyping, and runtime
+// token validation (the CWF7008 payload).
+
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "core/record.h"
+#include "core/token.h"
+
+namespace cwf {
+namespace {
+
+TEST(ScalarTypeTest, UnionSubtypeIntersect) {
+  const ScalarType num = ScalarType::Int().Union(ScalarType::Double());
+  EXPECT_TRUE(ScalarType::Int().IsSubtypeOf(num));
+  EXPECT_TRUE(ScalarType::Double().IsSubtypeOf(num));
+  EXPECT_FALSE(num.IsSubtypeOf(ScalarType::Int()));
+  EXPECT_TRUE(num.Intersects(ScalarType::Int()));
+  EXPECT_FALSE(num.Intersects(ScalarType::Str()));
+  EXPECT_TRUE(ScalarType::None().IsSubtypeOf(ScalarType::Int()));
+  EXPECT_TRUE(num.IsSubtypeOf(ScalarType::Any()));
+  EXPECT_TRUE(ScalarType::Any().is_any());
+}
+
+TEST(ScalarTypeTest, AcceptsMatchesRuntimeKind) {
+  EXPECT_TRUE(ScalarType::Int().Accepts(Value(int64_t{7})));
+  EXPECT_FALSE(ScalarType::Int().Accepts(Value(7.5)));
+  EXPECT_TRUE(ScalarType::Null().Accepts(Value()));
+  EXPECT_FALSE(ScalarType::Str().Accepts(Value(true)));
+  EXPECT_TRUE(ScalarType::Any().Accepts(Value("s")));
+}
+
+TEST(ScalarTypeTest, ToStringNamesKinds) {
+  EXPECT_EQ(ScalarType::Int().ToString(), "int");
+  EXPECT_EQ(ScalarType::Any().ToString(), "any");
+  EXPECT_EQ(ScalarType::None().ToString(), "none");
+}
+
+TEST(RecordSchemaTest, IndexMapGivesConstantTimeLookup) {
+  RecordSchema s;
+  s.Int("time").Int("car").Double("speed").Str("tag");
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.IndexOf("time"), 0);
+  EXPECT_EQ(s.IndexOf("speed"), 2);
+  EXPECT_EQ(s.IndexOf("absent"), -1);
+  ASSERT_NE(s.Find("tag"), nullptr);
+  EXPECT_EQ(s.Find("tag")->type, ScalarType::Str());
+  EXPECT_EQ(s.Find("absent"), nullptr);
+}
+
+TEST(RecordSchemaTest, IndexPairsWithPositionalRecordAccess) {
+  RecordSchema s;
+  s.Int("a").Double("b").Str("c");
+  Record rec;
+  rec.Set("a", Value(1)).Set("b", Value(2.5)).Set("c", Value("x"));
+  // Resolve once, access by position — the hot-path pattern.
+  const int b = s.IndexOf("b");
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(rec.ValueAt(static_cast<size_t>(b)).AsDouble(), 2.5);
+  EXPECT_EQ(rec.NameAt(static_cast<size_t>(b)), "b");
+  Token tok(std::make_shared<Record>(rec));
+  EXPECT_EQ(tok.FieldAt(static_cast<size_t>(s.IndexOf("c"))).AsString(), "x");
+}
+
+TEST(RecordSchemaTest, JoinUnionsCommonFieldsAndDemotesOneSided) {
+  RecordSchema a;
+  a.Int("k").Int("x");
+  RecordSchema b;
+  b.Field("k", ScalarType::Double()).Str("y");
+  const RecordSchema j = RecordSchema::JoinOf(a, b);
+  ASSERT_NE(j.Find("k"), nullptr);
+  EXPECT_EQ(j.Find("k")->type, ScalarType::Int().Union(ScalarType::Double()));
+  EXPECT_TRUE(j.Find("k")->required);
+  ASSERT_NE(j.Find("x"), nullptr);
+  EXPECT_FALSE(j.Find("x")->required);  // one-sided -> optional
+  ASSERT_NE(j.Find("y"), nullptr);
+  EXPECT_FALSE(j.Find("y")->required);
+  // a's fields first, then b's extras.
+  EXPECT_EQ(j.IndexOf("k"), 0);
+  EXPECT_EQ(j.IndexOf("x"), 1);
+  EXPECT_EQ(j.IndexOf("y"), 2);
+}
+
+TEST(RecordSchemaTest, ToStringMarksOptionalFields) {
+  RecordSchema s;
+  s.Int("t").Field("v", ScalarType::Double(), /*required=*/false);
+  EXPECT_EQ(s.ToString(), "{t:int, v:double?}");
+}
+
+TEST(TokenTypeTest, LatticeBracketsUnknownAndAny) {
+  EXPECT_TRUE(TokenType::Unknown().is_unknown());
+  EXPECT_TRUE(TokenType::Any().is_any());
+  EXPECT_TRUE(TokenType::Int().IsSubtypeOf(TokenType::Any()));
+  EXPECT_FALSE(TokenType::Any().IsSubtypeOf(TokenType::Int()));
+  // Unknown is bottom: the empty kind-set is vacuously a subtype of every
+  // type (the pass treats undeclared channels permissively for this reason).
+  EXPECT_TRUE(TokenType::Unknown().IsSubtypeOf(TokenType::Int()));
+  EXPECT_EQ(TokenType::Int().Join(TokenType::Unknown()), TokenType::Int());
+  EXPECT_EQ(TokenType::Int().Join(TokenType::Any()), TokenType::Any());
+}
+
+TEST(TokenTypeTest, JoinOfScalarsUnionsKinds) {
+  const TokenType t = TokenType::Int().Join(TokenType::Double());
+  EXPECT_TRUE(TokenType::Int().IsSubtypeOf(t));
+  EXPECT_TRUE(TokenType::Double().IsSubtypeOf(t));
+  EXPECT_FALSE(t.IsSubtypeOf(TokenType::Int()));
+  EXPECT_FALSE(t.allows_nil());
+  EXPECT_TRUE(TokenType::Int().OrNil().allows_nil());
+  EXPECT_TRUE(TokenType::Nil().is_nil_only());
+}
+
+TEST(TokenTypeTest, JoinOfRecordsJoinsLayouts) {
+  RecordSchema a;
+  a.Int("k").Int("x");
+  RecordSchema b;
+  b.Int("k").Str("y");
+  const TokenType t = TokenType::Record(a).Join(TokenType::Record(b));
+  ASSERT_TRUE(t.allows_record());
+  ASSERT_NE(t.record_schema(), nullptr);
+  EXPECT_NE(t.record_schema()->Find("x"), nullptr);
+  EXPECT_NE(t.record_schema()->Find("y"), nullptr);
+}
+
+TEST(TokenTypeTest, RecordSubtypingChecksRequiredFields) {
+  RecordSchema have;
+  have.Int("time").Int("car").Double("speed");
+  RecordSchema need;
+  need.Int("time").Double("speed");
+  // Extra fields on the producer side are fine.
+  EXPECT_TRUE(TokenType::Record(have).IsSubtypeOf(TokenType::Record(need)));
+  RecordSchema more;
+  more.Int("time").Double("speed").Str("tag");
+  EXPECT_FALSE(TokenType::Record(have).IsSubtypeOf(TokenType::Record(more)));
+}
+
+TEST(TokenTypeTest, CheckTokenValidatesKinds) {
+  EXPECT_TRUE(TokenType::Int().CheckToken(Token(7)).ok());
+  EXPECT_FALSE(TokenType::Int().CheckToken(Token("seven")).ok());
+  EXPECT_FALSE(TokenType::Int().CheckToken(Token()).ok());  // nil
+  EXPECT_TRUE(TokenType::Int().OrNil().CheckToken(Token()).ok());
+  EXPECT_TRUE(TokenType::Any().CheckToken(Token("anything")).ok());
+  EXPECT_TRUE(TokenType::Unknown().CheckToken(Token("anything")).ok());
+}
+
+TEST(TokenTypeTest, CheckTokenValidatesRecordFields) {
+  RecordSchema s;
+  s.Int("time").Double("speed");
+  const TokenType t = TokenType::Record(s);
+
+  auto good = std::make_shared<Record>();
+  good->Set("time", Value(9)).Set("speed", Value(55.0));
+  EXPECT_TRUE(t.CheckToken(Token(RecordPtr(good))).ok());
+
+  // Extra fields are permissive (supersets flow through shared channels).
+  auto extra = std::make_shared<Record>();
+  extra->Set("time", Value(9)).Set("speed", Value(55.0)).Set("x", Value(1));
+  EXPECT_TRUE(t.CheckToken(Token(RecordPtr(extra))).ok());
+
+  auto missing = std::make_shared<Record>();
+  missing->Set("time", Value(9));
+  const Status miss = t.CheckToken(Token(RecordPtr(missing)));
+  ASSERT_FALSE(miss.ok());
+  EXPECT_NE(miss.message().find("speed"), std::string::npos);
+
+  auto wrong = std::make_shared<Record>();
+  wrong->Set("time", Value(9)).Set("speed", Value("fast"));
+  const Status bad = t.CheckToken(Token(RecordPtr(wrong)));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("speed"), std::string::npos);
+
+  EXPECT_FALSE(t.CheckToken(Token(7)).ok());  // scalar into record type
+}
+
+TEST(TokenTypeTest, ToStringIsReadable) {
+  EXPECT_EQ(TokenType::Unknown().ToString(), "unknown");
+  EXPECT_EQ(TokenType::Any().ToString(), "any");
+  RecordSchema s;
+  s.Int("t");
+  EXPECT_EQ(TokenType::Record(s).ToString(), "record{t:int}");
+  EXPECT_NE(TokenType::Int().OrNil().ToString().find("nil"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwf

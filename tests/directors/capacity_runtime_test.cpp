@@ -50,8 +50,9 @@ std::unique_ptr<Director> DirectorFor(const BuiltinGraph& graph) {
 }
 
 /// Feed every stream source of an example graph at its declared rate for
-/// `seconds` of virtual time. Record tokens carry every group-by field the
-/// catalog uses so grouped windows can extract their keys.
+/// `seconds` of virtual time. Tokens respect the source's declared schema
+/// (scalar streams get scalars); record tokens carry every group-by field
+/// the catalog uses so grouped windows can extract their keys.
 void FeedExampleSources(const BuiltinGraph& graph, double seconds) {
   for (const auto& actor : graph.workflow->actors()) {
     auto* source = dynamic_cast<StreamSourceActor*>(actor.get());
@@ -64,14 +65,27 @@ void FeedExampleSources(const BuiltinGraph& graph, double seconds) {
         << "' has no declared rate";
     const double per_second = rate->second.max;
     const int total = static_cast<int>(per_second * seconds);
+    const TokenType declared = source->out()->schema();
     for (int i = 0; i < total; ++i) {
+      const Timestamp arrival = Timestamp::Seconds(i / per_second);
+      if (declared == TokenType::Double()) {
+        source->channel()->Push(Token(static_cast<double>(i)), arrival);
+        continue;
+      }
+      if (declared == TokenType::Int()) {
+        source->channel()->Push(Token(int64_t{i}), arrival);
+        continue;
+      }
       auto record = std::make_shared<Record>();
-      record->Set("order", int64_t{i % 5})
-          .Set("warehouse", int64_t{i % 3})
-          .Set("object", int64_t{i % 4})
-          .Set("value", static_cast<double>(i));
-      source->channel()->Push(Token(RecordPtr(std::move(record))),
-                              Timestamp::Seconds(i / per_second));
+      record->Set("order", Value(int64_t{i % 5}))
+          .Set("warehouse", Value("w" + std::to_string(i % 3)))
+          .Set("kind", Value(i % 2 == 0 ? "order" : "scan"))
+          .Set("object", Value(int64_t{i % 4}))
+          .Set("brightness", Value(static_cast<double>(i % 9)))
+          .Set("t", Value(int64_t{i}))
+          .Set("value", Value(static_cast<double>(i)))
+          .Set("v", Value(static_cast<double>(i)));
+      source->channel()->Push(Token(RecordPtr(std::move(record))), arrival);
     }
     source->channel()->Close();
   }

@@ -46,6 +46,9 @@ echo "==> [cwf-analyze] built-in graph catalog (--strict)"
 echo "==> [cwf-analyze] liveness classification (--liveness --strict)"
 ./build/tools/cwf_analyze --liveness --strict
 
+echo "==> [cwf-analyze] channel schema verification (--schemas --strict)"
+./build/tools/cwf_analyze --schemas --strict
+
 echo "==> [obs] traced LRB segment + exposition scrape"
 OBS_TMP="$(mktemp -d)"
 ./build/tools/cwf_lrb_serve --duration-s 60 \

@@ -27,6 +27,18 @@
 //                            side effect in the condition changes behavior
 //                            between build types.
 //
+//   cwf-stringly-field       Field("...") accessor literals that appear in
+//                            no declared schema across the scanned files.
+//                            Stringly-typed field reads bypass the schema
+//                            pass (CWF70xx) entirely, so a typo like
+//                            Field("speeed") only dies at runtime; every
+//                            accessed name must match some RecordSchema
+//                            builder declaration (.Int("x")/.Double("x")/
+//                            .Bool("x")/.Str("x")/Field("x", type)). This
+//                            check is scanner-only (no clang-tidy mirror):
+//                            it needs the whole file set in one pass to
+//                            build the declared-name universe.
+//
 //   cwf-unbounded-wait       condition-variable waits that can hang on a
 //                            spurious wakeup or missed notification:
 //                            `cv.wait(lock)` with no predicate, and
@@ -586,6 +598,141 @@ void CheckUnboundedWait(const std::string& path, const PreparedSource& src,
 }
 
 // ---------------------------------------------------------------------------
+// cwf-stringly-field
+// ---------------------------------------------------------------------------
+
+/// The first argument of the call whose opening '(' is at `open`, when that
+/// argument starts with a string literal. Reads the ORIGINAL text — Prepare
+/// blanks literal bodies, which is exactly what makes the prepared offsets
+/// safe to carry over (byte positions are preserved).
+bool FirstArgLiteral(const std::string& original, size_t open,
+                     std::string* literal) {
+  size_t i = open + 1;
+  while (i < original.size() &&
+         std::isspace(static_cast<unsigned char>(original[i]))) {
+    ++i;
+  }
+  if (i >= original.size() || original[i] != '"') {
+    return false;
+  }
+  std::string out;
+  for (++i; i < original.size(); ++i) {
+    const char c = original[i];
+    if (c == '\\' && i + 1 < original.size()) {
+      out += original[++i];
+    } else if (c == '"') {
+      *literal = std::move(out);
+      return true;
+    } else {
+      out += c;
+    }
+  }
+  return false;
+}
+
+size_t OpenParenAfter(const std::string& code, size_t at, size_t token_len) {
+  size_t i = at + token_len;
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i]))) {
+    ++i;
+  }
+  return (i < code.size() && code[i] == '(') ? i : std::string::npos;
+}
+
+bool IsMemberAccess(const std::string& code, size_t at) {
+  size_t before = at;
+  while (before > 0 &&
+         std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+    --before;
+  }
+  return (before >= 1 && code[before - 1] == '.') ||
+         (before >= 2 && code[before - 2] == '-' && code[before - 1] == '>');
+}
+
+/// Pass 1: record every field name the file declares through the
+/// RecordSchema builder — `.Int("x")` / `.Double("x")` / `.Bool("x")` /
+/// `.Str("x")` and the 2+-argument `Field("x", type, ...)` form. The
+/// declared set is global across the scanned file set: schemas commonly
+/// live in one file and accessors in another.
+void CollectDeclaredFields(const std::string& original,
+                           const PreparedSource& src,
+                           std::set<std::string>* declared) {
+  static const char* kBuilders[] = {"Int", "Double", "Bool", "Str"};
+  const std::string& code = src.code;
+  for (const char* builder : kBuilders) {
+    for (size_t at : WordOccurrences(code, builder)) {
+      if (!IsMemberAccess(code, at)) {
+        continue;
+      }
+      const size_t open = OpenParenAfter(code, at, std::strlen(builder));
+      if (open == std::string::npos) {
+        continue;
+      }
+      std::string name;
+      if (FirstArgLiteral(original, open, &name)) {
+        declared->insert(std::move(name));
+      }
+    }
+  }
+  for (size_t at : WordOccurrences(code, "Field")) {
+    const size_t open = OpenParenAfter(code, at, std::strlen("Field"));
+    if (open == std::string::npos) {
+      continue;
+    }
+    const size_t args = CountCallArgs(code, open);
+    if (args < 2 || args == static_cast<size_t>(-1)) {
+      continue;  // 1-arg Field() is the accessor, handled below
+    }
+    std::string name;
+    if (FirstArgLiteral(original, open, &name)) {
+      declared->insert(std::move(name));
+    }
+  }
+}
+
+/// Pass 2: flag 1-argument `x.Field("name")` accessors whose literal is in
+/// no declared schema anywhere in the scanned set.
+void CheckStringlyField(const std::string& path, const std::string& original,
+                        const PreparedSource& src,
+                        const std::set<std::string>& declared,
+                        std::vector<Finding>* findings) {
+  static const char kCheck[] = "cwf-stringly-field";
+  const std::string& code = src.code;
+  for (size_t at : WordOccurrences(code, "Field")) {
+    if (!IsMemberAccess(code, at)) {
+      continue;
+    }
+    const size_t open = OpenParenAfter(code, at, std::strlen("Field"));
+    if (open == std::string::npos) {
+      continue;
+    }
+    // In the prepared code the literal body is blanked, so a sole
+    // string-literal argument counts as zero args; anything more is the
+    // declaration form or a computed name.
+    if (CountCallArgs(code, open) != 0) {
+      continue;
+    }
+    std::string name;
+    if (!FirstArgLiteral(original, open, &name)) {
+      continue;  // name comes through a variable/constant: not checkable
+    }
+    if (declared.count(name) > 0) {
+      continue;
+    }
+    const int line = LineOf(code, at);
+    if (Suppressed(src, line, kCheck)) {
+      continue;
+    }
+    findings->push_back(
+        {path, line, kCheck,
+         "Field(\"" + name +
+             "\") reads a field no declared schema defines; declare it in "
+             "a RecordSchema (OutputPort::set_schema) or fix the name — "
+             "stringly accesses bypass the CWF70xx schema pass"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // cwf-assert-side-effects
 // ---------------------------------------------------------------------------
 
@@ -683,7 +830,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: cwf_tidy [--check <name>]... <file>...\n"
                 << "checks: cwf-raw-mutex cwf-blocking-under-lock "
-                   "cwf-assert-side-effects cwf-unbounded-wait\n";
+                   "cwf-assert-side-effects cwf-unbounded-wait "
+                   "cwf-stringly-field\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "cwf_tidy: unknown flag " << arg << "\n";
@@ -700,7 +848,15 @@ int main(int argc, char** argv) {
     return enabled.empty() || enabled.count(name) > 0;
   };
 
-  std::vector<Finding> findings;
+  // The stringly-field check needs the declared-name universe before any
+  // file can be judged, so all sources are loaded and prepared up front.
+  struct Input {
+    std::string path;
+    std::string original;
+    PreparedSource src;
+  };
+  std::vector<Input> inputs;
+  inputs.reserve(files.size());
   for (const std::string& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -709,7 +865,24 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const PreparedSource src = Prepare(buffer.str());
+    Input input;
+    input.path = path;
+    input.original = buffer.str();
+    input.src = Prepare(input.original);
+    inputs.push_back(std::move(input));
+  }
+
+  std::set<std::string> declared_fields;
+  if (on("cwf-stringly-field")) {
+    for (const Input& input : inputs) {
+      CollectDeclaredFields(input.original, input.src, &declared_fields);
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const Input& input : inputs) {
+    const std::string& path = input.path;
+    const PreparedSource& src = input.src;
     if (on("cwf-raw-mutex")) {
       CheckRawMutex(path, src, &findings);
     }
@@ -721,6 +894,10 @@ int main(int argc, char** argv) {
     }
     if (on("cwf-assert-side-effects")) {
       CheckAssertSideEffects(path, src, &findings);
+    }
+    if (on("cwf-stringly-field")) {
+      CheckStringlyField(path, input.original, src, declared_fields,
+                         &findings);
     }
   }
 

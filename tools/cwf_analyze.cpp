@@ -32,6 +32,12 @@
 //                                 the synthesized plan
 //   cwf_analyze --critical-path   longest modeled source->sink cost chain
 //   cwf_analyze --utilization     per-actor and total utilization
+//   cwf_analyze --schemas         per-channel resolved token types/record
+//                                 layouts (schema pass CWF70xx findings are
+//                                 always part of the diagnostics; this adds
+//                                 the per-level channel tables, --dot labels
+//                                 channels with their layout and paints
+//                                 mismatched edges red)
 //   cwf_analyze --strict          treat warnings as errors for the exit
 //                                 code
 
@@ -47,6 +53,8 @@
 #include "analysis/builtin_graphs.h"
 #include "analysis/capacity_planner.h"
 #include "analysis/liveness_pass.h"
+#include "analysis/schema_pass.h"
+#include "core/composite_actor.h"
 #include "core/workflow.h"
 
 namespace {
@@ -65,8 +73,10 @@ using cwf::analysis::AnalyzeLiveness;
 using cwf::analysis::DiagnosticCodes;
 using cwf::analysis::DiagnosticCodesJson;
 using cwf::analysis::LivenessReport;
+using cwf::analysis::AnalyzeSchemas;
 using cwf::analysis::PlanCapacity;
 using cwf::analysis::PlanningOptions;
+using cwf::analysis::SchemaReport;
 using cwf::analysis::ReportLiveness;
 using cwf::analysis::Severity;
 using cwf::analysis::SeverityName;
@@ -82,6 +92,7 @@ struct CliOptions {
   size_t assume_capacity = 0;  // with --liveness: bound every channel to N
   bool critical_path = false;
   bool utilization = false;
+  bool schemas = false;
   bool strict = false;
   std::vector<std::string> graphs;  // empty = all
 };
@@ -90,7 +101,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list|--codes] [--json] [--dot] [--matrix] "
                "[--plan] [--liveness] [--assume-capacity N] "
-               "[--critical-path] [--utilization] [--strict] "
+               "[--critical-path] [--utilization] [--schemas] [--strict] "
                "[graph...]\n",
                argv0);
   return 2;
@@ -120,8 +131,24 @@ std::string JoinPath(const std::vector<std::string>& path) {
 
 std::string DotWithFindings(const BuiltinGraph& graph,
                             const DiagnosticBag& diags,
-                            const LivenessReport* liveness) {
+                            const LivenessReport* liveness,
+                            const std::vector<SchemaReport>* schemas) {
   Workflow::DotOptions options;
+  if (schemas != nullptr) {
+    // Label every channel with its resolved layout; paint mismatches red.
+    for (const SchemaReport& report : *schemas) {
+      for (const auto& ch : report.channels) {
+        Workflow::DotOptions::EdgeStyle& style =
+            options.edge_style[{ch.to_port, ch.to_channel}];
+        if (!ch.resolved.is_unknown()) {
+          style.label = ch.resolved.ToString();
+        }
+        if (ch.mismatched) {
+          style.color = "red";
+        }
+      }
+    }
+  }
   for (const Diagnostic& d : diags.all()) {
     if (d.actor == nullptr) {
       continue;
@@ -142,6 +169,71 @@ std::string DotWithFindings(const BuiltinGraph& graph,
     }
   }
   return graph.workflow->ToDot(options);
+}
+
+/// A deliberately mistyped two-actor graph, built only when explicitly
+/// named on the command line (never part of the default catalog, which
+/// must stay clean under --strict): lets users and the CLI smoke tests see
+/// the CWF70xx failure mode and diagnostic-exit behavior without breaking
+/// a real example.
+class DemoTypedNode : public cwf::Actor {
+ public:
+  DemoTypedNode(std::string name, int inputs, int outputs)
+      : cwf::Actor(std::move(name)) {
+    for (int i = 0; i < inputs; ++i) {
+      in_.push_back(AddInputPort("in"));
+    }
+    for (int i = 0; i < outputs; ++i) {
+      out_.push_back(AddOutputPort("out"));
+    }
+  }
+  cwf::Status Fire() override { return cwf::Status::OK(); }
+  cwf::InputPort* in(size_t i = 0) { return in_[i]; }
+  cwf::OutputPort* out(size_t i = 0) { return out_[i]; }
+
+ private:
+  std::vector<cwf::InputPort*> in_;
+  std::vector<cwf::OutputPort*> out_;
+};
+
+BuiltinGraph BuildSchemaMismatchDemo() {
+  auto wf = std::make_shared<Workflow>("SchemaMismatchDemo");
+  auto* src = wf->AddActor<DemoTypedNode>("reports", 0, 1);
+  auto* sink = wf->AddActor<DemoTypedNode>("tolls", 1, 0);
+  cwf::RecordSchema have;
+  have.Int("time").Str("speed");  // speed should be a double
+  src->out()->set_schema(cwf::TokenType::Record(have));
+  cwf::RecordSchema need;
+  need.Int("time").Int("car").Double("speed");
+  sink->in()->set_required_schema(cwf::TokenType::Record(need));
+  CWF_CHECK(wf->Connect(src->out(), sink->in()).ok());
+  BuiltinGraph graph;
+  graph.name = "schema-mismatch-demo";
+  graph.description =
+      "deliberately mistyped channel (CWF7002/CWF7003 showcase)";
+  graph.director = "DDF";
+  graph.workflow = wf.get();
+  graph.retained = wf;
+  return graph;
+}
+
+/// Schema reports for `workflow` and, recursively, every composite level
+/// below it; inner levels are prefixed "composite/" like the Analyzer's
+/// location prefixes.
+void CollectSchemaReports(const Workflow& workflow, const std::string& prefix,
+                          const cwf::analysis::AnalysisOptions& options,
+                          std::vector<SchemaReport>* out) {
+  SchemaReport report = AnalyzeSchemas(workflow, options);
+  if (!prefix.empty()) {
+    report.workflow = prefix + report.workflow;
+  }
+  out->push_back(std::move(report));
+  for (const auto& actor : workflow.actors()) {
+    if (auto* composite = dynamic_cast<cwf::CompositeActor*>(actor.get())) {
+      CollectSchemaReports(*composite->inner(), prefix + actor->name() + "/",
+                           options, out);
+    }
+  }
 }
 
 }  // namespace
@@ -177,6 +269,8 @@ int main(int argc, char** argv) {
       cli.critical_path = true;
     } else if (!std::strcmp(arg, "--utilization")) {
       cli.utilization = true;
+    } else if (!std::strcmp(arg, "--schemas")) {
+      cli.schemas = true;
     } else if (!std::strcmp(arg, "--strict")) {
       cli.strict = true;
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
@@ -224,6 +318,10 @@ int main(int argc, char** argv) {
           break;
         }
       }
+      if (!found && want == "schema-mismatch-demo") {
+        selected.push_back(BuildSchemaMismatchDemo());
+        found = true;
+      }
       if (!found) {
         std::fprintf(stderr, "unknown graph '%s' (try --list)\n",
                      want.c_str());
@@ -250,6 +348,11 @@ int main(int argc, char** argv) {
     CapacityPlan plan;
     if (want_plan) {
       plan = PlanCapacity(*graph.workflow, options);
+    }
+
+    std::vector<SchemaReport> schema_reports;
+    if (cli.schemas) {
+      CollectSchemaReports(*graph.workflow, "", options, &schema_reports);
     }
 
     LivenessReport liveness;
@@ -287,6 +390,14 @@ int main(int argc, char** argv) {
       }
       if (cli.liveness) {
         std::printf(",\"liveness\":%s", liveness.ToJson().c_str());
+      }
+      if (cli.schemas) {
+        std::printf(",\"schemas\":[");
+        for (size_t i = 0; i < schema_reports.size(); ++i) {
+          std::printf("%s%s", i == 0 ? "" : ",",
+                      schema_reports[i].ToJson().c_str());
+        }
+        std::printf("]");
       }
       if (cli.critical_path && !cli.plan) {
         std::printf(",\"critical_path\":[");
@@ -333,6 +444,11 @@ int main(int argc, char** argv) {
     if (cli.liveness) {
       std::printf("%s", liveness.ToText().c_str());
     }
+    if (cli.schemas) {
+      for (const SchemaReport& report : schema_reports) {
+        std::printf("%s", report.ToText().c_str());
+      }
+    }
     if (cli.critical_path && !cli.plan) {
       std::printf("  critical path: %s (%.0f us)\n",
                   JoinPath(plan.critical_path).c_str(),
@@ -347,9 +463,11 @@ int main(int argc, char** argv) {
       std::printf("  total utilization: %.3f\n", plan.total_utilization);
     }
     if (cli.dot) {
-      std::printf("%s", DotWithFindings(graph, diags,
-                                        cli.liveness ? &liveness : nullptr)
-                            .c_str());
+      std::printf("%s",
+                  DotWithFindings(graph, diags,
+                                  cli.liveness ? &liveness : nullptr,
+                                  cli.schemas ? &schema_reports : nullptr)
+                      .c_str());
     }
   }
   if (cli.json) {
