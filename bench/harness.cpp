@@ -1,0 +1,548 @@
+#include "harness.h"
+
+#include <sys/resource.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cwf::bench {
+namespace {
+
+double Finite(double v) { return std::isfinite(v) ? v : 0; }
+
+/// %.6g formatting keeps the files diffable (no trailing float noise).
+std::string Num(double v) {
+  v = Finite(v);
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string Quote(const std::string& v) {
+  std::string out = "\"";
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string RenderSummary(const LatencySummary& s) {
+  std::ostringstream out;
+  out << "{\"count\":" << s.count << ",\"mean\":" << Num(s.mean)
+      << ",\"p50\":" << Num(s.p50) << ",\"p95\":" << Num(s.p95)
+      << ",\"p99\":" << Num(s.p99) << ",\"max\":" << Num(s.max) << "}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the canonical schema round-trip and
+// bench_compare; no dependencies, strict about structure, tolerant of
+// unknown keys.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double NumberOr(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status st = ParseValue(&v);
+    if (!st.ok()) {
+      return st;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) {
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      CWF_RETURN_NOT_OK(ParseString(&key));
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      JsonValue value;
+      CWF_RETURN_NOT_OK(ParseValue(&value));
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return Status::OK();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) {
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue value;
+      CWF_RETURN_NOT_OK(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return Status::OK();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::OK();
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case '"':
+        case '\\':
+        case '/':
+          *out += esc;
+          break;
+        default:
+          return Error("unsupported escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value");
+    }
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      return Error("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+LatencySummary SummaryFrom(const JsonValue& v) {
+  LatencySummary s;
+  if (const JsonValue* c = v.Find("count")) {
+    s.count = static_cast<uint64_t>(c->NumberOr(0));
+  }
+  if (const JsonValue* c = v.Find("mean")) s.mean = c->NumberOr(0);
+  if (const JsonValue* c = v.Find("p50")) s.p50 = c->NumberOr(0);
+  if (const JsonValue* c = v.Find("p95")) s.p95 = c->NumberOr(0);
+  if (const JsonValue* c = v.Find("p99")) s.p99 = c->NumberOr(0);
+  if (const JsonValue* c = v.Find("max")) s.max = c->NumberOr(0);
+  return s;
+}
+
+}  // namespace
+
+const char* GitSha() {
+#ifdef CWF_GIT_SHA
+  return CWF_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+long PeakRssKb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+LatencySummary FromHistogram(const obs::HistogramSnapshot& snapshot) {
+  LatencySummary s;
+  s.count = snapshot.count;
+  s.mean = Finite(snapshot.mean);
+  s.p50 = Finite(snapshot.p50);
+  s.p95 = Finite(snapshot.p95);
+  s.p99 = Finite(snapshot.p99);
+  s.max = static_cast<double>(snapshot.max);
+  return s;
+}
+
+std::string RenderBenchJson(const BenchResult& result) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": " << kSchemaVersion << ",\n";
+  out << "  \"bench\": " << Quote(result.bench) << ",\n";
+  out << "  \"git_sha\": "
+      << Quote(result.git_sha.empty() ? GitSha() : result.git_sha) << ",\n";
+  out << "  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : result.config) {
+    out << (first ? "" : ", ") << Quote(key) << ": " << Quote(value);
+    first = false;
+  }
+  out << "},\n";
+  out << "  \"wall_s\": " << Num(result.wall_s) << ",\n";
+  out << "  \"throughput_per_s\": " << Num(result.throughput_per_s) << ",\n";
+  out << "  \"peak_rss_kb\": "
+      << (result.peak_rss_kb > 0 ? result.peak_rss_kb : PeakRssKb()) << ",\n";
+  out << "  \"latency_us\": " << RenderSummary(result.latency_us) << ",\n";
+  out << "  \"extra_latency_us\": {";
+  first = true;
+  for (const auto& [name, summary] : result.extra_latency_us) {
+    out << (first ? "" : ", ") << Quote(name) << ": "
+        << RenderSummary(summary);
+    first = false;
+  }
+  out << "},\n";
+  out << "  \"metrics\": {";
+  first = true;
+  for (const auto& [name, value] : result.metrics) {
+    out << (first ? "" : ", ") << Quote(name) << ": " << Num(value);
+    first = false;
+  }
+  out << "},\n";
+  out << "  \"host_phase_us\": {";
+  first = true;
+  for (const auto& [phase, us] : result.host_phase_us) {
+    out << (first ? "" : ", ") << Quote(phase) << ": " << Num(us);
+    first = false;
+  }
+  out << "}\n}\n";
+  return out.str();
+}
+
+Status WriteBenchJson(const BenchResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out << RenderBenchJson(result);
+  out.close();
+  if (!out) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<BenchResult> ParseBenchJson(const std::string& json) {
+  JsonParser parser(json);
+  auto parsed = parser.Parse();
+  CWF_RETURN_NOT_OK(parsed.status());
+  const JsonValue& root = parsed.value();
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("BENCH json root must be an object");
+  }
+  const JsonValue* version = root.Find("schema_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument("BENCH json lacks schema_version");
+  }
+  if (static_cast<int>(version->number) > kSchemaVersion) {
+    return Status::InvalidArgument(
+        "BENCH json schema_version " +
+        std::to_string(static_cast<int>(version->number)) +
+        " is newer than this binary (" + std::to_string(kSchemaVersion) + ")");
+  }
+  BenchResult result;
+  if (const JsonValue* v = root.Find("bench")) result.bench = v->string;
+  if (const JsonValue* v = root.Find("git_sha")) result.git_sha = v->string;
+  if (const JsonValue* v = root.Find("wall_s")) result.wall_s = v->NumberOr(0);
+  if (const JsonValue* v = root.Find("throughput_per_s")) {
+    result.throughput_per_s = v->NumberOr(0);
+  }
+  if (const JsonValue* v = root.Find("peak_rss_kb")) {
+    result.peak_rss_kb = static_cast<long>(v->NumberOr(0));
+  }
+  if (const JsonValue* v = root.Find("latency_us")) {
+    result.latency_us = SummaryFrom(*v);
+  }
+  if (const JsonValue* v = root.Find("extra_latency_us")) {
+    for (const auto& [name, summary] : v->object) {
+      result.extra_latency_us[name] = SummaryFrom(summary);
+    }
+  }
+  if (const JsonValue* v = root.Find("config")) {
+    for (const auto& [key, value] : v->object) {
+      result.config[key] = value.string;
+    }
+  }
+  if (const JsonValue* v = root.Find("metrics")) {
+    for (const auto& [key, value] : v->object) {
+      result.metrics[key] = value.NumberOr(0);
+    }
+  }
+  if (const JsonValue* v = root.Find("host_phase_us")) {
+    for (const auto& [key, value] : v->object) {
+      result.host_phase_us[key] = value.NumberOr(0);
+    }
+  }
+  return result;
+}
+
+Result<BenchResult> ReadBenchJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto result = ParseBenchJson(buffer.str());
+  if (!result.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   result.status().message());
+  }
+  return result;
+}
+
+BenchResult FromLRB(const lrb::ExperimentResult& result,
+                    const std::string& bench_name, double wall_s) {
+  BenchResult bench;
+  bench.bench = bench_name;
+  bench.wall_s = wall_s;
+  bench.config["scheduler"] = lrb::SchedulerKindName(result.scheduler);
+  bench.config["clock"] = "virtual";
+  bench.config["workload"] = "linear-road";
+  bench.throughput_per_s =
+      wall_s > 0 ? static_cast<double>(result.reports_generated) / wall_s : 0;
+  bench.latency_us = FromHistogram(result.toll_response_hist);
+  bench.extra_latency_us["accident_response"] =
+      FromHistogram(result.accident_response_hist);
+  bench.metrics["reports_generated"] =
+      static_cast<double>(result.reports_generated);
+  bench.metrics["toll_notifications"] =
+      static_cast<double>(result.toll_notifications);
+  bench.metrics["accident_notifications"] =
+      static_cast<double>(result.accident_notifications);
+  bench.metrics["accidents_injected"] =
+      static_cast<double>(result.accidents_injected);
+  bench.metrics["accidents_recorded"] =
+      static_cast<double>(result.accidents_recorded);
+  bench.metrics["tolls_calculated"] =
+      static_cast<double>(result.tolls_calculated);
+  bench.metrics["total_firings"] = static_cast<double>(result.total_firings);
+  bench.metrics["director_iterations"] =
+      static_cast<double>(result.director_iterations);
+  bench.metrics["toll_avg_response_s"] = Finite(result.toll_avg_response_s);
+  bench.metrics["toll_p95_response_s"] = Finite(result.toll_p95_response_s);
+  bench.metrics["toll_max_response_s"] = Finite(result.toll_max_response_s);
+  bench.metrics["accident_fraction_under_5s"] =
+      Finite(result.accident_fraction_under_5s);
+  return bench;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double DeltaPct(double baseline, double current) {
+  if (baseline == 0) {
+    return current == 0 ? 0 : 100;
+  }
+  return (current - baseline) / baseline * 100.0;
+}
+
+void AddFinding(CompareReport* report, const std::string& metric,
+                double baseline, double current, bool higher_is_worse,
+                double threshold_pct) {
+  CompareFinding finding;
+  finding.metric = metric;
+  finding.baseline = baseline;
+  finding.current = current;
+  finding.delta_pct = DeltaPct(baseline, current);
+  const double degradation =
+      higher_is_worse ? finding.delta_pct : -finding.delta_pct;
+  finding.regression = degradation > threshold_pct;
+  report->regressed = report->regressed || finding.regression;
+  report->findings.push_back(std::move(finding));
+}
+
+}  // namespace
+
+CompareReport CompareBench(const BenchResult& baseline,
+                           const BenchResult& current,
+                           const CompareThresholds& thresholds) {
+  CompareReport report;
+  report.bench = current.bench.empty() ? baseline.bench : current.bench;
+  AddFinding(&report, "throughput_per_s", baseline.throughput_per_s,
+             current.throughput_per_s, /*higher_is_worse=*/false,
+             thresholds.throughput_drop_pct);
+  AddFinding(&report, "latency_us.p50", baseline.latency_us.p50,
+             current.latency_us.p50, true, thresholds.latency_rise_pct);
+  AddFinding(&report, "latency_us.p95", baseline.latency_us.p95,
+             current.latency_us.p95, true, thresholds.latency_rise_pct);
+  AddFinding(&report, "latency_us.p99", baseline.latency_us.p99,
+             current.latency_us.p99, true, thresholds.latency_rise_pct);
+  AddFinding(&report, "peak_rss_kb",
+             static_cast<double>(baseline.peak_rss_kb),
+             static_cast<double>(current.peak_rss_kb), true,
+             thresholds.rss_rise_pct);
+  for (const auto& [name, summary] : current.extra_latency_us) {
+    auto it = baseline.extra_latency_us.find(name);
+    if (it == baseline.extra_latency_us.end()) {
+      continue;
+    }
+    AddFinding(&report, "extra_latency_us." + name + ".p95", it->second.p95,
+               summary.p95, true, thresholds.latency_rise_pct);
+  }
+  return report;
+}
+
+std::string CompareReport::Render() const {
+  std::ostringstream out;
+  out << "bench: " << bench << "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %14s %14s %9s  %s\n", "metric",
+                "baseline", "current", "delta%", "verdict");
+  out << line;
+  for (const CompareFinding& f : findings) {
+    std::snprintf(line, sizeof(line), "%-32s %14s %14s %+8.1f%%  %s\n",
+                  f.metric.c_str(), Num(f.baseline).c_str(),
+                  Num(f.current).c_str(), f.delta_pct,
+                  f.regression ? "REGRESSION" : "ok");
+    out << line;
+  }
+  out << (regressed ? "RESULT: REGRESSED\n" : "RESULT: ok\n");
+  return out.str();
+}
+
+}  // namespace cwf::bench

@@ -1,0 +1,125 @@
+// The canonical benchmark result schema: every bench_*.cpp and serving tool
+// funnels its measurements through BenchResult so each run lands on disk as
+// one BENCH_<name>.json with the same shape — throughput, latency
+// percentiles, peak RSS, host-time decomposition, git SHA and config —
+// comparable across commits by tools/bench_compare (the CI perf-smoke
+// lane's regression gate).
+//
+// Schema (BENCH_<name>.json, schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "lrb_serve",
+//     "git_sha": "0123abc",
+//     "config": {"scheduler": "QBS", ...},          // string map
+//     "wall_s": 1.84,                               // host wall time
+//     "throughput_per_s": 52173.9,                  // primary rate
+//     "peak_rss_kb": 48216,
+//     "latency_us": {"count":N,"mean":..,"p50":..,"p95":..,"p99":..,"max":..},
+//     "extra_latency_us": {"accident_response": {...}},  // named summaries
+//     "metrics": {"total_firings": 812345, ...},    // scalar extras
+//     "host_phase_us": {"fire": 912345.2, ...}      // profiler decomposition
+//   }
+// Unknown keys are ignored on read so the schema can grow additively.
+
+#ifndef CONFLUENCE_BENCH_HARNESS_H_
+#define CONFLUENCE_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lrb/harness.h"
+#include "obs/metrics.h"
+
+namespace cwf::bench {
+
+inline constexpr int kSchemaVersion = 1;
+
+/// \brief Compile-time git SHA of the build ("unknown" outside a checkout).
+const char* GitSha();
+
+/// \brief Peak resident set size of this process, KiB (getrusage).
+long PeakRssKb();
+
+/// \brief Six-number latency summary (µs) in the canonical schema.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+LatencySummary FromHistogram(const obs::HistogramSnapshot& snapshot);
+
+/// \brief One benchmark run, ready to serialize.
+struct BenchResult {
+  std::string bench;    ///< canonical name; file is BENCH_<bench>.json
+  std::string git_sha;  ///< defaults to GitSha() at render time if empty
+  std::map<std::string, std::string> config;
+  double wall_s = 0;
+  double throughput_per_s = 0;
+  long peak_rss_kb = 0;  ///< filled from PeakRssKb() at render time if 0
+  LatencySummary latency_us;
+  std::map<std::string, LatencySummary> extra_latency_us;
+  std::map<std::string, double> metrics;
+  std::map<std::string, double> host_phase_us;
+};
+
+std::string RenderBenchJson(const BenchResult& result);
+
+/// \brief Serialize to `path` (conventionally BENCH_<name>.json).
+Status WriteBenchJson(const BenchResult& result, const std::string& path);
+
+/// \brief Parse a canonical BENCH_*.json document (round-trip safe with
+/// RenderBenchJson; unknown keys are skipped). Rejects documents without a
+/// schema_version.
+Result<BenchResult> ParseBenchJson(const std::string& json);
+Result<BenchResult> ReadBenchJson(const std::string& path);
+
+/// \brief Convert an LRB experiment result. `wall_s` is the measured host
+/// wall time of the run (the experiment itself runs on the virtual clock);
+/// throughput is input tuples per host-wall second.
+BenchResult FromLRB(const lrb::ExperimentResult& result,
+                    const std::string& bench_name, double wall_s);
+
+// ---------------------------------------------------------------------------
+// Regression comparison (tools/bench_compare)
+// ---------------------------------------------------------------------------
+
+/// \brief Regression thresholds, percent. A metric must degrade by MORE
+/// than its threshold to count as a regression (improvements never do).
+struct CompareThresholds {
+  double throughput_drop_pct = 10;
+  double latency_rise_pct = 25;
+  double rss_rise_pct = 25;
+};
+
+struct CompareFinding {
+  std::string metric;  ///< e.g. "throughput_per_s", "latency_us.p95"
+  double baseline = 0;
+  double current = 0;
+  double delta_pct = 0;  ///< signed; positive = increased
+  bool regression = false;
+};
+
+struct CompareReport {
+  std::string bench;
+  std::vector<CompareFinding> findings;
+  bool regressed = false;
+  /// Aligned human-readable table, one line per finding, regressions
+  /// flagged.
+  std::string Render() const;
+};
+
+/// \brief Compare `current` against `baseline` under `thresholds`.
+CompareReport CompareBench(const BenchResult& baseline,
+                           const BenchResult& current,
+                           const CompareThresholds& thresholds);
+
+}  // namespace cwf::bench
+
+#endif  // CONFLUENCE_BENCH_HARNESS_H_

@@ -136,13 +136,27 @@ Status Director::BuildReceivers() {
 }
 
 Status Director::FlushActorOutputs(Actor* actor, size_t* emitted) {
-  std::vector<PendingOutput> outputs = actor->TakePendingOutputs();
+#ifdef CWF_OBS_ENABLED
+  static const obs::ProfileSite* alloc_site = obs::Profiler::Global().Site(
+      "<director>", obs::ProfilePhase::kAllocation);
+  static const obs::ProfileSite* open_site =
+      obs::Profiler::Global().Site("<director>", obs::ProfilePhase::kWaveOpen);
+#endif
+  std::vector<PendingOutput> outputs;
+  {
+    CWF_PROFILE_SCOPE(alloc_site);
+    outputs = actor->TakePendingOutputs();
+  }
   if (emitted != nullptr) {
     *emitted = outputs.size();
   }
   if (outputs.empty()) {
     return Status::OK();
   }
+  // Wave-open phase: stamping + broadcast bookkeeping. Receiver deposits
+  // nested under Broadcast profile as receiver_put and are subtracted from
+  // this scope's self time.
+  CWF_PROFILE_SCOPE(open_site);
   const FiringContext& fc = actor->firing_context();
   // Wave serial numbers cover only the outputs that join the firing's wave;
   // stamp-preserved re-emissions keep their original tags.

@@ -1,8 +1,24 @@
 #include "core/port.h"
 
 #include "core/actor.h"
+#include "obs/telemetry.h"
 
 namespace cwf {
+#ifdef CWF_OBS_ENABLED
+namespace {
+
+/// Profiler cell of a receiver's deposit/retrieval phases; nullptr (inert
+/// scope) for unprobed receivers (telemetry off, boundary collectors).
+const obs::ProfileSite* PutSite(const Receiver* r) {
+  return r->probe() == nullptr ? nullptr : r->probe()->put_site;
+}
+
+const obs::ProfileSite* GetSite(const Receiver* r) {
+  return r->probe() == nullptr ? nullptr : r->probe()->get_site;
+}
+
+}  // namespace
+#endif
 
 std::string Port::FullName() const {
   return (actor_ ? actor_->name() : std::string("<detached>")) + "." + name_;
@@ -41,6 +57,7 @@ bool InputPort::HasWindowOn(size_t channel) const {
 std::optional<Window> InputPort::Get() {
   for (auto& r : receivers_) {
     if (r && r->HasWindow()) {
+      CWF_PROFILE_SCOPE(GetSite(r.get()));
       std::optional<Window> w = r->Get();
       if (w.has_value()) {
         if (actor_ != nullptr) {
@@ -59,6 +76,7 @@ std::optional<Window> InputPort::GetFrom(size_t channel) {
   if (r == nullptr) {
     return std::nullopt;
   }
+  CWF_PROFILE_SCOPE(GetSite(r));
   std::optional<Window> w = r->Get();
   if (w.has_value()) {
     if (actor_ != nullptr) {
@@ -110,6 +128,7 @@ Status OutputPort::Broadcast(const CWEvent& event) {
     // actor. Compiled out in release builds (CONFLUENCE_DCHECKS=OFF).
     CWF_RETURN_NOT_OK(r->ValidateDeposit(event.token));
 #endif
+    CWF_PROFILE_SCOPE(PutSite(r));
     CWF_RETURN_NOT_OK(r->Put(event));
     r->NotePut();
   }

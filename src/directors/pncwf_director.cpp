@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "stream/stream_source.h"
 
 namespace cwf {
@@ -60,7 +61,16 @@ class BlockingWindowedReceiver : public WindowedReceiver {
           cv_->wait_for(lock, std::chrono::milliseconds(1));
         }
         wait_graph_->OnPutUnblocked(waiter);
-        NoteBlockedMicros(obs::HostMonotonicMicros() - blocked_from);
+        const int64_t blocked_us = obs::HostMonotonicMicros() - blocked_from;
+        NoteBlockedMicros(blocked_us);
+#ifdef CWF_OBS_ENABLED
+        // The wait was timed above; credit it to the blocked phase without
+        // a scope (RecordExternal never nests).
+        if (probe() != nullptr) {
+          obs::Profiler::RecordExternal(probe()->blocked_site,
+                                        blocked_us * 1000);
+        }
+#endif
       }
       st = WindowedReceiver::Put(event);
     }
@@ -215,13 +225,21 @@ Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
   // downstream receiver only knows its consumer, the wait graph needs the
   // producing end of the edge.
   ScopedCurrentActor current_actor(actor);
+#ifdef CWF_OBS_ENABLED
+  const obs::WorkflowTelemetry::ActorProfileSites sites =
+      obs::ProfilingEnabled() ? telemetry_.ProfileSitesFor(actor)
+                              : obs::WorkflowTelemetry::ActorProfileSites{};
+#endif
   const bool timed = telemetry_.host_timing_active();
   actor->BeginFiring();
   const Timestamp fire_start = clock_->Now();
   const int64_t host_t0 = timed ? obs::HostMonotonicMicros() : 0;
   const auto host_start = std::chrono::steady_clock::now();
-  CWF_RETURN_NOT_OK(actor->Fire());
-  CWF_RETURN_NOT_OK(FlushActorOutputs(actor, emitted));
+  {
+    CWF_PROFILE_SCOPE(sites.fire);
+    CWF_RETURN_NOT_OK(actor->Fire());
+    CWF_RETURN_NOT_OK(FlushActorOutputs(actor, emitted));
+  }
   *consumed = actor->firing_context().events_consumed;
   actor->IncrementFirings();
   total_firings_.fetch_add(1, std::memory_order_relaxed);
@@ -236,7 +254,10 @@ Result<Duration> PNCWFDirector::FireOnce(Actor* actor, size_t* consumed,
                .count();
   }
   const int64_t host_t1 = timed ? obs::HostMonotonicMicros() : 0;
-  auto cont = actor->Postfire();
+  auto cont = [&] {
+    CWF_PROFILE_SCOPE(sites.postfire);
+    return actor->Postfire();
+  }();
   if (!cont.ok()) {
     return cont.status();
   }
@@ -282,6 +303,11 @@ void PNCWFDirector::FireReceiverTimeouts(Timestamp now) {
 // ---------------------------------------------------------------------------
 
 Status PNCWFDirector::RunSimulated(Timestamp until) {
+#ifdef CWF_OBS_ENABLED
+  static const obs::ProfileSite* dispatch_site = obs::Profiler::Global().Site(
+      "<director>", obs::ProfilePhase::kSchedulerDispatch);
+#endif
+  CWF_PROFILE_WALL_SCOPE();
   const auto& actors = workflow_->actors();
   const size_t n = actors.size();
   size_t cursor = 0;
@@ -289,30 +315,33 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
     if (clock_->Now() > until) {
       break;
     }
-    FireReceiverTimeouts(clock_->Now());
 
     // The simulated OS picks the next runnable "thread" round-robin. A
     // "thread" whose downstream queue is at its planned capacity is treated
     // as blocked in put() — the single-threaded simulation of the OS-mode
     // blocking-put backpressure.
     Actor* chosen = nullptr;
-    for (size_t k = 0; k < n; ++k) {
-      Actor* a = actors[(cursor + k) % n].get();
-      if (IsHalted(a)) {
-        continue;
-      }
-      if (DownstreamAtCapacity(a)) {
-        telemetry_.RecordBackpressureDeferral(a);
-        continue;
-      }
-      auto pf = a->Prefire();
-      if (!pf.ok()) {
-        return pf.status();
-      }
-      if (pf.value()) {
-        chosen = a;
-        cursor = (cursor + k + 1) % n;
-        break;
+    {
+      CWF_PROFILE_SCOPE(dispatch_site);
+      FireReceiverTimeouts(clock_->Now());
+      for (size_t k = 0; k < n; ++k) {
+        Actor* a = actors[(cursor + k) % n].get();
+        if (IsHalted(a)) {
+          continue;
+        }
+        if (DownstreamAtCapacity(a)) {
+          telemetry_.RecordBackpressureDeferral(a);
+          continue;
+        }
+        auto pf = a->Prefire();
+        if (!pf.ok()) {
+          return pf.status();
+        }
+        if (pf.value()) {
+          chosen = a;
+          cursor = (cursor + k + 1) % n;
+          break;
+        }
       }
     }
     if (chosen == nullptr) {
@@ -383,6 +412,11 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
 
     // Context switch to the chosen thread, then let it run until it blocks
     // (no input) or its OS time slice expires.
+#ifdef CWF_OBS_ENABLED
+    const obs::WorkflowTelemetry::ActorProfileSites chosen_sites =
+        obs::ProfilingEnabled() ? telemetry_.ProfileSitesFor(chosen)
+                                : obs::WorkflowTelemetry::ActorProfileSites{};
+#endif
     clock_->AdvanceBy(cost_model_->context_switch_overhead);
     ++context_switches_;
     Duration slice = cost_model_->os_time_slice;
@@ -391,7 +425,10 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
         telemetry_.RecordBackpressureDeferral(chosen);
         break;  // blocks in put() against a full planned queue
       }
-      auto pf = chosen->Prefire();
+      auto pf = [&] {
+        CWF_PROFILE_SCOPE(chosen_sites.prefire);
+        return chosen->Prefire();
+      }();
       if (!pf.ok()) {
         return pf.status();
       }
@@ -425,6 +462,12 @@ Status PNCWFDirector::RunSimulated(Timestamp until) {
 void PNCWFDirector::ActorThreadBody(Actor* actor)
     CWF_NO_THREAD_SAFETY_ANALYSIS {
   ActorSync* sync = syncs_.at(actor).get();
+#ifdef CWF_OBS_ENABLED
+  // One lookup per thread lifetime; scopes stay inert until profiling is
+  // enabled at runtime.
+  const obs::WorkflowTelemetry::ActorProfileSites sites =
+      telemetry_.ProfileSitesFor(actor);
+#endif
   for (;;) {
     {
       std::unique_lock<OrderedRecursiveMutex> lock(sync->mutex);
@@ -438,7 +481,10 @@ void PNCWFDirector::ActorThreadBody(Actor* actor)
           }
           break;
         }
-        auto pf = actor->Prefire();
+        auto pf = [&] {
+          CWF_PROFILE_SCOPE(sites.prefire);
+          return actor->Prefire();
+        }();
         if (!pf.ok()) {
           wait_graph_.OnGetUnblocked(actor);
           return;
@@ -462,7 +508,10 @@ void PNCWFDirector::ActorThreadBody(Actor* actor)
             }
           }
         }
-        auto again = actor->Prefire();
+        auto again = [&] {
+          CWF_PROFILE_SCOPE(sites.prefire);
+          return actor->Prefire();
+        }();
         if (!again.ok()) {
           wait_graph_.OnGetUnblocked(actor);
           return;
@@ -649,6 +698,7 @@ bool PNCWFDirector::AllQuiescent() const {
 }
 
 Status PNCWFDirector::RunThreaded(Timestamp until) {
+  CWF_PROFILE_WALL_SCOPE();
   threads_.clear();
   stop_ = false;
   for (const auto& actor : workflow_->actors()) {

@@ -79,28 +79,39 @@ Status SCWFDirector::FireTimeouts(Timestamp now) {
 }
 
 Status SCWFDirector::DispatchActor(Actor* actor) {
+#ifdef CWF_OBS_ENABLED
+  // Profile cells were resolved at Bind; the branch keeps the disabled cost
+  // to one relaxed load (no map lookup).
+  const obs::WorkflowTelemetry::ActorProfileSites sites =
+      obs::ProfilingEnabled() ? telemetry_.ProfileSitesFor(actor)
+                              : obs::WorkflowTelemetry::ActorProfileSites{};
+#endif
   // Per-phase host timing is measured only while metrics are live; the
   // clock reads vanish entirely when telemetry is compiled out.
   const bool timed = telemetry_.host_timing_active();
   const int64_t host_t0 = timed ? obs::HostMonotonicMicros() : 0;
   // Deliver queued windows onto the actor's receiver buffers until its
   // firing precondition holds (one window in the common single-input case).
-  auto ready = actor->Prefire();
-  if (!ready.ok()) {
-    return ready.status();
-  }
-  bool can_fire = ready.value();
-  while (!can_fire) {
-    std::optional<ReadyWindow> rw = scheduler_->PopWindow(actor);
-    if (!rw.has_value()) {
-      break;
+  bool can_fire = false;
+  {
+    CWF_PROFILE_SCOPE(sites.prefire);
+    auto ready = actor->Prefire();
+    if (!ready.ok()) {
+      return ready.status();
     }
-    rw->receiver->DeliverBuffered(std::move(rw->window));
-    auto again = actor->Prefire();
-    if (!again.ok()) {
-      return again.status();
+    can_fire = ready.value();
+    while (!can_fire) {
+      std::optional<ReadyWindow> rw = scheduler_->PopWindow(actor);
+      if (!rw.has_value()) {
+        break;
+      }
+      rw->receiver->DeliverBuffered(std::move(rw->window));
+      auto again = actor->Prefire();
+      if (!again.ok()) {
+        return again.status();
+      }
+      can_fire = again.value();
     }
-    can_fire = again.value();
   }
 
   Duration cost = 0;
@@ -112,9 +123,12 @@ Status SCWFDirector::DispatchActor(Actor* actor) {
     const Timestamp fire_start = clock_->Now();
     const int64_t host_t1 = timed ? obs::HostMonotonicMicros() : 0;
     const auto host_start = std::chrono::steady_clock::now();
-    CWF_RETURN_NOT_OK(actor->Fire());
     size_t emitted = 0;
-    CWF_RETURN_NOT_OK(FlushActorOutputs(actor, &emitted));
+    {
+      CWF_PROFILE_SCOPE(sites.fire);
+      CWF_RETURN_NOT_OK(actor->Fire());
+      CWF_RETURN_NOT_OK(FlushActorOutputs(actor, &emitted));
+    }
     const size_t consumed = actor->firing_context().events_consumed;
     if (clock_->is_virtual()) {
       cost = cost_model_->FiringCost(actor->name(), consumed, emitted);
@@ -141,7 +155,10 @@ Status SCWFDirector::DispatchActor(Actor* actor) {
       }
     }
     telemetry_.RecordQueueDepth(actor, high_water);
-    auto cont = actor->Postfire();
+    auto cont = [&] {
+      CWF_PROFILE_SCOPE(sites.postfire);
+      return actor->Postfire();
+    }();
     if (!cont.ok()) {
       return cont.status();
     }
@@ -170,6 +187,11 @@ Status SCWFDirector::Run(Timestamp until) {
   if (!initialized_) {
     return Status::FailedPrecondition("SCWFDirector::Run before Initialize");
   }
+#ifdef CWF_OBS_ENABLED
+  static const obs::ProfileSite* dispatch_site = obs::Profiler::Global().Site(
+      "<scheduler>", obs::ProfilePhase::kSchedulerDispatch);
+#endif
+  CWF_PROFILE_WALL_SCOPE();
   constexpr uint64_t kMaxIdleIterations = 1000000;
   uint64_t idle_iterations = 0;
   for (;;) {
@@ -177,19 +199,27 @@ Status SCWFDirector::Run(Timestamp until) {
     scheduler_->OnIterationStart();
     ++director_iterations_;
     while (clock_->Now() <= until) {
-      CWF_RETURN_NOT_OK(FireTimeouts(clock_->Now()));
-      Actor* next = scheduler_->GetNextActor();
+      Actor* next = nullptr;
+      {
+        // Scheduler-dispatch phase: timer service + policy pick + decision
+        // bookkeeping. Deadline-driven dispatches inside FireTimeouts nest
+        // their own prefire/fire scopes and are subtracted from this one.
+        CWF_PROFILE_SCOPE(dispatch_site);
+        CWF_RETURN_NOT_OK(FireTimeouts(clock_->Now()));
+        next = scheduler_->GetNextActor();
+        if (next != nullptr &&
+            (telemetry_.host_timing_active() || obs::TracingEnabled())) {
+          obs::SchedulerDecision decision;
+          decision.policy = scheduler_->name();
+          decision.chosen = next;
+          decision.actor_queued_windows = scheduler_->QueuedWindows(next);
+          decision.total_queued_events = scheduler_->TotalQueuedEvents();
+          decision.now = clock_->Now();
+          telemetry_.RecordDecision(decision);
+        }
+      }
       if (next == nullptr) {
         break;
-      }
-      if (telemetry_.host_timing_active() || obs::TracingEnabled()) {
-        obs::SchedulerDecision decision;
-        decision.policy = scheduler_->name();
-        decision.chosen = next;
-        decision.actor_queued_windows = scheduler_->QueuedWindows(next);
-        decision.total_queued_events = scheduler_->TotalQueuedEvents();
-        decision.now = clock_->Now();
-        telemetry_.RecordDecision(decision);
       }
       if (IsHalted(next)) {
         // Drop its pending work so the scheduler does not spin on it.

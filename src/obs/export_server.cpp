@@ -173,6 +173,13 @@ void MetricsServer::ServeClient(int client_fd) {
 }
 
 std::string MetricsServer::HandleRequest(const std::string& path) const {
+#ifdef CWF_OBS_ENABLED
+  // Exposition rendering is itself host time; attribute it so a scrape-heavy
+  // run shows up in its own decomposition instead of inflating other phases.
+  static const ProfileSite* serialize_site =
+      Profiler::Global().Site("<export>", ProfilePhase::kSerialization);
+#endif
+  CWF_PROFILE_SCOPE(serialize_site);
   if (path == "/metrics") {
     return HttpResponse("200 OK", "text/plain; version=0.0.4",
                         registry_->RenderPrometheus());
@@ -189,10 +196,28 @@ std::string MetricsServer::HandleRequest(const std::string& path) const {
     return HttpResponse("200 OK", "application/json",
                         GlobalTracer().RenderChromeJson());
   }
+  if (path == "/profile") {
+    // Phase-decomposition TSV followed by the critical-path section; rows
+    // of the first part have exactly 5 tab-separated columns (cwf_top
+    // --profile keys on that).
+    return HttpResponse(
+        "200 OK", "text/tab-separated-values",
+        RenderProfileText(SnapshotProfile(*registry_)) + "\n" +
+            RenderCriticalPathText(ComputeCriticalPaths(GlobalTracer())));
+  }
+  if (path == "/profile.json") {
+    return HttpResponse(
+        "200 OK", "application/json",
+        "{\"profile\":" + RenderProfileJson(SnapshotProfile(*registry_)) +
+            ",\"critical_path\":" +
+            RenderCriticalPathJson(ComputeCriticalPaths(GlobalTracer())) +
+            "}");
+  }
   if (path == "/") {
     return HttpResponse("200 OK", "text/plain",
                         "confluence metrics server\n"
-                        "endpoints: /metrics /metrics.json /top /trace.json\n");
+                        "endpoints: /metrics /metrics.json /top /trace.json "
+                        "/profile /profile.json\n");
   }
   return HttpResponse("404 Not Found", "text/plain", "not found\n");
 }

@@ -88,6 +88,10 @@ void WorkflowTelemetry::Bind(const Workflow& workflow,
         reg.GetCounter("cwf_backpressure_deferrals_total", "actor", name);
     ai.tid = GlobalTracer().RegisterTrack(std::string(director_kind) + ":" +
                                           name);
+    Profiler& profiler = Profiler::Global();
+    ai.profile.prefire = profiler.Site(name, ProfilePhase::kPrefire);
+    ai.profile.fire = profiler.Site(name, ProfilePhase::kFire);
+    ai.profile.postfire = profiler.Site(name, ProfilePhase::kPostfire);
     actors_.emplace(actor.get(), ai);
   }
 #else
@@ -130,6 +134,10 @@ const ReceiverProbe* WorkflowTelemetry::CreateReceiverProbe(
     it->second.depth = reg.GetGauge("cwf_receiver_depth", "port", label);
     it->second.blocked_us =
         reg.GetCounter("cwf_receiver_blocked_us_total", "port", label);
+    Profiler& profiler = Profiler::Global();
+    it->second.put_site = profiler.Site(label, ProfilePhase::kReceiverPut);
+    it->second.get_site = profiler.Site(label, ProfilePhase::kReceiverGet);
+    it->second.blocked_site = profiler.Site(label, ProfilePhase::kBlocked);
   }
   return &it->second;
 #else
@@ -148,6 +156,12 @@ const WorkflowTelemetry::ActorInstruments* WorkflowTelemetry::Find(
 uint32_t WorkflowTelemetry::TrackFor(const Actor* actor) const {
   const ActorInstruments* ai = Find(actor);
   return ai == nullptr ? 0 : ai->tid;
+}
+
+WorkflowTelemetry::ActorProfileSites WorkflowTelemetry::ProfileSitesFor(
+    const Actor* actor) const {
+  const ActorInstruments* ai = Find(actor);
+  return ai == nullptr ? ActorProfileSites{} : ai->profile;
 }
 
 void WorkflowTelemetry::RecordFiring(const FiringRecord& record) {
@@ -175,6 +189,9 @@ void WorkflowTelemetry::RecordFiring(const FiringRecord& record) {
     }
   }
   if (TracingEnabled()) {
+    static const ProfileSite* close_site =
+        Profiler::Global().Site("<tracer>", ProfilePhase::kWaveClose);
+    CWF_PROFILE_SCOPE(close_site);
     GlobalTracer().OnFiring(ai->tid, record.wave, record.start, record.end,
                             record.consumed, record.emitted);
   }

@@ -26,6 +26,7 @@
 #include "common/time.h"
 #include "core/event.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace_buffer.h"
 
 namespace cwf {
@@ -54,6 +55,11 @@ struct ReceiverProbe {
   Counter* gets = nullptr;        ///< cwf_receiver_gets_total{port}
   Gauge* depth = nullptr;         ///< cwf_receiver_depth{port}; Max = HWM
   Counter* blocked_us = nullptr;  ///< cwf_receiver_blocked_us_total{port}
+  /// Host-profiler cells for this channel (labelled by port name); nullptr
+  /// only when the whole probe is (compiled-out telemetry).
+  const ProfileSite* put_site = nullptr;      ///< receiver_put phase
+  const ProfileSite* get_site = nullptr;      ///< receiver_get phase
+  const ProfileSite* blocked_site = nullptr;  ///< blocked phase
 };
 
 /// \brief Everything known about one completed firing, handed to
@@ -184,6 +190,16 @@ class WorkflowTelemetry {
   /// \brief Trace track (tid) of `actor`; 0 when unknown / unbound.
   uint32_t TrackFor(const Actor* actor) const;
 
+  /// \brief Host-profiler cells of one actor's firing phases, resolved at
+  /// Bind. All-null when the actor is unbound or telemetry is compiled out
+  /// (CWF_PROFILE_SCOPE(nullptr) is inert, so callers never branch).
+  struct ActorProfileSites {
+    const ProfileSite* prefire = nullptr;
+    const ProfileSite* fire = nullptr;
+    const ProfileSite* postfire = nullptr;
+  };
+  ActorProfileSites ProfileSitesFor(const Actor* actor) const;
+
   size_t observer_count() const { return observers_.size(); }
 
  private:
@@ -201,6 +217,7 @@ class WorkflowTelemetry {
     Counter* decisions = nullptr;
     Counter* deferrals = nullptr;
     uint32_t tid = 0;  ///< processing-track id in the global tracer
+    ActorProfileSites profile;  ///< host-profiler cells (obs/profile.h)
   };
 
   const ActorInstruments* Find(const Actor* actor) const;

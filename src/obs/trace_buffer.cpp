@@ -224,6 +224,11 @@ uint64_t WaveTracer::waves_closed() const {
   return waves_closed_;
 }
 
+std::vector<std::string> WaveTracer::TrackNames() const {
+  ScopedLock lock(mutex_);
+  return track_names_;
+}
+
 std::string WaveTracer::RenderChromeJson() const {
   std::vector<TraceEvent> events = buffer_.SnapshotEvents();
   std::vector<std::string> tracks;

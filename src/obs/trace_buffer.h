@@ -130,6 +130,10 @@ class WaveTracer {
 
   const TraceBuffer& buffer() const { return buffer_; }
 
+  /// \brief Registered actor-track names, index = (tid - 10) / 2 (drives
+  /// critical-path attribution in obs/profile).
+  std::vector<std::string> TrackNames() const;
+
   /// \brief Render everything as Chrome trace-event JSON: metadata first,
   /// then all events sorted by ts (stable, so B precedes its E at equal
   /// ts). Loadable in Perfetto / chrome://tracing.

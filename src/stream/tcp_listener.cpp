@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/profile.h"
 #include "stream/trace.h"
 
 namespace cwf {
@@ -98,6 +99,12 @@ void TcpLineListener::ClientLoop(int client_fd) {
       if (line.empty()) {
         continue;
       }
+#ifdef CWF_OBS_ENABLED
+      static const obs::ProfileSite* decode_site =
+          obs::Profiler::Global().Site("<ingest>",
+                                       obs::ProfilePhase::kSerialization);
+#endif
+      CWF_PROFILE_SCOPE(decode_site);
       auto token = ParseTokenBody(line);
       if (!token.ok()) {
         parse_errors_.fetch_add(1);

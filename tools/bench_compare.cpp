@@ -1,0 +1,157 @@
+// bench_compare: regression gate over canonical BENCH_*.json files.
+//
+// Compares a current benchmark result (file or directory of BENCH_*.json)
+// against a committed baseline and fails when throughput drops, latency
+// percentiles rise, or peak RSS grows by more than the configured
+// thresholds. Directories are matched by file name, so a baseline tree
+// checked into bench/baselines/ gates a freshly produced results dir with
+// one invocation. --warn-only reports but always exits 0 (the CI
+// perf-smoke lane runs in this mode: shared runners are too noisy to make
+// wall-clock numbers a hard gate).
+//
+// Usage:
+//   bench_compare BASELINE CURRENT
+//       [--max-throughput-drop-pct N] [--max-latency-rise-pct N]
+//       [--max-rss-rise-pct N] [--warn-only]
+//
+// Exit codes: 0 = within thresholds (or --warn-only), 1 = regression,
+// 2 = usage / unreadable input.
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE CURRENT [--max-throughput-drop-pct N] "
+               "[--max-latency-rise-pct N] [--max-rss-rise-pct N] "
+               "[--warn-only]\n"
+               "BASELINE and CURRENT are BENCH_*.json files or directories "
+               "of them (matched by file name).\n",
+               argv0);
+  return 2;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// BENCH_*.json file names directly inside `dir`, sorted.
+std::vector<std::string> ListBenchFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return names;
+  }
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// One (baseline path, current path) pair to compare.
+struct ComparePair {
+  std::string name;
+  std::string baseline_path;
+  std::string current_path;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  cwf::bench::CompareThresholds thresholds;
+  bool warn_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-throughput-drop-pct" && i + 1 < argc) {
+      thresholds.throughput_drop_pct = std::atof(argv[++i]);
+    } else if (arg == "--max-latency-rise-pct" && i + 1 < argc) {
+      thresholds.latency_rise_pct = std::atof(argv[++i]);
+    } else if (arg == "--max-rss-rise-pct" && i + 1 < argc) {
+      thresholds.rss_rise_pct = std::atof(argv[++i]);
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    return Usage(argv[0]);
+  }
+  const std::string& baseline_arg = positional[0];
+  const std::string& current_arg = positional[1];
+
+  std::vector<ComparePair> pairs;
+  if (IsDirectory(baseline_arg) && IsDirectory(current_arg)) {
+    const auto baseline_files = ListBenchFiles(baseline_arg);
+    if (baseline_files.empty()) {
+      std::fprintf(stderr, "bench_compare: no BENCH_*.json under %s\n",
+                   baseline_arg.c_str());
+      return 2;
+    }
+    const auto current_files = ListBenchFiles(current_arg);
+    for (const std::string& name : baseline_files) {
+      if (std::find(current_files.begin(), current_files.end(), name) ==
+          current_files.end()) {
+        std::printf("%-28s MISSING in %s (skipped)\n", name.c_str(),
+                    current_arg.c_str());
+        continue;
+      }
+      pairs.push_back({name, baseline_arg + "/" + name,
+                       current_arg + "/" + name});
+    }
+  } else if (!IsDirectory(baseline_arg) && !IsDirectory(current_arg)) {
+    pairs.push_back({baseline_arg, baseline_arg, current_arg});
+  } else {
+    std::fprintf(stderr,
+                 "bench_compare: BASELINE and CURRENT must both be files or "
+                 "both be directories\n");
+    return 2;
+  }
+
+  bool any_regressed = false;
+  for (const ComparePair& pair : pairs) {
+    auto baseline = cwf::bench::ReadBenchJson(pair.baseline_path);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "bench_compare: %s\n",
+                   baseline.status().ToString().c_str());
+      return 2;
+    }
+    auto current = cwf::bench::ReadBenchJson(pair.current_path);
+    if (!current.ok()) {
+      std::fprintf(stderr, "bench_compare: %s\n",
+                   current.status().ToString().c_str());
+      return 2;
+    }
+    const cwf::bench::CompareReport report = cwf::bench::CompareBench(
+        baseline.value(), current.value(), thresholds);
+    std::printf("=== %s (baseline %s -> current %s)\n%s\n", pair.name.c_str(),
+                baseline->git_sha.c_str(), current->git_sha.c_str(),
+                report.Render().c_str());
+    any_regressed = any_regressed || report.regressed;
+  }
+  if (any_regressed && warn_only) {
+    std::printf("bench_compare: regressions found (warn-only, exit 0)\n");
+  }
+  return (any_regressed && !warn_only) ? 1 : 0;
+}

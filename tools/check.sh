@@ -49,15 +49,36 @@ echo "==> [cwf-analyze] liveness classification (--liveness --strict)"
 echo "==> [cwf-analyze] channel schema verification (--schemas --strict)"
 ./build/tools/cwf_analyze --schemas --strict
 
-echo "==> [obs] traced LRB segment + exposition scrape"
+echo "==> [obs] traced + profiled LRB segment, exposition scrape"
 OBS_TMP="$(mktemp -d)"
 ./build/tools/cwf_lrb_serve --duration-s 60 \
-  --bench "${OBS_TMP}/BENCH_QBS.json" --trace "${OBS_TMP}/trace.json" \
-  --scrape-out "${OBS_TMP}/metrics.txt" > /dev/null
+  --bench "${OBS_TMP}/BENCH_lrb_QBS.json" --trace "${OBS_TMP}/trace.json" \
+  --scrape-out "${OBS_TMP}/metrics.txt" \
+  --profile-out "${OBS_TMP}/profile.txt" > /dev/null
 grep -q '^# TYPE cwf_actor_firings_total counter$' "${OBS_TMP}/metrics.txt"
-grep -q '"response_time_histograms_us"' "${OBS_TMP}/BENCH_QBS.json"
+grep -q '"schema_version"' "${OBS_TMP}/BENCH_lrb_QBS.json"
+grep -q '"host_phase_us"' "${OBS_TMP}/BENCH_lrb_QBS.json"
 grep -q '"traceEvents"' "${OBS_TMP}/trace.json"
+grep -q '^# coverage_pct ' "${OBS_TMP}/profile.txt"
+
+echo "==> [perf-smoke] bench_compare vs committed baseline (warn-only)"
+./build/tools/cwf_lrb_serve --duration-s 120 \
+  --bench "${OBS_TMP}/BENCH_lrb_QBS.json" > /dev/null
+./build/tools/bench_compare --warn-only \
+  bench/baselines/BENCH_lrb_QBS.json "${OBS_TMP}/BENCH_lrb_QBS.json"
 rm -rf "${OBS_TMP}"
+
+echo "==> [obs-off] profiler hooks compile out (-DCONFLUENCE_OBS=OFF)"
+cmake -B build-noobs -S . "${GENERATOR_ARGS[@]}" -DCONFLUENCE_OBS=OFF > /dev/null
+cmake --build build-noobs -j "${JOBS}" --target confluence cwf_lrb_serve \
+  bench_compare obs_profile_test > /dev/null
+# A compiled-out build must not reference the profile scope machinery from
+# the hot-path objects (the classes still exist for tests and tools).
+if nm build-noobs/src/CMakeFiles/confluence.dir/core/port.cpp.o 2> /dev/null |
+    grep -q ScopedProfilePhase; then
+  echo "error: port.cpp still references ScopedProfilePhase with OBS off" >&2
+  exit 1
+fi
 
 if [[ "${FAST}" == "0" ]]; then
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \

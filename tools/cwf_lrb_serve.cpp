@@ -1,19 +1,26 @@
 // cwf_lrb_serve: run the Linear Road benchmark with the observability
-// stack attached — metrics server, optional wave tracing, bench JSON.
+// stack attached — metrics server, optional wave tracing, profiling,
+// canonical bench JSON.
 //
 // Starts an obs::MetricsServer, prints the bound port, then runs the LRB
 // experiment (repeatedly with --repeat, so cwf_top has changing counters
-// to watch). After the run it can write the per-query-type response-time
-// histograms (--bench BENCH_<sched>.json), the Chrome trace-event JSON for
-// Perfetto (--trace FILE, implies tracing on), and a self-scrape of its
-// own /metrics endpoint (--scrape-out FILE) that exercises the HTTP path
-// end-to-end for CI. --serve-ms keeps the server up after the run for
-// interactive cwf_top sessions.
+// to watch). After the run it can write the canonical BENCH_*.json
+// (--bench FILE, bench/harness.h schema, including the profiler's
+// host-time decomposition when profiling is on), the Chrome trace-event
+// JSON for Perfetto (--trace FILE, implies tracing on), and a self-scrape
+// of its own /metrics endpoint (--scrape-out FILE) that exercises the
+// HTTP path end-to-end for CI. --profile enables the host-time profiler
+// (and tracing, which critical-path attribution needs) and prints the
+// per-(actor, phase) decomposition plus the top critical-path
+// contributors per query type after the run; --profile-out FILE writes
+// that report to a file as well. --serve-ms keeps the server up after the
+// run for interactive cwf_top sessions.
 //
 // Usage:
 //   cwf_lrb_serve [--port N] [--scheduler QBS|RR|RB|FIFO|EDF|PNCWF]
 //                 [--duration-s S] [--repeat N] [--trace FILE]
 //                 [--bench FILE] [--scrape-out FILE] [--serve-ms MS]
+//                 [--profile] [--profile-out FILE]
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -28,9 +35,11 @@
 #include <string>
 #include <thread>
 
+#include "harness.h"
 #include "lrb/harness.h"
 #include "obs/export_server.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "obs/trace_buffer.h"
 
@@ -44,14 +53,17 @@ struct CliOptions {
   std::string trace_path;
   std::string bench_path;
   std::string scrape_path;
+  std::string profile_path;
   int serve_ms = 0;
+  bool profile = false;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--scheduler QBS|RR|RB|FIFO|EDF|PNCWF] "
                "[--duration-s S] [--repeat N] [--trace FILE] [--bench FILE] "
-               "[--scrape-out FILE] [--serve-ms MS]\n",
+               "[--scrape-out FILE] [--serve-ms MS] [--profile] "
+               "[--profile-out FILE]\n",
                argv0);
   return 2;
 }
@@ -116,6 +128,17 @@ bool SelfScrape(uint16_t port, const std::string& path) {
   return static_cast<bool>(out);
 }
 
+/// The combined profiling report: per-(actor, phase) self-time
+/// decomposition followed by the critical-path attribution.
+std::string RenderProfileReport() {
+  const cwf::obs::ProfileSnapshot snapshot =
+      cwf::obs::SnapshotProfile(cwf::obs::MetricsRegistry::Global());
+  const cwf::obs::CriticalPathReport paths =
+      cwf::obs::ComputeCriticalPaths(cwf::obs::GlobalTracer());
+  return cwf::obs::RenderProfileText(snapshot) + "\n" +
+         cwf::obs::RenderCriticalPathText(paths);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,6 +161,11 @@ int main(int argc, char** argv) {
       options.scrape_path = argv[++i];
     } else if (arg == "--serve-ms" && i + 1 < argc) {
       options.serve_ms = std::atoi(argv[++i]);
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      options.profile = true;
+      options.profile_path = argv[++i];
     } else if (arg == "--no-metrics") {
       // Runtime-disable the metrics sinks (the compiled-out comparison
       // point for the overhead measurement in docs/OBSERVABILITY.md).
@@ -158,6 +186,11 @@ int main(int argc, char** argv) {
   if (!options.trace_path.empty()) {
     cwf::obs::SetTracingEnabled(true);
   }
+  if (options.profile) {
+    cwf::obs::SetProfilingEnabled(true);
+    // Critical-path attribution walks the wave-lineage trace.
+    cwf::obs::SetTracingEnabled(true);
+  }
 
   cwf::obs::MetricsServer server;
   const cwf::Status started =
@@ -170,8 +203,14 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   cwf::lrb::ExperimentResult last;
+  double last_wall_s = 0;
   for (int run = 0; run < options.repeat; ++run) {
+    const auto host_start = std::chrono::steady_clock::now();
     auto result = cwf::lrb::RunLRBExperiment(experiment);
+    last_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
     if (!result.ok()) {
       std::fprintf(stderr, "cwf_lrb_serve: run %d failed: %s\n", run,
                    result.status().ToString().c_str());
@@ -190,12 +229,33 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   if (!options.bench_path.empty()) {
-    const cwf::Status s = cwf::lrb::WriteBenchJson(
-        last, "lrb_" + options.scheduler, options.bench_path);
+    cwf::bench::BenchResult bench = cwf::bench::FromLRB(
+        last, "lrb_" + options.scheduler, last_wall_s);
+    bench.config["duration_s"] = std::to_string(options.duration_s);
+    if (options.profile) {
+      bench.host_phase_us =
+          cwf::obs::SnapshotProfile(cwf::obs::MetricsRegistry::Global())
+              .PhaseTotalsUs();
+    }
+    const cwf::Status s =
+        cwf::bench::WriteBenchJson(bench, options.bench_path);
     if (!s.ok()) {
       std::fprintf(stderr, "cwf_lrb_serve: bench write failed: %s\n",
                    s.ToString().c_str());
       exit_code = 1;
+    }
+  }
+  if (options.profile) {
+    const std::string report = RenderProfileReport();
+    std::printf("%s", report.c_str());
+    std::fflush(stdout);
+    if (!options.profile_path.empty()) {
+      std::ofstream out(options.profile_path, std::ios::trunc);
+      if (!out || !(out << report)) {
+        std::fprintf(stderr, "cwf_lrb_serve: profile write failed: %s\n",
+                     options.profile_path.c_str());
+        exit_code = 1;
+      }
     }
   }
   if (!options.trace_path.empty()) {

@@ -10,9 +10,13 @@
 //
 // Usage:
 //   cwf_top --port N [--host 127.0.0.1] [--interval-ms 1000] [--once]
+//           [--profile]
 //
 // --once fetches a single sample, prints the table without screen control
-// sequences, and exits (CI / scripting mode).
+// sequences, and exits (CI / scripting mode). --profile additionally polls
+// the /profile endpoint and appends a per-actor host-time table (self-time
+// per phase plus share of wall) — rows are empty unless the server process
+// runs with profiling enabled.
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -38,11 +42,13 @@ struct CliOptions {
   int port = 0;
   int interval_ms = 1000;
   bool once = false;
+  bool profile = false;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port N [--host HOST] [--interval-ms MS] [--once]\n",
+               "usage: %s --port N [--host HOST] [--interval-ms MS] [--once] "
+               "[--profile]\n",
                argv0);
   return 2;
 }
@@ -226,6 +232,97 @@ std::string RenderTable(const Sample& sample, const Sample& prev) {
   return out.str();
 }
 
+/// Per-actor host-time decomposition pivoted from the /profile TSV: the
+/// self-time of the firing phases plus everything else, and the actor's
+/// total share of profiled wall time.
+struct ProfileRow {
+  double prefire_ms = 0;
+  double fire_ms = 0;
+  double postfire_ms = 0;
+  double put_ms = 0;
+  double get_ms = 0;
+  double blocked_ms = 0;
+  double other_ms = 0;
+  double total_ms = 0;
+};
+
+/// Parses the decomposition section of the /profile body (5-field TSV rows
+/// up to the first blank line; the critical-path section after it uses a
+/// different, human-oriented format).
+bool ParseProfile(const std::string& body,
+                  std::map<std::string, ProfileRow>* rows, double* wall_us,
+                  std::string* error) {
+  std::istringstream in(body);
+  std::string line;
+  *wall_us = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      break;  // end of the decomposition TSV
+    }
+    if (line.rfind("# wall_us ", 0) == 0) {
+      *wall_us = std::strtod(line.c_str() + 10, nullptr);
+      continue;
+    }
+    if (line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("actor\t", 0) == 0) {
+      saw_header = true;
+      continue;
+    }
+    const std::vector<std::string> f = SplitTabs(line);
+    if (f.size() != 5) {
+      *error = "bad /profile row (want 5 fields): " + line;
+      return false;
+    }
+    const double ms = std::strtod(f[2].c_str(), nullptr) / 1000.0;
+    ProfileRow& row = (*rows)[f[0]];
+    if (f[1] == "prefire") {
+      row.prefire_ms += ms;
+    } else if (f[1] == "fire") {
+      row.fire_ms += ms;
+    } else if (f[1] == "postfire") {
+      row.postfire_ms += ms;
+    } else if (f[1] == "receiver_put") {
+      row.put_ms += ms;
+    } else if (f[1] == "receiver_get") {
+      row.get_ms += ms;
+    } else if (f[1] == "blocked") {
+      row.blocked_ms += ms;
+    } else {
+      row.other_ms += ms;
+    }
+    row.total_ms += ms;
+  }
+  if (!saw_header) {
+    *error = "missing /profile TSV header";
+    return false;
+  }
+  return true;
+}
+
+std::string RenderProfileTable(const std::map<std::string, ProfileRow>& rows,
+                               double wall_us) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-26s %9s %9s %9s %8s %8s %9s %8s %8s\n", "ACTOR(HOST)",
+                "PRE_MS", "FIRE_MS", "POST_MS", "PUT_MS", "GET_MS",
+                "BLOCK_MS", "OTHER_MS", "PCT_WALL");
+  out << line;
+  for (const auto& [actor, row] : rows) {
+    const double pct =
+        wall_us > 0 ? 100.0 * row.total_ms * 1000.0 / wall_us : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-26s %9.1f %9.1f %9.1f %8.1f %8.1f %9.1f %8.1f %8.1f\n",
+                  actor.c_str(), row.prefire_ms, row.fire_ms, row.postfire_ms,
+                  row.put_ms, row.get_ms, row.blocked_ms, row.other_ms, pct);
+    out << line;
+  }
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,6 +337,8 @@ int main(int argc, char** argv) {
       options.interval_ms = std::atoi(argv[++i]);
     } else if (arg == "--once") {
       options.once = true;
+    } else if (arg == "--profile") {
+      options.profile = true;
     } else {
       return Usage(argv[0]);
     }
@@ -261,7 +360,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cwf_top: bad /top payload: %s\n", error.c_str());
       return 1;
     }
-    const std::string table = RenderTable(sample, prev);
+    std::string table = RenderTable(sample, prev);
+    if (options.profile) {
+      std::string profile_body;
+      if (!HttpGet(options.host, options.port, "/profile", &profile_body,
+                   &error)) {
+        std::fprintf(stderr, "cwf_top: /profile fetch failed: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      std::map<std::string, ProfileRow> profile_rows;
+      double wall_us = 0;
+      if (!ParseProfile(profile_body, &profile_rows, &wall_us, &error)) {
+        std::fprintf(stderr, "cwf_top: bad /profile payload: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      table += "\n" + RenderProfileTable(profile_rows, wall_us);
+    }
     if (options.once) {
       std::fputs(table.c_str(), stdout);
       return 0;
