@@ -1,0 +1,499 @@
+// Ingest-scale load driver: thousands of concurrent TCP clients pushing
+// tuples into a net::IngestServer, verifying the tentpole contract —
+// bounded channel + staging + paused reads = zero tuple loss under
+// overload — and reporting throughput in the canonical BENCH json schema.
+//
+// Self-contained mode (default) owns the whole path: IngestServer over a
+// bounded PushChannel with a consumer thread that can be slowed down
+// (--consumer-delay-us) to force backpressure; every tuple the senders
+// write must come out of the channel. --sweep runs a comma-separated list
+// of connection counts and reports per-point throughput.
+//
+// External mode (--connect PORT) drives an already-running server (e.g.
+// `cwf_lrb_serve --listen`) with LRB position-report lines and, when
+// --metrics PORT is given, scrapes its /metrics endpoint to verify the
+// cwf_ingest_* counters moved by exactly the number of tuples sent.
+//
+// Usage:
+//   bench_ingest_scale [--connections N] [--tuples-per-conn N]
+//                      [--sender-threads N] [--shards N] [--capacity N]
+//                      [--staging-limit N] [--consumer-delay-us N]
+//                      [--consumer-batch N] [--rate-per-conn R] [--binary]
+//                      [--sweep N1,N2,...] [--bench FILE] [--expect-pauses]
+//                      [--connect PORT] [--metrics PORT] [--host HOST]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "core/clock.h"
+#include "harness.h"
+#include "net/frame.h"
+#include "net/ingest_server.h"
+#include "stream/push_channel.h"
+
+namespace {
+
+struct CliOptions {
+  int connections = 1000;
+  int tuples_per_conn = 200;
+  int sender_threads = 8;
+  int shards = 2;
+  int capacity = 1024;
+  int staging_limit = 128;
+  int consumer_delay_us = 0;
+  int consumer_batch = 256;
+  double rate_per_conn = 0;  // tuples/s per connection; 0 = unpaced
+  bool binary = false;
+  std::string sweep;           // "100,500,1000"
+  std::string bench_path;
+  bool expect_pauses = false;
+  int connect_port = 0;   // external mode when > 0
+  int metrics_port = 0;   // external mode /metrics scrape
+  int verify_timeout_s = 60;  // wait for the server-side drain this long
+  std::string host = "127.0.0.1";
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--connections N] [--tuples-per-conn N] "
+      "[--sender-threads N] [--shards N] [--capacity N] [--staging-limit N] "
+      "[--consumer-delay-us N] [--consumer-batch N] [--rate-per-conn R] "
+      "[--binary] [--sweep N1,N2,...] [--bench FILE] [--expect-pauses] "
+      "[--connect PORT] [--metrics PORT] [--verify-timeout-s S] "
+      "[--host HOST]\n",
+      argv0);
+  return 2;
+}
+
+int ConnectTo(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CWF_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  CWF_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1);
+  // Retry: a thousand simultaneous connects can transiently overflow the
+  // accept backlog.
+  for (int attempt = 0;; ++attempt) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    CWF_CHECK(attempt < 100);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    CWF_CHECK(n > 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// One tuple on the wire. External mode sends full LRB position reports so
+/// a live `cwf_lrb_serve --listen` accepts them against its schema;
+/// self-contained mode uses a compact two-field record.
+std::string TupleLine(bool lrb, int conn, int seq) {
+  if (lrb) {
+    return "time=i:" + std::to_string(seq / 10) +
+           ";car=i:" + std::to_string(conn) + ";speed=d:55.5;xway=i:0;" +
+           "lane=i:1;dir=i:0;seg=i:" + std::to_string(seq % 100) +
+           ";pos=i:" + std::to_string(seq * 10) + "\n";
+  }
+  return "conn=i:" + std::to_string(conn) + ";seq=i:" + std::to_string(seq) +
+         "\n";
+}
+
+/// Drives `conns` connections (split across sender threads) for
+/// `tuples_per_conn` tuples each. Returns the total tuples written.
+uint64_t DriveLoad(const CliOptions& options, uint16_t port, int conns,
+                   bool lrb_payload) {
+  std::atomic<uint64_t> sent{0};
+  std::vector<std::thread> threads;
+  const int nthreads = std::min(options.sender_threads, conns);
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<int> fds;
+      for (int c = t; c < conns; c += nthreads) {
+        fds.push_back(ConnectTo(options.host, port));
+      }
+      const double per_conn_interval_s =
+          options.rate_per_conn > 0 ? 1.0 / options.rate_per_conn : 0;
+      const auto start = std::chrono::steady_clock::now();
+      // Round-robin over this thread's connections: one tuple per
+      // connection per round keeps all of them concurrently active.
+      for (int round = 0; round < options.tuples_per_conn; ++round) {
+        for (size_t i = 0; i < fds.size(); ++i) {
+          const int conn = t + static_cast<int>(i) * nthreads;
+          const std::string line = TupleLine(lrb_payload, conn, round);
+          if (options.binary) {
+            const std::string frame = cwf::net::EncodeFrame(
+                0, std::string_view(line.data(), line.size() - 1));
+            SendAll(fds[i], frame.data(), frame.size());
+          } else {
+            SendAll(fds[i], line.data(), line.size());
+          }
+          sent.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (per_conn_interval_s > 0) {
+          const auto target =
+              start + std::chrono::duration<double>(per_conn_interval_s *
+                                                    (round + 1));
+          std::this_thread::sleep_until(target);
+        }
+      }
+      for (const int fd : fds) {
+        ::close(fd);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return sent.load();
+}
+
+bool WaitFor(const std::function<bool()>& cond, int timeout_ms) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+struct PhaseResult {
+  int connections = 0;
+  uint64_t sent = 0;
+  uint64_t consumed = 0;
+  uint64_t pauses = 0;
+  uint64_t paused_us = 0;
+  uint64_t staged_dropped = 0;
+  double wall_s = 0;
+  bool zero_loss = false;
+};
+
+/// One self-contained phase: fresh server + channel + consumer, `conns`
+/// clients, full verification.
+PhaseResult RunSelfContainedPhase(const CliOptions& options, int conns) {
+  cwf::RealClock clock;
+  auto channel = std::make_shared<cwf::PushChannel>();
+  channel->SetCapacity(static_cast<size_t>(options.capacity));
+
+  cwf::net::IngestServer::Options server_options;
+  server_options.shards = options.shards;
+  server_options.staging_limit = static_cast<size_t>(options.staging_limit);
+  server_options.max_connections = static_cast<size_t>(conns) + 64;
+  cwf::net::IngestServer server(&clock, server_options);
+  server.AddChannel(0, channel, "bench");
+  CWF_CHECK(server.Start(0).ok());
+
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto batch = channel->PopArrived(
+          cwf::Timestamp::Max(), static_cast<size_t>(options.consumer_batch));
+      if (batch.empty()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      consumed.fetch_add(batch.size(), std::memory_order_relaxed);
+      if (options.consumer_delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options.consumer_delay_us));
+      }
+    }
+    // Final drain: everything staged in the server flushes into the
+    // channel as the consumer frees space, so keep popping until the
+    // expected count arrives (the caller already waited for it).
+    for (;;) {
+      const auto batch = channel->PopArrived(cwf::Timestamp::Max());
+      if (batch.empty()) {
+        break;
+      }
+      consumed.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t sent = DriveLoad(options, server.port(), conns,
+                                  /*lrb_payload=*/false);
+  // All senders closed; wait until every tuple has surfaced at the
+  // consumer (staging drains as the consumer frees channel space).
+  const bool drained =
+      WaitFor([&] { return consumed.load() >= sent; }, 30000);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  server.Stop();
+
+  PhaseResult result;
+  result.connections = conns;
+  result.sent = sent;
+  result.consumed = consumed.load();
+  result.pauses = server.backpressure_pauses();
+  result.paused_us = server.backpressure_paused_us();
+  result.staged_dropped = server.staged_dropped();
+  result.wall_s = wall_s;
+  result.zero_loss = drained && result.consumed == sent &&
+                     result.staged_dropped == 0 &&
+                     server.parse_errors() == 0 && server.schema_rejects() == 0;
+  std::printf(
+      "conns=%5d sent=%9llu consumed=%9llu pauses=%6llu paused_ms=%7.1f "
+      "wall=%6.2fs rate=%9.0f/s %s\n",
+      conns, static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(result.consumed),
+      static_cast<unsigned long long>(result.pauses),
+      result.paused_us / 1000.0, wall_s,
+      wall_s > 0 ? sent / wall_s : 0,
+      result.zero_loss ? "ZERO-LOSS" : "LOSS DETECTED");
+  std::fflush(stdout);
+  return result;
+}
+
+/// Fetches http://host:port/metrics and returns the body ("" on failure).
+std::string ScrapeMetrics(const std::string& host, int port) {
+  const int fd = ConnectTo(host, static_cast<uint16_t>(port));
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  SendAll(fd, request, sizeof(request) - 1);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return "";
+  }
+  return response.substr(header_end + 4);
+}
+
+/// Last-token value of the first exposition line starting with `prefix`.
+double MetricValue(const std::string& body, const std::string& prefix) {
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = body.size();
+    }
+    const std::string line = body.substr(pos, eol - pos);
+    if (line.rfind(prefix, 0) == 0) {
+      const size_t space = line.rfind(' ');
+      if (space != std::string::npos) {
+        return std::strtod(line.c_str() + space + 1, nullptr);
+      }
+    }
+    pos = eol + 1;
+  }
+  return 0;
+}
+
+int RunExternal(const CliOptions& options, cwf::bench::BenchResult* bench) {
+  std::string before;
+  if (options.metrics_port > 0) {
+    before = ScrapeMetrics(options.host, options.metrics_port);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t sent =
+      DriveLoad(options, static_cast<uint16_t>(options.connect_port),
+                options.connections, /*lrb_payload=*/true);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("external: sent %llu tuples over %d connections in %.2fs "
+              "(%.0f/s)\n",
+              static_cast<unsigned long long>(sent), options.connections,
+              wall_s, wall_s > 0 ? sent / wall_s : 0);
+  bench->wall_s = wall_s;
+  bench->throughput_per_s = wall_s > 0 ? sent / wall_s : 0;
+  bench->metrics["tuples_sent"] = static_cast<double>(sent);
+
+  int exit_code = 0;
+  if (options.metrics_port > 0) {
+    // The server counts tuples as they clear staging into the channel;
+    // give the drain a moment before the closing scrape.
+    // The drain rate is the workflow's consumption rate (backpressure
+    // working as intended), so the wait is bounded by --verify-timeout-s,
+    // not a fixed poll count.
+    const std::string kTuples = "cwf_ingest_tuples_total";
+    const std::string kPauses = "cwf_ingest_backpressure_pauses_total";
+    double delta = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::seconds(options.verify_timeout_s);
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const std::string after = ScrapeMetrics(options.host,
+                                              options.metrics_port);
+      delta = MetricValue(after, kTuples) - MetricValue(before, kTuples);
+      if (delta >= static_cast<double>(sent)) {
+        bench->metrics["backpressure_pauses"] = MetricValue(after, kPauses);
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+    }
+    bench->metrics["tuples_counted_by_server"] = delta;
+    if (delta != static_cast<double>(sent)) {
+      std::fprintf(stderr,
+                   "bench_ingest_scale: LOSS: server counted %.0f of %llu "
+                   "tuples\n",
+                   delta, static_cast<unsigned long long>(sent));
+      exit_code = 1;
+    } else {
+      std::printf("server counted all %llu tuples: ZERO-LOSS\n",
+                  static_cast<unsigned long long>(sent));
+    }
+  }
+  return exit_code;
+}
+
+std::vector<int> ParseSweep(const std::string& sweep) {
+  std::vector<int> points;
+  size_t pos = 0;
+  while (pos < sweep.size()) {
+    points.push_back(std::atoi(sweep.c_str() + pos));
+    const size_t comma = sweep.find(',', pos);
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connections" && i + 1 < argc) {
+      options.connections = std::atoi(argv[++i]);
+    } else if (arg == "--tuples-per-conn" && i + 1 < argc) {
+      options.tuples_per_conn = std::atoi(argv[++i]);
+    } else if (arg == "--sender-threads" && i + 1 < argc) {
+      options.sender_threads = std::atoi(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      options.shards = std::atoi(argv[++i]);
+    } else if (arg == "--capacity" && i + 1 < argc) {
+      options.capacity = std::atoi(argv[++i]);
+    } else if (arg == "--staging-limit" && i + 1 < argc) {
+      options.staging_limit = std::atoi(argv[++i]);
+    } else if (arg == "--consumer-delay-us" && i + 1 < argc) {
+      options.consumer_delay_us = std::atoi(argv[++i]);
+    } else if (arg == "--consumer-batch" && i + 1 < argc) {
+      options.consumer_batch = std::atoi(argv[++i]);
+    } else if (arg == "--rate-per-conn" && i + 1 < argc) {
+      options.rate_per_conn = std::atof(argv[++i]);
+    } else if (arg == "--binary") {
+      options.binary = true;
+    } else if (arg == "--sweep" && i + 1 < argc) {
+      options.sweep = argv[++i];
+    } else if (arg == "--bench" && i + 1 < argc) {
+      options.bench_path = argv[++i];
+    } else if (arg == "--expect-pauses") {
+      options.expect_pauses = true;
+    } else if (arg == "--connect" && i + 1 < argc) {
+      options.connect_port = std::atoi(argv[++i]);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      options.metrics_port = std::atoi(argv[++i]);
+    } else if (arg == "--verify-timeout-s" && i + 1 < argc) {
+      options.verify_timeout_s = std::atoi(argv[++i]);
+    } else if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.connections < 1 || options.tuples_per_conn < 1 ||
+      options.sender_threads < 1 || options.shards < 1 ||
+      options.capacity < 1 || options.staging_limit < 1 ||
+      options.consumer_batch < 1) {
+    return Usage(argv[0]);
+  }
+
+  cwf::bench::BenchResult bench;
+  bench.bench = "ingest_scale";
+  bench.config["connections"] = std::to_string(options.connections);
+  bench.config["tuples_per_conn"] = std::to_string(options.tuples_per_conn);
+  bench.config["shards"] = std::to_string(options.shards);
+  bench.config["capacity"] = std::to_string(options.capacity);
+  bench.config["staging_limit"] = std::to_string(options.staging_limit);
+  bench.config["consumer_delay_us"] =
+      std::to_string(options.consumer_delay_us);
+  bench.config["protocol"] = options.binary ? "binary" : "line";
+  bench.config["mode"] =
+      options.connect_port > 0 ? "external" : "self_contained";
+
+  int exit_code = 0;
+  if (options.connect_port > 0) {
+    exit_code = RunExternal(options, &bench);
+  } else {
+    std::vector<int> points = options.sweep.empty()
+                                  ? std::vector<int>{options.connections}
+                                  : ParseSweep(options.sweep);
+    PhaseResult last;
+    for (const int conns : points) {
+      const PhaseResult phase = RunSelfContainedPhase(options, conns);
+      bench.metrics["tuples_per_s_conns_" + std::to_string(conns)] =
+          phase.wall_s > 0 ? phase.sent / phase.wall_s : 0;
+      if (!phase.zero_loss) {
+        exit_code = 1;
+      }
+      last = phase;
+    }
+    bench.wall_s = last.wall_s;
+    bench.throughput_per_s =
+        last.wall_s > 0 ? last.sent / last.wall_s : 0;
+    bench.metrics["tuples_sent"] = static_cast<double>(last.sent);
+    bench.metrics["tuples_consumed"] = static_cast<double>(last.consumed);
+    bench.metrics["backpressure_pauses"] = static_cast<double>(last.pauses);
+    bench.metrics["backpressure_paused_ms"] = last.paused_us / 1000.0;
+    bench.metrics["zero_loss"] = last.zero_loss ? 1 : 0;
+    if (options.expect_pauses && last.pauses == 0) {
+      std::fprintf(stderr,
+                   "bench_ingest_scale: expected backpressure pauses but "
+                   "observed none — overload knob too weak\n");
+      exit_code = 1;
+    }
+  }
+
+  if (!options.bench_path.empty()) {
+    const cwf::Status s =
+        cwf::bench::WriteBenchJson(bench, options.bench_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench_ingest_scale: bench write failed: %s\n",
+                   s.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}

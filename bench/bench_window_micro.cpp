@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/schema.h"
+#include "stream/push_channel.h"
 #include "window/window_operator.h"
 
 namespace cwf {
@@ -165,6 +166,48 @@ void BM_SchemaIndexOf(benchmark::State& state) {
   state.SetLabel(std::to_string(width) + " fields");
 }
 BENCHMARK(BM_SchemaIndexOf)->Arg(4)->Arg(16);
+
+// PushChannel deposit paths: per-tuple TryPush (one lock round-trip per
+// tuple) against TryPushBatch (one lock per batch) — the contrast the
+// ingest server's staging drain exploits.
+void BM_PushChannelTryPush(benchmark::State& state) {
+  PushChannel ch;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    benchmark::DoNotOptimize(
+        ch.TryPush(Token(static_cast<int64_t>(seq)),
+                   Timestamp(static_cast<int64_t>(seq))));
+    if (seq % 4096 == 0) {
+      ch.PopArrived(Timestamp::Max());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PushChannelTryPush);
+
+void BM_PushChannelTryPushBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  PushChannel ch;
+  std::vector<TraceEntry> entries(batch);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (size_t i = 0; i < batch; ++i) {
+      ++seq;
+      entries[i] = {Timestamp(static_cast<int64_t>(seq)),
+                    Token(static_cast<int64_t>(seq))};
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ch.TryPushBatch(entries));
+    state.PauseTiming();
+    ch.PopArrived(Timestamp::Max());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  state.SetLabel("batch=" + std::to_string(batch));
+}
+BENCHMARK(BM_PushChannelTryPushBatch)->Arg(8)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace cwf

@@ -1,0 +1,147 @@
+#include "net/background_writer.h"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cwf::net {
+
+BackgroundWriter::~BackgroundWriter() { Stop(); }
+
+Status BackgroundWriter::Start(SinkFn sink, Options options) {
+  if (running_.load()) {
+    return Status::FailedPrecondition("background writer already started");
+  }
+  if (!sink) {
+    return Status::InvalidArgument("background writer needs a sink");
+  }
+  if (options.flush_interval_ms <= 0 || options.buffer_limit == 0) {
+    return Status::InvalidArgument("bad background writer options");
+  }
+  sink_ = std::move(sink);
+  options_ = options;
+  stopping_ = false;
+  running_ = true;
+  flusher_ = std::thread([this] { FlushLoop(); });
+  return Status::OK();
+}
+
+Status BackgroundWriter::StartFile(const std::string& path, Options options) {
+  auto out = std::make_shared<std::ofstream>(path, std::ios::app);
+  if (!*out) {
+    return Status::Internal("cannot open '" + path + "' for append");
+  }
+  return Start(
+      [out](const std::string& chunk) {
+        out->write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+        out->flush();
+      },
+      options);
+}
+
+void BackgroundWriter::Append(std::string_view data) {
+  bool wake = false;
+  {
+    ScopedLock lock(mutex_);
+    if (!running_.load() || stopping_.load() ||
+        buffers_[active_].size() + data.size() > options_.buffer_limit) {
+      dropped_appends_.fetch_add(1);
+      return;
+    }
+    buffers_[active_].append(data.data(), data.size());
+    wake = buffers_[active_].size() >= options_.flush_watermark;
+  }
+  if (wake) {
+    cv_.notify_all();
+  }
+}
+
+void BackgroundWriter::AppendLine(std::string_view line) {
+  std::string with_newline;
+  with_newline.reserve(line.size() + 1);
+  with_newline.append(line.data(), line.size());
+  with_newline.push_back('\n');
+  Append(with_newline);
+}
+
+// ts-allowlist: condition-variable wait — the release/reacquire cycle of
+// cv_.wait() on a std::unique_lock is a lock pattern the thread-safety
+// analysis cannot model (see common/thread_annotations.h).
+void BackgroundWriter::Flush() CWF_NO_THREAD_SAFETY_ANALYSIS {
+  if (!running_.load()) {
+    return;
+  }
+  std::unique_lock<OrderedMutex> lock(mutex_);
+  // Two completed drain cycles cover both the buffer active at call time
+  // and one the flusher may already have swapped out mid-write.
+  const uint64_t target = drains_completed_ + 2;
+  drains_requested_ = target;
+  cv_.notify_all();
+  while (drains_completed_ < target && running_.load()) {
+    // cwf-tidy-allow(cwf-unbounded-wait): predicate is the enclosing while
+    cv_.wait(lock);
+  }
+}
+
+// ts-allowlist: condition-variable wait — see Flush().
+void BackgroundWriter::FlushLoop() CWF_NO_THREAD_SAFETY_ANALYSIS {
+  const auto interval = std::chrono::milliseconds(options_.flush_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<OrderedMutex> lock(mutex_);
+      cv_.wait_for(lock, interval, [this]() CWF_REQUIRES(mutex_) {
+        return stopping_.load() ||
+               buffers_[active_].size() >= options_.flush_watermark ||
+               drains_requested_ > drains_completed_;
+      });
+      if (stopping_.load()) {
+        return;  // Stop() drains the remainder after the join
+      }
+    }
+    DrainOnce();
+  }
+}
+
+void BackgroundWriter::DrainOnce() {
+  std::string* to_write = nullptr;
+  {
+    ScopedLock lock(mutex_);
+    if (!buffers_[active_].empty()) {
+      to_write = &buffers_[active_];
+      active_ = 1 - active_;
+    }
+  }
+  if (to_write != nullptr) {
+    // The swapped-out buffer is owned by this thread until cleared below:
+    // appends go to the other buffer, and there is only one flusher.
+    sink_(*to_write);
+    bytes_written_.fetch_add(to_write->size());
+    to_write->clear();
+  }
+  {
+    ScopedLock lock(mutex_);
+    ++drains_completed_;
+  }
+  cv_.notify_all();
+}
+
+void BackgroundWriter::Stop() {
+  if (!running_.load()) {
+    return;
+  }
+  stopping_ = true;
+  cv_.notify_all();
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+  // The flusher is gone; drain both buffers inline.
+  DrainOnce();
+  DrainOnce();
+  running_ = false;
+  cv_.notify_all();  // release any Flush() still waiting
+}
+
+}  // namespace cwf::net

@@ -1,0 +1,108 @@
+// Double-buffered background writer for ingest egress and access logging.
+//
+// A network event loop must never block on disk: the shards append
+// structured access-log lines (and any egress payloads) to an in-memory
+// buffer under a short lock, while one background thread swaps the two
+// buffers and flushes the full one to the sink off the hot path — the
+// classic trading-system CLog shape. Appends cost a lock + memcpy;
+// flushing never holds the append lock while touching the sink.
+//
+// Overflow policy: a bounded buffer (default 4 MiB) that fills faster
+// than the sink drains drops whole appends and counts them
+// (dropped_appends), keeping memory bounded under log storms — an access
+// log is diagnostics, not a ledger.
+
+#ifndef CONFLUENCE_NET_BACKGROUND_WRITER_H_
+#define CONFLUENCE_NET_BACKGROUND_WRITER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/lock_registry.h"
+#include "common/status.h"
+
+namespace cwf::net {
+
+class BackgroundWriter {
+ public:
+  /// \brief Sink invoked on the background thread with each drained
+  /// buffer (never concurrently with itself).
+  using SinkFn = std::function<void(const std::string&)>;
+
+  struct Options {
+    /// Flush cadence when no buffer fills up first.
+    int flush_interval_ms = 50;
+    /// Per-buffer byte bound; an append that would overflow the active
+    /// buffer is dropped and counted.
+    size_t buffer_limit = 4 * 1024 * 1024;
+    /// Appending past this many bytes wakes the flusher early.
+    size_t flush_watermark = 64 * 1024;
+  };
+
+  BackgroundWriter() = default;
+  ~BackgroundWriter();
+
+  BackgroundWriter(const BackgroundWriter&) = delete;
+  BackgroundWriter& operator=(const BackgroundWriter&) = delete;
+
+  /// \brief Start the flusher thread writing into `sink`.
+  Status Start(SinkFn sink, Options options);
+  Status Start(SinkFn sink) { return Start(std::move(sink), Options()); }
+
+  /// \brief Convenience: append-mode file sink at `path`.
+  Status StartFile(const std::string& path, Options options);
+  Status StartFile(const std::string& path) {
+    return StartFile(path, Options());
+  }
+
+  /// \brief Queue `data` for the background flush. Never blocks on the
+  /// sink; drops (and counts) when the active buffer is at its bound or
+  /// the writer is stopped.
+  void Append(std::string_view data);
+
+  /// \brief Append `line` plus '\n'.
+  void AppendLine(std::string_view line);
+
+  /// \brief Block until everything appended so far reached the sink.
+  void Flush();
+
+  /// \brief Flush remaining data, stop and join the thread. Idempotent.
+  void Stop();
+
+  uint64_t bytes_written() const { return bytes_written_.load(); }
+  uint64_t dropped_appends() const { return dropped_appends_.load(); }
+  bool running() const { return running_.load(); }
+
+ private:
+  void FlushLoop();
+
+  /// \brief Swap the active buffer out and hand it to the sink (flusher
+  /// thread only).
+  void DrainOnce();
+
+  SinkFn sink_;
+  Options options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> dropped_appends_{0};
+  std::thread flusher_;
+
+  mutable OrderedMutex mutex_{"net::BackgroundWriter::mutex"};
+  mutable std::condition_variable_any cv_;
+  /// Generation counters let Flush() wait for "my bytes hit the sink"
+  /// without tracking byte positions: drains_completed_ advances after
+  /// every DrainOnce.
+  uint64_t drains_requested_ CWF_GUARDED_BY(mutex_) = 0;
+  uint64_t drains_completed_ CWF_GUARDED_BY(mutex_) = 0;
+  std::string buffers_[2] CWF_GUARDED_BY(mutex_);
+  int active_ CWF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace cwf::net
+
+#endif  // CONFLUENCE_NET_BACKGROUND_WRITER_H_

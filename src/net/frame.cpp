@@ -1,0 +1,99 @@
+#include "net/frame.h"
+
+namespace cwf::net {
+
+std::string EncodeFrame(uint16_t channel_id, std::string_view payload) {
+  CWF_CHECK_MSG(payload.size() <= kMaxFramePayload,
+                "frame payload " << payload.size() << " exceeds "
+                                 << kMaxFramePayload);
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.push_back(static_cast<char>(kFrameMagic));
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>((channel_id >> 8) & 0xFF));
+  out.push_back(static_cast<char>(channel_id & 0xFF));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t n, const FrameFn& on_frame) {
+  if (poisoned_) {
+    return Status::FailedPrecondition("frame decoder poisoned by earlier error");
+  }
+  buffer_.append(data, n);
+  for (;;) {
+    if (buffer_.size() < kFrameHeaderSize) {
+      return Status::OK();
+    }
+    const auto* head = reinterpret_cast<const uint8_t*>(buffer_.data());
+    if (head[0] != kFrameMagic) {
+      poisoned_ = true;
+      return Status::InvalidArgument("bad frame magic 0x" +
+                                     std::to_string(head[0]));
+    }
+    if (head[1] != kFrameVersion) {
+      poisoned_ = true;
+      return Status::InvalidArgument("unsupported frame version " +
+                                     std::to_string(head[1]));
+    }
+    const uint16_t channel_id =
+        static_cast<uint16_t>((head[2] << 8) | head[3]);
+    const uint32_t len = (static_cast<uint32_t>(head[4]) << 24) |
+                         (static_cast<uint32_t>(head[5]) << 16) |
+                         (static_cast<uint32_t>(head[6]) << 8) |
+                         static_cast<uint32_t>(head[7]);
+    if (len > kMaxFramePayload) {
+      poisoned_ = true;
+      return Status::OutOfRange("frame payload length " + std::to_string(len) +
+                                " exceeds " + std::to_string(kMaxFramePayload));
+    }
+    if (buffer_.size() < kFrameHeaderSize + len) {
+      return Status::OK();  // mid-frame; wait for more bytes
+    }
+    Frame frame;
+    frame.version = head[1];
+    frame.channel_id = channel_id;
+    frame.payload = buffer_.substr(kFrameHeaderSize, len);
+    buffer_.erase(0, kFrameHeaderSize + len);
+    ++frames_decoded_;
+    on_frame(std::move(frame));
+  }
+}
+
+void LineDecoder::Feed(const char* data, size_t n, const LineFn& on_line) {
+  pending_.append(data, n);
+  size_t start = 0;
+  size_t newline;
+  while ((newline = pending_.find('\n', start)) != std::string::npos) {
+    std::string_view line(pending_.data() + start, newline - start);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) {
+      on_line(line);
+    }
+    start = newline + 1;
+  }
+  pending_.erase(0, start);
+}
+
+void LineDecoder::Finish(const LineFn& on_line) {
+  if (pending_.empty()) {
+    return;
+  }
+  std::string_view line(pending_);
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  if (!line.empty()) {
+    on_line(line);
+  }
+  pending_.clear();
+}
+
+}  // namespace cwf::net

@@ -1,0 +1,113 @@
+// Wire framing for the ingest front door.
+//
+// Two client protocols share one ingest server (src/net/ingest_server.h):
+//
+//  * Line protocol — newline-delimited `field=tag:value;...` bodies, the
+//    same text format as trace files (stream/trace.h SerializeTokenBody).
+//    Human-typable, telnet-compatible; every tuple lands on the
+//    connection's default channel.
+//
+//  * Binary frame protocol — length-prefixed frames carrying an explicit
+//    channel id, the serialization seam the planned distributed execution
+//    (inter-partition wave transport) reuses:
+//
+//        offset 0   magic     0xCF  (also the protocol discriminator: no
+//                                    line-protocol body starts with 0xCF)
+//        offset 1   version   0x01
+//        offset 2-3 channel   uint16, big-endian
+//        offset 4-7 length    uint32, big-endian payload byte count
+//        offset 8.. payload   `length` bytes, a SerializeTokenBody() text
+//
+// Both decoders are incremental: network reads hand over whatever bytes
+// arrived and complete messages surface through a callback, so a tuple
+// split across reads — or delivered byte by byte — reassembles exactly.
+// Framing violations (bad magic/version, oversized declared length) are
+// unrecoverable for a stream: the decoder reports an error Status and the
+// server drops the connection rather than guess at a resync point.
+
+#ifndef CONFLUENCE_NET_FRAME_H_
+#define CONFLUENCE_NET_FRAME_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace cwf::net {
+
+/// \brief First byte of every binary frame; doubles as the per-connection
+/// protocol discriminator (printable line-protocol text never starts with
+/// it).
+inline constexpr uint8_t kFrameMagic = 0xCF;
+
+/// \brief The one frame version this engine speaks.
+inline constexpr uint8_t kFrameVersion = 0x01;
+
+/// \brief Frame header size in bytes (magic + version + channel + length).
+inline constexpr size_t kFrameHeaderSize = 8;
+
+/// \brief Declared payloads above this are rejected as oversized (a
+/// corrupt or hostile length prefix must not make the server allocate
+/// gigabytes).
+inline constexpr uint32_t kMaxFramePayload = 64 * 1024;
+
+/// \brief One decoded binary frame.
+struct Frame {
+  uint8_t version = kFrameVersion;
+  uint16_t channel_id = 0;
+  std::string payload;
+};
+
+/// \brief Encode a frame for `channel_id` carrying `payload`.
+std::string EncodeFrame(uint16_t channel_id, std::string_view payload);
+
+/// \brief Incremental binary-frame decoder (one per connection).
+class FrameDecoder {
+ public:
+  using FrameFn = std::function<void(Frame&&)>;
+
+  /// \brief Consume `n` bytes, invoking `on_frame` per completed frame.
+  /// A non-OK return means the stream is corrupt (bad magic, unsupported
+  /// version, oversized length); the decoder is then poisoned and the
+  /// caller must drop the connection.
+  Status Feed(const char* data, size_t n, const FrameFn& on_frame);
+
+  /// \brief Bytes buffered toward an incomplete frame.
+  size_t pending_bytes() const { return buffer_.size(); }
+
+  /// \brief Whether the stream ended mid-frame (EOF truncation check).
+  bool mid_frame() const { return !buffer_.empty(); }
+
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+  uint64_t frames_decoded_ = 0;
+};
+
+/// \brief Incremental newline-splitter (one per connection). Strips a
+/// trailing '\r' (telnet clients); empty lines are skipped.
+class LineDecoder {
+ public:
+  using LineFn = std::function<void(std::string_view)>;
+
+  /// \brief Consume `n` bytes, invoking `on_line` per completed line.
+  void Feed(const char* data, size_t n, const LineFn& on_line);
+
+  /// \brief Flush the trailing unterminated line at end of stream: a
+  /// client that closes without a final newline still delivers its last
+  /// tuple instead of silently losing it.
+  void Finish(const LineFn& on_line);
+
+  size_t pending_bytes() const { return pending_.size(); }
+
+ private:
+  std::string pending_;
+};
+
+}  // namespace cwf::net
+
+#endif  // CONFLUENCE_NET_FRAME_H_

@@ -59,6 +59,35 @@ std::string RenderTopTsv(const MetricsRegistry& registry) {
         << '\t' << emitted << '\t' << arrived << '\t' << hwm << '\t'
         << blocked << '\t' << decisions << '\t' << deferrals << "\n";
   }
+  // Ingest-server rows ride along as '#' comment lines so the 10-field
+  // actor-row contract above stays untouched (older parsers that skip
+  // comments keep working). Gated on the per-channel tuple counter: it
+  // only exists once an IngestServer resolved its instruments, so a
+  // workflow without network ingest emits no extra lines.
+  const std::vector<std::string> ingest_channels =
+      reg.LabelValues("cwf_ingest_tuples_total");
+  if (!ingest_channels.empty()) {
+    out << "# ingest live="
+        << reg.GetGauge("cwf_ingest_connections")->Value()
+        << " accepted=" << reg.GetCounter("cwf_ingest_accepted_total")->Value()
+        << " rejected=" << reg.GetCounter("cwf_ingest_rejected_total")->Value()
+        << " paused=" << reg.GetGauge("cwf_ingest_backpressure_paused")->Value()
+        << " pauses="
+        << reg.GetCounter("cwf_ingest_backpressure_pauses_total")->Value()
+        << " bytes=" << reg.GetCounter("cwf_ingest_bytes_total")->Value()
+        << " parse_errors="
+        << reg.GetCounter("cwf_ingest_parse_errors_total")->Value()
+        << " schema_rejects="
+        << reg.GetCounter("cwf_ingest_schema_rejects_total")->Value()
+        << " frame_errors="
+        << reg.GetCounter("cwf_ingest_frame_errors_total")->Value() << "\n";
+    for (const std::string& channel : ingest_channels) {
+      out << "# ingest_channel " << channel << " tuples="
+          << reg.GetCounter("cwf_ingest_tuples_total", "channel", channel)
+                 ->Value()
+          << "\n";
+    }
+  }
   return out.str();
 }
 

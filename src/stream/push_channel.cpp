@@ -30,6 +30,34 @@ void PushChannel::SetExpectedSchema(TokenType type, std::string channel_name) {
   channel_name_ = std::move(channel_name);
 }
 
+TokenType PushChannel::expected_schema() const {
+  ScopedLock lock(mutex_);
+  return expected_;
+}
+
+Status PushChannel::CheckToken(const Token& token) const {
+  ScopedLock lock(mutex_);
+  if (expected_.is_unknown()) {
+    return Status::OK();
+  }
+  return expected_.CheckToken(token);
+}
+
+void PushChannel::SetCapacity(size_t capacity) {
+  ScopedLock lock(mutex_);
+  capacity_ = capacity;
+}
+
+size_t PushChannel::capacity() const {
+  ScopedLock lock(mutex_);
+  return capacity_;
+}
+
+void PushChannel::SetSpaceAvailableCallback(std::function<void()> cb) {
+  ScopedLock lock(mutex_);
+  space_cb_ = std::move(cb);
+}
+
 void PushChannel::ValidateLocked(const Token& token) const {
   if (expected_.is_unknown()) {
     return;
@@ -55,11 +83,15 @@ void PushChannel::Push(Token token, Timestamp arrival) {
   cv_.notify_all();
 }
 
-bool PushChannel::TryPush(Token token, Timestamp arrival) {
+PushOutcome PushChannel::Offer(Token token, Timestamp arrival) {
   {
     ScopedLock lock(mutex_);
     if (closed_) {
-      return false;
+      return PushOutcome::kClosed;
+    }
+    if (AtCapacityLocked()) {
+      producer_waiting_ = true;
+      return PushOutcome::kFull;
     }
 #if CWF_SCHEMA_CHECK_IS_ON
     ValidateLocked(token);
@@ -67,7 +99,36 @@ bool PushChannel::TryPush(Token token, Timestamp arrival) {
     queue_.push_back({arrival, std::move(token)});
   }
   cv_.notify_all();
-  return true;
+  return PushOutcome::kAccepted;
+}
+
+bool PushChannel::TryPush(Token token, Timestamp arrival) {
+  return Offer(std::move(token), arrival) == PushOutcome::kAccepted;
+}
+
+size_t PushChannel::TryPushBatch(std::span<TraceEntry> entries) {
+  size_t accepted = 0;
+  {
+    ScopedLock lock(mutex_);
+    if (closed_) {
+      return 0;
+    }
+    for (TraceEntry& entry : entries) {
+      if (AtCapacityLocked()) {
+        producer_waiting_ = true;
+        break;
+      }
+#if CWF_SCHEMA_CHECK_IS_ON
+      ValidateLocked(entry.token);
+#endif
+      queue_.push_back({entry.arrival, std::move(entry.token)});
+      ++accepted;
+    }
+  }
+  if (accepted > 0) {
+    cv_.notify_all();
+  }
+  return accepted;
 }
 
 void PushChannel::PushTrace(const Trace& trace) {
@@ -84,12 +145,32 @@ void PushChannel::PushTrace(const Trace& trace) {
   cv_.notify_all();
 }
 
+std::function<void()> PushChannel::TakeSpaceSignalLocked() {
+  // Signal once the queue has drained to half its bound (hysteresis: a
+  // resumed producer gets a burst of space, not a one-tuple window), or on
+  // close (so a paused producer learns the channel is gone).
+  if (!producer_waiting_ || !space_cb_) {
+    return nullptr;
+  }
+  const size_t resume_at = capacity_ / 2;  // 0 for capacity 1: full drain
+  if (!closed_ && capacity_ > 0 && queue_.size() > resume_at) {
+    return nullptr;
+  }
+  producer_waiting_ = false;
+  return space_cb_;
+}
+
 void PushChannel::Close() {
+  std::function<void()> signal;
   {
     ScopedLock lock(mutex_);
     closed_ = true;
+    signal = TakeSpaceSignalLocked();
   }
   cv_.notify_all();
+  if (signal) {
+    signal();
+  }
 }
 
 bool PushChannel::closed() const {
@@ -99,12 +180,21 @@ bool PushChannel::closed() const {
 
 std::vector<TraceEntry> PushChannel::PopArrived(Timestamp now,
                                                 size_t max_batch) {
-  ScopedLock lock(mutex_);
   std::vector<TraceEntry> out;
-  while (!queue_.empty() && queue_.front().arrival <= now &&
-         (max_batch == 0 || out.size() < max_batch)) {
-    out.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+  std::function<void()> signal;
+  {
+    ScopedLock lock(mutex_);
+    while (!queue_.empty() && queue_.front().arrival <= now &&
+           (max_batch == 0 || out.size() < max_batch)) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (!out.empty()) {
+      signal = TakeSpaceSignalLocked();
+    }
+  }
+  if (signal) {
+    signal();
   }
   return out;
 }

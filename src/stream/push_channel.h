@@ -12,7 +12,9 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/lock_registry.h"
@@ -21,21 +23,59 @@
 
 namespace cwf {
 
+/// \brief Result of a non-aborting deposit attempt.
+enum class PushOutcome {
+  kAccepted,  ///< tuple queued
+  kFull,      ///< bounded channel at capacity; tuple NOT queued
+  kClosed,    ///< channel closed; tuple NOT queued
+};
+
 /// \brief Thread-safe queue of externally arriving tuples.
 class PushChannel {
  public:
   PushChannel() = default;
+
+  /// \brief Bound the queue at `capacity` tuples (0 = unbounded, the
+  /// default). With a bound, Offer()/TryPush()/TryPushBatch() refuse
+  /// deposits at capacity — the hook per-connection ingest backpressure
+  /// hangs off. Preloads (PushTrace) and the aborting Push() ignore the
+  /// bound: they are harness-side paths, not network producers.
+  void SetCapacity(size_t capacity);
+
+  size_t capacity() const;
 
   /// \brief Producer side: deposit a tuple arriving at `arrival`.
   /// Pushing into a closed channel violates the engine's shutdown
   /// invariant and aborts; racy producers should use TryPush().
   void Push(Token token, Timestamp arrival);
 
+  /// \brief Producer side, shutdown- and capacity-tolerant: deposit the
+  /// tuple unless the channel is closed or (when bounded) full, reporting
+  /// which. Network producers react to kFull by pausing their connection
+  /// until space_available fires.
+  PushOutcome Offer(Token token, Timestamp arrival);
+
   /// \brief Producer side, shutdown-tolerant: deposit the tuple unless the
-  /// channel has been closed. Returns false (dropping the tuple) when
-  /// closed — the natural semantics for network producers that race with
-  /// engine shutdown.
+  /// channel has been closed or is at capacity. Returns false (dropping
+  /// the tuple) when refused — the natural semantics for network producers
+  /// that race with engine shutdown. Use Offer() to distinguish full from
+  /// closed.
   bool TryPush(Token token, Timestamp arrival);
+
+  /// \brief Producer side, bulk: deposit entries from the front of
+  /// `entries` under ONE lock acquisition, stopping at capacity or close.
+  /// Returns the count accepted (tokens of accepted entries are moved
+  /// from). Lets a network read path deposit a whole decoded buffer
+  /// without per-tuple lock traffic; check closed() when 0 comes back to
+  /// tell a full channel from a dead one.
+  size_t TryPushBatch(std::span<TraceEntry> entries);
+
+  /// \brief Register `cb`, invoked (outside the channel lock, from the
+  /// consumer thread) when a bounded channel that refused a deposit drains
+  /// back to its resume threshold (half capacity). One registration; pass
+  /// nullptr to clear. The callback must be cheap and non-blocking — the
+  /// ingest server's is an eventfd wakeup.
+  void SetSpaceAvailableCallback(std::function<void()> cb);
 
   /// \brief Pre-load every entry of a trace (producer side, bulk).
   void PushTrace(const Trace& trace);
@@ -47,6 +87,16 @@ class PushChannel {
   /// CWF7008 message naming the channel and field instead of CHECK-failing
   /// deep inside a downstream actor.
   void SetExpectedSchema(TokenType type, std::string channel_name);
+
+  /// \brief The declared token type (unknown when never set). Network
+  /// front doors validate against it BEFORE depositing so a malformed
+  /// external tuple becomes a counted reject instead of tripping the
+  /// channel's CWF7008 abort.
+  TokenType expected_schema() const;
+
+  /// \brief Non-fatal boundary check of `token` against the declared
+  /// schema (OK when none is declared).
+  Status CheckToken(const Token& token) const;
 
   /// \brief Mark the stream finished: no further pushes will come.
   void Close();
@@ -73,10 +123,23 @@ class PushChannel {
   /// schema. Caller holds mutex_.
   void ValidateLocked(const Token& token) const CWF_REQUIRES(mutex_);
 
+  /// \brief Whether a deposit must be refused. Caller holds mutex_.
+  bool AtCapacityLocked() const CWF_REQUIRES(mutex_) {
+    return capacity_ > 0 && queue_.size() >= capacity_;
+  }
+
+  /// \brief The space-available callback to run after the current pop, or
+  /// nullptr. Caller holds mutex_; the returned copy is invoked unlocked.
+  std::function<void()> TakeSpaceSignalLocked() CWF_REQUIRES(mutex_);
+
   mutable OrderedMutex mutex_{"PushChannel::mutex"};
   mutable std::condition_variable_any cv_;
   std::deque<TraceEntry> queue_ CWF_GUARDED_BY(mutex_);
   bool closed_ CWF_GUARDED_BY(mutex_) = false;
+  size_t capacity_ CWF_GUARDED_BY(mutex_) = 0;
+  /// A producer was refused with kFull and has not been signaled since.
+  bool producer_waiting_ CWF_GUARDED_BY(mutex_) = false;
+  std::function<void()> space_cb_ CWF_GUARDED_BY(mutex_);
   TokenType expected_ CWF_GUARDED_BY(mutex_);
   std::string channel_name_ CWF_GUARDED_BY(mutex_);
 };

@@ -1,164 +1,28 @@
 #include "stream/tcp_listener.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cstring>
-
-#include "common/logging.h"
-#include "obs/profile.h"
-#include "stream/trace.h"
+#include "common/check.h"
 
 namespace cwf {
 
+namespace {
+
+net::IngestServer::Options ListenerOptions() {
+  net::IngestServer::Options options;
+  options.shards = 1;  // the historical listener served a handful of sources
+  options.close_channels_on_stop = true;
+  return options;
+}
+
+}  // namespace
+
 TcpLineListener::TcpLineListener(PushChannelPtr channel, Clock* clock)
-    : channel_(std::move(channel)), clock_(clock) {
-  CWF_CHECK(channel_ != nullptr && clock_ != nullptr);
+    : server_(clock, ListenerOptions()) {
+  CWF_CHECK(channel != nullptr && clock != nullptr);
+  server_.AddChannel(0, std::move(channel));
 }
 
 TcpLineListener::~TcpLineListener() { Stop(); }
 
-Status TcpLineListener::Start(uint16_t port) {
-  if (listen_fd_.load() >= 0) {
-    return Status::FailedPrecondition("listener already started");
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal("socket() failed: " +
-                            std::string(std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return Status::Internal("bind() failed: " +
-                            std::string(std::strerror(errno)));
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
-    ::close(fd);
-    return Status::Internal("getsockname() failed");
-  }
-  port_ = ntohs(addr.sin_port);
-  if (::listen(fd, 16) < 0) {
-    ::close(fd);
-    return Status::Internal("listen() failed: " +
-                            std::string(std::strerror(errno)));
-  }
-  stopping_ = false;
-  listen_fd_.store(fd);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
-}
-
-void TcpLineListener::AcceptLoop() {
-  for (;;) {
-    const int fd = listen_fd_.load();
-    if (fd < 0) {
-      return;  // Stop() already detached the listening socket
-    }
-    const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) {
-      if (stopping_.load()) {
-        return;  // listening socket closed by Stop()
-      }
-      continue;
-    }
-    ScopedLock lock(clients_mutex_);
-    if (stopping_.load()) {
-      ::close(client);
-      return;
-    }
-    client_fds_.push_back(client);
-    client_threads_.emplace_back([this, client] { ClientLoop(client); });
-  }
-}
-
-void TcpLineListener::ClientLoop(int client_fd) {
-  std::string pending;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
-    if (n <= 0) {
-      return;  // peer closed or Stop() shut the socket down
-    }
-    pending.append(buf, static_cast<size_t>(n));
-    size_t newline;
-    while ((newline = pending.find('\n')) != std::string::npos) {
-      std::string line = pending.substr(0, newline);
-      pending.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') {
-        line.pop_back();
-      }
-      if (line.empty()) {
-        continue;
-      }
-#ifdef CWF_OBS_ENABLED
-      static const obs::ProfileSite* decode_site =
-          obs::Profiler::Global().Site("<ingest>",
-                                       obs::ProfilePhase::kSerialization);
-#endif
-      CWF_PROFILE_SCOPE(decode_site);
-      auto token = ParseTokenBody(line);
-      if (!token.ok()) {
-        parse_errors_.fetch_add(1);
-        CWF_CLOG(kWarn, "stream") << "tcp listener dropped malformed line: "
-                       << token.status().ToString();
-        continue;
-      }
-      // TryPush: a closed()-then-Push() pair would race with a concurrent
-      // Close() and trip the channel's shutdown invariant.
-      if (!channel_->TryPush(std::move(token).value(), clock_->Now())) {
-        return;
-      }
-      tuples_received_.fetch_add(1);
-    }
-  }
-}
-
-void TcpLineListener::Stop() {
-  if (stopping_.exchange(true)) {
-    // Still join if a previous Stop lost a race with thread creation.
-  }
-  // A file descriptor may not be close()d while another thread is blocked
-  // on it — the kernel may recycle the number into an unrelated resource
-  // under the reader's feet. shutdown() first (wakes any blocked accept/
-  // read with an error), join the thread, and only then destroy the fd.
-  const int listen_fd = listen_fd_.exchange(-1);
-  if (listen_fd >= 0) {
-    ::shutdown(listen_fd, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  if (listen_fd >= 0) {
-    ::close(listen_fd);
-  }
-  std::vector<std::thread> threads;
-  std::vector<int> client_fds;
-  {
-    ScopedLock lock(clients_mutex_);
-    client_fds.swap(client_fds_);
-    threads.swap(client_threads_);
-  }
-  for (int fd : client_fds) {
-    ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) {
-      t.join();
-    }
-  }
-  for (int fd : client_fds) {
-    ::close(fd);
-  }
-  channel_->Close();
-}
+Status TcpLineListener::Start(uint16_t port) { return server_.Start(port); }
 
 }  // namespace cwf

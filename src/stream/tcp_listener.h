@@ -7,31 +7,31 @@
 // internal ports at a rate which is again dictated by the director's
 // execution model."
 //
-// TcpLineListener is the network half of that: it accepts client
-// connections on a TCP port and turns each newline-delimited line (the same
-// `field=tag:value;...` body format used by trace files — see
-// SerializeTokenBody in stream/trace.h) into a tuple pushed onto a
-// PushChannel, stamped with its arrival time. A StreamSourceActor on the
-// same channel then injects the tuples under whatever director is in
-// charge.
+// TcpLineListener is the original single-channel face of that transport:
+// accept clients on a TCP port and turn each newline-delimited line (the
+// same `field=tag:value;...` body format used by trace files — see
+// SerializeTokenBody in stream/trace.h) into a tuple on a PushChannel,
+// stamped with its arrival time. It is now a thin compatibility wrapper
+// over net::IngestServer (one event-loop shard, the channel registered as
+// id 0), which scales the same contract to thousands of connections, adds
+// the binary frame protocol, and wires per-connection backpressure — see
+// src/net/ingest_server.h and docs/NETWORKING.md.
 
 #ifndef CONFLUENCE_STREAM_TCP_LISTENER_H_
 #define CONFLUENCE_STREAM_TCP_LISTENER_H_
 
-#include <atomic>
 #include <cstdint>
-#include <thread>
-#include <vector>
+#include <memory>
 
-#include "common/lock_registry.h"
+#include "net/ingest_server.h"
 #include "core/clock.h"
 #include "stream/push_channel.h"
 
 namespace cwf {
 
 /// \brief Accepts TCP clients and pushes their newline-delimited tuples
-/// onto a channel. Runs its own accept/read threads; Stop() (or the
-/// destructor) shuts everything down and closes the channel.
+/// onto a channel. Stop() (or the destructor) shuts everything down and
+/// closes the channel.
 class TcpLineListener {
  public:
   /// \brief Tuples are stamped with `clock->Now()` at the moment their line
@@ -47,34 +47,23 @@ class TcpLineListener {
   Status Start(uint16_t port = 0);
 
   /// \brief The bound port (valid after a successful Start).
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return server_.port(); }
 
   /// \brief Stop accepting, drop live connections, join threads and close
   /// the channel. Idempotent.
-  void Stop();
+  void Stop() { server_.Stop(); }
 
   /// \brief Tuples successfully parsed and pushed.
-  uint64_t tuples_received() const { return tuples_received_.load(); }
+  uint64_t tuples_received() const { return server_.tuples_received(); }
 
-  /// \brief Lines that failed to parse (dropped with a log message).
-  uint64_t parse_errors() const { return parse_errors_.load(); }
+  /// \brief Lines that failed to parse or failed the channel schema check
+  /// (dropped with a log message).
+  uint64_t parse_errors() const {
+    return server_.parse_errors() + server_.schema_rejects();
+  }
 
  private:
-  void AcceptLoop();
-  void ClientLoop(int client_fd);
-
-  PushChannelPtr channel_;
-  Clock* clock_;
-  // Written by Start()/Stop() while AcceptLoop() reads it concurrently.
-  std::atomic<int> listen_fd_{-1};
-  uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> tuples_received_{0};
-  std::atomic<uint64_t> parse_errors_{0};
-  std::thread accept_thread_;
-  OrderedMutex clients_mutex_{"TcpLineListener::clients_mutex"};
-  std::vector<std::thread> client_threads_ CWF_GUARDED_BY(clients_mutex_);
-  std::vector<int> client_fds_ CWF_GUARDED_BY(clients_mutex_);
+  net::IngestServer server_;
 };
 
 }  // namespace cwf

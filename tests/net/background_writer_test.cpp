@@ -1,0 +1,160 @@
+#include "net/background_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/lock_registry.h"
+
+namespace cwf::net {
+namespace {
+
+TEST(BackgroundWriterTest, FlushDeliversEverythingAppended) {
+  std::string captured;
+  OrderedMutex mu{"test::bw_capture"};
+  BackgroundWriter writer;
+  ASSERT_TRUE(writer
+                  .Start([&](const std::string& chunk) {
+                    ScopedLock lock(mu);
+                    captured += chunk;
+                  })
+                  .ok());
+  for (int i = 0; i < 100; ++i) {
+    writer.AppendLine("line " + std::to_string(i));
+  }
+  writer.Flush();
+  {
+    ScopedLock lock(mu);
+    EXPECT_NE(captured.find("line 0\n"), std::string::npos);
+    EXPECT_NE(captured.find("line 99\n"), std::string::npos);
+  }
+  writer.Stop();
+  EXPECT_GT(writer.bytes_written(), 0u);
+  EXPECT_EQ(writer.dropped_appends(), 0u);
+}
+
+TEST(BackgroundWriterTest, SinkNeverRunsConcurrentlyWithItself) {
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  BackgroundWriter writer;
+  BackgroundWriter::Options options;
+  options.flush_interval_ms = 1;
+  options.flush_watermark = 16;
+  ASSERT_TRUE(writer
+                  .Start(
+                      [&](const std::string&) {
+                        if (inside.fetch_add(1) != 0) {
+                          overlapped = true;
+                        }
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(200));
+                        inside.fetch_sub(1);
+                      },
+                      options)
+                  .ok());
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&writer, t] {
+      for (int i = 0; i < 200; ++i) {
+        writer.AppendLine("t" + std::to_string(t) + " line " +
+                          std::to_string(i));
+      }
+    });
+  }
+  for (auto& p : producers) {
+    p.join();
+  }
+  writer.Stop();
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(BackgroundWriterTest, OverflowDropsAndCounts) {
+  std::atomic<bool> block{true};
+  BackgroundWriter writer;
+  BackgroundWriter::Options options;
+  options.buffer_limit = 64;
+  options.flush_interval_ms = 1;
+  ASSERT_TRUE(writer
+                  .Start(
+                      [&](const std::string&) {
+                        while (block.load()) {
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(1));
+                        }
+                      },
+                      options)
+                  .ok());
+  // Two buffer-fulls saturate both buffers while the sink is blocked.
+  for (int i = 0; i < 64; ++i) {
+    writer.Append(std::string(16, 'x'));
+  }
+  EXPECT_GT(writer.dropped_appends(), 0u);
+  block = false;
+  writer.Stop();
+}
+
+TEST(BackgroundWriterTest, StopFlushesRemainderAndIsIdempotent) {
+  std::string captured;
+  OrderedMutex mu{"test::bw_capture2"};
+  BackgroundWriter writer;
+  BackgroundWriter::Options options;
+  options.flush_interval_ms = 10'000;  // only Stop() can flush this
+  ASSERT_TRUE(writer
+                  .Start(
+                      [&](const std::string& chunk) {
+                        ScopedLock lock(mu);
+                        captured += chunk;
+                      },
+                      options)
+                  .ok());
+  writer.AppendLine("tail line");
+  writer.Stop();
+  writer.Stop();
+  EXPECT_NE(captured.find("tail line\n"), std::string::npos);
+  EXPECT_FALSE(writer.running());
+  // Appends after Stop are dropped, not lost silently.
+  writer.Append("after stop");
+  EXPECT_GE(writer.dropped_appends(), 1u);
+}
+
+TEST(BackgroundWriterTest, FileSinkWritesLines) {
+  const std::string path = ::testing::TempDir() + "/bw_test_access.log";
+  std::remove(path.c_str());
+  {
+    BackgroundWriter writer;
+    ASSERT_TRUE(writer.StartFile(path).ok());
+    writer.AppendLine("event=accept fd=5");
+    writer.AppendLine("event=close fd=5");
+    writer.Stop();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "event=accept fd=5");
+  EXPECT_EQ(lines[1], "event=close fd=5");
+  std::remove(path.c_str());
+}
+
+TEST(BackgroundWriterTest, StartValidatesArguments) {
+  BackgroundWriter writer;
+  EXPECT_FALSE(writer.Start(nullptr).ok());
+  BackgroundWriter::Options bad;
+  bad.flush_interval_ms = 0;
+  EXPECT_FALSE(writer.Start([](const std::string&) {}, bad).ok());
+  ASSERT_TRUE(writer.Start([](const std::string&) {}).ok());
+  EXPECT_FALSE(writer.Start([](const std::string&) {}).ok());  // double start
+  writer.Stop();
+}
+
+}  // namespace
+}  // namespace cwf::net

@@ -1,0 +1,228 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace cwf::net {
+namespace {
+
+std::vector<Frame> DecodeAll(FrameDecoder& decoder, const std::string& bytes,
+                             Status* status = nullptr) {
+  std::vector<Frame> frames;
+  const Status st = decoder.Feed(bytes.data(), bytes.size(),
+                                 [&](Frame&& f) { frames.push_back(std::move(f)); });
+  if (status != nullptr) {
+    *status = st;
+  } else {
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return frames;
+}
+
+// ---------------------------------------------------------------------------
+// Golden vectors: the byte layout is a wire contract. If these break,
+// deployed clients break.
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodecTest, GoldenEncodeEmptyPayload) {
+  const std::string bytes = EncodeFrame(0, "");
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize);
+  const unsigned char expected[] = {0xCF, 0x01, 0x00, 0x00,
+                                    0x00, 0x00, 0x00, 0x00};
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << "byte " << i;
+  }
+}
+
+TEST(FrameCodecTest, GoldenEncodeChannelAndLengthBigEndian) {
+  const std::string bytes = EncodeFrame(0x0102, "abc");
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + 3);
+  const unsigned char expected[] = {0xCF, 0x01, 0x01, 0x02, 0x00, 0x00,
+                                    0x00, 0x03, 'a',  'b',  'c'};
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << "byte " << i;
+  }
+}
+
+TEST(FrameCodecTest, GoldenDecodeKnownBytes) {
+  const std::string bytes{'\xCF', '\x01', '\x00', '\x07', '\x00',
+                          '\x00', '\x00', '\x04', 'x',    '=',
+                          'i',    ':'};
+  FrameDecoder decoder;
+  const auto frames = DecodeAll(decoder, bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].version, kFrameVersion);
+  EXPECT_EQ(frames[0].channel_id, 7u);
+  EXPECT_EQ(frames[0].payload, "x=i:");
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(FrameCodecTest, RoundTripManyFrames) {
+  std::string wire;
+  for (int i = 0; i < 50; ++i) {
+    wire += EncodeFrame(static_cast<uint16_t>(i % 5),
+                        "car=i:" + std::to_string(i) + ";speed=d:1.5");
+  }
+  FrameDecoder decoder;
+  const auto frames = DecodeAll(decoder, wire);
+  ASSERT_EQ(frames.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(frames[i].channel_id, static_cast<uint16_t>(i % 5));
+    EXPECT_EQ(frames[i].payload,
+              "car=i:" + std::to_string(i) + ";speed=d:1.5");
+  }
+  EXPECT_EQ(decoder.frames_decoded(), 50u);
+}
+
+TEST(FrameCodecTest, MaxPayloadRoundTrips) {
+  const std::string payload(kMaxFramePayload, 'z');
+  FrameDecoder decoder;
+  const auto frames = DecodeAll(decoder, EncodeFrame(9, payload));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload.size(), kMaxFramePayload);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: corrupt or hostile streams must poison the decoder, not
+// resync or allocate unbounded memory.
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodecTest, BadMagicRejected) {
+  FrameDecoder decoder;
+  Status st;
+  const auto frames = DecodeAll(decoder, std::string(8, 'A'), &st);
+  EXPECT_TRUE(frames.empty());
+  EXPECT_FALSE(st.ok());
+  // Poisoned: further feeds fail immediately.
+  Status again;
+  DecodeAll(decoder, EncodeFrame(1, "ok"), &again);
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(FrameCodecTest, BadVersionRejected) {
+  std::string bytes = EncodeFrame(1, "ok");
+  bytes[1] = '\x02';
+  FrameDecoder decoder;
+  Status st;
+  DecodeAll(decoder, bytes, &st);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(FrameCodecTest, OversizedLengthRejectedBeforePayloadArrives) {
+  // Declared length 2^31: a hostile prefix must be rejected from the
+  // header alone.
+  const std::string header{'\xCF', '\x01', '\x00', '\x01',
+                           '\x80', '\x00', '\x00', '\x00'};
+  FrameDecoder decoder;
+  Status st;
+  DecodeAll(decoder, header, &st);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(FrameCodecTest, TruncatedFrameReportsMidFrame) {
+  const std::string bytes = EncodeFrame(3, "hello");
+  FrameDecoder decoder;
+  const auto frames =
+      DecodeAll(decoder, bytes.substr(0, bytes.size() - 1));
+  EXPECT_TRUE(frames.empty());
+  EXPECT_TRUE(decoder.mid_frame());
+  // The missing byte completes it.
+  const auto rest = DecodeAll(decoder, bytes.substr(bytes.size() - 1));
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].payload, "hello");
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(FrameCodecTest, GarbageAfterValidFramePoisons) {
+  std::string wire = EncodeFrame(1, "fine") + "garbage-not-a-frame";
+  FrameDecoder decoder;
+  Status st;
+  const auto frames = DecodeAll(decoder, wire, &st);
+  ASSERT_EQ(frames.size(), 1u);  // the valid frame surfaced first
+  EXPECT_FALSE(st.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized-split fuzz: any partition of the byte stream — down to one
+// byte per feed — must reassemble the identical frame sequence.
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodecTest, RandomizedSplitFuzzReassemblesExactly) {
+  std::string wire;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 40; ++i) {
+    payloads.push_back("seq=i:" + std::to_string(i) + ";pad=s:" +
+                       std::string(static_cast<size_t>(i * 7 % 90), 'p'));
+    wire += EncodeFrame(static_cast<uint16_t>(i % 3), payloads.back());
+  }
+  std::mt19937 rng(20260809);
+  for (int round = 0; round < 30; ++round) {
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    size_t off = 0;
+    while (off < wire.size()) {
+      std::uniform_int_distribution<size_t> chunk(1, 13);
+      const size_t n = std::min(chunk(rng), wire.size() - off);
+      const Status st = decoder.Feed(
+          wire.data() + off, n, [&](Frame&& f) { frames.push_back(std::move(f)); });
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      off += n;
+    }
+    ASSERT_EQ(frames.size(), payloads.size());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      EXPECT_EQ(frames[i].payload, payloads[i]);
+      EXPECT_EQ(frames[i].channel_id, static_cast<uint16_t>(i % 3));
+    }
+    EXPECT_FALSE(decoder.mid_frame());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LineDecoder: splits, CR stripping, and the EOF flush that fixes the
+// silently-dropped final line.
+// ---------------------------------------------------------------------------
+
+TEST(LineDecoderTest, ByteByByteSplitsReassemble) {
+  const std::string input = "first=i:1\r\nsecond=i:2\nthird=i:3\n";
+  LineDecoder decoder;
+  std::vector<std::string> lines;
+  for (char c : input) {
+    decoder.Feed(&c, 1, [&](std::string_view l) { lines.emplace_back(l); });
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "first=i:1");
+  EXPECT_EQ(lines[1], "second=i:2");
+  EXPECT_EQ(lines[2], "third=i:3");
+}
+
+TEST(LineDecoderTest, FinishFlushesUnterminatedTail) {
+  LineDecoder decoder;
+  std::vector<std::string> lines;
+  const auto sink = [&](std::string_view l) { lines.emplace_back(l); };
+  const std::string input = "done=i:1\nlast=i:2";  // no trailing newline
+  decoder.Feed(input.data(), input.size(), sink);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(decoder.pending_bytes(), 8u);
+  decoder.Finish(sink);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "last=i:2");
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+  decoder.Finish(sink);  // idempotent
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(LineDecoderTest, EmptyLinesAndBareCrSkipped) {
+  LineDecoder decoder;
+  std::vector<std::string> lines;
+  const auto sink = [&](std::string_view l) { lines.emplace_back(l); };
+  const std::string input = "\n\r\na=i:1\n\r\n";
+  decoder.Feed(input.data(), input.size(), sink);
+  decoder.Finish(sink);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "a=i:1");
+}
+
+}  // namespace
+}  // namespace cwf::net

@@ -1,0 +1,318 @@
+#include "net/ingest_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/clock.h"
+#include "net/frame.h"
+#include "stream/trace.h"
+
+namespace cwf::net {
+namespace {
+
+int ConnectTo(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CWF_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  CWF_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+            0);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    CWF_CHECK(n > 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void WaitFor(const std::function<bool()>& cond, int timeout_ms = 5000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (cond()) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(IngestServerTest, LineProtocolAcrossShards) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer::Options options;
+  options.shards = 3;
+  IngestServer server(&clock, options);
+  server.AddChannel(0, channel, "feed");
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  std::vector<int> fds;
+  for (int i = 0; i < 6; ++i) {
+    fds.push_back(ConnectTo(server.port()));
+  }
+  WaitFor([&] { return server.connections_live() >= 6; });
+  EXPECT_EQ(server.connections_accepted(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    SendAll(fds[i], "client=i:" + std::to_string(i) + "\n");
+  }
+  WaitFor([&] { return server.tuples_received() >= 6; });
+  EXPECT_EQ(server.tuples_received(), 6u);
+  EXPECT_EQ(server.channel_tuples(0), 6u);
+  for (int fd : fds) {
+    ::close(fd);
+  }
+  WaitFor([&] { return server.connections_live() == 0; });
+  EXPECT_EQ(server.connections_live(), 0);
+  server.Stop();
+  EXPECT_TRUE(channel->closed());
+  EXPECT_EQ(channel->Pending(), 6u);
+}
+
+TEST(IngestServerTest, BinaryFramesRouteByChannelId) {
+  auto alpha = std::make_shared<PushChannel>();
+  auto beta = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer server(&clock);
+  server.AddChannel(0, alpha, "alpha");
+  server.AddChannel(7, beta, "beta");
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, EncodeFrame(0, "a=i:1") + EncodeFrame(7, "b=i:2") +
+                  EncodeFrame(7, "b=i:3"));
+  WaitFor([&] { return server.tuples_received() >= 3; });
+  ::close(fd);
+  EXPECT_EQ(server.channel_tuples(0), 1u);
+  EXPECT_EQ(server.channel_tuples(7), 2u);
+  auto from_beta = beta->PopArrived(Timestamp::Max());
+  ASSERT_EQ(from_beta.size(), 2u);
+  EXPECT_EQ(from_beta[0].token.Field("b").AsInt(), 2);
+  EXPECT_EQ(from_beta[1].token.Field("b").AsInt(), 3);
+  server.Stop();
+}
+
+TEST(IngestServerTest, MixedProtocolsOnOnePort) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer server(&clock);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int line_fd = ConnectTo(server.port());
+  const int frame_fd = ConnectTo(server.port());
+  SendAll(line_fd, "text=i:1\n");
+  SendAll(frame_fd, EncodeFrame(0, "bin=i:2"));
+  WaitFor([&] { return server.tuples_received() >= 2; });
+  EXPECT_EQ(server.tuples_received(), 2u);
+  ::close(line_fd);
+  ::close(frame_fd);
+  server.Stop();
+}
+
+TEST(IngestServerTest, ByteByByteDeliveryAndEofFlush) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer server(&clock);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ConnectTo(server.port());
+  // One byte per write, and the final tuple has NO trailing newline: the
+  // EOF flush must still deliver it (the old listener dropped it).
+  const std::string wire = "first=i:1\nsecond=i:2";
+  for (char c : wire) {
+    SendAll(fd, std::string(1, c));
+  }
+  WaitFor([&] { return server.tuples_received() >= 1; });
+  EXPECT_EQ(server.tuples_received(), 1u);  // unterminated tail still held
+  ::close(fd);
+  WaitFor([&] { return server.tuples_received() >= 2; });
+  EXPECT_EQ(server.tuples_received(), 2u);
+  auto batch = channel->PopArrived(Timestamp::Max());
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[1].token.Field("second").AsInt(), 2);
+  server.Stop();
+}
+
+TEST(IngestServerTest, BackpressureZeroLossOnBoundedChannel) {
+  auto channel = std::make_shared<PushChannel>();
+  channel->SetCapacity(8);
+  RealClock clock;
+  IngestServer::Options options;
+  options.shards = 2;
+  options.staging_limit = 4;
+  IngestServer server(&clock, options);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  constexpr int kTuples = 500;
+  std::thread producer([&] {
+    const int fd = ConnectTo(server.port());
+    for (int i = 0; i < kTuples; ++i) {
+      SendAll(fd, "seq=i:" + std::to_string(i) + "\n");
+    }
+    ::close(fd);
+  });
+
+  // Slow consumer: the 8-tuple bound forces the connection through
+  // stage -> pause -> resume cycles while we drain.
+  std::vector<TraceEntry> got;
+  while (got.size() < kTuples) {
+    auto batch = channel->PopArrived(Timestamp::Max(), 4);
+    for (auto& e : batch) {
+      got.push_back(std::move(e));
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  producer.join();
+
+  ASSERT_EQ(got.size(), static_cast<size_t>(kTuples));
+  for (int i = 0; i < kTuples; ++i) {
+    EXPECT_EQ(got[i].token.Field("seq").AsInt(), i) << "order broken at " << i;
+  }
+  EXPECT_EQ(server.tuples_received(), static_cast<uint64_t>(kTuples));
+  EXPECT_GT(server.backpressure_pauses(), 0u);
+  EXPECT_EQ(server.connections_paused(), 0);
+  EXPECT_EQ(server.staged_dropped(), 0u);
+  server.Stop();
+}
+
+TEST(IngestServerTest, MaxConnectionsRejectsExtras) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer::Options options;
+  options.max_connections = 2;
+  IngestServer server(&clock, options);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int a = ConnectTo(server.port());
+  const int b = ConnectTo(server.port());
+  WaitFor([&] { return server.connections_live() >= 2; });
+  const int c = ConnectTo(server.port());
+  WaitFor([&] { return server.connections_rejected() >= 1; });
+  EXPECT_EQ(server.connections_rejected(), 1u);
+  // The rejected socket reads EOF.
+  char buf[8];
+  EXPECT_EQ(::read(c, buf, sizeof(buf)), 0);
+  ::close(a);
+  ::close(b);
+  ::close(c);
+  server.Stop();
+}
+
+TEST(IngestServerTest, SchemaViolationsRejectedNotFatal) {
+  auto channel = std::make_shared<PushChannel>();
+  RecordSchema schema;
+  schema.Int("car");
+  channel->SetExpectedSchema(TokenType::Record(schema), "typed_feed");
+  RealClock clock;
+  IngestServer server(&clock);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, "wrong=s:field\ncar=i:5\n");
+  WaitFor([&] { return server.tuples_received() >= 1; });
+  ::close(fd);
+  EXPECT_EQ(server.schema_rejects(), 1u);
+  EXPECT_EQ(server.tuples_received(), 1u);  // the server is still alive
+  server.Stop();
+}
+
+TEST(IngestServerTest, FrameViolationDropsConnection) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer server(&clock);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ConnectTo(server.port());
+  // Valid frame, then garbage where the next magic byte should be.
+  SendAll(fd, EncodeFrame(0, "ok=i:1") + std::string(16, 'Z'));
+  WaitFor([&] { return server.frame_errors() >= 1; });
+  EXPECT_EQ(server.frame_errors(), 1u);
+  EXPECT_EQ(server.tuples_received(), 1u);
+  WaitFor([&] { return server.connections_live() == 0; });
+  EXPECT_EQ(server.connections_live(), 0);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(IngestServerTest, UnknownFrameChannelCountedAndDropped) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer server(&clock);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, EncodeFrame(42, "lost=i:1") + EncodeFrame(0, "kept=i:2"));
+  WaitFor([&] { return server.tuples_received() >= 1; });
+  EXPECT_EQ(server.unknown_channel_frames(), 1u);
+  EXPECT_EQ(server.tuples_received(), 1u);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(IngestServerTest, AccessLogRecordsLifecycle) {
+  const std::string path = ::testing::TempDir() + "/ingest_access_test.log";
+  std::remove(path.c_str());
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer::Options options;
+  options.access_log_path = path;
+  IngestServer server(&clock, options);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, "x=i:1\n");
+  WaitFor([&] { return server.tuples_received() >= 1; });
+  ::close(fd);
+  WaitFor([&] { return server.connections_live() == 0; });
+  server.Stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("event=accept"), std::string::npos);
+  EXPECT_NE(contents.find("event=close"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IngestServerTest, StopIsIdempotentAndClosesChannels) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer server(&clock);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();
+  EXPECT_TRUE(channel->closed());
+  EXPECT_FALSE(server.running());
+}
+
+TEST(IngestServerTest, StartRequiresChannels) {
+  RealClock clock;
+  IngestServer server(&clock);
+  EXPECT_FALSE(server.Start(0).ok());
+}
+
+}  // namespace
+}  // namespace cwf::net

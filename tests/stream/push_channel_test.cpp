@@ -80,6 +80,99 @@ TEST(PushChannelTest, WaitForDataWakesOnClose) {
   closer.join();
 }
 
+TEST(PushChannelTest, OfferRespectsCapacity) {
+  PushChannel ch;
+  ch.SetCapacity(2);
+  EXPECT_EQ(ch.capacity(), 2u);
+  EXPECT_EQ(ch.Offer(Token(1), Timestamp(0)), PushOutcome::kAccepted);
+  EXPECT_EQ(ch.Offer(Token(2), Timestamp(0)), PushOutcome::kAccepted);
+  EXPECT_EQ(ch.Offer(Token(3), Timestamp(0)), PushOutcome::kFull);
+  EXPECT_EQ(ch.Pending(), 2u);
+  ch.PopArrived(Timestamp::Max(), 1);
+  EXPECT_EQ(ch.Offer(Token(3), Timestamp(0)), PushOutcome::kAccepted);
+  ch.Close();
+  EXPECT_EQ(ch.Offer(Token(4), Timestamp(0)), PushOutcome::kClosed);
+}
+
+TEST(PushChannelTest, UnboundedChannelNeverRefuses) {
+  PushChannel ch;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(ch.Offer(Token(i), Timestamp(0)), PushOutcome::kAccepted);
+  }
+  EXPECT_EQ(ch.Pending(), 1000u);
+}
+
+TEST(PushChannelTest, TryPushBatchStopsAtCapacity) {
+  PushChannel ch;
+  ch.SetCapacity(3);
+  std::vector<TraceEntry> entries;
+  for (int i = 0; i < 5; ++i) {
+    entries.push_back({Timestamp(i), Token(i)});
+  }
+  EXPECT_EQ(ch.TryPushBatch(entries), 3u);
+  EXPECT_EQ(ch.Pending(), 3u);
+  // Unaccepted entries keep their tokens (only accepted ones are moved).
+  EXPECT_EQ(entries[3].token.AsInt(), 3);
+  EXPECT_EQ(entries[4].token.AsInt(), 4);
+  auto got = ch.PopArrived(Timestamp::Max());
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].token.AsInt(), 0);
+  EXPECT_EQ(got[2].token.AsInt(), 2);
+}
+
+TEST(PushChannelTest, TryPushBatchOnClosedChannelAcceptsNothing) {
+  PushChannel ch;
+  ch.Close();
+  std::vector<TraceEntry> entries;
+  entries.push_back({Timestamp(0), Token(1)});
+  EXPECT_EQ(ch.TryPushBatch(entries), 0u);
+  EXPECT_EQ(entries[0].token.AsInt(), 1);  // untouched
+}
+
+TEST(PushChannelTest, SpaceCallbackFiresAtHalfCapacityAfterRefusal) {
+  PushChannel ch;
+  ch.SetCapacity(4);
+  int fired = 0;
+  ch.SetSpaceAvailableCallback([&] { ++fired; });
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(ch.Offer(Token(i), Timestamp(0)), PushOutcome::kAccepted);
+  }
+  // No refusal yet: draining must not signal.
+  ch.PopArrived(Timestamp::Max(), 1);
+  EXPECT_EQ(fired, 0);
+  ASSERT_EQ(ch.Offer(Token(9), Timestamp(0)), PushOutcome::kAccepted);
+  ASSERT_EQ(ch.Offer(Token(10), Timestamp(0)), PushOutcome::kFull);
+  // Hysteresis: one pop leaves 3 > capacity/2 pending — still quiet.
+  ch.PopArrived(Timestamp::Max(), 1);
+  EXPECT_EQ(fired, 0);
+  ch.PopArrived(Timestamp::Max(), 1);  // down to 2 == resume threshold
+  EXPECT_EQ(fired, 1);
+  // Signal is one-shot until the next refusal.
+  ch.PopArrived(Timestamp::Max(), 1);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PushChannelTest, SpaceCallbackFiresOnClose) {
+  PushChannel ch;
+  ch.SetCapacity(1);
+  int fired = 0;
+  ch.SetSpaceAvailableCallback([&] { ++fired; });
+  ASSERT_EQ(ch.Offer(Token(1), Timestamp(0)), PushOutcome::kAccepted);
+  ASSERT_EQ(ch.Offer(Token(2), Timestamp(0)), PushOutcome::kFull);
+  ch.Close();  // a paused producer must learn the channel is gone
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PushChannelTest, CheckTokenIsNonFatal) {
+  PushChannel ch;
+  EXPECT_TRUE(ch.CheckToken(Token(1)).ok());  // no schema: everything passes
+  RecordSchema schema;
+  schema.Int("car");
+  ch.SetExpectedSchema(TokenType::Record(schema), "typed");
+  EXPECT_FALSE(ch.CheckToken(Token(1)).ok());
+  EXPECT_FALSE(ch.expected_schema().is_unknown());
+}
+
 TEST(StreamSourceActorTest, PrefireTracksClockAndData) {
   auto ch = std::make_shared<PushChannel>();
   StreamSourceActor src("src", ch);

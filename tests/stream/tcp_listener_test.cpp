@@ -148,5 +148,51 @@ TEST(TcpListenerTest, EndToEndIntoThreadedWorkflow) {
   EXPECT_EQ(got[4].token.AsInt(), 50);
 }
 
+TEST(TcpListenerTest, ByteByByteWritesReassembleLines) {
+  // Regression: lines split at arbitrary buffer boundaries — including one
+  // byte per segment — must reassemble exactly.
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  TcpLineListener listener(channel, &clock);
+  ASSERT_TRUE(listener.Start(0).ok());
+
+  const int fd = ConnectTo(listener.port());
+  const std::string wire = "a=i:1\nbb=i:22\nccc=i:333\n";
+  for (char c : wire) {
+    SendAll(fd, std::string(1, c));
+  }
+  WaitFor([&] { return listener.tuples_received() >= 3; });
+  ::close(fd);
+  EXPECT_EQ(listener.tuples_received(), 3u);
+  EXPECT_EQ(listener.parse_errors(), 0u);
+  auto batch = channel->PopArrived(Timestamp::Max());
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].token.Field("a").AsInt(), 1);
+  EXPECT_EQ(batch[1].token.Field("bb").AsInt(), 22);
+  EXPECT_EQ(batch[2].token.Field("ccc").AsInt(), 333);
+  listener.Stop();
+}
+
+TEST(TcpListenerTest, FinalLineWithoutNewlineDeliveredAtEof) {
+  // Regression: the historical listener silently dropped a trailing line
+  // when the client closed without a final '\n'.
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  TcpLineListener listener(channel, &clock);
+  ASSERT_TRUE(listener.Start(0).ok());
+
+  const int fd = ConnectTo(listener.port());
+  SendAll(fd, "first=i:1\nlast=i:2");  // no trailing newline
+  WaitFor([&] { return listener.tuples_received() >= 1; });
+  EXPECT_EQ(listener.tuples_received(), 1u);
+  ::close(fd);  // EOF must flush the unterminated tail
+  WaitFor([&] { return listener.tuples_received() >= 2; });
+  EXPECT_EQ(listener.tuples_received(), 2u);
+  auto batch = channel->PopArrived(Timestamp::Max());
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[1].token.Field("last").AsInt(), 2);
+  listener.Stop();
+}
+
 }  // namespace
 }  // namespace cwf

@@ -68,6 +68,31 @@ echo "==> [perf-smoke] bench_compare vs committed baseline (warn-only)"
   bench/baselines/BENCH_lrb_QBS.json "${OBS_TMP}/BENCH_lrb_QBS.json"
 rm -rf "${OBS_TMP}"
 
+echo "==> [ingest] zero-loss sweep under forced backpressure"
+ING_TMP="$(mktemp -d)"
+./build/bench/bench_ingest_scale --connections 500 --tuples-per-conn 100 \
+  --capacity 1024 --staging-limit 64 --consumer-delay-us 300 \
+  --consumer-batch 64 --expect-pauses \
+  --bench "${ING_TMP}/BENCH_ingest_scale.json"
+grep -q '"zero_loss": 1' "${ING_TMP}/BENCH_ingest_scale.json"
+
+echo "==> [ingest] live serve smoke (cwf_lrb_serve --listen, 500 connections)"
+./build/tools/cwf_lrb_serve --listen 0 --duration-s 15 --shards 2 \
+  --feed-capacity 2048 --clients-max 600 \
+  --scrape-out "${ING_TMP}/metrics.txt" > "${ING_TMP}/serve.log" 2>&1 &
+ING_SERVE_PID=$!
+sleep 2
+ING_MPORT="$(awk '/serving metrics/{sub(/.*:/,"",$NF); print $NF}' "${ING_TMP}/serve.log")"
+ING_IPORT="$(awk '/ingest listening/{sub(/.*:/,"",$NF); print $NF}' "${ING_TMP}/serve.log")"
+./build/bench/bench_ingest_scale --connect "${ING_IPORT}" \
+  --metrics "${ING_MPORT}" --connections 500 --tuples-per-conn 10 \
+  --sender-threads 8 --verify-timeout-s 12
+wait "${ING_SERVE_PID}"
+grep -q 'live run: 5000 tuples from 500 connections' "${ING_TMP}/serve.log"
+grep -q '^cwf_ingest_accepted_total 500' "${ING_TMP}/metrics.txt"
+grep -q '^cwf_ingest_tuples_total{channel="lrb"} 5000' "${ING_TMP}/metrics.txt"
+rm -rf "${ING_TMP}"
+
 echo "==> [obs-off] profiler hooks compile out (-DCONFLUENCE_OBS=OFF)"
 cmake -B build-noobs -S . "${GENERATOR_ARGS[@]}" -DCONFLUENCE_OBS=OFF > /dev/null
 cmake --build build-noobs -j "${JOBS}" --target confluence cwf_lrb_serve \

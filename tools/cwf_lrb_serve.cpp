@@ -16,11 +16,22 @@
 // that report to a file as well. --serve-ms keeps the server up after the
 // run for interactive cwf_top sessions.
 //
+// With --listen the tool switches from the virtual-clock generator to a
+// live network front door: an epoll IngestServer (src/net/) feeds position
+// reports from real TCP clients into a bounded PushChannel driving the LRB
+// workflow under the OS-thread PNCWF director on the real clock. Both the
+// newline line protocol and the binary frame protocol are accepted; the
+// bound ingest port is printed on stdout for harnesses to scrape. The run
+// ends after --duration-s wall seconds (the server stops, the feed channel
+// closes, the workflow drains).
+//
 // Usage:
 //   cwf_lrb_serve [--port N] [--scheduler QBS|RR|RB|FIFO|EDF|PNCWF]
 //                 [--duration-s S] [--repeat N] [--trace FILE]
 //                 [--bench FILE] [--scrape-out FILE] [--serve-ms MS]
 //                 [--profile] [--profile-out FILE]
+//                 [--listen PORT] [--clients-max N] [--shards N]
+//                 [--feed-capacity N] [--access-log FILE]
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -32,16 +43,22 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "core/clock.h"
+#include "directors/pncwf_director.h"
 #include "harness.h"
 #include "lrb/harness.h"
+#include "lrb/types.h"
+#include "net/ingest_server.h"
 #include "obs/export_server.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "obs/trace_buffer.h"
+#include "stream/push_channel.h"
 
 namespace {
 
@@ -56,6 +73,12 @@ struct CliOptions {
   std::string profile_path;
   int serve_ms = 0;
   bool profile = false;
+  bool listen = false;
+  int listen_port = 0;  // 0 = ephemeral
+  int clients_max = 8192;
+  int shards = 2;
+  int feed_capacity = 4096;
+  std::string access_log_path;
 };
 
 int Usage(const char* argv0) {
@@ -63,7 +86,8 @@ int Usage(const char* argv0) {
                "usage: %s [--port N] [--scheduler QBS|RR|RB|FIFO|EDF|PNCWF] "
                "[--duration-s S] [--repeat N] [--trace FILE] [--bench FILE] "
                "[--scrape-out FILE] [--serve-ms MS] [--profile] "
-               "[--profile-out FILE]\n",
+               "[--profile-out FILE] [--listen PORT] [--clients-max N] "
+               "[--shards N] [--feed-capacity N] [--access-log FILE]\n",
                argv0);
   return 2;
 }
@@ -128,6 +152,127 @@ bool SelfScrape(uint16_t port, const std::string& path) {
   return static_cast<bool>(out);
 }
 
+/// Live network mode: IngestServer -> bounded PushChannel -> LRB workflow
+/// under the OS-thread PNCWF director on the real clock. Returns the exit
+/// code. Runs for `options.duration_s` wall seconds, then stops the ingest
+/// server — which closes the feed channel, so the workflow drains and
+/// Run() returns.
+int RunListenMode(const CliOptions& options) {
+  cwf::RealClock clock;
+  auto feed = std::make_shared<cwf::PushChannel>();
+  feed->SetCapacity(static_cast<size_t>(options.feed_capacity));
+  // Non-fatal boundary check: malformed client tuples land in
+  // cwf_ingest_schema_rejects_total instead of reaching the workflow.
+  feed->SetExpectedSchema(cwf::lrb::PositionReportType(), "lrb_feed");
+
+  auto app_result = cwf::lrb::BuildLRBApplication(feed);
+  if (!app_result.ok()) {
+    std::fprintf(stderr, "cwf_lrb_serve: build failed: %s\n",
+                 app_result.status().ToString().c_str());
+    return 1;
+  }
+  cwf::lrb::LRBApplication app = std::move(app_result).value();
+
+  cwf::PNCWFOptions pncwf;
+  pncwf.mode = cwf::PNCWFMode::kOsThreads;
+  cwf::PNCWFDirector director(pncwf);
+  const cwf::Status init =
+      director.Initialize(app.workflow.get(), &clock, nullptr);
+  if (!init.ok()) {
+    std::fprintf(stderr, "cwf_lrb_serve: director init failed: %s\n",
+                 init.ToString().c_str());
+    return 1;
+  }
+
+  cwf::net::IngestServer::Options net;
+  net.shards = options.shards;
+  net.max_connections = static_cast<size_t>(options.clients_max);
+  net.access_log_path = options.access_log_path;
+  cwf::net::IngestServer ingest(&clock, net);
+  ingest.AddChannel(0, feed, "lrb");
+  const cwf::Status started =
+      ingest.Start(static_cast<uint16_t>(options.listen_port));
+  if (!started.ok()) {
+    std::fprintf(stderr, "cwf_lrb_serve: ingest start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("ingest listening on 127.0.0.1:%u\n", ingest.port());
+  std::fflush(stdout);
+
+  const auto host_start = std::chrono::steady_clock::now();
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.duration_s));
+    ingest.Stop();  // closes the feed so the workflow drains
+  });
+  // Finite horizon: the LRB time windows hold deadlines up to 60 real
+  // seconds in the future, so a Timestamp::Max() run would idle until the
+  // last window expires after the feed closes. Two seconds of slack past
+  // the feed close drains the in-flight tuples.
+  const cwf::Timestamp until =
+      clock.Now() +
+      cwf::Seconds(static_cast<int64_t>(options.duration_s) + 2);
+  const cwf::Status run = director.Run(until);
+  stopper.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+  if (!run.ok()) {
+    std::fprintf(stderr, "cwf_lrb_serve: director status: %s\n",
+                 run.ToString().c_str());
+  }
+
+  const uint64_t tuples = ingest.tuples_received();
+  std::printf(
+      "live run: %llu tuples from %llu connections (%llu rejected) in "
+      "%.1fs; %llu backpressure pauses, %llu parse errors, %llu schema "
+      "rejects\n",
+      static_cast<unsigned long long>(tuples),
+      static_cast<unsigned long long>(ingest.connections_accepted()),
+      static_cast<unsigned long long>(ingest.connections_rejected()), wall_s,
+      static_cast<unsigned long long>(ingest.backpressure_pauses()),
+      static_cast<unsigned long long>(ingest.parse_errors()),
+      static_cast<unsigned long long>(ingest.schema_rejects()));
+  std::fflush(stdout);
+
+  int exit_code = 0;
+  if (!options.bench_path.empty()) {
+    cwf::bench::BenchResult bench;
+    bench.bench = "lrb_listen";
+    bench.wall_s = wall_s;
+    bench.throughput_per_s = wall_s > 0 ? tuples / wall_s : 0;
+    bench.config["duration_s"] = std::to_string(options.duration_s);
+    bench.config["shards"] = std::to_string(options.shards);
+    bench.config["clients_max"] = std::to_string(options.clients_max);
+    bench.config["feed_capacity"] = std::to_string(options.feed_capacity);
+    bench.metrics["tuples_received"] = static_cast<double>(tuples);
+    bench.metrics["connections_accepted"] =
+        static_cast<double>(ingest.connections_accepted());
+    bench.metrics["connections_rejected"] =
+        static_cast<double>(ingest.connections_rejected());
+    bench.metrics["backpressure_pauses"] =
+        static_cast<double>(ingest.backpressure_pauses());
+    bench.metrics["parse_errors"] = static_cast<double>(ingest.parse_errors());
+    bench.metrics["schema_rejects"] =
+        static_cast<double>(ingest.schema_rejects());
+    if (options.profile) {
+      bench.host_phase_us =
+          cwf::obs::SnapshotProfile(cwf::obs::MetricsRegistry::Global())
+              .PhaseTotalsUs();
+    }
+    const cwf::Status s =
+        cwf::bench::WriteBenchJson(bench, options.bench_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cwf_lrb_serve: bench write failed: %s\n",
+                   s.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
 /// The combined profiling report: per-(actor, phase) self-time
 /// decomposition followed by the critical-path attribution.
 std::string RenderProfileReport() {
@@ -166,6 +311,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--profile-out" && i + 1 < argc) {
       options.profile = true;
       options.profile_path = argv[++i];
+    } else if (arg == "--listen" && i + 1 < argc) {
+      options.listen = true;
+      options.listen_port = std::atoi(argv[++i]);
+    } else if (arg == "--clients-max" && i + 1 < argc) {
+      options.clients_max = std::atoi(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      options.shards = std::atoi(argv[++i]);
+    } else if (arg == "--feed-capacity" && i + 1 < argc) {
+      options.feed_capacity = std::atoi(argv[++i]);
+    } else if (arg == "--access-log" && i + 1 < argc) {
+      options.access_log_path = argv[++i];
     } else if (arg == "--no-metrics") {
       // Runtime-disable the metrics sinks (the compiled-out comparison
       // point for the overhead measurement in docs/OBSERVABILITY.md).
@@ -177,7 +333,9 @@ int main(int argc, char** argv) {
   cwf::lrb::ExperimentOptions experiment;
   if (!ParseScheduler(options.scheduler, &experiment.scheduler) ||
       options.port < 0 || options.port > 65535 || options.repeat < 1 ||
-      options.duration_s <= 0) {
+      options.duration_s <= 0 || options.listen_port < 0 ||
+      options.listen_port > 65535 || options.clients_max < 1 ||
+      options.shards < 1 || options.feed_capacity < 1) {
     return Usage(argv[0]);
   }
   experiment.workload.duration = cwf::Seconds(
@@ -202,47 +360,51 @@ int main(int argc, char** argv) {
   std::printf("serving metrics on 127.0.0.1:%u\n", server.port());
   std::fflush(stdout);
 
-  cwf::lrb::ExperimentResult last;
-  double last_wall_s = 0;
-  for (int run = 0; run < options.repeat; ++run) {
-    const auto host_start = std::chrono::steady_clock::now();
-    auto result = cwf::lrb::RunLRBExperiment(experiment);
-    last_wall_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      host_start)
-            .count();
-    if (!result.ok()) {
-      std::fprintf(stderr, "cwf_lrb_serve: run %d failed: %s\n", run,
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    last = std::move(result).value();
-    if (!last.status.ok()) {
-      std::fprintf(stderr, "cwf_lrb_serve: director status: %s\n",
-                   last.status.ToString().c_str());
-    }
-    std::printf("run %d/%d: %zu toll notifications, avg response %.3fs\n",
-                run + 1, options.repeat, last.toll_notifications,
-                last.toll_avg_response_s);
-    std::fflush(stdout);
-  }
-
   int exit_code = 0;
-  if (!options.bench_path.empty()) {
-    cwf::bench::BenchResult bench = cwf::bench::FromLRB(
-        last, "lrb_" + options.scheduler, last_wall_s);
-    bench.config["duration_s"] = std::to_string(options.duration_s);
-    if (options.profile) {
-      bench.host_phase_us =
-          cwf::obs::SnapshotProfile(cwf::obs::MetricsRegistry::Global())
-              .PhaseTotalsUs();
+  if (options.listen) {
+    exit_code = RunListenMode(options);
+  } else {
+    cwf::lrb::ExperimentResult last;
+    double last_wall_s = 0;
+    for (int run = 0; run < options.repeat; ++run) {
+      const auto host_start = std::chrono::steady_clock::now();
+      auto result = cwf::lrb::RunLRBExperiment(experiment);
+      last_wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        host_start)
+              .count();
+      if (!result.ok()) {
+        std::fprintf(stderr, "cwf_lrb_serve: run %d failed: %s\n", run,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      last = std::move(result).value();
+      if (!last.status.ok()) {
+        std::fprintf(stderr, "cwf_lrb_serve: director status: %s\n",
+                     last.status.ToString().c_str());
+      }
+      std::printf("run %d/%d: %zu toll notifications, avg response %.3fs\n",
+                  run + 1, options.repeat, last.toll_notifications,
+                  last.toll_avg_response_s);
+      std::fflush(stdout);
     }
-    const cwf::Status s =
-        cwf::bench::WriteBenchJson(bench, options.bench_path);
-    if (!s.ok()) {
-      std::fprintf(stderr, "cwf_lrb_serve: bench write failed: %s\n",
-                   s.ToString().c_str());
-      exit_code = 1;
+
+    if (!options.bench_path.empty()) {
+      cwf::bench::BenchResult bench = cwf::bench::FromLRB(
+          last, "lrb_" + options.scheduler, last_wall_s);
+      bench.config["duration_s"] = std::to_string(options.duration_s);
+      if (options.profile) {
+        bench.host_phase_us =
+            cwf::obs::SnapshotProfile(cwf::obs::MetricsRegistry::Global())
+                .PhaseTotalsUs();
+      }
+      const cwf::Status s =
+          cwf::bench::WriteBenchJson(bench, options.bench_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cwf_lrb_serve: bench write failed: %s\n",
+                     s.ToString().c_str());
+        exit_code = 1;
+      }
     }
   }
   if (options.profile) {

@@ -67,9 +67,32 @@ struct ActorRow {
   uint64_t deferrals = 0;
 };
 
+/// The '# ingest' summary comment row emitted when the serving process
+/// runs a net::IngestServer (src/obs/export_server.cpp).
+struct IngestSummary {
+  bool present = false;
+  uint64_t live = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t paused = 0;
+  uint64_t pauses = 0;
+  uint64_t bytes = 0;
+  uint64_t parse_errors = 0;
+  uint64_t schema_rejects = 0;
+  uint64_t frame_errors = 0;
+};
+
+/// One '# ingest_channel <name> tuples=N' row.
+struct IngestChannelRow {
+  std::string name;
+  uint64_t tuples = 0;
+};
+
 struct Sample {
   int64_t ts_us = 0;
   std::vector<ActorRow> rows;
+  IngestSummary ingest;
+  std::vector<IngestChannelRow> ingest_channels;
 };
 
 /// Issues one HTTP/1.0 GET and returns the response body, or false on any
@@ -171,6 +194,53 @@ bool ParseTop(const std::string& body, Sample* sample, std::string* error) {
     if (line.empty()) {
       continue;
     }
+    if (line[0] == '#') {
+      // Comment rows: '# ingest key=value ...' and '# ingest_channel NAME
+      // tuples=N' feed the ingest section; unknown comments are skipped so
+      // the server can grow new annotations without breaking this client.
+      if (line.rfind("# ingest_channel ", 0) == 0) {
+        std::istringstream fields(line.substr(std::strlen("# ingest_channel ")));
+        IngestChannelRow row;
+        std::string kv;
+        if (fields >> row.name >> kv && kv.rfind("tuples=", 0) == 0) {
+          row.tuples = std::strtoull(kv.c_str() + 7, nullptr, 10);
+          sample->ingest_channels.push_back(std::move(row));
+        }
+      } else if (line.rfind("# ingest ", 0) == 0) {
+        sample->ingest.present = true;
+        std::istringstream fields(line.substr(std::strlen("# ingest ")));
+        std::string kv;
+        while (fields >> kv) {
+          const size_t eq = kv.find('=');
+          if (eq == std::string::npos) {
+            continue;
+          }
+          const std::string key = kv.substr(0, eq);
+          const uint64_t value =
+              std::strtoull(kv.c_str() + eq + 1, nullptr, 10);
+          if (key == "live") {
+            sample->ingest.live = value;
+          } else if (key == "accepted") {
+            sample->ingest.accepted = value;
+          } else if (key == "rejected") {
+            sample->ingest.rejected = value;
+          } else if (key == "paused") {
+            sample->ingest.paused = value;
+          } else if (key == "pauses") {
+            sample->ingest.pauses = value;
+          } else if (key == "bytes") {
+            sample->ingest.bytes = value;
+          } else if (key == "parse_errors") {
+            sample->ingest.parse_errors = value;
+          } else if (key == "schema_rejects") {
+            sample->ingest.schema_rejects = value;
+          } else if (key == "frame_errors") {
+            sample->ingest.frame_errors = value;
+          }
+        }
+      }
+      continue;
+    }
     const std::vector<std::string> f = SplitTabs(line);
     if (f.size() != 10) {
       *error = "bad row (want 10 fields): " + line;
@@ -228,6 +298,40 @@ std::string RenderTable(const Sample& sample, const Sample& prev) {
                   row.blocked_us / 1000.0,
                   static_cast<unsigned long long>(row.deferrals));
     out << line;
+  }
+  if (sample.ingest.present) {
+    const IngestSummary& ing = sample.ingest;
+    std::snprintf(line, sizeof(line),
+                  "\nINGEST  conns=%llu (paused %llu, accepted %llu, "
+                  "rejected %llu)  pauses=%llu  errors=%llu\n",
+                  static_cast<unsigned long long>(ing.live),
+                  static_cast<unsigned long long>(ing.paused),
+                  static_cast<unsigned long long>(ing.accepted),
+                  static_cast<unsigned long long>(ing.rejected),
+                  static_cast<unsigned long long>(ing.pauses),
+                  static_cast<unsigned long long>(
+                      ing.parse_errors + ing.schema_rejects +
+                      ing.frame_errors));
+    out << line;
+    std::map<std::string, uint64_t> prev_tuples;
+    for (const IngestChannelRow& row : prev.ingest_channels) {
+      prev_tuples[row.name] = row.tuples;
+    }
+    std::snprintf(line, sizeof(line), "%-26s %14s %14s\n", "CHANNEL",
+                  "TUPLES", "TUPLES/S");
+    out << line;
+    for (const IngestChannelRow& row : sample.ingest_channels) {
+      double rate = 0;
+      if (dt_s > 0) {
+        auto it = prev_tuples.find(row.name);
+        const uint64_t before = it != prev_tuples.end() ? it->second : 0;
+        rate = (row.tuples - before) / dt_s;
+      }
+      std::snprintf(line, sizeof(line), "%-26s %14llu %14.1f\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.tuples), rate);
+      out << line;
+    }
   }
   return out.str();
 }
