@@ -12,6 +12,9 @@ namespace cwf::net {
 BackgroundWriter::~BackgroundWriter() { Stop(); }
 
 Status BackgroundWriter::Start(SinkFn sink, Options options) {
+  // Serialized against Stop(): starting mid-epilogue would reset
+  // stopping_ under the exiting flusher and spawn a second one.
+  ScopedLock stop_lock(stop_mutex_);
   if (running_.load()) {
     return Status::FailedPrecondition("background writer already started");
   }
@@ -129,12 +132,19 @@ void BackgroundWriter::DrainOnce() {
 }
 
 void BackgroundWriter::Stop() {
+  // One caller runs the epilogue; a concurrent Stop blocks here and then
+  // observes running_ == false.
+  ScopedLock stop_lock(stop_mutex_);
   if (!running_.load()) {
     return;
   }
   stopping_ = true;
   cv_.notify_all();
   if (flusher_.joinable()) {
+    // The held lock is stop_mutex_, which only serializes Stop/Start
+    // callers; the flusher being joined never acquires it, so this join
+    // cannot deadlock.
+    // cwf-tidy-allow(cwf-blocking-under-lock): see rationale above
     flusher_.join();
   }
   // The flusher is gone; drain both buffers inline.

@@ -86,6 +86,10 @@ class BackgroundWriter {
 
   SinkFn sink_;
   Options options_;
+  /// Serializes Stop(): concurrent callers (e.g. owner Stop racing the
+  /// destructor) must not both run the join-and-drain epilogue, which
+  /// would invoke sink_ concurrently with itself.
+  OrderedMutex stop_mutex_{"net::BackgroundWriter::stop_mutex"};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> bytes_written_{0};

@@ -65,7 +65,10 @@ Status FrameDecoder::Feed(const char* data, size_t n, const FrameFn& on_frame) {
   }
 }
 
-void LineDecoder::Feed(const char* data, size_t n, const LineFn& on_line) {
+Status LineDecoder::Feed(const char* data, size_t n, const LineFn& on_line) {
+  if (poisoned_) {
+    return Status::FailedPrecondition("line decoder poisoned by earlier error");
+  }
   pending_.append(data, n);
   size_t start = 0;
   size_t newline;
@@ -80,10 +83,21 @@ void LineDecoder::Feed(const char* data, size_t n, const LineFn& on_line) {
     start = newline + 1;
   }
   pending_.erase(0, start);
+  // Bound the undecoded tail: a client that streams newline-free bytes
+  // must hit a wall, not grow this buffer until the server OOMs.
+  if (pending_.size() > kMaxLineBytes) {
+    poisoned_ = true;
+    const size_t size = pending_.size();
+    pending_.clear();
+    pending_.shrink_to_fit();
+    return Status::OutOfRange("line length " + std::to_string(size) +
+                              " exceeds " + std::to_string(kMaxLineBytes));
+  }
+  return Status::OK();
 }
 
 void LineDecoder::Finish(const LineFn& on_line) {
-  if (pending_.empty()) {
+  if (poisoned_ || pending_.empty()) {
     return;
   }
   std::string_view line(pending_);

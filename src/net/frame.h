@@ -53,6 +53,12 @@ inline constexpr size_t kFrameHeaderSize = 8;
 /// gigabytes).
 inline constexpr uint32_t kMaxFramePayload = 64 * 1024;
 
+/// \brief Line-protocol counterpart of kMaxFramePayload: bytes buffered
+/// toward a single line beyond this are a protocol violation (a client
+/// streaming newline-free data must not grow a per-connection buffer
+/// without bound).
+inline constexpr size_t kMaxLineBytes = kMaxFramePayload;
+
 /// \brief One decoded binary frame.
 struct Frame {
   uint8_t version = kFrameVersion;
@@ -95,17 +101,22 @@ class LineDecoder {
   using LineFn = std::function<void(std::string_view)>;
 
   /// \brief Consume `n` bytes, invoking `on_line` per completed line.
-  void Feed(const char* data, size_t n, const LineFn& on_line);
+  /// A non-OK return means the stream buffered more than kMaxLineBytes
+  /// toward a single line; the decoder is then poisoned and the caller
+  /// must drop the connection (the line-protocol mirror of the
+  /// oversized-frame rejection).
+  Status Feed(const char* data, size_t n, const LineFn& on_line);
 
   /// \brief Flush the trailing unterminated line at end of stream: a
   /// client that closes without a final newline still delivers its last
-  /// tuple instead of silently losing it.
+  /// tuple instead of silently losing it. No-op on a poisoned decoder.
   void Finish(const LineFn& on_line);
 
   size_t pending_bytes() const { return pending_.size(); }
 
  private:
   std::string pending_;
+  bool poisoned_ = false;
 };
 
 }  // namespace cwf::net

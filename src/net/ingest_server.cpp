@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 #include "obs/profile.h"
@@ -167,9 +168,22 @@ class IngestServer::Shard {
           continue;
         }
         auto it = conns_.find(events[i].data.fd);
-        if (it != conns_.end()) {
-          ReadFrom(it->second.get());
+        if (it == conns_.end()) {
+          continue;
         }
+        Connection* conn = it->second.get();
+        // A backpressure-paused fd is registered with events=0, but epoll
+        // still reports error conditions (peer RST while paused). ReadFrom
+        // skips paused connections, so without consuming the condition
+        // here the level-triggered wait would return instantly forever.
+        if (conn->paused &&
+            (events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+          server_->LogAccess("peer_error", conn->fd, conn->peer);
+          conn->fatal = true;
+          FinishReads(conn);
+          continue;
+        }
+        ReadFrom(conn);
       }
       if (server_->stopping_.load()) {
         break;
@@ -283,14 +297,24 @@ class IngestServer::Shard {
         conn->fatal = true;
       }
     } else {
-      conn->line_decoder.Feed(data, n, [this, conn](std::string_view line) {
-        if (server_->default_slot_ == nullptr) {
-          server_->unknown_channel_.fetch_add(1);
-          conn->fatal = true;  // no line-protocol channel on this server
-          return;
+      const Status st = conn->line_decoder.Feed(
+          data, n, [this, conn](std::string_view line) {
+            if (server_->default_slot_ == nullptr) {
+              server_->unknown_channel_.fetch_add(1);
+              conn->fatal = true;  // no line-protocol channel on this server
+              return;
+            }
+            HandleTuple(conn, server_->default_slot_, std::string(line));
+          });
+      if (!st.ok()) {
+        // Oversized line: same boundary violation as an oversized frame.
+        server_->frame_errors_.fetch_add(1);
+        if (server_->c_frame_errors_ != nullptr) {
+          server_->c_frame_errors_->Add(1);
         }
-        HandleTuple(conn, server_->default_slot_, std::string(line));
-      });
+        server_->LogAccess("line_error", conn->fd, st.message());
+        conn->fatal = true;
+      }
     }
   }
 
@@ -657,7 +681,8 @@ void IngestServer::ResolveInstruments() {
               "Ingest tuples rejected by the channel schema boundary check");
   c_schema_rejects_ = reg.GetCounter("cwf_ingest_schema_rejects_total");
   reg.SetHelp("cwf_ingest_frame_errors_total",
-              "Binary-frame protocol violations (connection dropped)");
+              "Wire-protocol violations, binary frames or oversized lines "
+              "(connection dropped)");
   c_frame_errors_ = reg.GetCounter("cwf_ingest_frame_errors_total");
   reg.SetHelp("cwf_ingest_backpressure_paused",
               "Connections currently paused on channel backpressure");
@@ -737,7 +762,7 @@ Status IngestServer::Start(uint16_t port) {
   stopping_ = false;
   shards_.clear();
   for (int i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(this, i));
+    shards_.push_back(std::make_shared<Shard>(this, i));
     const Status st = shards_.back()->Start();
     if (!st.ok()) {
       ::close(fd);
@@ -753,10 +778,15 @@ Status IngestServer::Start(uint16_t port) {
     }
   }
   // The consumer side (PopArrived / Close) fires these; the callback must
-  // be cheap — it is one eventfd write per shard.
+  // be cheap — it is one eventfd write per shard. The callback captures a
+  // snapshot of the shard vector by value (not `this->shards_`): channels
+  // invoke their copy of the callback outside the channel lock, so an
+  // invocation can still be running after Stop() cleared the callbacks,
+  // and must not race a restart's shards_.clear().
+  const std::vector<std::shared_ptr<Shard>> wake_shards = shards_;
   for (const auto& slot : channels_) {
-    slot->channel->SetSpaceAvailableCallback([this] {
-      for (const auto& shard : shards_) {
+    slot->channel->SetSpaceAvailableCallback([wake_shards] {
+      for (const auto& shard : wake_shards) {
         shard->Wake();
       }
     });
@@ -782,6 +812,13 @@ void IngestServer::AcceptLoop() {
     if (client < 0) {
       if (stopping_.load()) {
         return;
+      }
+      if (errno != EINTR) {
+        // Persistent errors (EMFILE/ENFILE when fds run out — likely
+        // exactly under a connection storm) must not busy-spin the
+        // acceptor; back off briefly before retrying.
+        LogAccess("accept_error", -1, std::strerror(errno));
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
       continue;
     }
@@ -863,10 +900,11 @@ void IngestServer::Stop() {
   for (const auto& shard : shards_) {
     shard->Join();
   }
-  // Shard objects outlive Stop(): a space-available callback taken out of
-  // the channel lock just before the callbacks were cleared may still be
-  // iterating shards_ — Wake() on a joined shard is a harmless eventfd
-  // write. The vector is destroyed with the server (or on restart).
+  // Shard objects may outlive Stop(): a space-available callback taken out
+  // of the channel lock just before the callbacks were cleared may still
+  // be running, but it iterates its own shared_ptr snapshot (see Start),
+  // so a restart's shards_.clear() cannot pull the vector out from under
+  // it — Wake() on a joined shard is a harmless eventfd write.
   if (options_.close_channels_on_stop) {
     for (const auto& slot : channels_) {
       slot->channel->Close();

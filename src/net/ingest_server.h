@@ -173,7 +173,12 @@ class IngestServer {
   // Line-protocol tuples land on channel id 0 (null when not registered).
   ChannelSlot* default_slot_ = nullptr;
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // Shared with the channels' space-available callbacks: each callback
+  // captures a snapshot copy of this vector, so an invocation in flight
+  // across Stop()+Start() keeps the old shards alive instead of iterating
+  // a vector the restart is clearing (Wake() on a joined shard is a
+  // harmless eventfd write).
+  std::vector<std::shared_ptr<Shard>> shards_;
   std::unique_ptr<BackgroundWriter> access_log_;
 
   std::atomic<uint64_t> accepted_{0};

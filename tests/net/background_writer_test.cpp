@@ -122,6 +122,42 @@ TEST(BackgroundWriterTest, StopFlushesRemainderAndIsIdempotent) {
   EXPECT_GE(writer.dropped_appends(), 1u);
 }
 
+TEST(BackgroundWriterTest, ConcurrentStopsRunEpilogueOnce) {
+  // Stop() racing Stop() (owner teardown vs destructor path) must not run
+  // the drain epilogue twice: the sink would observe itself re-entered
+  // and a buffer could be cleared under the other caller's write.
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  BackgroundWriter writer;
+  BackgroundWriter::Options options;
+  options.flush_interval_ms = 10'000;  // only Stop() flushes
+  ASSERT_TRUE(writer
+                  .Start(
+                      [&](const std::string&) {
+                        if (inside.fetch_add(1) != 0) {
+                          overlapped = true;
+                        }
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                        inside.fetch_sub(1);
+                      },
+                      options)
+                  .ok());
+  for (int i = 0; i < 32; ++i) {
+    writer.AppendLine("line " + std::to_string(i));
+  }
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 4; ++t) {
+    stoppers.emplace_back([&writer] { writer.Stop(); });
+  }
+  for (auto& s : stoppers) {
+    s.join();
+  }
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_FALSE(writer.running());
+  EXPECT_GT(writer.bytes_written(), 0u);
+}
+
 TEST(BackgroundWriterTest, FileSinkWritesLines) {
   const std::string path = ::testing::TempDir() + "/bw_test_access.log";
   std::remove(path.c_str());

@@ -189,7 +189,9 @@ TEST(LineDecoderTest, ByteByByteSplitsReassemble) {
   LineDecoder decoder;
   std::vector<std::string> lines;
   for (char c : input) {
-    decoder.Feed(&c, 1, [&](std::string_view l) { lines.emplace_back(l); });
+    const Status st =
+        decoder.Feed(&c, 1, [&](std::string_view l) { lines.emplace_back(l); });
+    ASSERT_TRUE(st.ok()) << st.ToString();
   }
   ASSERT_EQ(lines.size(), 3u);
   EXPECT_EQ(lines[0], "first=i:1");
@@ -202,7 +204,7 @@ TEST(LineDecoderTest, FinishFlushesUnterminatedTail) {
   std::vector<std::string> lines;
   const auto sink = [&](std::string_view l) { lines.emplace_back(l); };
   const std::string input = "done=i:1\nlast=i:2";  // no trailing newline
-  decoder.Feed(input.data(), input.size(), sink);
+  EXPECT_TRUE(decoder.Feed(input.data(), input.size(), sink).ok());
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(decoder.pending_bytes(), 8u);
   decoder.Finish(sink);
@@ -218,10 +220,48 @@ TEST(LineDecoderTest, EmptyLinesAndBareCrSkipped) {
   std::vector<std::string> lines;
   const auto sink = [&](std::string_view l) { lines.emplace_back(l); };
   const std::string input = "\n\r\na=i:1\n\r\n";
-  decoder.Feed(input.data(), input.size(), sink);
+  EXPECT_TRUE(decoder.Feed(input.data(), input.size(), sink).ok());
   decoder.Finish(sink);
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0], "a=i:1");
+}
+
+TEST(LineDecoderTest, OversizedLinePoisonsInsteadOfGrowing) {
+  // A hostile client streaming newline-free bytes must hit the bound, not
+  // grow the per-connection buffer until the server OOMs.
+  LineDecoder decoder;
+  std::vector<std::string> lines;
+  const auto sink = [&](std::string_view l) { lines.emplace_back(l); };
+  const std::string chunk(4096, 'x');
+  Status st;
+  size_t fed = 0;
+  while (fed <= kMaxLineBytes + chunk.size()) {
+    st = decoder.Feed(chunk.data(), chunk.size(), sink);
+    fed += chunk.size();
+    if (!st.ok()) {
+      break;
+    }
+  }
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);  // buffer released, not retained
+  // Poisoned: further feeds fail and the EOF flush emits nothing.
+  EXPECT_FALSE(decoder.Feed("a=i:1\n", 6, sink).ok());
+  decoder.Finish(sink);
+  EXPECT_TRUE(lines.empty());
+}
+
+TEST(LineDecoderTest, MaxLengthLineStillDelivered) {
+  // Exactly-at-bound content is legal: the bound gates the undecoded
+  // tail, and a line completed by its newline is delivered whole.
+  LineDecoder decoder;
+  std::vector<std::string> lines;
+  const auto sink = [&](std::string_view l) { lines.emplace_back(l); };
+  const std::string body(kMaxLineBytes, 'y');
+  ASSERT_TRUE(decoder.Feed(body.data(), body.size(), sink).ok());
+  ASSERT_TRUE(decoder.Feed("\n", 1, sink).ok());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].size(), kMaxLineBytes);
 }
 
 }  // namespace

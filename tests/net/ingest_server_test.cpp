@@ -191,6 +191,37 @@ TEST(IngestServerTest, BackpressureZeroLossOnBoundedChannel) {
   server.Stop();
 }
 
+TEST(IngestServerTest, PeerResetWhilePausedFinishesConnection) {
+  auto channel = std::make_shared<PushChannel>();
+  channel->SetCapacity(1);
+  RealClock clock;
+  IngestServer::Options options;
+  options.shards = 1;
+  options.staging_limit = 1;
+  IngestServer server(&clock, options);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, "a=i:1\nb=i:2\nc=i:3\n");  // capacity 1 + staging 1 => pause
+  WaitFor([&] { return server.connections_paused() >= 1; });
+  ASSERT_EQ(server.connections_paused(), 1);
+
+  // Abort the client: SO_LINGER{1,0} turns close() into a RST. The paused
+  // fd is registered with events=0, but epoll still reports the error
+  // condition; the shard must consume it and finish the connection — a
+  // paused connection that ignores EPOLLERR/EPOLLHUP leaves the
+  // level-triggered loop spinning and the pause gauge stuck at 1.
+  struct linger lg {};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+  WaitFor([&] { return server.connections_paused() == 0; });
+  EXPECT_EQ(server.connections_paused(), 0);
+  server.Stop();
+}
+
 TEST(IngestServerTest, MaxConnectionsRejectsExtras) {
   auto channel = std::make_shared<PushChannel>();
   RealClock clock;
@@ -249,6 +280,67 @@ TEST(IngestServerTest, FrameViolationDropsConnection) {
   EXPECT_EQ(server.tuples_received(), 1u);
   WaitFor([&] { return server.connections_live() == 0; });
   EXPECT_EQ(server.connections_live(), 0);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(IngestServerTest, OversizedLineDropsConnection) {
+  auto channel = std::make_shared<PushChannel>();
+  RealClock clock;
+  IngestServer server(&clock);
+  server.AddChannel(0, channel);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ConnectTo(server.port());
+  // A newline-free stream past kMaxLineBytes must poison the connection
+  // instead of growing its buffer without bound.
+  const std::string chunk(8192, 'x');
+  size_t sent = 0;
+  while (sent <= kMaxLineBytes + chunk.size()) {
+    // MSG_NOSIGNAL: the server closes on us mid-stream by design, and a
+    // late write must fail with EPIPE instead of raising SIGPIPE.
+    const ssize_t n = ::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  WaitFor([&] { return server.frame_errors() >= 1; });
+  EXPECT_GE(server.frame_errors(), 1u);
+  EXPECT_EQ(server.tuples_received(), 0u);
+  WaitFor([&] { return server.connections_live() == 0; });
+  EXPECT_EQ(server.connections_live(), 0);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(IngestServerTest, RestartAfterStopServesAgain) {
+  auto first = std::make_shared<PushChannel>();
+  first->SetCapacity(2);  // small bound: arm the space-available callback
+  RealClock clock;
+  IngestServer::Options options;
+  options.close_channels_on_stop = false;
+  IngestServer server(&clock, options);
+  server.AddChannel(0, first);
+  ASSERT_TRUE(server.Start(0).ok());
+  {
+    const int fd = ConnectTo(server.port());
+    SendAll(fd, "a=i:1\nb=i:2\nc=i:3\n");  // third tuple stages on the bound
+    WaitFor([&] { return server.tuples_received() >= 2; });
+    (void)first->PopArrived(Timestamp::Max());  // fires the space callback
+    WaitFor([&] { return server.tuples_received() >= 3; });
+    ::close(fd);
+    WaitFor([&] { return server.connections_live() == 0; });
+  }
+  server.Stop();
+
+  // The same server restarts cleanly (the first generation's callbacks
+  // must not leave anything dangling over Start's shard teardown).
+  ASSERT_TRUE(server.Start(0).ok());
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, "d=i:4\n");
+  WaitFor([&] { return server.tuples_received() >= 4; });
+  EXPECT_EQ(server.tuples_received(), 4u);
   ::close(fd);
   server.Stop();
 }
